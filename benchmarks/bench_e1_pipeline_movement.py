@@ -1,0 +1,89 @@
+"""E1 — Multi-stage pipeline: legacy (materialise in DB2) vs AOT.
+
+Paper claim (Sec. 1/2): multi-staged data-analysis pipelines pay a
+materialisation + re-replication round trip per stage; accelerator-only
+tables eliminate it. Expected shape: legacy interconnect bytes grow with
+data size × stage count; AOT bytes stay at statement-overhead level, so
+the legacy/aot byte ratio grows with scale.
+"""
+
+import pytest
+
+from repro import Pipeline
+
+from bench_util import make_churn_system
+
+#: (rows, mode) -> bytes moved, for the cross-mode ratio rows.
+_BYTES: dict[tuple[int, str], int] = {}
+
+
+def churn_pipeline() -> Pipeline:
+    return (
+        Pipeline("e1")
+        .add_transform(
+            "impute",
+            "E1_CLEAN",
+            "SELECT cust_id, tenure_months, monthly_charges, "
+            "COALESCE(total_charges, monthly_charges * tenure_months) "
+            "AS total_charges, support_calls, contract_months, churned "
+            "FROM churn",
+        )
+        .add_transform(
+            "features",
+            "E1_FEATURES",
+            "SELECT cust_id, tenure_months, monthly_charges, total_charges, "
+            "support_calls, contract_months, "
+            "total_charges / tenure_months AS avg_monthly, churned "
+            "FROM e1_clean",
+        )
+        .add_transform(
+            "filter",
+            "E1_INPUT",
+            "SELECT * FROM e1_features WHERE tenure_months >= 2",
+        )
+        .add_procedure(
+            "cluster",
+            "CALL INZA.KMEANS('intable=E1_INPUT, outtable=E1_SEGMENTS, "
+            "id=CUST_ID, k=4, model=E1_KM')",
+            ("E1_SEGMENTS",),
+        )
+    )
+
+
+@pytest.mark.parametrize("mode", ["legacy", "aot"])
+@pytest.mark.parametrize("rows", [2000, 10000])
+def test_e1_pipeline(benchmark, record, rows, mode):
+    db, conn = make_churn_system(rows)
+    pipeline = churn_pipeline()
+    outcomes = []
+
+    def run():
+        outcomes.append(pipeline.run(conn, mode=mode))
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+    result = outcomes[-1]
+    movement = result.total_movement
+    benchmark.extra_info["bytes_moved"] = movement.total_bytes
+    benchmark.extra_info["simulated_link_seconds"] = round(
+        movement.simulated_seconds, 6
+    )
+    record(
+        "E1 pipeline movement",
+        f"rows={rows:<6} mode={mode:<7} "
+        f"bytes_moved={movement.total_bytes:<10,} "
+        f"to_accel={movement.bytes_to_accelerator:<10,} "
+        f"from_accel={movement.bytes_from_accelerator:<10,} "
+        f"elapsed={result.total_elapsed * 1000:8.1f}ms",
+    )
+    _BYTES[(rows, mode)] = movement.total_bytes
+    other = _BYTES.get((rows, "legacy" if mode == "aot" else "aot"))
+    if other is not None:
+        legacy = _BYTES[(rows, "legacy")]
+        aot = _BYTES[(rows, "aot")]
+        ratio = legacy / max(1, aot)
+        record(
+            "E1 pipeline movement",
+            f"rows={rows:<6} legacy/aot byte ratio = {ratio:,.0f}x",
+        )
+        # The paper's qualitative claim, conservatively.
+        assert ratio > 10

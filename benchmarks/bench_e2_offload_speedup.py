@@ -1,0 +1,75 @@
+"""E2 — OLAP offload speedup: DB2 row engine vs accelerated execution.
+
+Paper claim (Sec. 1): the accelerator's primary objective is "extremely
+fast execution of complex, analytical queries" on copied data. Expected
+shape: the accelerator wins on scans/joins/aggregations, and its
+advantage grows with data size (vectorised columnar execution amortises
+per-batch overhead; the row engine pays per row).
+"""
+
+import pytest
+
+from bench_util import make_star_system
+
+QUERIES = {
+    "agg-scan": (
+        "SELECT c_region, COUNT(*), AVG(c_income) FROM customers "
+        "GROUP BY c_region"
+    ),
+    "join-agg": (
+        "SELECT c.c_region, p.p_category, SUM(t.t_amount) "
+        "FROM transactions t "
+        "JOIN customers c ON t.t_customer = c.c_id "
+        "JOIN products p ON t.t_product = p.p_id "
+        "GROUP BY c.c_region, p.p_category"
+    ),
+    "selective-scan": (
+        "SELECT COUNT(*), SUM(t_amount) FROM transactions "
+        "WHERE t_amount BETWEEN 500 AND 1500"
+    ),
+    "top-n": (
+        "SELECT t_customer, SUM(t_amount) AS spent FROM transactions "
+        "GROUP BY t_customer ORDER BY spent DESC FETCH FIRST 10 ROWS ONLY"
+    ),
+}
+
+_SCALES = {"5k": (300, 50, 5000), "20k": (1000, 100, 20000)}
+_TIMES: dict[tuple[str, str, str], float] = {}
+
+
+@pytest.fixture(scope="module")
+def systems():
+    return {
+        name: make_star_system(*dims) for name, dims in _SCALES.items()
+    }
+
+
+@pytest.mark.parametrize("engine", ["db2", "accelerator"])
+@pytest.mark.parametrize("query", sorted(QUERIES))
+@pytest.mark.parametrize("scale", sorted(_SCALES))
+def test_e2_offload(benchmark, record, systems, scale, query, engine):
+    db, conn = systems[scale]
+    conn.set_acceleration("NONE" if engine == "db2" else "ALL")
+    sql = QUERIES[query]
+    expected_engine = "DB2" if engine == "db2" else "ACCELERATOR"
+
+    def run():
+        return conn.execute(sql)
+
+    result = benchmark(run)
+    assert result.engine == expected_engine
+    stats_mean = benchmark.stats.stats.mean
+    _TIMES[(scale, query, engine)] = stats_mean
+    other = _TIMES.get(
+        (scale, query, "accelerator" if engine == "db2" else "db2")
+    )
+    if other is not None:
+        db2_time = _TIMES[(scale, query, "db2")]
+        acc_time = _TIMES[(scale, query, "accelerator")]
+        record(
+            "E2 offload speedup",
+            f"scale={scale:<4} query={query:<15} "
+            f"db2={db2_time * 1000:9.2f}ms "
+            f"accel={acc_time * 1000:9.2f}ms "
+            f"speedup={db2_time / acc_time:7.1f}x",
+        )

@@ -1,0 +1,95 @@
+"""E3 — Router keeps OLTP on DB2: point lookups and single-row updates.
+
+Paper context (Sec. 1): IDAA integrates DB2's "strong OLTP capabilities"
+with the accelerator's OLAP speed; the router must not offload
+OLTP-shaped statements. Expected shape: a primary-key lookup on DB2 (via
+the PK index) beats the same query forced onto the accelerator (full
+columnar scan + interconnect round trip), so ENABLE mode — which routes
+it to DB2 — wins over ALL mode.
+"""
+
+import pytest
+
+from bench_util import make_star_system
+
+_TIMES: dict[str, float] = {}
+
+
+@pytest.fixture(scope="module")
+def system():
+    return make_star_system(1000, 100, 20000)
+
+
+@pytest.mark.parametrize("mode", ["ENABLE", "ALL"])
+def test_e3_point_lookup(benchmark, record, system, mode):
+    db, conn = system
+    conn.set_acceleration(mode)
+    counter = iter(range(10**9))
+
+    def run():
+        key = 1 + (next(counter) % 20000)
+        return conn.execute(f"SELECT t_amount FROM transactions WHERE t_id = {key}")
+
+    result = benchmark(run)
+    expected = "DB2" if mode == "ENABLE" else "ACCELERATOR"
+    assert result.engine == expected
+    _TIMES[mode] = benchmark.stats.stats.mean
+    if len(_TIMES) == 2:
+        record(
+            "E3 router mixed workload",
+            f"point lookup: ENABLE(db2)={_TIMES['ENABLE'] * 1e6:8.1f}us "
+            f"ALL(accel)={_TIMES['ALL'] * 1e6:8.1f}us "
+            f"penalty-if-offloaded="
+            f"{_TIMES['ALL'] / _TIMES['ENABLE']:5.1f}x",
+        )
+        # The router's choice must actually be the faster one.
+        assert _TIMES["ENABLE"] < _TIMES["ALL"]
+
+
+def test_e3_single_row_update(benchmark, record, system):
+    db, conn = system
+    conn.set_acceleration("ENABLE")
+    counter = iter(range(10**9))
+
+    def run():
+        key = 1 + (next(counter) % 20000)
+        return conn.execute(
+            f"UPDATE transactions SET t_quantity = 2 WHERE t_id = {key}"
+        )
+
+    result = benchmark(run)
+    assert result.engine == "DB2"
+    record(
+        "E3 router mixed workload",
+        f"single-row update (db2 + replication capture): "
+        f"{benchmark.stats.stats.mean * 1e6:8.1f}us",
+    )
+
+
+def test_e3_mixed_stream(benchmark, record, system):
+    """90% point lookups + 10% analytics, routed transparently."""
+    db, conn = system
+    conn.set_acceleration("ENABLE")
+    counter = iter(range(10**9))
+    engines = {"DB2": 0, "ACCELERATOR": 0}
+
+    def run():
+        tick = next(counter)
+        if tick % 10 == 9:
+            result = conn.execute(
+                "SELECT c_region, COUNT(*) FROM customers GROUP BY c_region"
+            )
+        else:
+            key = 1 + (tick % 1000)
+            result = conn.execute(
+                f"SELECT c_income FROM customers WHERE c_id = {key}"
+            )
+        engines[result.engine] += 1
+
+    benchmark.pedantic(run, rounds=50, iterations=1)
+    assert engines["DB2"] > 0 and engines["ACCELERATOR"] > 0
+    record(
+        "E3 router mixed workload",
+        f"mixed stream routing: {engines['DB2']} stmts on DB2, "
+        f"{engines['ACCELERATOR']} offloaded",
+    )

@@ -1,0 +1,128 @@
+"""E5 — AOT transaction throughput and snapshot-isolation overhead.
+
+Paper claim (Sec. 2): with AOTs the accelerator participates in the DB2
+transaction context — own uncommitted changes visible, snapshot
+isolation for everyone else, concurrent queries supported. This bench
+measures the cost of that machinery: AOT DML+query transactions per
+second, single-session and with concurrent readers, plus autocommit as
+the no-delta baseline.
+"""
+
+import threading
+
+import pytest
+
+from bench_util import make_system
+
+
+def fresh_stage(rows: int = 2000):
+    db = make_system()
+    conn = db.connect()
+    conn.execute("CREATE TABLE STAGE (ID INTEGER, V DOUBLE) IN ACCELERATOR")
+    values = ", ".join(f"({i}, {float(i)})" for i in range(rows))
+    conn.execute(f"INSERT INTO STAGE VALUES {values}")
+    return db, conn
+
+
+@pytest.fixture(scope="module")
+def system():
+    return fresh_stage()
+
+
+def test_e5_autocommit_dml(benchmark, record, system):
+    db, conn = system
+    counter = iter(range(10**9))
+
+    def run():
+        key = 10_000 + next(counter)
+        conn.execute(f"INSERT INTO STAGE VALUES ({key}, 1.0)")
+
+    benchmark.pedantic(run, rounds=100, iterations=1)
+    record(
+        "E5 transactions",
+        f"autocommit AOT insert: "
+        f"{benchmark.stats.stats.mean * 1e6:8.1f}us/stmt",
+    )
+
+
+def test_e5_full_transaction(benchmark, record, system):
+    """BEGIN; insert; update; own-visibility query; COMMIT."""
+    db, conn = system
+    counter = iter(range(10**9))
+
+    def run():
+        key = 20_000_000 + next(counter)
+        conn.execute("BEGIN")
+        conn.execute(f"INSERT INTO STAGE VALUES ({key}, 0.0)")
+        conn.execute(f"UPDATE stage SET v = 1 WHERE id = {key}")
+        visible = conn.execute(
+            f"SELECT v FROM stage WHERE id = {key}"
+        ).scalar()
+        assert visible == 1.0  # own uncommitted change visible
+        conn.execute("COMMIT")
+
+    # Fixed rounds: each round grows the table, so calibrated runs would
+    # otherwise measure a moving target.
+    benchmark.pedantic(run, rounds=50, iterations=1)
+    record(
+        "E5 transactions",
+        f"txn (insert+update+query+commit): "
+        f"{benchmark.stats.stats.mean * 1e3:8.2f}ms/txn",
+    )
+
+
+def test_e5_rollback_cost(benchmark, record, system):
+    db, conn = system
+
+    def run():
+        conn.execute("BEGIN")
+        conn.execute("INSERT INTO STAGE VALUES (99999999, 0.0)")
+        conn.execute("ROLLBACK")
+
+    benchmark(run)
+    record(
+        "E5 transactions",
+        f"txn rollback: {benchmark.stats.stats.mean * 1e3:8.2f}ms/txn",
+    )
+
+
+@pytest.mark.parametrize("readers", [0, 2, 4])
+def test_e5_writer_with_concurrent_readers(benchmark, record, readers):
+    """A writer transaction while N reader sessions run snapshot queries
+    — readers never block the writer (MVCC), so throughput should hold."""
+    db, conn = fresh_stage()
+    stop = threading.Event()
+    read_counts = [0] * readers
+
+    def reader(slot: int):
+        session = db.connect()
+        while not stop.is_set():
+            count = session.execute("SELECT COUNT(*) FROM stage").scalar()
+            assert count >= 2000
+            read_counts[slot] += 1
+
+    threads = [
+        threading.Thread(target=reader, args=(slot,)) for slot in range(readers)
+    ]
+    for thread in threads:
+        thread.start()
+    counter = iter(range(10**9))
+    try:
+
+        def run():
+            key = 50_000_000 + next(counter)
+            conn.execute("BEGIN")
+            conn.execute(f"INSERT INTO STAGE VALUES ({key}, 0.0)")
+            conn.execute("COMMIT")
+
+        benchmark.pedantic(run, rounds=30, iterations=1)
+    finally:
+        stop.set()
+        for thread in threads:
+            thread.join()
+    record(
+        "E5 transactions",
+        f"writer txn with {readers} concurrent readers: "
+        f"{benchmark.stats.stats.mean * 1e3:8.2f}ms/txn "
+        f"(reads completed: {sum(read_counts)})",
+    )

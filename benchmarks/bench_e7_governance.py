@@ -1,0 +1,97 @@
+"""E7 — Governance overhead: DB2-side authorisation of delegated calls.
+
+Paper claim (abstract/Sec. 3): the framework executes arbitrary
+analytics on the accelerator "while ensuring data governance aspects
+like privilege management on DB2". Expected shape: the privilege gate
+adds microseconds to a CALL that runs for milliseconds — governance is
+effectively free — and denials are decided before any accelerator work.
+"""
+
+import pytest
+
+from repro.errors import AuthorizationError
+
+from bench_util import make_churn_system
+
+_CALL = (
+    "CALL INZA.SUMMARY('intable=CHURN, outtable=E7_OUT_{tag}')"
+)
+
+_TIMES: dict[str, float] = {}
+
+
+@pytest.fixture(scope="module")
+def system():
+    db, conn = make_churn_system(2000)
+    db.create_user("ANALYST")
+    admin = conn
+    admin.execute("GRANT EXECUTE ON PROCEDURE INZA.SUMMARY TO ANALYST")
+    admin.execute("GRANT SELECT ON CHURN TO ANALYST")
+    return db, conn
+
+
+@pytest.mark.parametrize("who", ["admin", "granted_user"])
+def test_e7_authorised_call(benchmark, record, system, who):
+    db, admin = system
+    conn = admin if who == "admin" else db.connect("ANALYST")
+    counter = iter(range(10**9))
+
+    def run():
+        tag = f"{who}_{next(counter)}"
+        conn.execute(_CALL.format(tag=tag))
+
+    benchmark.pedantic(run, rounds=20, iterations=1)
+    _TIMES[who] = benchmark.stats.stats.mean
+    record(
+        "E7 governance",
+        f"{who:<13} CALL mean={benchmark.stats.stats.mean * 1e3:8.2f}ms",
+    )
+    if len(_TIMES) == 2:
+        overhead = abs(_TIMES["granted_user"] - _TIMES["admin"])
+        record(
+            "E7 governance",
+            f"privilege-check overhead ≈ {overhead * 1e6:,.0f}us per call "
+            f"({overhead / _TIMES['admin'] * 100:.1f}% of call latency)",
+        )
+
+
+def test_e7_denied_call(benchmark, record, system):
+    db, __ = system
+    db.create_user("INTERN")
+    intern = db.connect("INTERN")
+    accel_queries_before = db.accelerator.queries_executed
+
+    def run():
+        with pytest.raises(AuthorizationError):
+            intern.execute(_CALL.format(tag="denied"))
+
+    benchmark.pedantic(run, rounds=20, iterations=1)
+    # Denial happens in DB2: the accelerator never executed anything.
+    assert db.accelerator.queries_executed == accel_queries_before
+    record(
+        "E7 governance",
+        f"denied call rejected in "
+        f"{benchmark.stats.stats.mean * 1e6:8.1f}us "
+        "(accelerator untouched)",
+    )
+
+
+def test_e7_privilege_check_microcost(benchmark, record, system):
+    """Direct micro-cost of the privilege gate itself (100 checks)."""
+    from repro.catalog import Privilege
+
+    db, __ = system
+    manager = db.catalog.privileges
+
+    def run_checks():
+        for __i in range(100):
+            manager.has_privilege(
+                "ANALYST", Privilege.SELECT, "TABLE", "CHURN"
+            )
+
+    benchmark(run_checks)
+    record(
+        "E7 governance",
+        f"raw privilege check: "
+        f"{benchmark.stats.stats.mean / 100 * 1e9:,.0f}ns each",
+    )

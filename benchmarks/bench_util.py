@@ -1,0 +1,31 @@
+"""Builders shared by the benchmark modules."""
+
+from __future__ import annotations
+
+from repro import AcceleratedDatabase
+from repro.workloads import create_churn_table, create_star_schema
+
+
+def make_system(**kwargs) -> AcceleratedDatabase:
+    defaults = dict(slice_count=4, chunk_rows=8192)
+    defaults.update(kwargs)
+    return AcceleratedDatabase(**defaults)
+
+
+def make_churn_system(rows: int):
+    db = make_system()
+    conn = db.connect()
+    create_churn_table(conn, count=rows, accelerate=True)
+    return db, conn
+
+
+def make_star_system(customers: int, products: int, transactions: int):
+    db = make_system()
+    conn = db.connect()
+    create_star_schema(
+        conn,
+        customers=customers,
+        products=products,
+        transactions=transactions,
+    )
+    return db, conn

@@ -1,0 +1,72 @@
+"""Shared benchmark fixtures and the experiment result recorder.
+
+Every benchmark both (a) times its operation through pytest-benchmark and
+(b) records the paper-style table row (who won, by what factor, how many
+bytes moved) through the ``record`` fixture. Rows are written to
+``benchmarks/results/experiments.txt`` at session end so EXPERIMENTS.md
+can quote real measured numbers.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from bench_util import make_system
+from repro.workloads import create_star_schema
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+class ExperimentLog:
+    """Collects one line per measurement, grouped by experiment id."""
+
+    def __init__(self) -> None:
+        self.rows: dict[str, list[str]] = {}
+
+    def add(self, experiment: str, line: str) -> None:
+        self.rows.setdefault(experiment, []).append(line)
+
+    def flush(self) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / "experiments.txt"
+        with open(path, "w") as handle:
+            for experiment in sorted(self.rows):
+                handle.write(f"== {experiment} ==\n")
+                for line in self.rows[experiment]:
+                    handle.write(f"  {line}\n")
+                handle.write("\n")
+
+
+@pytest.fixture(scope="session")
+def experiment_log():
+    log = ExperimentLog()
+    yield log
+    log.flush()
+
+
+@pytest.fixture
+def record(experiment_log, request):
+    """``record('E1', 'rows=2000 legacy=...')`` in any benchmark."""
+
+    def _record(experiment: str, line: str) -> None:
+        experiment_log.add(experiment, line)
+
+    return _record
+
+
+@pytest.fixture(scope="module")
+def star_small():
+    db = make_system()
+    conn = db.connect()
+    create_star_schema(conn, customers=300, products=50, transactions=5000)
+    return db, conn
+
+
+@pytest.fixture(scope="module")
+def star_large():
+    db = make_system()
+    conn = db.connect()
+    create_star_schema(conn, customers=1000, products=100, transactions=20000)
+    return db, conn

@@ -1,0 +1,71 @@
+"""repro — reproduction of *Extending Database Accelerators for Data
+Transformations and Predictive Analytics* (Stolze, Beier, Martin;
+EDBT 2016).
+
+The package simulates the IBM DB2 Analytics Accelerator architecture in
+pure Python — a row-store OLTP engine (the DB2 stand-in), a columnar
+vectorised engine with snapshot isolation (the Netezza stand-in), and a
+federation layer between them — and implements the paper's extensions on
+top: accelerator-only tables (``CREATE TABLE ... IN ACCELERATOR``),
+DB2-transaction-aware AOT modification, direct external ingestion, and a
+governed in-database analytics framework.
+
+Quickstart::
+
+    from repro import AcceleratedDatabase
+
+    db = AcceleratedDatabase()
+    conn = db.connect()
+    conn.execute("CREATE TABLE STAGE1 (ID INTEGER, V DOUBLE) IN ACCELERATOR")
+    conn.execute("INSERT INTO STAGE1 VALUES (1, 0.5), (2, 1.5)")
+    print(conn.execute("SELECT COUNT(*) FROM STAGE1").rows)
+"""
+
+from repro.errors import (
+    AnalyticsError,
+    AuthorizationError,
+    CatalogError,
+    LoaderError,
+    LockTimeoutError,
+    ParseError,
+    ProcedureError,
+    ReplicationError,
+    ReproError,
+    RoutingError,
+    SqlError,
+    TransactionError,
+)
+from repro.federation import AcceleratedDatabase, Connection
+from repro.loader import CsvSource, IdaaLoader, IterableSource, JsonLinesSource
+from repro.metrics import MovementStats
+from repro.pipeline import Pipeline, ProcedureStage, TransformStage
+from repro.result import Result
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AcceleratedDatabase",
+    "Connection",
+    "Result",
+    "Pipeline",
+    "TransformStage",
+    "ProcedureStage",
+    "IdaaLoader",
+    "CsvSource",
+    "JsonLinesSource",
+    "IterableSource",
+    "MovementStats",
+    "ReproError",
+    "SqlError",
+    "ParseError",
+    "CatalogError",
+    "AuthorizationError",
+    "TransactionError",
+    "LockTimeoutError",
+    "RoutingError",
+    "ReplicationError",
+    "LoaderError",
+    "AnalyticsError",
+    "ProcedureError",
+    "__version__",
+]

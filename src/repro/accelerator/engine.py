@@ -1,0 +1,587 @@
+"""The accelerator engine: storage, snapshots, deltas, and DML.
+
+Holds the columnar tables (both snapshot *copies* of accelerated DB2
+tables and the paper's accelerator-only tables), advances the global MVCC
+epoch on every applied write batch, and executes queries through the
+vectorised executor at a chosen snapshot epoch, optionally merged with a
+transaction's uncommitted AOT delta buffers.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.accelerator.deltas import DeltaBuffer
+from repro.accelerator.executor import VectorQueryEngine
+from repro.accelerator.vtable import columns_from_rows
+from repro.catalog import Catalog, TableDescriptor
+from repro.catalog.schema import TableSchema
+from repro.db2.changelog import ChangeRecord
+from repro.errors import ReplicationError, ReproError, UnknownObjectError
+from repro.sql import ast
+from repro.sql.expressions import Scope, VColumn, compile_vector
+from repro.sql.planning import extract_column_ranges
+from repro.storage.column_store import ColumnStoreTable
+
+__all__ = ["AcceleratorEngine", "GroomStats"]
+
+#: Simulated per-slice scan speed (rows/second) for the busy-time model.
+SCAN_ROWS_PER_SECOND = 5_000_000.0
+
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GroomStats:
+    """Outcome of one GROOM pass over a table."""
+
+    rows_reclaimed: int
+    chunks_before: int
+    chunks_after: int
+
+
+class _SnapshotProvider:
+    """Vector-executor table provider bound to one snapshot + deltas."""
+
+    def __init__(
+        self,
+        engine: "AcceleratorEngine",
+        epoch: int,
+        deltas: Optional[dict[str, DeltaBuffer]] = None,
+    ) -> None:
+        self._engine = engine
+        self._epoch = epoch
+        self._deltas = deltas or {}
+
+    def table_schema(self, name: str) -> TableSchema:
+        return self._engine.storage_for(name).schema
+
+    def scan_columns(
+        self,
+        name: str,
+        ranges: Optional[dict[str, tuple]] = None,
+    ) -> tuple[dict[str, VColumn], int]:
+        key = name.upper()
+        delta = self._deltas.get(key)
+        # Zone-map pruning must be disabled when a delta deletes base rows?
+        # No: deletions are re-applied below; pruning only skips *reads*.
+        __, columns, length = self._engine.scan_snapshot(
+            key, self._epoch, ranges=ranges, delta=delta
+        )
+        return columns, length
+
+
+class AcceleratorEngine:
+    """Columnar engine with epoch snapshots and AOT delta awareness."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        slice_count: int = 4,
+        chunk_rows: int = 65536,
+    ) -> None:
+        self.catalog = catalog
+        self.slice_count = slice_count
+        self.chunk_rows = chunk_rows
+        self._tables: dict[str, ColumnStoreTable] = {}
+        #: Replication-apply cache: table -> {row tuple: [row ids]}.
+        #: Maintained incrementally by apply_changes; any other write path
+        #: invalidates it.
+        self._lookup_cache: dict[str, dict[tuple, list[int]]] = {}
+        #: Serialises write batches (epoch assignment + chunk appends).
+        #: Readers are lock-free: they scan immutable chunks at a snapshot
+        #: epoch (MVCC), so only writers contend here.
+        self._write_lock = threading.Lock()
+        self.current_epoch = 0
+        # Instrumentation.
+        self.queries_executed = 0
+        self.rows_scanned = 0
+        self.chunks_skipped = 0
+        self.simulated_busy_seconds = 0.0
+        self.zone_maps_enabled = True
+
+    # -- storage / DDL ----------------------------------------------------------
+
+    def create_storage(self, descriptor: TableDescriptor) -> None:
+        key = descriptor.name
+        if key in self._tables:
+            raise ReproError(f"accelerator storage for {key} already exists")
+        self._tables[key] = ColumnStoreTable(
+            descriptor.schema,
+            slice_count=self.slice_count,
+            distribute_on=descriptor.distribute_on,
+            chunk_rows=self.chunk_rows,
+        )
+
+    def drop_storage(self, name: str) -> None:
+        self._tables.pop(name.upper(), None)
+        self._lookup_cache.pop(name.upper(), None)
+
+    def storage_for(self, name: str) -> ColumnStoreTable:
+        key = name.upper()
+        table = self._tables.get(key)
+        if table is None:
+            raise UnknownObjectError(f"table {key} has no accelerator storage")
+        return table
+
+    def has_storage(self, name: str) -> bool:
+        return name.upper() in self._tables
+
+    def _staged_epoch(self) -> int:
+        """The epoch a write batch stamps its changes with.
+
+        Writers (serialised by ``_write_lock``) stamp rows with
+        ``current_epoch + 1`` and only *publish* that epoch — a single
+        atomic assignment — after the whole batch is in place, so
+        lock-free readers never observe a torn batch.
+        """
+        return self.current_epoch + 1
+
+    def _publish_epoch(self, epoch: int) -> None:
+        self.current_epoch = epoch
+
+    # -- write paths -----------------------------------------------------------------
+
+    def bulk_insert(self, name: str, rows: Sequence[tuple]) -> int:
+        """Append coerced rows as one batch at a fresh epoch."""
+        table = self.storage_for(name)
+        with self._write_lock:
+            self._lookup_cache.pop(name.upper(), None)
+            epoch = self._staged_epoch()
+            table.append_rows(list(rows), epoch)
+            self._publish_epoch(epoch)
+        return len(rows)
+
+    def apply_changes(self, name: str, records: Sequence[ChangeRecord]) -> int:
+        """Apply one replication batch (insert/update/delete) atomically.
+
+        Rows are located by before-image equality, which is how a
+        replication target without shared rowids has to do it.
+        """
+        key = name.upper()
+        table = self.storage_for(key)
+        self._write_lock.acquire()
+        try:
+            return self._apply_changes_locked(key, table, records)
+        except Exception:
+            # The lookup cache is mutated in place while the batch is
+            # processed; a failed batch leaves it inconsistent, so the
+            # next drain must rebuild it from storage.
+            self._lookup_cache.pop(key, None)
+            raise
+        finally:
+            self._write_lock.release()
+
+    def _apply_changes_locked(
+        self, key: str, table: ColumnStoreTable, records
+    ) -> int:
+        epoch = self._staged_epoch()
+        # Rows inserted earlier in this same batch get placeholder ids
+        # (-1, -2, ...) so later records in the batch can update/delete
+        # them before they ever reach the column store.
+        pending_inserts: dict[int, tuple] = {}
+        next_placeholder = -1
+        deletes: list[int] = []
+        lookup: Optional[dict[tuple, list[int]]] = self._lookup_cache.get(key)
+
+        def track_insert(row: tuple) -> None:
+            nonlocal next_placeholder
+            placeholder = next_placeholder
+            next_placeholder -= 1
+            pending_inserts[placeholder] = tuple(row)
+            if lookup is not None:
+                lookup.setdefault(tuple(row), []).append(placeholder)
+
+        for record in records:
+            if record.op == "INSERT":
+                track_insert(record.after)
+                continue
+            if lookup is None:
+                lookup = self._build_row_lookup(table, epoch - 1)
+                for placeholder, row in pending_inserts.items():
+                    lookup.setdefault(row, []).append(placeholder)
+            before = tuple(record.before)
+            candidates = lookup.get(before)
+            if not candidates:
+                raise ReplicationError(
+                    f"cannot locate row {before!r} in copy of {key}"
+                )
+            row_id = candidates.pop()
+            if row_id < 0:
+                del pending_inserts[row_id]
+            else:
+                deletes.append(row_id)
+            if record.op == "UPDATE":
+                track_insert(record.after)
+            elif record.op != "DELETE":
+                raise ReplicationError(f"unknown change op {record.op}")
+        if deletes:
+            table.mark_deleted(deletes, epoch)
+        if pending_inserts:
+            new_ids = table.append_rows(list(pending_inserts.values()), epoch)
+            if lookup is not None:
+                # Swap batch placeholders for the real row ids so the
+                # cache stays valid for the next drain.
+                for (placeholder, row), real_id in zip(
+                    pending_inserts.items(), new_ids
+                ):
+                    ids = lookup.get(row, [])
+                    for position, candidate in enumerate(ids):
+                        if candidate == placeholder:
+                            ids[position] = int(real_id)
+                            break
+        if lookup is not None:
+            self._lookup_cache[key] = lookup
+        self._publish_epoch(epoch)
+        return len(records)
+
+    def _build_row_lookup(
+        self, table: ColumnStoreTable, epoch: int
+    ) -> dict[tuple, list[int]]:
+        row_ids, columns = table.read_visible(epoch)
+        ordered = [columns[c.name] for c in table.schema.columns]
+        object_columns = [col.to_objects() for col in ordered]
+        lookup: dict[tuple, list[int]] = {}
+        for index, row_id in enumerate(row_ids):
+            row = tuple(values[index] for values in object_columns)
+            lookup.setdefault(row, []).append(int(row_id))
+        return lookup
+
+    def apply_delta(self, delta: DeltaBuffer) -> int:
+        """Commit a transaction's AOT delta at a fresh epoch."""
+        table = self.storage_for(delta.table)
+        with self._write_lock:
+            self._lookup_cache.pop(delta.table.upper(), None)
+            epoch = self._staged_epoch()
+            changed = 0
+            if delta.deleted_base_ids:
+                changed += table.mark_deleted(
+                    sorted(delta.deleted_base_ids), epoch
+                )
+            live = delta.live_inserts()
+            if live:
+                table.append_rows(live, epoch)
+                changed += len(live)
+            self._publish_epoch(epoch)
+        return changed
+
+    def groom(self, name: str) -> GroomStats:
+        """Rewrite a table's storage keeping only currently-live rows.
+
+        This is Netezza's GROOM: deleted row versions are physically
+        reclaimed and small trickle-insert chunks are merged. Row ids are
+        preserved, but version history collapses — snapshots older than
+        the groom see the groomed (live-only) state, so it must not run
+        while transactions hold older snapshot epochs.
+        """
+        key = name.upper()
+        table = self.storage_for(key)
+        with self._write_lock:
+            return self._groom_locked(key, table)
+
+    def _groom_locked(self, key: str, table: ColumnStoreTable) -> "GroomStats":
+        self._lookup_cache.pop(key, None)
+        chunks_before = table.total_chunk_count
+        row_ids, columns = table.read_visible(self.current_epoch)
+        ordered = [columns[c.name] for c in table.schema.columns]
+        object_columns = [col.to_objects() for col in ordered]
+        rows = [
+            tuple(values[i] for values in object_columns)
+            for i in range(len(row_ids))
+        ]
+        reclaimed = sum(
+            len(chunk) for _, chunk in table.iter_chunks()
+        ) - len(rows)
+        fresh = ColumnStoreTable(
+            table.schema,
+            slice_count=table.slice_count,
+            distribute_on=table.distribute_on,
+            chunk_rows=table.chunk_rows,
+        )
+        fresh._next_row_id = table._next_row_id
+        # Epoch 0 keeps the live rows visible to every snapshot.
+        fresh.append_rows(rows, epoch=0, row_ids=row_ids)
+        self._tables[key] = fresh
+        return GroomStats(
+            rows_reclaimed=reclaimed,
+            chunks_before=chunks_before,
+            chunks_after=fresh.total_chunk_count,
+        )
+
+    # -- snapshot reads -----------------------------------------------------------------
+
+    def scan_snapshot(
+        self,
+        name: str,
+        epoch: int,
+        ranges: Optional[dict[str, tuple]] = None,
+        delta: Optional[DeltaBuffer] = None,
+    ) -> tuple[np.ndarray, dict[str, VColumn], int]:
+        """Visible columns at ``epoch`` merged with an optional own-delta.
+
+        Returned row ids are base ids for base rows and ``-(index+1)`` for
+        rows coming from the delta buffer (so DML can target them).
+        """
+        table = self.storage_for(name)
+        table.zone_maps_enabled = self.zone_maps_enabled
+        row_ids, columns = table.read_visible(epoch, ranges=ranges)
+        self.rows_scanned += len(row_ids)
+        self.chunks_skipped += table.last_scan_chunks_skipped
+        self.simulated_busy_seconds += table.row_count / (
+            SCAN_ROWS_PER_SECOND * max(1, table.slice_count)
+        )
+        if delta is None or delta.is_empty:
+            return row_ids, columns, len(row_ids)
+
+        keep = ~np.isin(row_ids, np.fromiter(
+            delta.deleted_base_ids, dtype=np.int64,
+            count=len(delta.deleted_base_ids),
+        )) if delta.deleted_base_ids else np.ones(len(row_ids), dtype=bool)
+        row_ids = row_ids[keep]
+        columns = {
+            name_: VColumn(
+                values=col.values[keep],
+                mask=col.mask[keep] if col.mask is not None else None,
+            )
+            for name_, col in columns.items()
+        }
+        insert_indexes = delta.live_insert_indexes()
+        if insert_indexes:
+            inserted_rows = [delta.inserted[i] for i in insert_indexes]
+            extra = columns_from_rows(table.schema, inserted_rows)
+            merged: dict[str, VColumn] = {}
+            for column in table.schema.columns:
+                base_col = columns[column.name]
+                add_col = extra[column.name]
+                values = _concat_values(base_col.values, add_col.values)
+                mask = _concat_optional_masks(
+                    base_col.mask, add_col.mask, len(base_col.values),
+                    len(add_col.values),
+                )
+                merged[column.name] = VColumn(values=values, mask=mask)
+            columns = merged
+            delta_ids = np.array(
+                [-(i + 1) for i in insert_indexes], dtype=np.int64
+            )
+            row_ids = np.concatenate([row_ids, delta_ids])
+        return row_ids, columns, len(row_ids)
+
+    # -- queries -------------------------------------------------------------------------
+
+    def execute_select(
+        self,
+        stmt,
+        params: Sequence[object] = (),
+        snapshot_epoch: Optional[int] = None,
+        deltas: Optional[dict[str, DeltaBuffer]] = None,
+    ) -> tuple[list[str], list[tuple]]:
+        epoch = self.current_epoch if snapshot_epoch is None else snapshot_epoch
+        provider = _SnapshotProvider(self, epoch, deltas)
+        engine = VectorQueryEngine(provider, params)
+        columns, rows = engine.execute(stmt)
+        self.queries_executed += 1
+        return columns, rows
+
+    # -- AOT DML ------------------------------------------------------------------------------
+
+    def insert_into(
+        self,
+        name: str,
+        rows: Sequence[Sequence[object]],
+        delta: Optional[DeltaBuffer] = None,
+        already_coerced: bool = False,
+    ) -> int:
+        """INSERT: into the txn delta when given, else applied directly."""
+        schema = self.storage_for(name).schema
+        coerced = (
+            [tuple(r) for r in rows]
+            if already_coerced
+            else [schema.coerce_row(r) for r in rows]
+        )
+        if delta is not None:
+            delta.insert(coerced)
+        else:
+            self.bulk_insert(name, coerced)
+        return len(coerced)
+
+    def delete_where(
+        self,
+        stmt: ast.DeleteStatement,
+        params: Sequence[object] = (),
+        snapshot_epoch: Optional[int] = None,
+        delta: Optional[DeltaBuffer] = None,
+    ) -> int:
+        name = stmt.table.upper()
+        if delta is not None:
+            base_ids, own_indexes = self._target_rows(
+                name, stmt.where, params, snapshot_epoch, delta
+            )
+            deleted = delta.delete_base(base_ids)
+            deleted += delta.delete_own(own_indexes)
+            return deleted
+        # Direct apply: target selection and deletion form one atomic
+        # read-modify-write, so concurrent DML cannot double-apply.
+        table = self.storage_for(name)
+        with self._write_lock:
+            base_ids, __ = self._target_rows(
+                name, stmt.where, params, snapshot_epoch, None
+            )
+            self._lookup_cache.pop(name, None)
+            if not base_ids:
+                return 0
+            epoch = self._staged_epoch()
+            deleted = table.mark_deleted(base_ids, epoch)
+            self._publish_epoch(epoch)
+            return deleted
+
+    def update_where(
+        self,
+        stmt: ast.UpdateStatement,
+        params: Sequence[object] = (),
+        snapshot_epoch: Optional[int] = None,
+        delta: Optional[DeltaBuffer] = None,
+    ) -> int:
+        name = stmt.table.upper()
+        table = self.storage_for(name)
+        schema = table.schema
+        if delta is None:
+            # Direct apply is an atomic read-modify-write (see delete).
+            with self._write_lock:
+                return self._update_where_unlocked(
+                    stmt, params, snapshot_epoch, None
+                )
+        return self._update_where_unlocked(stmt, params, snapshot_epoch, delta)
+
+    def _update_where_unlocked(
+        self,
+        stmt: ast.UpdateStatement,
+        params: Sequence[object],
+        snapshot_epoch: Optional[int],
+        delta: Optional[DeltaBuffer],
+    ) -> int:
+        name = stmt.table.upper()
+        table = self.storage_for(name)
+        schema = table.schema
+        epoch = self.current_epoch if snapshot_epoch is None else snapshot_epoch
+        row_ids, columns, length = self.scan_snapshot(name, epoch, delta=delta)
+        scope = Scope([(name, c.name) for c in schema.columns])
+        ordered = [columns[c.name] for c in schema.columns]
+        mask = self._predicate_mask(stmt.where, scope, ordered, length, params)
+        if not mask.any():
+            return 0
+        target_positions = np.where(mask)[0]
+        # Compute new full rows for the targets.
+        assignment_map = {column: expr for column, expr in stmt.assignments}
+        new_columns: list[list[object]] = []
+        for column in schema.columns:
+            expr = assignment_map.get(column.name)
+            if expr is None:
+                source = ordered[schema.position_of(column.name)]
+                values = source.to_objects()
+                new_columns.append([values[i] for i in target_positions])
+            else:
+                fn = compile_vector(expr, scope, params)
+                result = fn(ordered, length)
+                values = result.to_objects()
+                new_columns.append(
+                    [column.coerce(values[i]) for i in target_positions]
+                )
+        new_rows = [tuple(col[j] for col in new_columns)
+                    for j in range(len(target_positions))]
+        target_ids = row_ids[mask]
+        base_ids = [int(r) for r in target_ids if r >= 0]
+        own_indexes = [-(int(r)) - 1 for r in target_ids if r < 0]
+        if delta is not None:
+            delta.delete_base(base_ids)
+            # Replace own inserts in place; base targets become new inserts.
+            own_set = set(own_indexes)
+            replacement = iter(new_rows)
+            for r in target_ids:
+                row = next(replacement)
+                if r < 0 and -(int(r)) - 1 in own_set:
+                    delta.update_own(-(int(r)) - 1, row)
+                else:
+                    delta.insert([row])
+            return len(new_rows)
+        self._lookup_cache.pop(name, None)
+        epoch = self._staged_epoch()
+        if base_ids:
+            table.mark_deleted(base_ids, epoch)
+        table.append_rows(new_rows, epoch)
+        self._publish_epoch(epoch)
+        return len(new_rows)
+
+    def _target_rows(
+        self,
+        name: str,
+        where: Optional[ast.Expression],
+        params: Sequence[object],
+        snapshot_epoch: Optional[int],
+        delta: Optional[DeltaBuffer],
+    ) -> tuple[list[int], list[int]]:
+        table = self.storage_for(name)
+        schema = table.schema
+        epoch = self.current_epoch if snapshot_epoch is None else snapshot_epoch
+        scope = Scope([(name, c.name) for c in schema.columns])
+        binding_columns = {i: c.name for i, c in enumerate(schema.columns)}
+        ranges = (
+            extract_column_ranges(where, scope, binding_columns)
+            if where is not None
+            else {}
+        )
+        row_ids, columns, length = self.scan_snapshot(
+            name, epoch, ranges=ranges or None, delta=delta
+        )
+        ordered = [columns[c.name] for c in schema.columns]
+        mask = self._predicate_mask(where, scope, ordered, length, params)
+        targets = row_ids[mask]
+        base_ids = [int(r) for r in targets if r >= 0]
+        own_indexes = [-(int(r)) - 1 for r in targets if r < 0]
+        return base_ids, own_indexes
+
+    def _predicate_mask(
+        self,
+        where: Optional[ast.Expression],
+        scope: Scope,
+        columns: list[VColumn],
+        length: int,
+        params: Sequence[object],
+    ) -> np.ndarray:
+        if where is None:
+            return np.ones(length, dtype=bool)
+        fn = compile_vector(
+            where, scope, params, self._dml_resolver(scope)
+        )
+        result = fn(columns, length)
+        mask = result.values.astype(bool)
+        if result.mask is not None:
+            mask &= ~result.mask
+        return mask
+
+    def _dml_resolver(self, scope: Scope):
+        from repro.sql.correlation import SubqueryExecutor
+
+        return SubqueryExecutor(
+            scope,
+            lambda table: self.storage_for(table).schema.column_names,
+            lambda query: self.execute_select(query)[1],
+        )
+
+
+def _concat_values(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    if a.dtype == b.dtype:
+        return np.concatenate([a, b])
+    return np.concatenate([a.astype(object), b.astype(object)])
+
+
+def _concat_optional_masks(a, b, a_len: int, b_len: int):
+    if a is None and b is None:
+        return None
+    left = a if a is not None else np.zeros(a_len, dtype=bool)
+    right = b if b is not None else np.zeros(b_len, dtype=bool)
+    merged = np.concatenate([left, right])
+    return merged if merged.any() else None

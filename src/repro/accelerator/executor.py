@@ -1,0 +1,900 @@
+"""Vectorised query execution for the accelerator.
+
+Operators consume and produce :class:`~repro.accelerator.vtable.VTable`
+batches; predicates and projections run as numpy kernels compiled by
+:func:`repro.sql.expressions.compile_vector`. Grouped aggregation uses
+``bincount`` / ``ufunc.at`` kernels on group-inverse arrays. This is the
+simulation stand-in for Netezza's FPGA-accelerated streaming execution:
+the *shape* of its advantage over DB2's interpreted row pipeline — column
+pruning, zone-map skipping, batch arithmetic — is preserved.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional, Protocol, Sequence, Union
+
+import numpy as np
+
+from repro.catalog.schema import TableSchema
+from repro.errors import ParseError, SqlError
+from repro.sql import ast
+from repro.sql.expressions import (
+    Scope,
+    VColumn,
+    compile_scalar,
+    compile_vector,
+    expression_label,
+)
+from repro.sql.correlation import SubqueryExecutor
+from repro.sql.planning import (
+    canonicalize,
+    extract_column_ranges,
+    map_children,
+    references_only,
+    sort_rows_with_keys,
+    split_conjuncts,
+)
+from repro.accelerator.vtable import VTable
+
+__all__ = ["VectorTableProvider", "VectorQueryEngine"]
+
+
+class VectorTableProvider(Protocol):
+    """What the vector executor needs from the accelerator engine."""
+
+    def table_schema(self, name: str) -> TableSchema:
+        """Schema of a base table."""
+
+    def scan_columns(
+        self,
+        name: str,
+        ranges: Optional[dict[str, tuple]] = None,
+    ) -> tuple[dict[str, VColumn], int]:
+        """Current visible columns of a base table (plus row count)."""
+
+
+class VectorQueryEngine:
+    """Executes SELECT statements as column-batch pipelines."""
+
+    def __init__(
+        self,
+        provider: VectorTableProvider,
+        params: Sequence[object] = (),
+    ) -> None:
+        self._provider = provider
+        self._params = params
+        self.rows_scanned = 0
+
+    # -- public API --------------------------------------------------------------
+
+    def execute(
+        self, stmt: Union[ast.SelectStatement, ast.SetOperation]
+    ) -> tuple[list[str], list[tuple]]:
+        if isinstance(stmt, ast.SetOperation):
+            return self._execute_set_operation(stmt)
+        return self._execute_select(stmt)
+
+    def _resolver(self, scope: Scope) -> SubqueryExecutor:
+        """Scope-aware subquery executor (see repro.sql.correlation)."""
+        return SubqueryExecutor(
+            scope,
+            lambda table: self._provider.table_schema(table).column_names,
+            lambda query: self._execute_select(query)[1],
+        )
+
+    # -- set operations -------------------------------------------------------------
+
+    def _execute_set_operation(
+        self, stmt: ast.SetOperation
+    ) -> tuple[list[str], list[tuple]]:
+        left_cols, left_rows = self.execute(stmt.left)
+        right_cols, right_rows = self.execute(stmt.right)
+        if len(left_cols) != len(right_cols):
+            raise SqlError("set operation operands have different widths")
+        if stmt.op == "UNION ALL":
+            rows = left_rows + right_rows
+        elif stmt.op == "UNION":
+            rows = _dedup(left_rows + right_rows)
+        elif stmt.op == "EXCEPT":
+            right_set = set(right_rows)
+            rows = _dedup([r for r in left_rows if r not in right_set])
+        elif stmt.op == "INTERSECT":
+            right_set = set(right_rows)
+            rows = _dedup([r for r in left_rows if r in right_set])
+        else:
+            raise ParseError(f"unknown set operation {stmt.op}")
+        if stmt.order_by:
+            scope = Scope([(None, name) for name in left_cols])
+            keys, ascending = self._row_order_keys(
+                stmt.order_by, scope, left_cols, rows
+            )
+            rows = sort_rows_with_keys(rows, keys, ascending)
+        rows = _slice(rows, stmt.offset, stmt.limit)
+        return left_cols, rows
+
+    def _row_order_keys(self, order_by, scope, columns, rows):
+        fns = []
+        for order in order_by:
+            expr = order.expression
+            if isinstance(expr, ast.Literal) and isinstance(expr.value, int):
+                if not 1 <= expr.value <= len(columns):
+                    raise ParseError(
+                        f"ORDER BY position {expr.value} is out of range"
+                    )
+                expr = ast.ColumnRef(name=columns[expr.value - 1])
+            fns.append(compile_scalar(expr, scope, self._params))
+        keys = [tuple(fn(row) for fn in fns) for row in rows]
+        return keys, [o.ascending for o in order_by]
+
+    # -- select pipeline ----------------------------------------------------------------
+
+    def _execute_select(
+        self, stmt: ast.SelectStatement
+    ) -> tuple[list[str], list[tuple]]:
+        if stmt.from_item is None:
+            return self._constant_select(stmt)
+        table = self._build_from(stmt.from_item, stmt.where)
+
+        if stmt.where is not None:
+            predicate = compile_vector(
+                stmt.where, table.scope, self._params, self._resolver(table.scope)
+            )
+            result = predicate(table.columns, table.length)
+            mask = result.values.astype(bool)
+            if result.mask is not None:
+                mask &= ~result.mask
+            table = table.filter(mask)
+
+        if stmt.group_by or stmt.is_aggregate_query:
+            columns, rows, ordered = self._aggregate(stmt, table)
+        else:
+            if stmt.having is not None:
+                raise ParseError("HAVING requires GROUP BY or aggregates")
+            columns, rows, ordered = self._project(stmt, table)
+
+        if stmt.distinct:
+            rows = _dedup(rows)
+        if stmt.order_by and not ordered:
+            scope = Scope([(None, name) for name in columns])
+            keys, ascending = self._row_order_keys(
+                stmt.order_by, scope, columns, rows
+            )
+            rows = sort_rows_with_keys(rows, keys, ascending)
+        rows = _slice(rows, stmt.offset, stmt.limit)
+        return columns, rows
+
+    def _constant_select(
+        self, stmt: ast.SelectStatement
+    ) -> tuple[list[str], list[tuple]]:
+        scope = Scope([])
+        columns: list[str] = []
+        values: list[object] = []
+        for position, item in enumerate(stmt.select_items):
+            if isinstance(item.expression, ast.Star):
+                raise ParseError("'*' requires a FROM clause")
+            fn = compile_scalar(
+                item.expression, scope, self._params, self._resolver(scope)
+            )
+            values.append(fn(()))
+            columns.append(item.alias or expression_label(item.expression, position))
+        return columns, [tuple(values)]
+
+    # -- FROM ------------------------------------------------------------------------------
+
+    def _build_from(
+        self, item: ast.FromItem, where: Optional[ast.Expression]
+    ) -> VTable:
+        if isinstance(item, ast.TableRef):
+            return self._scan(item, where)
+        if isinstance(item, ast.SubquerySource):
+            columns, rows = self._execute_select(item.query)
+            scope = Scope([(item.alias, name) for name in columns])
+            packed = [
+                VColumn.from_objects([row[i] for row in rows])
+                for i in range(len(columns))
+            ]
+            if not rows:
+                packed = [VColumn(values=np.empty(0, dtype=object))] * len(columns)
+            return VTable(scope, packed, len(rows))
+        if isinstance(item, ast.Join):
+            return self._join(item, where)
+        raise ParseError(f"unsupported FROM item {type(item).__name__}")
+
+    def _scan(self, ref: ast.TableRef, where: Optional[ast.Expression]) -> VTable:
+        schema = self._provider.table_schema(ref.name)
+        scope = Scope([(ref.binding, c.name) for c in schema.columns])
+        binding_columns = {i: c.name for i, c in enumerate(schema.columns)}
+        ranges = (
+            extract_column_ranges(where, scope, binding_columns) if where else {}
+        )
+        columns, length = self._provider.scan_columns(ref.name, ranges or None)
+        self.rows_scanned += length
+        ordered = [columns[c.name] for c in schema.columns]
+        return VTable(scope, ordered, length)
+
+    def _join(self, join: ast.Join, where: Optional[ast.Expression]) -> VTable:
+        if join.join_type == "RIGHT":
+            swapped = ast.Join(
+                left=join.right,
+                right=join.left,
+                join_type="LEFT",
+                condition=join.condition,
+            )
+            table = self._join(swapped, where)
+            left_width = len(table.scope) - self._width_of(join.left)
+            entries = table.scope.entries[left_width:] + table.scope.entries[:left_width]
+            columns = table.columns[left_width:] + table.columns[:left_width]
+            return VTable(Scope(entries), columns, table.length)
+
+        left = self._build_from(join.left, where)
+        right = self._build_from(join.right, where)
+        combined_scope = Scope(left.scope.entries + right.scope.entries)
+
+        if join.join_type == "CROSS":
+            left_idx = np.repeat(np.arange(left.length), right.length)
+            right_idx = np.tile(np.arange(right.length), left.length)
+            columns = left.gather(left_idx) + right.gather(right_idx)
+            return VTable(combined_scope, columns, len(left_idx))
+
+        if join.condition is None:
+            raise ParseError(f"{join.join_type} JOIN requires ON")
+        if join.join_type not in ("INNER", "LEFT"):
+            raise ParseError(f"unsupported join type {join.join_type}")
+
+        left_keys, right_keys, residual = self._split_equi(
+            join.condition, left.scope, right.scope
+        )
+        if not left_keys:
+            return self._nested_join(
+                left, right, join.condition, combined_scope, join.join_type
+            )
+
+        left_key_cols = [fn(left.columns, left.length) for fn in left_keys]
+        right_key_cols = [fn(right.columns, right.length) for fn in right_keys]
+        outer = join.join_type == "LEFT"
+
+        # Phase 1: matching candidate pairs only (no padding yet).
+        fast = _numeric_equi_pairs(left_key_cols, right_key_cols)
+        if fast is not None:
+            left_indexes, right_indexes = fast
+        else:
+            build: dict[tuple, list[int]] = {}
+            right_tuples = _key_tuples(right_key_cols, right.length)
+            for index, key in enumerate(right_tuples):
+                if key is None:
+                    continue
+                build.setdefault(key, []).append(index)
+            left_tuples = _key_tuples(left_key_cols, left.length)
+            left_idx: list[int] = []
+            right_idx: list[int] = []
+            for index, key in enumerate(left_tuples):
+                matches = build.get(key) if key is not None else None
+                if matches:
+                    for match in matches:
+                        left_idx.append(index)
+                        right_idx.append(match)
+            left_indexes = np.array(left_idx, dtype=np.int64)
+            right_indexes = np.array(right_idx, dtype=np.int64)
+        columns = left.gather(left_indexes) + (
+            right.gather(right_indexes)
+            if right.length
+            else _all_null_columns(right, len(right_indexes))
+        )
+        table = VTable(combined_scope, columns, len(left_indexes))
+
+        # Phase 2: the residual is part of the join condition, so it
+        # filters candidate pairs *before* outer padding is decided.
+        if residual is not None and table.length:
+            result = residual(table.columns, table.length)
+            mask = result.values.astype(bool)
+            if result.mask is not None:
+                mask &= ~result.mask
+            left_indexes = left_indexes[mask]
+            table = table.filter(mask)
+
+        if not outer:
+            return table
+
+        # Phase 3: null-extend left rows with no surviving match.
+        matched_left = np.zeros(left.length, dtype=bool)
+        if len(left_indexes):
+            matched_left[left_indexes] = True
+        missing = np.where(~matched_left)[0]
+        if not len(missing):
+            return table
+        pad_cols = left.gather(missing) + _all_null_columns(right, len(missing))
+        merged = [
+            _concat_columns(a, b) for a, b in zip(table.columns, pad_cols)
+        ]
+        return VTable(combined_scope, merged, table.length + len(missing))
+
+    def _width_of(self, item: ast.FromItem) -> int:
+        if isinstance(item, ast.TableRef):
+            return len(self._provider.table_schema(item.name).columns)
+        if isinstance(item, ast.SubquerySource):
+            return len(item.query.select_items)
+        if isinstance(item, ast.Join):
+            return self._width_of(item.left) + self._width_of(item.right)
+        raise ParseError(f"unsupported FROM item {type(item).__name__}")
+
+    def _split_equi(
+        self,
+        condition: ast.Expression,
+        left_scope: Scope,
+        right_scope: Scope,
+    ):
+        left_keys: list[Callable] = []
+        right_keys: list[Callable] = []
+        residual_parts: list[ast.Expression] = []
+        for conjunct in split_conjuncts(condition):
+            if isinstance(conjunct, ast.BinaryOp) and conjunct.op == "=":
+                sides = (conjunct.left, conjunct.right)
+                if references_only(sides[0], left_scope) and references_only(
+                    sides[1], right_scope
+                ):
+                    left_keys.append(compile_vector(sides[0], left_scope, self._params))
+                    right_keys.append(
+                        compile_vector(sides[1], right_scope, self._params)
+                    )
+                    continue
+                if references_only(sides[1], left_scope) and references_only(
+                    sides[0], right_scope
+                ):
+                    left_keys.append(compile_vector(sides[1], left_scope, self._params))
+                    right_keys.append(
+                        compile_vector(sides[0], right_scope, self._params)
+                    )
+                    continue
+            residual_parts.append(conjunct)
+        residual = None
+        if residual_parts:
+            predicate = residual_parts[0]
+            for part in residual_parts[1:]:
+                predicate = ast.BinaryOp(op="AND", left=predicate, right=part)
+            combined = Scope(left_scope.entries + right_scope.entries)
+            residual = compile_vector(
+                predicate, combined, self._params, self._resolver(combined)
+            )
+        return left_keys, right_keys, residual
+
+    def _nested_join(
+        self,
+        left: VTable,
+        right: VTable,
+        condition: ast.Expression,
+        combined_scope: Scope,
+        join_type: str,
+    ) -> VTable:
+        """Non-equi join: evaluate the predicate over the cross product."""
+        left_idx = np.repeat(np.arange(left.length), right.length)
+        right_idx = np.tile(np.arange(right.length), left.length)
+        columns = left.gather(left_idx) + right.gather(right_idx)
+        cross = VTable(combined_scope, columns, len(left_idx))
+        predicate = compile_vector(
+            condition, combined_scope, self._params, self._resolver(combined_scope)
+        )
+        result = predicate(cross.columns, cross.length)
+        mask = result.values.astype(bool)
+        if result.mask is not None:
+            mask &= ~result.mask
+        if join_type == "LEFT":
+            matched_left = np.zeros(left.length, dtype=bool)
+            if cross.length:
+                np.logical_or.at(matched_left, left_idx[mask], True)
+            inner = cross.filter(mask)
+            missing = np.where(~matched_left)[0]
+            if len(missing):
+                pad_cols = left.gather(missing) + _all_null_columns(
+                    right, len(missing)
+                )
+                merged = [
+                    _concat_columns(a, b)
+                    for a, b in zip(inner.columns, pad_cols)
+                ]
+                return VTable(combined_scope, merged, inner.length + len(missing))
+            return inner
+        return cross.filter(mask)
+
+    # -- aggregation -----------------------------------------------------------------------
+
+    def _aggregate(
+        self, stmt: ast.SelectStatement, table: VTable
+    ) -> tuple[list[str], list[tuple], bool]:
+        scope = table.scope
+        group_canon = [canonicalize(g, scope) for g in stmt.group_by]
+        aggregates: list[ast.FunctionCall] = []
+
+        def rewrite(expr: ast.Expression) -> ast.Expression:
+            canon = None
+            try:
+                canon = canonicalize(expr, scope)
+            except ParseError:
+                pass
+            if canon is not None:
+                for index, group_expr in enumerate(group_canon):
+                    if canon == group_expr:
+                        return ast.ColumnRef(name=f"__G{index}")
+            if isinstance(expr, ast.FunctionCall) and expr.is_aggregate:
+                key = _aggregate_key(expr, scope)
+                for index, existing in enumerate(aggregates):
+                    if _aggregate_key(existing, scope) == key:
+                        return ast.ColumnRef(name=f"__A{index}")
+                aggregates.append(expr)
+                return ast.ColumnRef(name=f"__A{len(aggregates) - 1}")
+            return map_children(expr, rewrite)
+
+        select_rewritten: list[tuple[ast.Expression, Optional[str]]] = []
+        for item in stmt.select_items:
+            if isinstance(item.expression, ast.Star):
+                raise ParseError("'*' cannot be combined with GROUP BY")
+            select_rewritten.append((rewrite(item.expression), item.alias))
+        having_rewritten = (
+            rewrite(stmt.having) if stmt.having is not None else None
+        )
+        alias_map = {
+            alias: expr for expr, alias in select_rewritten if alias is not None
+        }
+        order_rewritten: list[ast.OrderItem] = []
+        for order in stmt.order_by:
+            expr = order.expression
+            if (
+                isinstance(expr, ast.ColumnRef)
+                and expr.table is None
+                and expr.name in alias_map
+            ):
+                new_expr = alias_map[expr.name]
+            elif isinstance(expr, ast.Literal) and isinstance(expr.value, int):
+                new_expr = select_rewritten[
+                    _check_position(expr.value, len(select_rewritten))
+                ][0]
+            else:
+                new_expr = rewrite(expr)
+            order_rewritten.append(
+                ast.OrderItem(expression=new_expr, ascending=order.ascending)
+            )
+
+        # Group keys.
+        key_columns = [
+            compile_vector(g, scope, self._params, self._resolver(scope))(
+                table.columns, table.length
+            )
+            for g in stmt.group_by
+        ]
+        inverse, group_count, key_rows = _group_inverse(key_columns, table.length)
+        if group_count == 0 and not stmt.group_by:
+            group_count = 1
+            inverse = np.zeros(0, dtype=np.int64)
+            key_rows = [()]
+
+        # Aggregates.
+        agg_columns: list[VColumn] = []
+        for call in aggregates:
+            agg_columns.append(
+                self._compute_aggregate(call, table, inverse, group_count)
+            )
+
+        post_entries = [(None, f"__G{i}") for i in range(len(stmt.group_by))]
+        post_entries += [(None, f"__A{j}") for j in range(len(aggregates))]
+        post_scope = Scope(post_entries)
+        group_out_columns = [
+            VColumn.from_objects([key_rows[g][i] for g in range(group_count)])
+            for i in range(len(stmt.group_by))
+        ]
+        post_table = VTable(
+            post_scope, group_out_columns + agg_columns, group_count
+        )
+
+        if having_rewritten is not None:
+            predicate = compile_vector(
+                having_rewritten, post_scope, self._params, self._resolver(post_scope)
+            )
+            result = predicate(post_table.columns, post_table.length)
+            mask = result.values.astype(bool)
+            if result.mask is not None:
+                mask &= ~result.mask
+            post_table = post_table.filter(mask)
+
+        columns = [
+            alias or expression_label(stmt.select_items[i].expression, i)
+            for i, (_, alias) in enumerate(select_rewritten)
+        ]
+        projected = [
+            compile_vector(expr, post_scope, self._params, self._resolver(post_scope))(
+                post_table.columns, post_table.length
+            )
+            for expr, _ in select_rewritten
+        ]
+        rows = VTable(Scope([]), projected, post_table.length).to_rows()
+        if not projected:
+            rows = [()] * post_table.length
+
+        ordered = bool(order_rewritten)
+        if ordered:
+            key_fns = [
+                compile_vector(
+                    o.expression, post_scope, self._params, self._resolver(post_scope)
+                )
+                for o in order_rewritten
+            ]
+            key_cols = [
+                fn(post_table.columns, post_table.length) for fn in key_fns
+            ]
+            key_lists = [col.to_objects() for col in key_cols]
+            keys = [
+                tuple(key_lists[k][i] for k in range(len(key_lists)))
+                for i in range(post_table.length)
+            ]
+            rows = sort_rows_with_keys(
+                rows, keys, [o.ascending for o in order_rewritten]
+            )
+        return columns, rows, ordered
+
+    def _compute_aggregate(
+        self,
+        call: ast.FunctionCall,
+        table: VTable,
+        inverse: np.ndarray,
+        group_count: int,
+    ) -> VColumn:
+        name = call.name
+        if name == "COUNT" and call.args and isinstance(call.args[0], ast.Star):
+            counts = np.bincount(inverse, minlength=group_count)
+            return VColumn(values=counts.astype(np.int64))
+        if not call.args:
+            raise ParseError(f"aggregate {name} requires an argument")
+        arg = compile_vector(
+            call.args[0], table.scope, self._params, self._resolver(table.scope)
+        )(table.columns, table.length)
+        live = ~arg.null_mask()
+        if name == "COUNT":
+            if call.distinct:
+                return _count_distinct(arg, inverse, group_count, live)
+            counts = np.bincount(
+                inverse[live], minlength=group_count
+            )
+            return VColumn(values=counts.astype(np.int64))
+        if arg.values.dtype.kind not in "ifb":
+            return _object_aggregate(name, arg, inverse, group_count, live)
+        values = arg.values.astype(np.float64)
+        counts = np.bincount(inverse[live], minlength=group_count)
+        empty = counts == 0
+        if name == "SUM":
+            sums = np.bincount(
+                inverse[live], weights=values[live], minlength=group_count
+            )
+            if arg.values.dtype.kind in "ib":
+                out = sums.astype(np.int64)
+            else:
+                out = sums
+            return VColumn(
+                values=out, mask=empty.copy() if empty.any() else None
+            )
+        if name == "AVG":
+            sums = np.bincount(
+                inverse[live], weights=values[live], minlength=group_count
+            )
+            with np.errstate(invalid="ignore", divide="ignore"):
+                avgs = sums / np.where(empty, 1, counts)
+            return VColumn(
+                values=avgs, mask=empty.copy() if empty.any() else None
+            )
+        if name in ("MIN", "MAX"):
+            fill = math.inf if name == "MIN" else -math.inf
+            out = np.full(group_count, fill, dtype=np.float64)
+            ufunc = np.minimum if name == "MIN" else np.maximum
+            ufunc.at(out, inverse[live], values[live])
+            result = out
+            if arg.values.dtype.kind in "ib":
+                result = np.where(empty, 0, out).astype(np.int64)
+                return VColumn(
+                    values=result, mask=empty.copy() if empty.any() else None
+                )
+            return VColumn(
+                values=np.where(empty, np.nan, out),
+                mask=empty.copy() if empty.any() else None,
+            )
+        if name in ("STDDEV", "VARIANCE"):
+            sums = np.bincount(
+                inverse[live], weights=values[live], minlength=group_count
+            )
+            squares = np.bincount(
+                inverse[live],
+                weights=values[live] * values[live],
+                minlength=group_count,
+            )
+            safe_counts = np.where(empty, 1, counts)
+            means = sums / safe_counts
+            variance = np.maximum(0.0, squares / safe_counts - means * means)
+            out = np.sqrt(variance) if name == "STDDEV" else variance
+            return VColumn(
+                values=out, mask=empty.copy() if empty.any() else None
+            )
+        raise ParseError(f"unknown aggregate {name}")
+
+    # -- projection --------------------------------------------------------------------------
+
+    def _project(
+        self, stmt: ast.SelectStatement, table: VTable
+    ) -> tuple[list[str], list[tuple], bool]:
+        columns: list[str] = []
+        out_cols: list[VColumn] = []
+        position = 0
+        for item in stmt.select_items:
+            if isinstance(item.expression, ast.Star):
+                for index in table.scope.star_indexes(item.expression.table):
+                    columns.append(table.scope.entries[index][1])
+                    out_cols.append(table.columns[index])
+                    position += 1
+                continue
+            fn = compile_vector(
+                item.expression, table.scope, self._params, self._resolver(table.scope)
+            )
+            out_cols.append(fn(table.columns, table.length))
+            columns.append(item.alias or expression_label(item.expression, position))
+            position += 1
+
+        ordered = False
+        if stmt.order_by:
+            alias_map = {
+                item.alias: item.expression
+                for item in stmt.select_items
+                if item.alias is not None
+            }
+            # Keys are either projected output columns (1-based positions)
+            # or expressions over the input scope (incl. alias fallback).
+            key_cols: list[VColumn] = []
+            for order in stmt.order_by:
+                expr = order.expression
+                if isinstance(expr, ast.Literal) and isinstance(expr.value, int):
+                    if not 1 <= expr.value <= len(out_cols):
+                        raise ParseError(
+                            f"ORDER BY position {expr.value} is out of range"
+                        )
+                    key_cols.append(out_cols[expr.value - 1])
+                    continue
+                if (
+                    isinstance(expr, ast.ColumnRef)
+                    and expr.table is None
+                    and expr.name in alias_map
+                    and not _resolvable(expr, table.scope)
+                ):
+                    expr = alias_map[expr.name]
+                fn = compile_vector(
+                    expr, table.scope, self._params, self._resolver(table.scope)
+                )
+                key_cols.append(fn(table.columns, table.length))
+            rows = VTable(Scope([]), out_cols, table.length).to_rows()
+            key_lists = [col.to_objects() for col in key_cols]
+            keys = [
+                tuple(key_lists[k][i] for k in range(len(key_lists)))
+                for i in range(table.length)
+            ]
+            rows = sort_rows_with_keys(
+                rows, keys, [o.ascending for o in stmt.order_by]
+            )
+            ordered = True
+        else:
+            rows = VTable(Scope([]), out_cols, table.length).to_rows()
+        return columns, rows, ordered
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+
+def _resolvable(expr: ast.Expression, scope: Scope) -> bool:
+    try:
+        canonicalize(expr, scope)
+        return True
+    except ParseError:
+        return False
+
+
+def _check_position(position: int, width: int) -> int:
+    if not 1 <= position <= width:
+        raise ParseError(f"ORDER BY position {position} is out of range")
+    return position - 1
+
+
+def _aggregate_key(call: ast.FunctionCall, scope: Scope):
+    parts: list[object] = [call.name, call.distinct]
+    for arg in call.args:
+        if isinstance(arg, ast.Star):
+            parts.append("*")
+        else:
+            parts.append(canonicalize(arg, scope))
+    return tuple(parts)
+
+
+def _numeric_equi_pairs(left_keys: list[VColumn], right_keys: list[VColumn]):
+    """Vectorised sort-merge pairing for a single numeric, NULL-free key.
+
+    Returns (left_indexes, right_indexes) of all matching pairs, or
+    ``None`` when the keys do not qualify for the fast path.
+    """
+    if len(left_keys) != 1 or len(right_keys) != 1:
+        return None
+    left = left_keys[0]
+    right = right_keys[0]
+    if left.mask is not None or right.mask is not None:
+        return None
+    if left.values.dtype.kind not in "if" or right.values.dtype.kind not in "if":
+        return None
+    order = np.argsort(right.values, kind="stable")
+    sorted_right = right.values[order]
+    lo = np.searchsorted(sorted_right, left.values, side="left")
+    hi = np.searchsorted(sorted_right, left.values, side="right")
+    counts = hi - lo
+    total = int(counts.sum())
+    if total == 0:
+        return (
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+        )
+    left_indexes = np.repeat(np.arange(len(left.values)), counts)
+    starts = np.repeat(lo, counts)
+    # Offset 0..count-1 within each left row's match run.
+    run_starts = np.cumsum(counts) - counts
+    offsets = np.arange(total) - np.repeat(run_starts, counts)
+    right_indexes = order[starts + offsets]
+    return left_indexes.astype(np.int64), right_indexes.astype(np.int64)
+
+
+def _key_tuples(key_columns: list[VColumn], length: int):
+    """Per-row join keys; ``None`` marks a NULL key (never matches)."""
+    object_lists = [col.to_objects() for col in key_columns]
+    out = []
+    for i in range(length):
+        key = tuple(values[i] for values in object_lists)
+        out.append(None if any(part is None for part in key) else key)
+    return out
+
+
+def _group_inverse(
+    key_columns: list[VColumn], length: int
+) -> tuple[np.ndarray, int, list[tuple]]:
+    """Map rows to dense group ids; returns (inverse, n_groups, keys)."""
+    if not key_columns:
+        if length == 0:
+            return np.zeros(0, dtype=np.int64), 0, []
+        return np.zeros(length, dtype=np.int64), 1, [()]
+    numeric = all(
+        col.values.dtype.kind in "ifb" and col.mask is None
+        for col in key_columns
+    )
+    if numeric and length:
+        stacked = np.stack([col.values.astype(np.float64) for col in key_columns])
+        uniques, inverse = np.unique(stacked, axis=1, return_inverse=True)
+        keys = [
+            tuple(
+                _restore_scalar(key_columns[k].values.dtype, uniques[k, g])
+                for k in range(len(key_columns))
+            )
+            for g in range(uniques.shape[1])
+        ]
+        return inverse.astype(np.int64), uniques.shape[1], keys
+    # Generic path via Python tuples (handles strings and NULL keys;
+    # SQL groups NULLs together).
+    object_lists = [col.to_objects() for col in key_columns]
+    mapping: dict[tuple, int] = {}
+    inverse = np.empty(length, dtype=np.int64)
+    keys: list[tuple] = []
+    for i in range(length):
+        key = tuple(values[i] for values in object_lists)
+        group = mapping.get(key)
+        if group is None:
+            group = len(keys)
+            mapping[key] = group
+            keys.append(key)
+        inverse[i] = group
+    return inverse, len(keys), keys
+
+
+def _restore_scalar(dtype: np.dtype, value: float):
+    if dtype.kind in "i":
+        return int(value)
+    if dtype.kind == "b":
+        return bool(value)
+    return float(value)
+
+
+def _count_distinct(
+    arg: VColumn, inverse: np.ndarray, group_count: int, live: np.ndarray
+) -> VColumn:
+    sets: list[set] = [set() for _ in range(group_count)]
+    values = arg.to_objects()
+    for i in np.where(live)[0]:
+        sets[inverse[i]].add(values[i])
+    return VColumn(values=np.array([len(s) for s in sets], dtype=np.int64))
+
+
+def _object_aggregate(
+    name: str,
+    arg: VColumn,
+    inverse: np.ndarray,
+    group_count: int,
+    live: np.ndarray,
+) -> VColumn:
+    """Aggregates over non-packed columns (strings, dates, decimals).
+
+    MIN/MAX/SUM operate in the value domain; AVG/STDDEV/VARIANCE convert
+    to float (matching the DB2 engine's accumulator semantics).
+    """
+    values = arg.to_objects()
+    if name in ("AVG", "STDDEV", "VARIANCE"):
+        counts = [0] * group_count
+        totals = [0.0] * group_count
+        squares = [0.0] * group_count
+        for i in np.where(live)[0]:
+            group = int(inverse[i])
+            value = float(values[i])
+            counts[group] += 1
+            totals[group] += value
+            squares[group] += value * value
+        out: list[object] = []
+        for group in range(group_count):
+            if not counts[group]:
+                out.append(None)
+                continue
+            mean = totals[group] / counts[group]
+            if name == "AVG":
+                out.append(mean)
+                continue
+            variance = max(0.0, squares[group] / counts[group] - mean * mean)
+            out.append(math.sqrt(variance) if name == "STDDEV" else variance)
+        return VColumn.from_objects(out)
+    state: list[object] = [None] * group_count
+    for i in np.where(live)[0]:
+        group = int(inverse[i])
+        value = values[i]
+        current = state[group]
+        if name == "MIN":
+            state[group] = value if current is None or value < current else current
+        elif name == "MAX":
+            state[group] = value if current is None or value > current else current
+        elif name == "SUM":
+            state[group] = value if current is None else current + value
+        else:
+            raise ParseError(f"aggregate {name} not supported for this type")
+    return VColumn.from_objects(state)
+
+
+def _all_null_columns(table: VTable, count: int) -> list[VColumn]:
+    """Columns of ``count`` all-NULL rows matching ``table``'s layout."""
+    return [
+        VColumn(
+            values=np.zeros(count, dtype=col.values.dtype)
+            if col.values.dtype.kind in "ifb"
+            else np.empty(count, dtype=object),
+            mask=np.ones(count, dtype=bool),
+        )
+        for col in table.columns
+    ]
+
+
+def _concat_columns(a: VColumn, b: VColumn) -> VColumn:
+    if a.values.dtype == b.values.dtype:
+        values = np.concatenate([a.values, b.values])
+    else:
+        values = np.concatenate([a.values.astype(object), b.values.astype(object)])
+    merged = np.concatenate([a.null_mask(), b.null_mask()])
+    return VColumn(values=values, mask=merged if merged.any() else None)
+
+
+def _dedup(rows: list[tuple]) -> list[tuple]:
+    seen: set[tuple] = set()
+    out: list[tuple] = []
+    for row in rows:
+        if row not in seen:
+            seen.add(row)
+            out.append(row)
+    return out
+
+
+def _slice(rows, offset, limit):
+    start = offset or 0
+    if limit is None:
+        return rows[start:] if start else rows
+    return rows[start : start + limit]

@@ -1,0 +1,102 @@
+"""Vectorised intermediate results (column batches with a scope)."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.catalog.schema import TableSchema
+from repro.sql.expressions import Scope, VColumn
+
+__all__ = ["VTable", "columns_from_rows", "rows_from_columns"]
+
+
+class VTable:
+    """A batch of columns aligned with a name-resolution scope.
+
+    This is what flows between the accelerator's operators: scans produce
+    one, joins concatenate two, filters compress one, and projections
+    turn one into result rows.
+    """
+
+    def __init__(self, scope: Scope, columns: list[VColumn], length: int) -> None:
+        self.scope = scope
+        self.columns = columns
+        self.length = length
+
+    @property
+    def width(self) -> int:
+        return len(self.columns)
+
+    def filter(self, mask: np.ndarray) -> "VTable":
+        """Keep only rows where ``mask`` is True."""
+        if mask.all():
+            return self
+        count = int(mask.sum())
+        columns = [
+            VColumn(
+                values=col.values[mask],
+                mask=col.mask[mask] if col.mask is not None else None,
+            )
+            for col in self.columns
+        ]
+        return VTable(self.scope, columns, count)
+
+    def gather(
+        self, indexes: np.ndarray, null_mask: Optional[np.ndarray] = None
+    ) -> list[VColumn]:
+        """Columns re-ordered by ``indexes``; rows where ``null_mask`` is
+        True become all-NULL (outer-join padding). ``indexes`` entries for
+        padded rows may be arbitrary (use 0)."""
+        out: list[VColumn] = []
+        for col in self.columns:
+            values = col.values[indexes]
+            if col.mask is not None:
+                mask = col.mask[indexes].copy()
+            else:
+                mask = None
+            if null_mask is not None and null_mask.any():
+                if mask is None:
+                    mask = np.zeros(len(indexes), dtype=bool)
+                mask |= null_mask
+            out.append(VColumn(values=values, mask=mask))
+        return out
+
+    def to_rows(self) -> list[tuple]:
+        """Materialise as Python row tuples (NULL → None)."""
+        if not self.columns:
+            return [()] * self.length
+        object_columns = [col.to_objects() for col in self.columns]
+        return [tuple(row) for row in zip(*object_columns)]
+
+
+def columns_from_rows(
+    schema: TableSchema, rows: Sequence[tuple]
+) -> dict[str, VColumn]:
+    """Pack coerced row tuples into typed columns (delta merge, loader)."""
+    out: dict[str, VColumn] = {}
+    for position, column in enumerate(schema.columns):
+        items = [row[position] for row in rows]
+        mask = np.array([item is None for item in items], dtype=bool)
+        dtype = column.sql_type.numpy_dtype
+        if dtype.kind in "ifb":
+            fill = 0 if dtype.kind in "ib" else np.nan
+            values = np.array(
+                [fill if item is None else item for item in items], dtype=dtype
+            )
+        else:
+            values = np.empty(len(items), dtype=object)
+            values[:] = items
+        out[column.name] = VColumn(
+            values=values, mask=mask if mask.any() else None
+        )
+    return out
+
+
+def rows_from_columns(columns: Sequence[VColumn]) -> list[tuple]:
+    """Inverse of :func:`columns_from_rows` for aligned columns."""
+    if not columns:
+        return []
+    object_columns = [col.to_objects() for col in columns]
+    return [tuple(row) for row in zip(*object_columns)]

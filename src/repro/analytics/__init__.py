@@ -1,0 +1,29 @@
+"""In-database analytics framework (the paper's Section 3).
+
+Arbitrary analytics operations are packaged as stored procedures invoked
+through plain SQL ``CALL`` — completely transparent to applications. DB2
+authorises every call (EXECUTE on the procedure, SELECT on the inputs,
+INSERT/CREATE on the outputs) *before* delegating execution to the
+accelerator, where the algorithms run directly on columnar data and
+materialise their results as accelerator-only tables.
+
+The built-in procedure set mirrors the shape of IBM Netezza Analytics
+(INZA): data transformations (normalisation, binning, imputation,
+sampling, train/test splitting) and predictive algorithms (k-means,
+linear regression, naive Bayes, decision trees, association rules), plus
+scoring procedures that apply stored models.
+"""
+
+from repro.analytics.framework import (
+    Procedure,
+    ProcedureContext,
+    ProcedureRegistry,
+    parse_parameter_string,
+)
+
+__all__ = [
+    "Procedure",
+    "ProcedureContext",
+    "ProcedureRegistry",
+    "parse_parameter_string",
+]

@@ -1,0 +1,183 @@
+"""Association-rule mining (Apriori) over (transaction, item) tables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+from repro.analytics.framework import ProcedureContext
+from repro.analytics.model_store import Model
+from repro.errors import AnalyticsError
+from repro.sql.types import DOUBLE, VarcharType
+
+__all__ = [
+    "AssociationRule",
+    "apriori_frequent_itemsets",
+    "association_rules",
+    "arule_procedure",
+]
+
+
+@dataclass(frozen=True)
+class AssociationRule:
+    antecedent: tuple
+    consequent: tuple
+    support: float
+    confidence: float
+    lift: float
+
+
+def apriori_frequent_itemsets(
+    baskets: list[set], min_support: float, max_size: int = 4
+) -> dict[frozenset, float]:
+    """Frequent itemsets with support >= ``min_support``.
+
+    Classic level-wise Apriori: candidates of size k are joined from
+    frequent (k-1)-itemsets and pruned by the downward-closure property.
+    """
+    if not 0 < min_support <= 1:
+        raise AnalyticsError("min_support must be in (0, 1]")
+    total = len(baskets)
+    if total == 0:
+        return {}
+    # Level 1.
+    counts: dict[frozenset, int] = {}
+    for basket in baskets:
+        for item in basket:
+            key = frozenset([item])
+            counts[key] = counts.get(key, 0) + 1
+    threshold = min_support * total
+    frequent: dict[frozenset, float] = {
+        itemset: count / total
+        for itemset, count in counts.items()
+        if count >= threshold
+    }
+    current = [s for s in frequent if len(s) == 1]
+    size = 2
+    while current and size <= max_size:
+        # Join step.
+        candidates: set[frozenset] = set()
+        for a, b in combinations(sorted(current, key=sorted), 2):
+            union = a | b
+            if len(union) == size:
+                # Prune: all (size-1)-subsets must be frequent.
+                if all(
+                    frozenset(subset) in frequent
+                    for subset in combinations(union, size - 1)
+                ):
+                    candidates.add(union)
+        if not candidates:
+            break
+        level_counts = {candidate: 0 for candidate in candidates}
+        for basket in baskets:
+            for candidate in candidates:
+                if candidate <= basket:
+                    level_counts[candidate] += 1
+        current = []
+        for candidate, count in level_counts.items():
+            if count >= threshold:
+                frequent[candidate] = count / total
+                current.append(candidate)
+        size += 1
+    return frequent
+
+
+def association_rules(
+    frequent: dict[frozenset, float], min_confidence: float
+) -> list[AssociationRule]:
+    """Derive rules A → B from frequent itemsets."""
+    rules: list[AssociationRule] = []
+    for itemset, support in frequent.items():
+        if len(itemset) < 2:
+            continue
+        for size in range(1, len(itemset)):
+            for antecedent in combinations(sorted(itemset, key=repr), size):
+                antecedent_set = frozenset(antecedent)
+                consequent_set = itemset - antecedent_set
+                antecedent_support = frequent.get(antecedent_set)
+                consequent_support = frequent.get(consequent_set)
+                if antecedent_support is None or consequent_support is None:
+                    continue
+                confidence = support / antecedent_support
+                if confidence + 1e-12 < min_confidence:
+                    continue
+                lift = confidence / consequent_support
+                rules.append(
+                    AssociationRule(
+                        antecedent=tuple(sorted(antecedent_set, key=repr)),
+                        consequent=tuple(sorted(consequent_set, key=repr)),
+                        support=support,
+                        confidence=confidence,
+                        lift=lift,
+                    )
+                )
+    rules.sort(key=lambda r: (-r.confidence, -r.support, r.antecedent))
+    return rules
+
+
+def arule_procedure(ctx: ProcedureContext) -> str:
+    """``CALL INZA.ARULE('intable=T, tid=TID, item=ITEM, outtable=O,
+    support=0.1, confidence=0.5')``."""
+    intable = ctx.require("intable").upper()
+    outtable = ctx.require("outtable").upper()
+    tid_column = ctx.require("tid").upper()
+    item_column = ctx.require("item").upper()
+    min_support = ctx.get_float("support", 0.1)
+    min_confidence = ctx.get_float("confidence", 0.5)
+    max_size = ctx.get_int("maxsetsize", 4)
+    model_name = ctx.get("model")
+
+    tids = ctx.read_labels(intable, tid_column)
+    items = ctx.read_labels(intable, item_column)
+    baskets_map: dict[object, set] = {}
+    for tid, item in zip(tids, items):
+        if tid is None or item is None:
+            continue
+        baskets_map.setdefault(tid, set()).add(item)
+    baskets = list(baskets_map.values())
+    frequent = apriori_frequent_itemsets(baskets, min_support, max_size)
+    rules = association_rules(frequent, min_confidence)
+
+    ctx.create_output_table(
+        outtable,
+        [
+            ("ANTECEDENT", VarcharType(256)),
+            ("CONSEQUENT", VarcharType(256)),
+            ("SUPPORT", DOUBLE),
+            ("CONFIDENCE", DOUBLE),
+            ("LIFT", DOUBLE),
+        ],
+    )
+    ctx.insert_rows(
+        outtable,
+        [
+            (
+                ";".join(str(i) for i in rule.antecedent),
+                ";".join(str(i) for i in rule.consequent),
+                rule.support,
+                rule.confidence,
+                rule.lift,
+            )
+            for rule in rules
+        ],
+    )
+    if model_name:
+        ctx.system.models.register(
+            Model(
+                name=model_name,
+                kind="ARULE",
+                features=[item_column],
+                payload={"rules": rules, "frequent": frequent},
+                metrics={
+                    "rules": len(rules),
+                    "frequent_itemsets": len(frequent),
+                    "baskets": len(baskets),
+                },
+                owner=ctx.connection.user.name,
+            ),
+            replace=True,
+        )
+    return (
+        f"ARULE ok: baskets={len(baskets)}, "
+        f"itemsets={len(frequent)}, rules={len(rules)}"
+    )

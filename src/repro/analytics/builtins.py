@@ -1,0 +1,177 @@
+"""Registration of the built-in INZA-style procedure set."""
+
+from __future__ import annotations
+
+from repro.analytics.association import arule_procedure
+from repro.analytics.decision_tree import (
+    decision_tree_procedure,
+    predict_decision_tree,
+)
+from repro.analytics.framework import Procedure, ProcedureContext, ProcedureRegistry
+from repro.analytics.kmeans import kmeans_procedure, predict_kmeans
+from repro.analytics.naive_bayes import (
+    naive_bayes_procedure,
+    predict_naive_bayes,
+)
+from repro.analytics.regression import linreg_procedure, predict_linreg
+from repro.analytics.transforms import (
+    bin_procedure,
+    correlation_procedure,
+    impute_procedure,
+    normalize_procedure,
+    sample_procedure,
+    split_data_procedure,
+    summary_procedure,
+)
+
+__all__ = ["register_all", "BUILTIN_PROCEDURES"]
+
+
+def _list_models(ctx: ProcedureContext) -> str:
+    names = ctx.system.models.names()
+    for name in names:
+        model = ctx.system.models.get(name)
+        ctx.log(f"{name} ({model.kind}) metrics={model.metrics}")
+    return f"MODELS: {len(names)}"
+
+
+def _drop_model(ctx: ProcedureContext) -> str:
+    name = ctx.require("model")
+    ctx.system.models.drop(name)
+    return f"DROP_MODEL ok: {name.upper()}"
+
+
+#: (name, handler, description, input params, output params)
+BUILTIN_PROCEDURES: list[tuple] = [
+    # Transformations (ELT stages).
+    (
+        "INZA.NORMALIZE",
+        normalize_procedure,
+        "z-score / min-max normalisation",
+        ("intable",),
+        ("outtable",),
+    ),
+    (
+        "INZA.IMPUTE",
+        impute_procedure,
+        "NULL imputation (mean/median/constant)",
+        ("intable",),
+        ("outtable",),
+    ),
+    (
+        "INZA.BIN",
+        bin_procedure,
+        "equal-width binning",
+        ("intable",),
+        ("outtable",),
+    ),
+    (
+        "INZA.SAMPLE",
+        sample_procedure,
+        "deterministic random sampling",
+        ("intable",),
+        ("outtable",),
+    ),
+    (
+        "INZA.SPLIT_DATA",
+        split_data_procedure,
+        "train/test split",
+        ("intable",),
+        ("traintable", "testtable"),
+    ),
+    (
+        "INZA.SUMMARY",
+        summary_procedure,
+        "per-column statistics",
+        ("intable",),
+        ("outtable",),
+    ),
+    (
+        "INZA.CORRELATION",
+        correlation_procedure,
+        "pairwise Pearson correlation matrix",
+        ("intable",),
+        ("outtable",),
+    ),
+    # Predictive algorithms.
+    (
+        "INZA.KMEANS",
+        kmeans_procedure,
+        "k-means clustering (k-means++)",
+        ("intable",),
+        ("outtable",),
+    ),
+    (
+        "INZA.PREDICT_KMEANS",
+        predict_kmeans,
+        "score rows with a KMEANS model",
+        ("intable",),
+        ("outtable",),
+    ),
+    (
+        "INZA.LINEAR_REGRESSION",
+        linreg_procedure,
+        "ordinary least squares regression",
+        ("intable",),
+        ("outtable",),
+    ),
+    (
+        "INZA.PREDICT_LINEAR_REGRESSION",
+        predict_linreg,
+        "score rows with a LINREG model",
+        ("intable",),
+        ("outtable",),
+    ),
+    (
+        "INZA.NAIVEBAYES",
+        naive_bayes_procedure,
+        "Gaussian naive Bayes",
+        ("intable",),
+        (),
+    ),
+    (
+        "INZA.PREDICT_NAIVEBAYES",
+        predict_naive_bayes,
+        "score rows with a NAIVEBAYES model",
+        ("intable",),
+        ("outtable",),
+    ),
+    (
+        "INZA.DECTREE",
+        decision_tree_procedure,
+        "CART decision tree (Gini)",
+        ("intable",),
+        (),
+    ),
+    (
+        "INZA.PREDICT_DECTREE",
+        predict_decision_tree,
+        "score rows with a DECTREE model",
+        ("intable",),
+        ("outtable",),
+    ),
+    (
+        "INZA.ARULE",
+        arule_procedure,
+        "Apriori association rules",
+        ("intable",),
+        ("outtable",),
+    ),
+    # Model management.
+    ("INZA.LIST_MODELS", _list_models, "list stored models", (), ()),
+    ("INZA.DROP_MODEL", _drop_model, "drop a stored model", (), ()),
+]
+
+
+def register_all(registry: ProcedureRegistry) -> None:
+    """Register every built-in procedure with ``registry``."""
+    for name, handler, description, inputs, outputs in BUILTIN_PROCEDURES:
+        registry.register(
+            Procedure(
+                name=name,
+                handler=handler,
+                description=description,
+                input_params=tuple(inputs),
+                output_params=tuple(outputs),
+            )
+        )

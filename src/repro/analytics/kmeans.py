@@ -1,0 +1,193 @@
+"""K-means clustering (k-means++ initialisation, Lloyd iterations).
+
+Pure-algorithm entry point :func:`kmeans_fit` plus the INZA-style
+procedure handler. The algorithm runs directly over the accelerator's
+columnar data; the output table (row id → cluster id → distance) is
+materialised as an accelerator-only table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analytics.framework import ProcedureContext
+from repro.analytics.model_store import Model
+from repro.errors import AnalyticsError
+from repro.sql.types import DOUBLE, INTEGER
+
+__all__ = ["KMeansResult", "kmeans_fit", "kmeans_procedure", "predict_kmeans"]
+
+
+@dataclass
+class KMeansResult:
+    centroids: np.ndarray  # (k, n_features)
+    assignments: np.ndarray  # (n_rows,)
+    distances: np.ndarray  # (n_rows,)
+    inertia: float
+    iterations: int
+
+
+def kmeans_fit(
+    matrix: np.ndarray,
+    k: int,
+    max_iterations: int = 50,
+    seed: int = 1,
+    tolerance: float = 1e-6,
+) -> KMeansResult:
+    """Cluster ``matrix`` rows into ``k`` groups.
+
+    Deterministic for a given seed. Raises if there are fewer rows than
+    clusters.
+    """
+    rows = matrix.shape[0]
+    if rows < k:
+        raise AnalyticsError(f"cannot form {k} clusters from {rows} rows")
+    if k < 1:
+        raise AnalyticsError("k must be >= 1")
+    rng = np.random.default_rng(seed)
+    centroids = _kmeanspp_init(matrix, k, rng)
+    assignments = np.zeros(rows, dtype=np.int64)
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        distances = _pairwise_sq_distances(matrix, centroids)
+        new_assignments = distances.argmin(axis=1)
+        updated = centroids.copy()
+        for cluster in range(k):
+            members = matrix[new_assignments == cluster]
+            if len(members):
+                updated[cluster] = members.mean(axis=0)
+        shift = float(np.abs(updated - centroids).max())
+        centroids = updated
+        assignments = new_assignments
+        if shift <= tolerance:
+            break
+    distances = _pairwise_sq_distances(matrix, centroids)
+    best = distances[np.arange(rows), assignments]
+    return KMeansResult(
+        centroids=centroids,
+        assignments=assignments,
+        distances=np.sqrt(best),
+        inertia=float(best.sum()),
+        iterations=iterations,
+    )
+
+
+def _kmeanspp_init(matrix: np.ndarray, k: int, rng) -> np.ndarray:
+    rows = matrix.shape[0]
+    centroids = np.empty((k, matrix.shape[1]))
+    first = int(rng.integers(rows))
+    centroids[0] = matrix[first]
+    closest = ((matrix - centroids[0]) ** 2).sum(axis=1)
+    for index in range(1, k):
+        total = closest.sum()
+        if total <= 0:
+            # All remaining points coincide with a centroid; pick anything.
+            centroids[index] = matrix[int(rng.integers(rows))]
+            continue
+        probabilities = closest / total
+        choice = int(rng.choice(rows, p=probabilities))
+        centroids[index] = matrix[choice]
+        closest = np.minimum(
+            closest, ((matrix - centroids[index]) ** 2).sum(axis=1)
+        )
+    return centroids
+
+
+def _pairwise_sq_distances(matrix: np.ndarray, centroids: np.ndarray):
+    # (n, 1, d) - (1, k, d) without materialising when small enough.
+    diffs = matrix[:, None, :] - centroids[None, :, :]
+    return (diffs * diffs).sum(axis=2)
+
+
+def _numeric_feature_columns(ctx: ProcedureContext, table: str, id_column: str):
+    wanted = ctx.column_list("incolumn")
+    if wanted is not None:
+        return wanted
+    schema = ctx.system.catalog.table(table).schema
+    return [
+        column.name
+        for column in schema.columns
+        if column.sql_type.is_numeric and column.name != id_column
+    ]
+
+
+def kmeans_procedure(ctx: ProcedureContext) -> str:
+    """``CALL INZA.KMEANS('intable=T, outtable=O, id=ID, k=4, ...')``."""
+    intable = ctx.require("intable").upper()
+    outtable = ctx.require("outtable").upper()
+    id_column = ctx.require("id").upper()
+    k = ctx.get_int("k", 3)
+    max_iterations = ctx.get_int("maxiter", 50)
+    seed = ctx.get_int("randseed", 1)
+    model_name = ctx.get("model")
+
+    features = _numeric_feature_columns(ctx, intable, id_column)
+    if not features:
+        raise AnalyticsError(f"table {intable} has no numeric feature columns")
+    matrix = ctx.read_matrix(intable, features)
+    ids = ctx.read_labels(intable, id_column)
+    result = kmeans_fit(matrix, k, max_iterations=max_iterations, seed=seed)
+
+    id_type = ctx.system.catalog.table(intable).schema.column(id_column).sql_type
+    ctx.create_output_table(
+        outtable,
+        [(id_column, id_type), ("CLUSTER_ID", INTEGER), ("DISTANCE", DOUBLE)],
+    )
+    ctx.insert_rows(
+        outtable,
+        [
+            (ids[i], int(result.assignments[i]), float(result.distances[i]))
+            for i in range(len(ids))
+        ],
+    )
+    if model_name:
+        ctx.system.models.register(
+            Model(
+                name=model_name,
+                kind="KMEANS",
+                features=features,
+                payload={"centroids": result.centroids},
+                metrics={
+                    "inertia": result.inertia,
+                    "iterations": result.iterations,
+                    "k": k,
+                },
+                owner=ctx.connection.user.name,
+            ),
+            replace=True,
+        )
+    ctx.log(f"clustered {len(ids)} rows into {k} clusters")
+    return (
+        f"KMEANS ok: k={k}, rows={len(ids)}, "
+        f"inertia={result.inertia:.4f}, iterations={result.iterations}"
+    )
+
+
+def predict_kmeans(ctx: ProcedureContext) -> str:
+    """``CALL INZA.PREDICT_KMEANS('model=M, intable=T, outtable=O, id=ID')``."""
+    model = ctx.system.models.get(ctx.require("model"))
+    if model.kind != "KMEANS":
+        raise AnalyticsError(f"model {model.name} is not a KMEANS model")
+    intable = ctx.require("intable").upper()
+    outtable = ctx.require("outtable").upper()
+    id_column = ctx.require("id").upper()
+    matrix = ctx.read_matrix(intable, model.features)
+    ids = ctx.read_labels(intable, id_column)
+    distances = _pairwise_sq_distances(matrix, model.payload["centroids"])
+    assignments = distances.argmin(axis=1)
+    best = np.sqrt(distances[np.arange(len(ids)), assignments])
+    id_type = ctx.system.catalog.table(intable).schema.column(id_column).sql_type
+    ctx.create_output_table(
+        outtable,
+        [(id_column, id_type), ("CLUSTER_ID", INTEGER), ("DISTANCE", DOUBLE)],
+    )
+    ctx.insert_rows(
+        outtable,
+        [
+            (ids[i], int(assignments[i]), float(best[i]))
+            for i in range(len(ids))
+        ],
+    )
+    return f"PREDICT_KMEANS ok: scored {len(ids)} rows with model {model.name}"

@@ -1,0 +1,68 @@
+"""Model storage for the analytics framework.
+
+Trained models live *on the accelerator* next to the data: a registry of
+model objects plus, for each model, the option to materialise its
+parameters as accelerator-only tables (k-means centroids, regression
+coefficients, ...). Scoring procedures read models back from here, so a
+train → score pipeline never moves model or data off the accelerator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import DuplicateObjectError, UnknownObjectError
+
+__all__ = ["Model", "ModelStore"]
+
+
+@dataclass
+class Model:
+    """One trained model."""
+
+    name: str
+    kind: str  # 'KMEANS', 'LINREG', 'NAIVEBAYES', 'DECTREE', 'ARULE'
+    features: list[str]
+    target: Optional[str] = None
+    #: Algorithm-specific parameters (numpy arrays, nested dicts).
+    payload: dict = field(default_factory=dict)
+    #: Training metrics (e.g. within-cluster SSE, R², accuracy).
+    metrics: dict = field(default_factory=dict)
+    owner: str = "SYSADM"
+
+
+class ModelStore:
+    """Name → model registry (accelerator-resident)."""
+
+    def __init__(self) -> None:
+        self._models: dict[str, Model] = {}
+
+    def register(self, model: Model, replace: bool = False) -> None:
+        key = model.name.upper()
+        if key in self._models and not replace:
+            raise DuplicateObjectError(f"model {key} already exists")
+        model.name = key
+        self._models[key] = model
+
+    def get(self, name: str) -> Model:
+        key = name.upper()
+        model = self._models.get(key)
+        if model is None:
+            raise UnknownObjectError(f"unknown model {key}")
+        return model
+
+    def drop(self, name: str) -> None:
+        key = name.upper()
+        if key not in self._models:
+            raise UnknownObjectError(f"unknown model {key}")
+        del self._models[key]
+
+    def names(self) -> list[str]:
+        return sorted(self._models)
+
+    def __contains__(self, name: str) -> bool:
+        return name.upper() in self._models
+
+    def __len__(self) -> int:
+        return len(self._models)

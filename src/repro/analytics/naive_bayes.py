@@ -1,0 +1,153 @@
+"""Gaussian naive Bayes classifier and its scoring procedure."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analytics.framework import ProcedureContext
+from repro.analytics.model_store import Model
+from repro.errors import AnalyticsError
+from repro.sql.types import DOUBLE, VarcharType
+
+__all__ = [
+    "NaiveBayesResult",
+    "naive_bayes_fit",
+    "naive_bayes_predict",
+    "naive_bayes_procedure",
+    "predict_naive_bayes",
+]
+
+#: Variance floor to keep the Gaussian likelihood finite.
+_VARIANCE_EPSILON = 1e-9
+
+
+@dataclass
+class NaiveBayesResult:
+    classes: list[object]
+    priors: np.ndarray  # (n_classes,)
+    means: np.ndarray  # (n_classes, n_features)
+    variances: np.ndarray  # (n_classes, n_features)
+    training_accuracy: float
+
+
+def naive_bayes_fit(matrix: np.ndarray, labels: list[object]) -> NaiveBayesResult:
+    """Fit per-class Gaussian feature distributions."""
+    if matrix.shape[0] != len(labels):
+        raise AnalyticsError("feature matrix and label length differ")
+    if matrix.shape[0] == 0:
+        raise AnalyticsError("cannot fit a classifier on zero rows")
+    label_array = np.array(labels, dtype=object)
+    classes = sorted(set(labels), key=repr)
+    priors = np.empty(len(classes))
+    means = np.empty((len(classes), matrix.shape[1]))
+    variances = np.empty((len(classes), matrix.shape[1]))
+    for index, cls in enumerate(classes):
+        members = matrix[label_array == cls]
+        priors[index] = len(members) / len(labels)
+        means[index] = members.mean(axis=0)
+        variances[index] = members.var(axis=0) + _VARIANCE_EPSILON
+    result = NaiveBayesResult(
+        classes=classes,
+        priors=priors,
+        means=means,
+        variances=variances,
+        training_accuracy=0.0,
+    )
+    predictions, __ = naive_bayes_predict(matrix, result)
+    correct = sum(p == t for p, t in zip(predictions, labels))
+    result.training_accuracy = correct / len(labels)
+    return result
+
+
+def naive_bayes_predict(
+    matrix: np.ndarray, model: NaiveBayesResult
+) -> tuple[list[object], np.ndarray]:
+    """Predicted class + log-probability margin per row."""
+    # log P(c | x) ∝ log prior + Σ log N(x | mean, var)
+    log_likelihood = np.empty((matrix.shape[0], len(model.classes)))
+    for index in range(len(model.classes)):
+        mean = model.means[index]
+        variance = model.variances[index]
+        log_prob = -0.5 * (
+            np.log(2 * np.pi * variance) + (matrix - mean) ** 2 / variance
+        )
+        log_likelihood[:, index] = log_prob.sum(axis=1) + np.log(
+            model.priors[index]
+        )
+    best = log_likelihood.argmax(axis=1)
+    predictions = [model.classes[i] for i in best]
+    scores = log_likelihood.max(axis=1)
+    return predictions, scores
+
+
+def naive_bayes_procedure(ctx: ProcedureContext) -> str:
+    """``CALL INZA.NAIVEBAYES('intable=T, class=Y, model=M, id=ID')``."""
+    intable = ctx.require("intable").upper()
+    class_column = ctx.require("class").upper()
+    model_name = ctx.require("model")
+    id_column = (ctx.get("id") or "").upper()
+    features = ctx.column_list("incolumn")
+    if features is None:
+        schema = ctx.system.catalog.table(intable).schema
+        features = [
+            column.name
+            for column in schema.columns
+            if column.sql_type.is_numeric
+            and column.name not in (class_column, id_column)
+        ]
+    if not features:
+        raise AnalyticsError("no numeric feature columns")
+    matrix = ctx.read_matrix(intable, features)
+    labels = ctx.read_labels(intable, class_column)
+    if any(label is None for label in labels):
+        raise AnalyticsError(f"class column {class_column} contains NULLs")
+    result = naive_bayes_fit(matrix, labels)
+    ctx.system.models.register(
+        Model(
+            name=model_name,
+            kind="NAIVEBAYES",
+            features=features,
+            target=class_column,
+            payload={"fit": result},
+            metrics={"training_accuracy": result.training_accuracy},
+            owner=ctx.connection.user.name,
+        ),
+        replace=True,
+    )
+    return (
+        f"NAIVEBAYES ok: classes={len(result.classes)}, "
+        f"accuracy={result.training_accuracy:.4f}"
+    )
+
+
+def predict_naive_bayes(ctx: ProcedureContext) -> str:
+    """``CALL INZA.PREDICT_NAIVEBAYES('model=M, intable=T, outtable=O,
+    id=ID')``."""
+    model = ctx.system.models.get(ctx.require("model"))
+    if model.kind != "NAIVEBAYES":
+        raise AnalyticsError(f"model {model.name} is not a NAIVEBAYES model")
+    intable = ctx.require("intable").upper()
+    outtable = ctx.require("outtable").upper()
+    id_column = ctx.require("id").upper()
+    matrix = ctx.read_matrix(intable, model.features)
+    ids = ctx.read_labels(intable, id_column)
+    predictions, scores = naive_bayes_predict(matrix, model.payload["fit"])
+    id_type = ctx.system.catalog.table(intable).schema.column(id_column).sql_type
+    ctx.create_output_table(
+        outtable,
+        [
+            (id_column, id_type),
+            ("PREDICTION", VarcharType(64)),
+            ("LOG_SCORE", DOUBLE),
+        ],
+    )
+    ctx.insert_rows(
+        outtable,
+        [
+            (ids[i], str(predictions[i]), float(scores[i]))
+            for i in range(len(ids))
+        ],
+    )
+    return f"PREDICT_NAIVEBAYES ok: scored {len(ids)} rows"

@@ -1,0 +1,139 @@
+"""Linear regression (least squares) and its scoring procedure."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analytics.framework import ProcedureContext
+from repro.analytics.model_store import Model
+from repro.errors import AnalyticsError
+from repro.sql.types import DOUBLE
+
+__all__ = ["LinRegResult", "linreg_fit", "linreg_procedure", "predict_linreg"]
+
+
+@dataclass
+class LinRegResult:
+    intercept: float
+    coefficients: np.ndarray
+    r_squared: float
+    rmse: float
+
+
+def linreg_fit(matrix: np.ndarray, target: np.ndarray) -> LinRegResult:
+    """Ordinary least squares with intercept via ``numpy.linalg.lstsq``."""
+    if matrix.shape[0] != len(target):
+        raise AnalyticsError("feature matrix and target length differ")
+    if matrix.shape[0] == 0:
+        raise AnalyticsError("cannot fit a regression on zero rows")
+    design = np.column_stack([np.ones(matrix.shape[0]), matrix])
+    solution, *_ = np.linalg.lstsq(design, target, rcond=None)
+    predictions = design @ solution
+    residuals = target - predictions
+    ss_res = float((residuals**2).sum())
+    ss_tot = float(((target - target.mean()) ** 2).sum())
+    r_squared = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    rmse = float(np.sqrt(ss_res / len(target)))
+    return LinRegResult(
+        intercept=float(solution[0]),
+        coefficients=solution[1:],
+        r_squared=r_squared,
+        rmse=rmse,
+    )
+
+
+def linreg_predict(
+    matrix: np.ndarray, intercept: float, coefficients: np.ndarray
+) -> np.ndarray:
+    return intercept + matrix @ coefficients
+
+
+def linreg_procedure(ctx: ProcedureContext) -> str:
+    """``CALL INZA.LINEAR_REGRESSION('intable=T, target=Y, model=M,
+    incolumn=A;B, id=ID [, outtable=O]')``."""
+    intable = ctx.require("intable").upper()
+    target_column = ctx.require("target").upper()
+    model_name = ctx.require("model")
+    id_column = (ctx.get("id") or "").upper()
+
+    features = ctx.column_list("incolumn")
+    if features is None:
+        schema = ctx.system.catalog.table(intable).schema
+        features = [
+            column.name
+            for column in schema.columns
+            if column.sql_type.is_numeric
+            and column.name not in (target_column, id_column)
+        ]
+    if not features:
+        raise AnalyticsError("no numeric feature columns to regress on")
+
+    matrix = ctx.read_matrix(intable, features)
+    target = ctx.read_matrix(intable, [target_column])[:, 0]
+    result = linreg_fit(matrix, target)
+
+    ctx.system.models.register(
+        Model(
+            name=model_name,
+            kind="LINREG",
+            features=features,
+            target=target_column,
+            payload={
+                "intercept": result.intercept,
+                "coefficients": result.coefficients,
+            },
+            metrics={"r_squared": result.r_squared, "rmse": result.rmse},
+            owner=ctx.connection.user.name,
+        ),
+        replace=True,
+    )
+    outtable = ctx.get("outtable")
+    if outtable:
+        # Coefficient table: one row per term, like INZA's model tables.
+        ctx.create_output_table(
+            outtable.upper(),
+            [("TERM", _varchar(64)), ("COEFFICIENT", DOUBLE)],
+        )
+        rows = [("INTERCEPT", result.intercept)] + [
+            (name, float(value))
+            for name, value in zip(features, result.coefficients)
+        ]
+        ctx.insert_rows(outtable.upper(), rows)
+    ctx.log(f"fit on {matrix.shape[0]} rows, {len(features)} features")
+    return (
+        f"LINEAR_REGRESSION ok: r2={result.r_squared:.4f}, "
+        f"rmse={result.rmse:.4f}"
+    )
+
+
+def predict_linreg(ctx: ProcedureContext) -> str:
+    """``CALL INZA.PREDICT_LINEAR_REGRESSION('model=M, intable=T,
+    outtable=O, id=ID')``."""
+    model = ctx.system.models.get(ctx.require("model"))
+    if model.kind != "LINREG":
+        raise AnalyticsError(f"model {model.name} is not a LINREG model")
+    intable = ctx.require("intable").upper()
+    outtable = ctx.require("outtable").upper()
+    id_column = ctx.require("id").upper()
+    matrix = ctx.read_matrix(intable, model.features)
+    ids = ctx.read_labels(intable, id_column)
+    predictions = linreg_predict(
+        matrix, model.payload["intercept"], model.payload["coefficients"]
+    )
+    id_type = ctx.system.catalog.table(intable).schema.column(id_column).sql_type
+    ctx.create_output_table(
+        outtable, [(id_column, id_type), ("PREDICTION", DOUBLE)]
+    )
+    ctx.insert_rows(
+        outtable,
+        [(ids[i], float(predictions[i])) for i in range(len(ids))],
+    )
+    return f"PREDICT_LINEAR_REGRESSION ok: scored {len(ids)} rows"
+
+
+def _varchar(length: int):
+    from repro.sql.types import VarcharType
+
+    return VarcharType(length)

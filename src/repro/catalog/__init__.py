@@ -1,0 +1,30 @@
+"""Shared catalog: schemas, table placement, users, and privileges.
+
+In the real system the DB2 catalog is the single source of truth — even an
+accelerator-only table exists in DB2 as a proxy ("nickname") that carries
+its metadata and routes statements. This package plays that role for the
+simulation: one catalog instance is shared by the DB2 engine, the
+accelerator, and the federation layer.
+"""
+
+from repro.catalog.schema import Column, TableSchema
+from repro.catalog.catalog import (
+    Catalog,
+    TableDescriptor,
+    TableLocation,
+    User,
+    ViewDescriptor,
+)
+from repro.catalog.privileges import Privilege, PrivilegeManager
+
+__all__ = [
+    "Column",
+    "TableSchema",
+    "Catalog",
+    "TableDescriptor",
+    "TableLocation",
+    "User",
+    "ViewDescriptor",
+    "Privilege",
+    "PrivilegeManager",
+]

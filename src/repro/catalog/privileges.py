@@ -1,0 +1,125 @@
+"""Privilege management — the DB2 side of the paper's data governance.
+
+Section 3 of the paper requires that delegating analytics to the
+accelerator must not bypass DB2's privilege management: DB2 authorises
+every statement (including CALLs into the analytics framework) *before*
+anything reaches the accelerator. This module is that gate.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Iterable
+
+from repro.errors import AuthorizationError, UnknownObjectError
+
+__all__ = ["Privilege", "PrivilegeManager"]
+
+
+class Privilege(Enum):
+    """Privileges grantable on tables and procedures."""
+
+    SELECT = "SELECT"
+    INSERT = "INSERT"
+    UPDATE = "UPDATE"
+    DELETE = "DELETE"
+    EXECUTE = "EXECUTE"
+    LOAD = "LOAD"
+
+    @staticmethod
+    def from_name(name: str) -> "Privilege":
+        try:
+            return Privilege(name.upper())
+        except ValueError:
+            raise UnknownObjectError(f"unknown privilege {name}") from None
+
+
+#: Privileges implied by GRANT ALL on a table.
+TABLE_PRIVILEGES = (
+    Privilege.SELECT,
+    Privilege.INSERT,
+    Privilege.UPDATE,
+    Privilege.DELETE,
+    Privilege.LOAD,
+)
+
+
+class PrivilegeManager:
+    """Tracks grants of (user, privilege, object) triples.
+
+    Objects are identified by ``("TABLE", name)`` or ``("PROCEDURE", name)``
+    keys; administrators bypass all checks (SYSADM semantics).
+    """
+
+    def __init__(self) -> None:
+        self._grants: set[tuple[str, Privilege, tuple[str, str]]] = set()
+        self.checks_performed = 0
+        self.denials = 0
+
+    def grant(
+        self,
+        user: str,
+        privileges: Iterable[Privilege],
+        object_type: str,
+        object_name: str,
+    ) -> None:
+        key = (object_type.upper(), object_name)
+        for privilege in privileges:
+            self._grants.add((user, privilege, key))
+
+    def revoke(
+        self,
+        user: str,
+        privileges: Iterable[Privilege],
+        object_type: str,
+        object_name: str,
+    ) -> None:
+        key = (object_type.upper(), object_name)
+        for privilege in privileges:
+            self._grants.discard((user, privilege, key))
+
+    def has_privilege(
+        self,
+        user: str,
+        privilege: Privilege,
+        object_type: str,
+        object_name: str,
+        is_admin: bool = False,
+    ) -> bool:
+        self.checks_performed += 1
+        if is_admin:
+            return True
+        key = (object_type.upper(), object_name)
+        return (user, privilege, key) in self._grants
+
+    def check(
+        self,
+        user: str,
+        privilege: Privilege,
+        object_type: str,
+        object_name: str,
+        is_admin: bool = False,
+    ) -> None:
+        """Raise :class:`AuthorizationError` unless the privilege is held."""
+        if not self.has_privilege(user, privilege, object_type, object_name, is_admin):
+            self.denials += 1
+            raise AuthorizationError(
+                f"user {user} lacks {privilege.value} on "
+                f"{object_type.upper()} {object_name}"
+            )
+
+    def grants_for(self, user: str) -> list[tuple[Privilege, str, str]]:
+        """All grants held by ``user`` (privilege, object type, object name)."""
+        return sorted(
+            (
+                (privilege, key[0], key[1])
+                for grant_user, privilege, key in self._grants
+                if grant_user == user
+            ),
+            key=lambda grant: (grant[0].value, grant[1], grant[2]),
+        )
+
+    def drop_object(self, object_type: str, object_name: str) -> None:
+        """Remove all grants on a dropped object."""
+        key = (object_type.upper(), object_name)
+        self._grants = {g for g in self._grants if g[2] != key}

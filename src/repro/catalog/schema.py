@@ -1,0 +1,120 @@
+"""Table schemas: ordered, typed, named columns."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import DuplicateObjectError, TypeError_, UnknownObjectError
+from repro.sql.types import SqlType
+
+__all__ = ["Column", "TableSchema"]
+
+
+@dataclass(frozen=True)
+class Column:
+    """One column of a table schema."""
+
+    name: str
+    sql_type: SqlType
+    nullable: bool = True
+    primary_key: bool = False
+
+    def coerce(self, value):
+        """Type-check one value for this column (NULL constraint included)."""
+        if value is None:
+            if not self.nullable:
+                raise TypeError_(f"column {self.name} does not accept NULL")
+            return None
+        return self.sql_type.coerce(value)
+
+
+class TableSchema:
+    """An ordered list of :class:`Column` with fast name lookup."""
+
+    def __init__(self, columns: Sequence[Column]) -> None:
+        if not columns:
+            raise TypeError_("a table needs at least one column")
+        self.columns = list(columns)
+        self._index: dict[str, int] = {}
+        for position, column in enumerate(self.columns):
+            if column.name in self._index:
+                raise DuplicateObjectError(f"duplicate column {column.name}")
+            self._index[column.name] = position
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __iter__(self):
+        return iter(self.columns)
+
+    @property
+    def column_names(self) -> list[str]:
+        return [column.name for column in self.columns]
+
+    @property
+    def primary_key_columns(self) -> list[str]:
+        return [c.name for c in self.columns if c.primary_key]
+
+    def has_column(self, name: str) -> bool:
+        return name in self._index
+
+    def position_of(self, name: str) -> int:
+        try:
+            return self._index[name]
+        except KeyError:
+            raise UnknownObjectError(f"unknown column {name}") from None
+
+    def column(self, name: str) -> Column:
+        return self.columns[self.position_of(name)]
+
+    def coerce_row(self, values: Sequence[object]) -> tuple:
+        """Validate and convert a full-width row."""
+        if len(values) != len(self.columns):
+            raise TypeError_(
+                f"expected {len(self.columns)} values, got {len(values)}"
+            )
+        return tuple(
+            column.coerce(value) for column, value in zip(self.columns, values)
+        )
+
+    def coerce_partial(
+        self, names: Sequence[str], values: Sequence[object]
+    ) -> tuple:
+        """Build a full-width row from a partial column list.
+
+        Unnamed columns get NULL (and must therefore be nullable).
+        """
+        if len(names) != len(values):
+            raise TypeError_("column list and value list lengths differ")
+        row: list[object] = [None] * len(self.columns)
+        for name, value in zip(names, values):
+            row[self.position_of(name)] = value
+        return self.coerce_row(row)
+
+    def row_byte_size(self, row: Sequence[object]) -> int:
+        """Estimated serialized size of one row (feeds the network model)."""
+        total = 0
+        for column, value in zip(self.columns, row):
+            total += 1  # null indicator
+            if value is not None:
+                total += column.sql_type.byte_size(value)
+        return total
+
+    def render(self) -> str:
+        """DDL-ish rendering, used in error messages and repr."""
+        parts = []
+        for column in self.columns:
+            spec = f"{column.name} {column.sql_type.render()}"
+            if not column.nullable:
+                spec += " NOT NULL"
+            parts.append(spec)
+        return "(" + ", ".join(parts) + ")"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TableSchema{self.render()}"
+
+    @staticmethod
+    def from_pairs(pairs: Iterable[tuple[str, SqlType]]) -> "TableSchema":
+        """Convenience constructor for tests and generators."""
+        return TableSchema([Column(name, sql_type) for name, sql_type in pairs])

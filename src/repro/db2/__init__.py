@@ -1,0 +1,28 @@
+"""The simulated DB2 for z/OS engine.
+
+A lock-based, row-at-a-time OLTP engine: slotted-page heaps, table-level
+S/X locking with cursor-stability reads, undo-logged rollback, and a
+change log that feeds the accelerator's replication service. It is the
+system of record for everything except accelerator-only tables.
+"""
+
+from repro.db2.engine import Db2Engine
+from repro.db2.transaction import (
+    LockManager,
+    LockMode,
+    Transaction,
+    TransactionManager,
+    TransactionState,
+)
+from repro.db2.changelog import ChangeLog, ChangeRecord
+
+__all__ = [
+    "Db2Engine",
+    "LockManager",
+    "LockMode",
+    "Transaction",
+    "TransactionManager",
+    "TransactionState",
+    "ChangeLog",
+    "ChangeRecord",
+]

@@ -1,0 +1,830 @@
+"""Row-at-a-time (Volcano-style) query execution.
+
+This is the DB2 side's interpreted executor: operators are generators over
+Python tuples, evaluated one row at a time with compiled scalar
+expressions. The design is intentionally classic — sequential scans,
+hash/nested-loop joins, hash aggregation — because the performance gap
+between this model and the accelerator's vectorised executor is the
+asymmetry the paper's offload story rests on.
+
+The executor is engine-agnostic: anything that can provide schemas and row
+iterators (a :class:`TableProvider`) can execute queries, which the tests
+exploit directly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterator, Optional, Protocol, Sequence, Union
+
+from repro.catalog.schema import TableSchema
+from repro.errors import ParseError, SqlError
+from repro.sql import ast
+from repro.sql.expressions import (
+    Scope,
+    compile_scalar,
+    expression_label,
+)
+from repro.sql.correlation import SubqueryExecutor
+from repro.sql.planning import (
+    canonicalize,
+    map_children,
+    references_only,
+    sort_rows_with_keys as _sort_with_precomputed,
+    split_conjuncts,
+)
+
+__all__ = ["TableProvider", "RowQueryEngine", "canonicalize"]
+
+
+class TableProvider(Protocol):
+    """What the executor needs from its host engine."""
+
+    def table_schema(self, name: str) -> TableSchema:
+        """Schema of a base table (raises UnknownObjectError if missing)."""
+
+    def scan_rows(self, name: str) -> Iterator[tuple]:
+        """Iterate the current rows of a base table."""
+
+
+# ---------------------------------------------------------------------------
+# Aggregate accumulators
+# ---------------------------------------------------------------------------
+
+
+class _Accumulator:
+    def add(self, value) -> None:
+        raise NotImplementedError
+
+    def result(self):
+        raise NotImplementedError
+
+
+class _CountStar(_Accumulator):
+    def __init__(self) -> None:
+        self.count = 0
+
+    def add(self, value) -> None:
+        self.count += 1
+
+    def result(self):
+        return self.count
+
+
+class _Count(_Accumulator):
+    def __init__(self) -> None:
+        self.count = 0
+
+    def add(self, value) -> None:
+        if value is not None:
+            self.count += 1
+
+    def result(self):
+        return self.count
+
+
+class _CountDistinct(_Accumulator):
+    def __init__(self) -> None:
+        self.values: set = set()
+
+    def add(self, value) -> None:
+        if value is not None:
+            self.values.add(value)
+
+    def result(self):
+        return len(self.values)
+
+
+class _Sum(_Accumulator):
+    def __init__(self) -> None:
+        self.total = None
+
+    def add(self, value) -> None:
+        if value is None:
+            return
+        self.total = value if self.total is None else self.total + value
+
+    def result(self):
+        return self.total
+
+
+class _Avg(_Accumulator):
+    def __init__(self) -> None:
+        self.total = 0.0
+        self.count = 0
+
+    def add(self, value) -> None:
+        if value is None:
+            return
+        self.total += float(value)
+        self.count += 1
+
+    def result(self):
+        return self.total / self.count if self.count else None
+
+
+class _Min(_Accumulator):
+    def __init__(self) -> None:
+        self.value = None
+
+    def add(self, value) -> None:
+        if value is None:
+            return
+        if self.value is None or value < self.value:
+            self.value = value
+
+    def result(self):
+        return self.value
+
+
+class _Max(_Accumulator):
+    def __init__(self) -> None:
+        self.value = None
+
+    def add(self, value) -> None:
+        if value is None:
+            return
+        if self.value is None or value > self.value:
+            self.value = value
+
+    def result(self):
+        return self.value
+
+
+class _Moments(_Accumulator):
+    """Population variance / stddev via running sums."""
+
+    def __init__(self, stddev: bool) -> None:
+        self.stddev = stddev
+        self.count = 0
+        self.total = 0.0
+        self.squares = 0.0
+
+    def add(self, value) -> None:
+        if value is None:
+            return
+        v = float(value)
+        self.count += 1
+        self.total += v
+        self.squares += v * v
+
+    def result(self):
+        if not self.count:
+            return None
+        mean = self.total / self.count
+        variance = max(0.0, self.squares / self.count - mean * mean)
+        return math.sqrt(variance) if self.stddev else variance
+
+
+def make_accumulator(call: ast.FunctionCall) -> _Accumulator:
+    name = call.name
+    if name == "COUNT":
+        if call.args and isinstance(call.args[0], ast.Star):
+            return _CountStar()
+        return _CountDistinct() if call.distinct else _Count()
+    if name == "SUM":
+        return _Sum()
+    if name == "AVG":
+        return _Avg()
+    if name == "MIN":
+        return _Min()
+    if name == "MAX":
+        return _Max()
+    if name == "STDDEV":
+        return _Moments(stddev=True)
+    if name == "VARIANCE":
+        return _Moments(stddev=False)
+    raise ParseError(f"unknown aggregate {name}")
+
+
+# ---------------------------------------------------------------------------
+# The engine
+# ---------------------------------------------------------------------------
+
+
+class RowQueryEngine:
+    """Executes SELECT statements against a :class:`TableProvider`."""
+
+    def __init__(
+        self,
+        provider: TableProvider,
+        params: Sequence[object] = (),
+    ) -> None:
+        self._provider = provider
+        self._params = params
+        self.rows_examined = 0  # exposed for cost/efficiency assertions
+
+    # -- public API ----------------------------------------------------------
+
+    def execute(
+        self, stmt: Union[ast.SelectStatement, ast.SetOperation]
+    ) -> tuple[list[str], list[tuple]]:
+        """Run the statement; returns (column names, rows)."""
+        if isinstance(stmt, ast.SetOperation):
+            return self._execute_set_operation(stmt)
+        return self._execute_select(stmt)
+
+    # -- set operations --------------------------------------------------------
+
+    def _execute_set_operation(
+        self, stmt: ast.SetOperation
+    ) -> tuple[list[str], list[tuple]]:
+        columns, rows = self._combine_set_operation(stmt)
+        if stmt.order_by:
+            scope = Scope([(None, name) for name in columns])
+            order_fns = []
+            for order in stmt.order_by:
+                expr = order.expression
+                if isinstance(expr, ast.Literal) and isinstance(expr.value, int):
+                    if not 1 <= expr.value <= len(columns):
+                        raise ParseError(
+                            f"ORDER BY position {expr.value} is out of range"
+                        )
+                    expr = ast.ColumnRef(name=columns[expr.value - 1])
+                order_fns.append(compile_scalar(expr, scope, self._params))
+            keys = [tuple(fn(row) for fn in order_fns) for row in rows]
+            rows = _sort_with_precomputed(
+                rows, keys, [o.ascending for o in stmt.order_by]
+            )
+        rows = _slice(rows, stmt.offset, stmt.limit)
+        return columns, rows
+
+    def _combine_set_operation(
+        self, stmt: ast.SetOperation
+    ) -> tuple[list[str], list[tuple]]:
+        left_cols, left_rows = self.execute(stmt.left)
+        right_cols, right_rows = self.execute(stmt.right)
+        if len(left_cols) != len(right_cols):
+            raise SqlError("set operation operands have different widths")
+        if stmt.op == "UNION ALL":
+            return left_cols, left_rows + right_rows
+        if stmt.op == "UNION":
+            seen: set[tuple] = set()
+            out: list[tuple] = []
+            for row in left_rows + right_rows:
+                if row not in seen:
+                    seen.add(row)
+                    out.append(row)
+            return left_cols, out
+        if stmt.op == "EXCEPT":
+            right_set = set(right_rows)
+            seen = set()
+            out = []
+            for row in left_rows:
+                if row not in right_set and row not in seen:
+                    seen.add(row)
+                    out.append(row)
+            return left_cols, out
+        if stmt.op == "INTERSECT":
+            right_set = set(right_rows)
+            seen = set()
+            out = []
+            for row in left_rows:
+                if row in right_set and row not in seen:
+                    seen.add(row)
+                    out.append(row)
+            return left_cols, out
+        raise ParseError(f"unknown set operation {stmt.op}")
+
+    # -- select pipeline -------------------------------------------------------
+
+    def _resolver(self, scope: Scope) -> SubqueryExecutor:
+        """Scope-aware subquery executor (correlated subqueries bind
+        their outer references against ``scope``)."""
+        return SubqueryExecutor(
+            scope,
+            lambda table: self._provider.table_schema(table).column_names,
+            lambda query: self._execute_select(query)[1],
+        )
+
+    def _execute_select(
+        self, stmt: ast.SelectStatement
+    ) -> tuple[list[str], list[tuple]]:
+        if stmt.from_item is None:
+            return self._constant_select(stmt)
+
+        rows, scope = self._build_from(stmt.from_item)
+
+        if stmt.where is not None:
+            predicate = compile_scalar(
+                stmt.where, scope, self._params, self._resolver(scope)
+            )
+            rows = (row for row in rows if predicate(row) is True)
+
+        if stmt.group_by or stmt.is_aggregate_query:
+            columns, out_rows, ordered = self._aggregate(stmt, rows, scope)
+        else:
+            if stmt.having is not None:
+                raise ParseError("HAVING requires GROUP BY or aggregates")
+            columns, out_rows, ordered = self._project(stmt, rows, scope)
+
+        if stmt.distinct:
+            out_rows = _dedup(out_rows)
+        if stmt.order_by and not ordered:
+            out_rows = self._order(stmt, out_rows, columns)
+        out_rows = _slice(out_rows, stmt.offset, stmt.limit)
+        return columns, out_rows
+
+    def _constant_select(
+        self, stmt: ast.SelectStatement
+    ) -> tuple[list[str], list[tuple]]:
+        scope = Scope([])
+        columns: list[str] = []
+        values: list[object] = []
+        for position, item in enumerate(stmt.select_items):
+            if isinstance(item.expression, ast.Star):
+                raise ParseError("'*' requires a FROM clause")
+            fn = compile_scalar(
+                item.expression, scope, self._params, self._resolver(scope)
+            )
+            values.append(fn(()))
+            columns.append(item.alias or expression_label(item.expression, position))
+        return columns, [tuple(values)]
+
+    # -- FROM clause -------------------------------------------------------------
+
+    def _build_from(
+        self, item: ast.FromItem
+    ) -> tuple[Iterator[tuple], Scope]:
+        if isinstance(item, ast.TableRef):
+            schema = self._provider.table_schema(item.name)
+            scope = Scope([(item.binding, c.name) for c in schema.columns])
+
+            def _scan() -> Iterator[tuple]:
+                for row in self._provider.scan_rows(item.name):
+                    self.rows_examined += 1
+                    yield row
+
+            return _scan(), scope
+        if isinstance(item, ast.SubquerySource):
+            columns, rows = self._execute_select(item.query)
+            scope = Scope([(item.alias, name) for name in columns])
+            return iter(rows), scope
+        if isinstance(item, ast.Join):
+            return self._build_join(item)
+        raise ParseError(f"unsupported FROM item {type(item).__name__}")
+
+    def _build_join(self, join: ast.Join) -> tuple[Iterator[tuple], Scope]:
+        if join.join_type == "RIGHT":
+            # RIGHT OUTER = LEFT OUTER with swapped inputs + column remap.
+            swapped = ast.Join(
+                left=join.right,
+                right=join.left,
+                join_type="LEFT",
+                condition=join.condition,
+            )
+            rows, scope = self._build_join(swapped)
+            left_width = len(self._scope_of(join.left))
+            right_width = len(scope) - left_width
+
+            def _remap() -> Iterator[tuple]:
+                for row in rows:
+                    yield row[right_width:] + row[:right_width]
+
+            entries = scope.entries[right_width:] + scope.entries[:right_width]
+            return _remap(), Scope(entries)
+
+        left_rows, left_scope = self._build_from(join.left)
+        right_rows, right_scope = self._build_from(join.right)
+        combined = Scope(left_scope.entries + right_scope.entries)
+
+        if join.join_type == "CROSS":
+            right_list = list(right_rows)
+
+            def _cross() -> Iterator[tuple]:
+                for left in left_rows:
+                    for right in right_list:
+                        yield left + right
+
+            return _cross(), combined
+
+        condition = join.condition
+        if condition is None:
+            raise ParseError(f"{join.join_type} JOIN requires ON")
+        left_keys, right_keys, residual = self._split_equi(
+            condition, left_scope, right_scope, combined
+        )
+        if left_keys:
+            rows = self._hash_join(
+                left_rows,
+                right_rows,
+                left_keys,
+                right_keys,
+                residual,
+                combined,
+                right_scope,
+                outer=join.join_type == "LEFT",
+            )
+        else:
+            rows = self._nested_loop_join(
+                left_rows,
+                right_rows,
+                condition,
+                combined,
+                right_scope,
+                outer=join.join_type == "LEFT",
+            )
+        if join.join_type not in ("INNER", "LEFT"):
+            raise ParseError(f"unsupported join type {join.join_type}")
+        return rows, combined
+
+    def _scope_of(self, item: ast.FromItem) -> Scope:
+        """Scope shape of a FROM item without executing it (for remaps)."""
+        if isinstance(item, ast.TableRef):
+            schema = self._provider.table_schema(item.name)
+            return Scope([(item.binding, c.name) for c in schema.columns])
+        if isinstance(item, ast.SubquerySource):
+            # Width needs output column names; execute the header cheaply by
+            # compiling labels only.
+            names = [
+                sub.alias or expression_label(sub.expression, i)
+                for i, sub in enumerate(item.query.select_items)
+            ]
+            return Scope([(item.alias, name) for name in names])
+        if isinstance(item, ast.Join):
+            left = self._scope_of(item.left)
+            right = self._scope_of(item.right)
+            return Scope(left.entries + right.entries)
+        raise ParseError(f"unsupported FROM item {type(item).__name__}")
+
+    def _split_equi(
+        self,
+        condition: ast.Expression,
+        left_scope: Scope,
+        right_scope: Scope,
+        combined: Scope,
+    ) -> tuple[list, list, Optional[Callable]]:
+        """Extract hashable equi-key pairs; compile the residual predicate."""
+        left_keys: list[Callable] = []
+        right_keys: list[Callable] = []
+        residual_parts: list[ast.Expression] = []
+        for conjunct in split_conjuncts(condition):
+            if (
+                isinstance(conjunct, ast.BinaryOp)
+                and conjunct.op == "="
+            ):
+                sides = (conjunct.left, conjunct.right)
+                if references_only(sides[0], left_scope) and references_only(
+                    sides[1], right_scope
+                ):
+                    left_keys.append(compile_scalar(sides[0], left_scope, self._params))
+                    right_keys.append(
+                        compile_scalar(sides[1], right_scope, self._params)
+                    )
+                    continue
+                if references_only(sides[1], left_scope) and references_only(
+                    sides[0], right_scope
+                ):
+                    left_keys.append(compile_scalar(sides[1], left_scope, self._params))
+                    right_keys.append(
+                        compile_scalar(sides[0], right_scope, self._params)
+                    )
+                    continue
+            residual_parts.append(conjunct)
+        residual: Optional[Callable] = None
+        if residual_parts:
+            predicate = residual_parts[0]
+            for part in residual_parts[1:]:
+                predicate = ast.BinaryOp(op="AND", left=predicate, right=part)
+            residual = compile_scalar(
+                predicate, combined, self._params, self._resolver(combined)
+            )
+        return left_keys, right_keys, residual
+
+    def _hash_join(
+        self,
+        left_rows: Iterator[tuple],
+        right_rows: Iterator[tuple],
+        left_keys: list[Callable],
+        right_keys: list[Callable],
+        residual: Optional[Callable],
+        combined: Scope,
+        right_scope: Scope,
+        outer: bool,
+    ) -> Iterator[tuple]:
+        table: dict[tuple, list[tuple]] = {}
+        for right in right_rows:
+            key = tuple(fn(right) for fn in right_keys)
+            if any(part is None for part in key):
+                continue  # NULL keys never match
+            table.setdefault(key, []).append(right)
+        null_extension = (None,) * len(right_scope)
+        for left in left_rows:
+            key = tuple(fn(left) for fn in left_keys)
+            matched = False
+            if not any(part is None for part in key):
+                for right in table.get(key, ()):
+                    candidate = left + right
+                    if residual is None or residual(candidate) is True:
+                        matched = True
+                        yield candidate
+            if outer and not matched:
+                yield left + null_extension
+
+    def _nested_loop_join(
+        self,
+        left_rows: Iterator[tuple],
+        right_rows: Iterator[tuple],
+        condition: ast.Expression,
+        combined: Scope,
+        right_scope: Scope,
+        outer: bool,
+    ) -> Iterator[tuple]:
+        predicate = compile_scalar(
+            condition, combined, self._params, self._resolver(combined)
+        )
+        right_list = list(right_rows)
+        null_extension = (None,) * len(right_scope)
+        for left in left_rows:
+            matched = False
+            for right in right_list:
+                candidate = left + right
+                if predicate(candidate) is True:
+                    matched = True
+                    yield candidate
+            if outer and not matched:
+                yield left + null_extension
+
+    # -- aggregation ----------------------------------------------------------------
+
+    def _aggregate(
+        self,
+        stmt: ast.SelectStatement,
+        rows: Iterator[tuple],
+        scope: Scope,
+    ) -> tuple[list[str], list[tuple], bool]:
+        group_canon = [canonicalize(g, scope) for g in stmt.group_by]
+        aggregates: list[ast.FunctionCall] = []
+
+        def rewrite(expr: ast.Expression) -> ast.Expression:
+            canon = canonicalize(expr, scope) if _resolvable(expr, scope) else None
+            if canon is not None:
+                for index, group_expr in enumerate(group_canon):
+                    if canon == group_expr:
+                        return ast.ColumnRef(name=f"__G{index}")
+            if isinstance(expr, ast.FunctionCall) and expr.is_aggregate:
+                expr_canon = _canonicalize_aggregate(expr, scope)
+                for index, existing in enumerate(aggregates):
+                    if _canonicalize_aggregate(existing, scope) == expr_canon:
+                        return ast.ColumnRef(name=f"__A{index}")
+                aggregates.append(expr)
+                return ast.ColumnRef(name=f"__A{len(aggregates) - 1}")
+            return map_children(expr, rewrite)
+
+        select_rewritten: list[tuple[ast.Expression, Optional[str]]] = []
+        for item in stmt.select_items:
+            if isinstance(item.expression, ast.Star):
+                raise ParseError("'*' cannot be combined with GROUP BY")
+            select_rewritten.append((rewrite(item.expression), item.alias))
+        having_rewritten = rewrite(stmt.having) if stmt.having is not None else None
+        alias_map = {
+            alias: expr for expr, alias in select_rewritten if alias is not None
+        }
+        order_rewritten = []
+        for order in stmt.order_by:
+            expr = order.expression
+            if (
+                isinstance(expr, ast.ColumnRef)
+                and expr.table is None
+                and expr.name in alias_map
+            ):
+                rewritten = alias_map[expr.name]
+            elif isinstance(expr, ast.Literal) and isinstance(expr.value, int):
+                rewritten = _positional(select_rewritten, expr.value)
+            else:
+                rewritten = rewrite(expr)
+            order_rewritten.append(
+                ast.OrderItem(expression=rewritten, ascending=order.ascending)
+            )
+
+        input_resolver = self._resolver(scope)
+        group_fns = [
+            compile_scalar(g, scope, self._params, input_resolver)
+            for g in stmt.group_by
+        ]
+        agg_arg_fns: list[Optional[Callable]] = []
+        for call in aggregates:
+            if call.args and not isinstance(call.args[0], ast.Star):
+                agg_arg_fns.append(
+                    compile_scalar(
+                        call.args[0], scope, self._params, input_resolver
+                    )
+                )
+            else:
+                agg_arg_fns.append(None)
+
+        groups: dict[tuple, list[_Accumulator]] = {}
+        for row in rows:
+            key = tuple(fn(row) for fn in group_fns)
+            accumulators = groups.get(key)
+            if accumulators is None:
+                accumulators = [make_accumulator(c) for c in aggregates]
+                groups[key] = accumulators
+            for accumulator, arg_fn in zip(accumulators, agg_arg_fns):
+                accumulator.add(arg_fn(row) if arg_fn is not None else 1)
+
+        if not groups and not stmt.group_by:
+            # Aggregate over an empty input still yields one row.
+            groups[()] = [make_accumulator(c) for c in aggregates]
+
+        post_entries = [(None, f"__G{i}") for i in range(len(stmt.group_by))]
+        post_entries += [(None, f"__A{j}") for j in range(len(aggregates))]
+        post_scope = Scope(post_entries)
+
+        post_resolver = self._resolver(post_scope)
+        select_fns = [
+            compile_scalar(expr, post_scope, self._params, post_resolver)
+            for expr, _ in select_rewritten
+        ]
+        having_fn = (
+            compile_scalar(
+                having_rewritten, post_scope, self._params, post_resolver
+            )
+            if having_rewritten is not None
+            else None
+        )
+
+        columns = [
+            alias or expression_label(stmt.select_items[i].expression, i)
+            for i, (_, alias) in enumerate(select_rewritten)
+        ]
+        out_rows: list[tuple] = []
+        order_values: list[tuple] = []
+        order_fns = [
+            compile_scalar(o.expression, post_scope, self._params)
+            for o in order_rewritten
+        ]
+        for key, accumulators in groups.items():
+            post_row = key + tuple(a.result() for a in accumulators)
+            if having_fn is not None and having_fn(post_row) is not True:
+                continue
+            out_rows.append(tuple(fn(post_row) for fn in select_fns))
+            if order_fns:
+                order_values.append(tuple(fn(post_row) for fn in order_fns))
+
+        ordered = bool(order_fns)
+        if order_fns:
+            out_rows = _sort_with_precomputed(
+                out_rows, order_values, [o.ascending for o in stmt.order_by]
+            )
+        return columns, out_rows, ordered
+
+    # -- projection / ordering ----------------------------------------------------
+
+    def _project(
+        self,
+        stmt: ast.SelectStatement,
+        rows: Iterator[tuple],
+        scope: Scope,
+    ) -> tuple[list[str], list[tuple], bool]:
+        columns: list[str] = []
+        fns: list[Callable] = []
+        position = 0
+        for item in stmt.select_items:
+            if isinstance(item.expression, ast.Star):
+                for index in scope.star_indexes(item.expression.table):
+                    columns.append(scope.entries[index][1])
+                    fns.append(_make_picker(index))
+                    position += 1
+                continue
+            fns.append(
+                compile_scalar(
+                    item.expression, scope, self._params, self._resolver(scope)
+                )
+            )
+            columns.append(
+                item.alias or expression_label(item.expression, position)
+            )
+            position += 1
+
+        if not stmt.order_by:
+            return columns, [tuple(fn(row) for fn in fns) for row in rows], False
+
+        # ORDER BY may reference input columns not in the select list
+        # (pre-projection keys), select aliases, or 1-based output
+        # positions (post-projection keys).
+        alias_map = {
+            item.alias: item.expression
+            for item in stmt.select_items
+            if item.alias is not None
+        }
+        key_plans: list[tuple[str, object]] = []  # ('out', idx)|('in', fn)
+        for order in stmt.order_by:
+            expr = order.expression
+            if isinstance(expr, ast.Literal) and isinstance(expr.value, int):
+                if not 1 <= expr.value <= len(columns):
+                    raise ParseError(
+                        f"ORDER BY position {expr.value} is out of range"
+                    )
+                key_plans.append(("out", expr.value - 1))
+                continue
+            try:
+                fn = compile_scalar(
+                    expr, scope, self._params, self._resolver(scope)
+                )
+            except ParseError:
+                if not (
+                    isinstance(expr, ast.ColumnRef)
+                    and expr.table is None
+                    and expr.name in alias_map
+                ):
+                    raise
+                fn = compile_scalar(
+                    alias_map[expr.name],
+                    scope,
+                    self._params,
+                    self._resolver(scope),
+                )
+            key_plans.append(("in", fn))
+
+        materialised = list(rows)
+        out = [tuple(fn(row) for fn in fns) for row in materialised]
+        order_values = [
+            tuple(
+                out[i][plan[1]] if plan[0] == "out" else plan[1](row)
+                for plan in key_plans
+            )
+            for i, row in enumerate(materialised)
+        ]
+        out = _sort_with_precomputed(
+            out, order_values, [o.ascending for o in stmt.order_by]
+        )
+        return columns, out, True
+
+    def _order(
+        self,
+        stmt: ast.SelectStatement,
+        rows: list[tuple],
+        columns: list[str],
+    ) -> list[tuple]:
+        if not stmt.order_by:
+            return rows
+        # At this point ordering keys must be output columns, by name or
+        # 1-based position (defensive path; projection normally orders).
+        scope = Scope([(None, name) for name in columns])
+        order_fns = []
+        for order in stmt.order_by:
+            expr = order.expression
+            if isinstance(expr, ast.Literal) and isinstance(expr.value, int):
+                if not 1 <= expr.value <= len(columns):
+                    raise ParseError(
+                        f"ORDER BY position {expr.value} is out of range"
+                    )
+                expr = ast.ColumnRef(name=columns[expr.value - 1])
+            order_fns.append(compile_scalar(expr, scope, self._params))
+        order_values = [tuple(fn(row) for fn in order_fns) for row in rows]
+        return _sort_with_precomputed(
+            rows, order_values, [o.ascending for o in stmt.order_by]
+        )
+
+
+def _positional(
+    select_items: list[tuple[ast.Expression, Optional[str]]], position: int
+) -> ast.Expression:
+    """ORDER BY <n>: the n-th (1-based) select-list expression."""
+    if not 1 <= position <= len(select_items):
+        raise ParseError(f"ORDER BY position {position} is out of range")
+    return select_items[position - 1][0]
+
+
+def _resolvable(expr: ast.Expression, scope: Scope) -> bool:
+    try:
+        canonicalize(expr, scope)
+        return True
+    except ParseError:
+        return False
+
+
+def _canonicalize_aggregate(call: ast.FunctionCall, scope: Scope):
+    parts: list[object] = [call.name, call.distinct]
+    for arg in call.args:
+        if isinstance(arg, ast.Star):
+            parts.append("*")
+        else:
+            parts.append(canonicalize(arg, scope))
+    return tuple(parts)
+
+
+def _make_picker(index: int) -> Callable[[tuple], object]:
+    return lambda row: row[index]
+
+
+def _dedup(rows: list[tuple]) -> list[tuple]:
+    seen: set[tuple] = set()
+    out: list[tuple] = []
+    for row in rows:
+        if row not in seen:
+            seen.add(row)
+            out.append(row)
+    return out
+
+
+def _slice(
+    rows: list[tuple], offset: Optional[int], limit: Optional[int]
+) -> list[tuple]:
+    start = offset or 0
+    if limit is None:
+        return rows[start:] if start else rows
+    return rows[start : start + limit]
+
+

@@ -1,0 +1,95 @@
+"""Exception hierarchy for the accelerator reproduction.
+
+Every error raised by the public API derives from :class:`ReproError` so
+applications can catch one base class. The hierarchy mirrors the error
+classes a DB2 + accelerator federation distinguishes: SQL compilation
+problems, catalog/DDL problems, authorisation failures, transaction
+conflicts, routing restrictions, and analytics-framework failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SqlError(ReproError):
+    """Base class for SQL front-end errors."""
+
+
+class LexerError(SqlError):
+    """Raised when the input text cannot be tokenised."""
+
+    def __init__(self, message: str, position: int) -> None:
+        super().__init__(f"{message} (at offset {position})")
+        self.position = position
+
+
+class ParseError(SqlError):
+    """Raised when a token stream does not form a valid statement."""
+
+
+class TypeError_(SqlError):
+    """Raised when a value cannot be coerced to a column's SQL type.
+
+    Named with a trailing underscore to avoid shadowing the builtin.
+    """
+
+
+class CatalogError(ReproError):
+    """Base class for catalog and DDL errors."""
+
+
+class DuplicateObjectError(CatalogError):
+    """Raised when creating an object whose name is already in use."""
+
+
+class UnknownObjectError(CatalogError):
+    """Raised when a referenced table, column, user, or procedure is missing."""
+
+
+class AuthorizationError(ReproError):
+    """Raised when a user lacks a privilege required for an operation.
+
+    Data governance is enforced by the DB2 side of the federation (the
+    paper's Section 3 requirement); the accelerator never sees a request
+    that failed authorisation.
+    """
+
+
+class TransactionError(ReproError):
+    """Base class for transaction-related errors."""
+
+
+class LockTimeoutError(TransactionError):
+    """Raised when a lock cannot be acquired within the configured timeout."""
+
+
+class TransactionStateError(TransactionError):
+    """Raised on commit/rollback without a transaction, or use after abort."""
+
+
+class RoutingError(ReproError):
+    """Raised when a statement cannot be routed to a single engine.
+
+    The canonical case from the paper: a query that references both an
+    accelerator-only table and a non-accelerated DB2 table has no engine
+    that can see all of its inputs.
+    """
+
+
+class ReplicationError(ReproError):
+    """Raised by the change-capture / apply pipeline."""
+
+
+class LoaderError(ReproError):
+    """Raised by the external-source loader."""
+
+
+class AnalyticsError(ReproError):
+    """Raised by the in-database analytics framework and its algorithms."""
+
+
+class ProcedureError(AnalyticsError):
+    """Raised when a stored procedure is invoked with invalid parameters."""

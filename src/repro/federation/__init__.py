@@ -1,0 +1,22 @@
+"""The federation layer: one SQL interface over DB2 + accelerator.
+
+This package implements the paper's architecture: the transparent query
+router, the replication service that maintains accelerated snapshot
+copies, the interconnect byte-accounting model, and the
+:class:`AcceleratedDatabase` facade applications connect to. AOT DDL/DML
+routing — the paper's core extension — lives in the facade.
+"""
+
+from repro.federation.network import Interconnect
+from repro.federation.replication import ReplicationService
+from repro.federation.router import QueryRouter, RoutingDecision
+from repro.federation.system import AcceleratedDatabase, Connection
+
+__all__ = [
+    "Interconnect",
+    "ReplicationService",
+    "QueryRouter",
+    "RoutingDecision",
+    "AcceleratedDatabase",
+    "Connection",
+]

@@ -1,0 +1,168 @@
+"""SYSPROC administration procedures.
+
+The real IDAA is administered through DB2 stored procedures
+(ACCEL_ADD_TABLES, ACCEL_REMOVE_TABLES, ACCEL_LOAD_TABLES, ...); data
+studio tooling just CALLs them. This module registers the equivalents so
+the simulation is managed the same way:
+
+* ``SYSPROC.ACCEL_ADD_TABLES('tables=T1;T2')`` — start acceleration
+  (initial copy + replication registration);
+* ``SYSPROC.ACCEL_REMOVE_TABLES('tables=T1')`` — stop acceleration;
+* ``SYSPROC.ACCEL_LOAD_TABLES('tables=T1')`` — re-snapshot a stale copy
+  (full reload, resetting the replication cursor for the table);
+* ``SYSPROC.ACCEL_GET_TABLES_INFO('')`` — one log line per table with
+  placement and row counts;
+* ``SYSPROC.ACCEL_GROOM_TABLES('tables=T1')`` — reclaim deleted rows in
+  accelerator storage (Netezza GROOM);
+* ``SYSPROC.ACCEL_CONTROL_ACCELERATOR('action=replicate')`` — drain the
+  replication backlog on demand.
+
+All of them require administrator authority (SYSADM), mirroring the
+production requirement that accelerator administration is a privileged
+operation.
+"""
+
+from __future__ import annotations
+
+from repro.analytics.framework import Procedure, ProcedureContext, ProcedureRegistry
+from repro.errors import AuthorizationError, ProcedureError
+
+__all__ = ["register_admin_procedures"]
+
+
+def _require_admin(ctx: ProcedureContext) -> None:
+    if not ctx.connection.user.is_admin:
+        raise AuthorizationError(
+            "accelerator administration requires SYSADM authority"
+        )
+
+
+def _table_list(ctx: ProcedureContext) -> list[str]:
+    tables = ctx.column_list("tables")
+    if not tables:
+        raise ProcedureError("missing required parameter 'tables'")
+    return tables
+
+
+def _accel_add_tables(ctx: ProcedureContext) -> str:
+    _require_admin(ctx)
+    copied = 0
+    for table in _table_list(ctx):
+        rows = ctx.system.add_table_to_accelerator(table)
+        ctx.log(f"{table}: {rows} rows copied")
+        copied += rows
+    return f"ACCEL_ADD_TABLES ok: {copied} rows copied"
+
+
+def _accel_remove_tables(ctx: ProcedureContext) -> str:
+    _require_admin(ctx)
+    for table in _table_list(ctx):
+        ctx.system.remove_table_from_accelerator(table)
+        ctx.log(f"{table}: acceleration removed")
+    return "ACCEL_REMOVE_TABLES ok"
+
+
+def _accel_load_tables(ctx: ProcedureContext) -> str:
+    _require_admin(ctx)
+    reloaded = 0
+    for table in _table_list(ctx):
+        rows = ctx.system.reload_accelerated_table(table)
+        ctx.log(f"{table}: reloaded {rows} rows")
+        reloaded += rows
+    return f"ACCEL_LOAD_TABLES ok: {reloaded} rows"
+
+
+def _accel_get_tables_info(ctx: ProcedureContext) -> str:
+    system = ctx.system
+    count = 0
+    for descriptor in system.catalog.tables():
+        db2_rows = (
+            system.db2.storage_for(descriptor.name).row_count
+            if system.db2.has_storage(descriptor.name)
+            else None
+        )
+        accel_rows = (
+            system.accelerator.storage_for(descriptor.name).row_count
+            if system.accelerator.has_storage(descriptor.name)
+            else None
+        )
+        ctx.log(
+            f"{descriptor.name}: location={descriptor.location.value} "
+            f"owner={descriptor.owner} db2_rows={db2_rows} "
+            f"accel_rows={accel_rows}"
+        )
+        count += 1
+    return f"ACCEL_GET_TABLES_INFO: {count} tables"
+
+
+def _accel_groom_tables(ctx: ProcedureContext) -> str:
+    _require_admin(ctx)
+    reclaimed = 0
+    for table in _table_list(ctx):
+        stats = ctx.system.accelerator.groom(table)
+        ctx.log(
+            f"{table}: reclaimed {stats.rows_reclaimed} rows, "
+            f"{stats.chunks_before} -> {stats.chunks_after} chunks"
+        )
+        reclaimed += stats.rows_reclaimed
+    return f"ACCEL_GROOM_TABLES ok: {reclaimed} rows reclaimed"
+
+
+def _accel_control(ctx: ProcedureContext) -> str:
+    _require_admin(ctx)
+    action = (ctx.get("action") or "").lower()
+    if action == "replicate":
+        applied = ctx.system.replication.drain()
+        return f"ACCEL_CONTROL_ACCELERATOR ok: {applied} changes applied"
+    if action == "status":
+        backlog = ctx.system.replication.backlog
+        stats = ctx.system.movement_snapshot()
+        ctx.log(f"replication backlog: {backlog} records")
+        ctx.log(
+            f"interconnect: {stats.bytes_to_accelerator} bytes out, "
+            f"{stats.bytes_from_accelerator} bytes back"
+        )
+        return "ACCEL_CONTROL_ACCELERATOR ok: status reported"
+    raise ProcedureError(
+        f"unknown action {action!r} (expected replicate or status)"
+    )
+
+
+def _accel_get_query_history(ctx: ProcedureContext) -> str:
+    limit = ctx.get_int("limit", 20)
+    history = list(ctx.system.statement_history)[-limit:]
+    for record in history:
+        ctx.log(
+            f"{record.user} {record.statement_type:<12} "
+            f"{record.engine:<12} {record.elapsed_seconds * 1000:9.2f}ms "
+            f"rows={record.rowcount}"
+        )
+    return f"ACCEL_GET_QUERY_HISTORY: {len(history)} statements"
+
+
+def register_admin_procedures(registry: ProcedureRegistry) -> None:
+    for name, handler, description in (
+        ("SYSPROC.ACCEL_ADD_TABLES", _accel_add_tables,
+         "start accelerating DB2 tables"),
+        ("SYSPROC.ACCEL_REMOVE_TABLES", _accel_remove_tables,
+         "stop accelerating tables"),
+        ("SYSPROC.ACCEL_LOAD_TABLES", _accel_load_tables,
+         "re-snapshot accelerated copies"),
+        ("SYSPROC.ACCEL_GET_TABLES_INFO", _accel_get_tables_info,
+         "list table placement and sizes"),
+        ("SYSPROC.ACCEL_GROOM_TABLES", _accel_groom_tables,
+         "reclaim deleted rows in accelerator storage"),
+        ("SYSPROC.ACCEL_CONTROL_ACCELERATOR", _accel_control,
+         "replication drain / status"),
+        ("SYSPROC.ACCEL_GET_QUERY_HISTORY", _accel_get_query_history,
+         "recent statements with engine and latency"),
+    ):
+        registry.register(
+            Procedure(
+                name=name,
+                handler=handler,
+                description=description,
+                input_params=(),
+                output_params=(),
+            )
+        )

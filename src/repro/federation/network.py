@@ -1,0 +1,63 @@
+"""Interconnect cost model between DB2 and the accelerator.
+
+The real deployment moves data over a private network between System z
+and the appliance; what matters for the paper's experiments is *how many
+bytes* cross and the simulated transfer time, not socket mechanics. Every
+transfer in the federation is routed through this class so experiments
+can snapshot/diff the counters around any operation.
+"""
+
+from __future__ import annotations
+
+from repro.metrics.counters import MovementStats
+
+__all__ = ["Interconnect"]
+
+
+class Interconnect:
+    """Byte/message/latency accounting for the DB2 ↔ accelerator link."""
+
+    def __init__(
+        self,
+        bandwidth_bytes_per_second: float = 1e9,
+        message_latency_seconds: float = 0.0005,
+    ) -> None:
+        self.bandwidth = bandwidth_bytes_per_second
+        self.latency = message_latency_seconds
+        self.bytes_to_accelerator = 0
+        self.bytes_from_accelerator = 0
+        self.messages = 0
+        self.simulated_seconds = 0.0
+
+    def send_to_accelerator(self, nbytes: int, messages: int = 1) -> None:
+        """Account for data shipped DB2 → accelerator."""
+        self.bytes_to_accelerator += int(nbytes)
+        self._account(nbytes, messages)
+
+    def send_to_db2(self, nbytes: int, messages: int = 1) -> None:
+        """Account for data shipped accelerator → DB2 (query results,
+        legacy stage materialisation)."""
+        self.bytes_from_accelerator += int(nbytes)
+        self._account(nbytes, messages)
+
+    def _account(self, nbytes: int, messages: int) -> None:
+        self.messages += messages
+        self.simulated_seconds += messages * self.latency
+        self.simulated_seconds += nbytes / self.bandwidth
+
+    def snapshot(self) -> MovementStats:
+        return MovementStats(
+            bytes_to_accelerator=self.bytes_to_accelerator,
+            bytes_from_accelerator=self.bytes_from_accelerator,
+            messages=self.messages,
+            simulated_seconds=self.simulated_seconds,
+        )
+
+    def since(self, snapshot: MovementStats) -> MovementStats:
+        return self.snapshot() - snapshot
+
+    def reset(self) -> None:
+        self.bytes_to_accelerator = 0
+        self.bytes_from_accelerator = 0
+        self.messages = 0
+        self.simulated_seconds = 0.0

@@ -1,0 +1,184 @@
+"""Transparent query routing — which engine runs a statement.
+
+The router reproduces IDAA's offload model with the paper's AOT
+extension:
+
+* a query touching any **accelerator-only table** *must* run on the
+  accelerator (DB2 only has the nickname); combining an AOT with a
+  non-accelerated DB2 table is a routing error because no engine can see
+  both — the paper's motivation for loading enrichment data directly into
+  the accelerator;
+* otherwise offload is controlled by the session's
+  ``CURRENT QUERY ACCELERATION`` special register:
+  ``NONE`` (never offload), ``ENABLE`` (offload eligible analytical
+  queries), ``ALL`` (offload everything that can run there);
+* under ``ENABLE``, OLTP-shaped statements stay on DB2: primary-key point
+  lookups and tiny scans are faster on the row store than the
+  round-trip + columnar scan would be (experiment E3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional, Union
+
+from repro.catalog import Catalog, TableLocation
+from repro.errors import RoutingError, UnknownObjectError
+from repro.sql import ast
+from repro.sql.expressions import Scope
+from repro.sql.planning import split_conjuncts, references_only
+
+__all__ = ["AccelerationMode", "RoutingDecision", "QueryRouter"]
+
+
+class AccelerationMode(Enum):
+    """Values of the CURRENT QUERY ACCELERATION special register."""
+
+    NONE = "NONE"
+    ENABLE = "ENABLE"
+    ALL = "ALL"
+
+    @staticmethod
+    def from_name(name: str) -> "AccelerationMode":
+        try:
+            return AccelerationMode(name.upper())
+        except ValueError:
+            raise UnknownObjectError(
+                f"unknown acceleration mode {name}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class RoutingDecision:
+    engine: str  # 'DB2' or 'ACCELERATOR'
+    reason: str
+
+
+class QueryRouter:
+    """Stateless routing policy over the shared catalog."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        offload_row_threshold: int = 2000,
+    ) -> None:
+        self.catalog = catalog
+        #: Minimum estimated scanned rows before a plain scan is offloaded
+        #: under ENABLE (analytical queries offload regardless of size).
+        self.offload_row_threshold = offload_row_threshold
+
+    # -- queries ---------------------------------------------------------------
+
+    def route_query(
+        self,
+        stmt: Union[ast.SelectStatement, ast.SetOperation],
+        mode: AccelerationMode,
+        estimated_rows: Optional[int] = None,
+    ) -> RoutingDecision:
+        tables = [name.upper() for name in stmt.referenced_tables()]
+        has_aot = False
+        has_plain_db2 = False
+        all_on_accelerator = bool(tables)
+        for name in tables:
+            descriptor = self.catalog.table(name)
+            if descriptor.location is TableLocation.ACCELERATOR_ONLY:
+                has_aot = True
+            elif descriptor.location is TableLocation.DB2_ONLY:
+                has_plain_db2 = True
+                all_on_accelerator = False
+
+        if has_aot:
+            if has_plain_db2:
+                raise RoutingError(
+                    "query combines an accelerator-only table with a "
+                    "non-accelerated DB2 table; no engine can see both "
+                    "(accelerate the DB2 table or load its data into "
+                    "the accelerator)"
+                )
+            if mode is AccelerationMode.NONE:
+                raise RoutingError(
+                    "query references an accelerator-only table but "
+                    "CURRENT QUERY ACCELERATION is NONE"
+                )
+            return RoutingDecision("ACCELERATOR", "references an AOT")
+
+        if mode is AccelerationMode.NONE or not all_on_accelerator:
+            reason = (
+                "acceleration disabled"
+                if mode is AccelerationMode.NONE
+                else "references non-accelerated tables"
+            )
+            return RoutingDecision("DB2", reason)
+
+        if mode is AccelerationMode.ALL:
+            return RoutingDecision("ACCELERATOR", "acceleration mode ALL")
+
+        # ENABLE: heuristic offload.
+        if self._is_point_lookup(stmt):
+            return RoutingDecision("DB2", "primary-key point lookup")
+        if self._is_analytical(stmt):
+            return RoutingDecision("ACCELERATOR", "analytical query shape")
+        if (
+            estimated_rows is not None
+            and estimated_rows >= self.offload_row_threshold
+        ):
+            return RoutingDecision("ACCELERATOR", "large estimated scan")
+        return RoutingDecision("DB2", "small non-analytical query")
+
+    def _is_analytical(
+        self, stmt: Union[ast.SelectStatement, ast.SetOperation]
+    ) -> bool:
+        if isinstance(stmt, ast.SetOperation):
+            return True
+        if stmt.group_by or stmt.is_aggregate_query or stmt.distinct:
+            return True
+        return isinstance(stmt.from_item, ast.Join) or isinstance(
+            stmt.from_item, ast.SubquerySource
+        )
+
+    def _is_point_lookup(
+        self, stmt: Union[ast.SelectStatement, ast.SetOperation]
+    ) -> bool:
+        if not isinstance(stmt, ast.SelectStatement):
+            return False
+        if not isinstance(stmt.from_item, ast.TableRef) or stmt.where is None:
+            return False
+        if stmt.group_by or stmt.is_aggregate_query:
+            return False
+        descriptor = self.catalog.table(stmt.from_item.name)
+        pk = descriptor.schema.primary_key_columns
+        if not pk:
+            return False
+        binding = stmt.from_item.binding
+        scope = Scope([(binding, c.name) for c in descriptor.schema.columns])
+        empty = Scope([])
+        bound: set[str] = set()
+        for conjunct in split_conjuncts(stmt.where):
+            if not (isinstance(conjunct, ast.BinaryOp) and conjunct.op == "="):
+                continue
+            for column_side, value_side in (
+                (conjunct.left, conjunct.right),
+                (conjunct.right, conjunct.left),
+            ):
+                if isinstance(column_side, ast.ColumnRef) and references_only(
+                    value_side, empty
+                ):
+                    try:
+                        index = scope.resolve(
+                            column_side.name, column_side.table
+                        )
+                    except Exception:
+                        continue
+                    bound.add(descriptor.schema.columns[index].name)
+                    break
+        return all(column in bound for column in pk)
+
+    # -- DML -----------------------------------------------------------------------
+
+    def route_dml(self, table: str) -> RoutingDecision:
+        """INSERT/UPDATE/DELETE target placement decides the engine."""
+        descriptor = self.catalog.table(table)
+        if descriptor.location is TableLocation.ACCELERATOR_ONLY:
+            return RoutingDecision("ACCELERATOR", "target is an AOT")
+        return RoutingDecision("DB2", "target is DB2-resident")

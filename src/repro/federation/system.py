@@ -1,0 +1,940 @@
+"""The federated system facade: one SQL interface over both engines.
+
+:class:`AcceleratedDatabase` owns the shared catalog, the DB2 engine, the
+accelerator engine, the interconnect model, the replication service, the
+query router, and the analytics procedure registry. Applications interact
+through :class:`Connection` objects whose ``execute()`` accepts plain SQL
+— routing, privilege checks, AOT delta buffering, and movement accounting
+all happen behind that call, which is the transparency the paper insists
+on ("completely transparent for user applications").
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+from repro.accelerator import AcceleratorEngine, DeltaBuffer
+from repro.catalog import (
+    Catalog,
+    Column,
+    Privilege,
+    TableDescriptor,
+    TableLocation,
+    TableSchema,
+    User,
+)
+from repro.analytics.framework import ProcedureRegistry
+from repro.analytics.model_store import ModelStore
+from repro.db2 import Db2Engine
+from repro.db2.transaction import Transaction
+from repro.errors import (
+    AuthorizationError,
+    DuplicateObjectError,
+    SqlError,
+    TransactionStateError,
+    UnknownObjectError,
+)
+from repro.federation.network import Interconnect
+from repro.federation.replication import ReplicationService
+from repro.federation.router import AccelerationMode, QueryRouter
+from repro.federation.views import expand_views
+from repro.metrics.counters import MovementStats, estimate_rows_bytes
+from repro.result import Result
+from repro.sql import ast, parse_statement
+
+__all__ = ["AcceleratedDatabase", "Connection"]
+
+#: Fixed per-statement protocol overhead on the interconnect (bytes).
+STATEMENT_OVERHEAD_BYTES = 256
+
+
+def _render_plan_value(value) -> str:
+    if isinstance(value, dict):
+        return "; ".join(f"{k}={v}" for k, v in sorted(value.items()))
+    return str(value)
+
+
+@dataclass(frozen=True)
+class StatementRecord:
+    """One entry of the system's statement history (query monitoring)."""
+
+    user: str
+    statement_type: str
+    engine: str
+    elapsed_seconds: float
+    rowcount: int
+
+
+class AcceleratedDatabase:
+    """DB2 + accelerator behind a single connect/execute API."""
+
+    def __init__(
+        self,
+        slice_count: int = 4,
+        chunk_rows: int = 65536,
+        auto_replicate: bool = True,
+        offload_row_threshold: int = 2000,
+        bandwidth_bytes_per_second: float = 1e9,
+        message_latency_seconds: float = 0.0005,
+        replication_batch_size: int = 1000,
+    ) -> None:
+        self.catalog = Catalog()
+        self.db2 = Db2Engine(self.catalog)
+        self.accelerator = AcceleratorEngine(
+            self.catalog, slice_count=slice_count, chunk_rows=chunk_rows
+        )
+        self.interconnect = Interconnect(
+            bandwidth_bytes_per_second=bandwidth_bytes_per_second,
+            message_latency_seconds=message_latency_seconds,
+        )
+        self.replication = ReplicationService(
+            self.db2.change_log,
+            self.accelerator,
+            self.interconnect,
+            self.catalog,
+            batch_size=replication_batch_size,
+        )
+        self.router = QueryRouter(
+            self.catalog, offload_row_threshold=offload_row_threshold
+        )
+        self.procedures = ProcedureRegistry()
+        self.models = ModelStore()
+        self.auto_replicate = auto_replicate
+        #: Ring buffer of recently executed statements (monitoring).
+        self.statement_history: deque[StatementRecord] = deque(maxlen=1000)
+        self._register_builtin_procedures()
+
+    def _register_builtin_procedures(self) -> None:
+        # Imported lazily to avoid a package cycle at import time.
+        from repro.analytics.builtins import register_all
+        from repro.federation.admin import register_admin_procedures
+
+        register_all(self.procedures)
+        register_admin_procedures(self.procedures)
+
+    # -- sessions -----------------------------------------------------------------
+
+    def connect(self, user: str = "SYSADM") -> "Connection":
+        return Connection(self, self.catalog.user(user))
+
+    def create_user(self, name: str, is_admin: bool = False) -> User:
+        return self.catalog.create_user(name, is_admin=is_admin)
+
+    # -- acceleration management (ACCEL_ADD_TABLES analogue) -------------------------
+
+    def add_table_to_accelerator(self, name: str) -> int:
+        """Copy a DB2 table to the accelerator and start replication.
+
+        Returns the number of rows in the initial copy. The full copy is
+        charged to the interconnect — this is the bulk-load price the
+        legacy flow pays again for every re-replicated stage table.
+        """
+        descriptor = self.catalog.table(name)
+        if descriptor.location is not TableLocation.DB2_ONLY:
+            raise DuplicateObjectError(
+                f"table {descriptor.name} is already on the accelerator"
+            )
+        start_lsn = self.db2.change_log.head_lsn
+        descriptor.location = TableLocation.ACCELERATED
+        self.accelerator.create_storage(descriptor)
+        storage = self.db2.storage_for(descriptor.name)
+        rows = [row for _, row in storage.scan()]
+        self.interconnect.send_to_accelerator(storage.byte_count)
+        if rows:
+            self.accelerator.bulk_insert(descriptor.name, rows)
+        self.replication.register_table(descriptor.name, start_lsn)
+        return len(rows)
+
+    def reload_accelerated_table(self, name: str) -> int:
+        """Re-snapshot an accelerated copy (ACCEL_LOAD_TABLES semantics).
+
+        Drops the copy, takes a fresh full copy, and restarts replication
+        from the current log head. Returns the copied row count.
+        """
+        descriptor = self.catalog.table(name)
+        if descriptor.location is not TableLocation.ACCELERATED:
+            raise UnknownObjectError(
+                f"table {descriptor.name} is not an accelerated copy"
+            )
+        self.accelerator.drop_storage(descriptor.name)
+        self.accelerator.create_storage(descriptor)
+        start_lsn = self.db2.change_log.head_lsn
+        storage = self.db2.storage_for(descriptor.name)
+        rows = [row for _, row in storage.scan()]
+        self.interconnect.send_to_accelerator(storage.byte_count)
+        if rows:
+            self.accelerator.bulk_insert(descriptor.name, rows)
+        self.replication.register_table(descriptor.name, start_lsn)
+        return len(rows)
+
+    def remove_table_from_accelerator(self, name: str) -> None:
+        descriptor = self.catalog.table(name)
+        if descriptor.location is not TableLocation.ACCELERATED:
+            raise UnknownObjectError(
+                f"table {descriptor.name} is not an accelerated copy"
+            )
+        descriptor.location = TableLocation.DB2_ONLY
+        self.accelerator.drop_storage(descriptor.name)
+        self.replication.unregister_table(descriptor.name)
+
+    # -- movement metrics ---------------------------------------------------------------
+
+    def movement_snapshot(self) -> MovementStats:
+        return self.interconnect.snapshot()
+
+    def movement_since(self, snapshot: MovementStats) -> MovementStats:
+        return self.interconnect.since(snapshot)
+
+    # -- procedure output hooks (used by ProcedureContext) --------------------------------
+
+    def create_procedure_output_table(
+        self,
+        connection: "Connection",
+        name: str,
+        columns: Sequence[tuple[str, object]],
+    ) -> None:
+        """Create an AOT for procedure output, owned by the caller."""
+        schema = TableSchema(
+            [Column(col_name, sql_type) for col_name, sql_type in columns]
+        )
+        descriptor = self.catalog.create_table(
+            name,
+            schema,
+            location=TableLocation.ACCELERATOR_ONLY,
+            owner=connection.user.name,
+        )
+        self.accelerator.create_storage(descriptor)
+
+    def insert_procedure_rows(
+        self,
+        connection: "Connection",
+        name: str,
+        rows: Sequence[tuple],
+    ) -> int:
+        """Procedure output lands on the accelerator without crossing the
+        interconnect (the algorithm already runs there)."""
+        key = name.upper()
+        delta = connection.active_deltas().get(key)
+        if connection.in_transaction and delta is None:
+            delta = connection.delta_for(key)
+        return self.accelerator.insert_into(key, rows, delta=delta)
+
+
+class Connection:
+    """One session: user identity, transaction state, special registers."""
+
+    def __init__(self, system: AcceleratedDatabase, user: User) -> None:
+        self._system = system
+        self.user = user
+        self._txn: Optional[Transaction] = None
+        self._explicit = False
+        self.acceleration = AccelerationMode.ENABLE
+        self.last_decision: Optional[str] = None
+
+    @property
+    def system(self) -> AcceleratedDatabase:
+        """The federation this connection belongs to."""
+        return self._system
+
+    # -- special registers --------------------------------------------------------
+
+    def set_acceleration(self, mode: str) -> None:
+        """Set CURRENT QUERY ACCELERATION (NONE / ENABLE / ALL)."""
+        self.acceleration = AccelerationMode.from_name(mode)
+
+    # -- transaction control ---------------------------------------------------------
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._explicit and self._txn is not None
+
+    def begin(self) -> None:
+        if self._explicit:
+            raise TransactionStateError("transaction already open")
+        self._txn = self._system.db2.txn_manager.begin()
+        self._explicit = True
+
+    def commit(self) -> None:
+        if not self._explicit or self._txn is None:
+            raise TransactionStateError("no open transaction")
+        txn = self._txn
+        # Apply AOT deltas on the accelerator, then commit the DB2 side
+        # (which publishes captured change records for replication).
+        for delta in txn.aot_deltas.values():
+            if not delta.is_empty:
+                self._system.interconnect.send_to_accelerator(
+                    STATEMENT_OVERHEAD_BYTES
+                )
+            self._system.accelerator.apply_delta(delta)
+        self._system.db2.commit(txn)
+        self._txn = None
+        self._explicit = False
+        if self._system.auto_replicate:
+            self._system.replication.drain()
+
+    def rollback(self) -> None:
+        if not self._explicit or self._txn is None:
+            raise TransactionStateError("no open transaction")
+        self._system.db2.rollback(self._txn)  # deltas are simply dropped
+        self._txn = None
+        self._explicit = False
+
+    def close(self) -> None:
+        if self._explicit and self._txn is not None:
+            self.rollback()
+
+    def __enter__(self) -> "Connection":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- context used by the analytics framework -----------------------------------------
+
+    def active_deltas(self) -> dict[str, DeltaBuffer]:
+        if self._explicit and self._txn is not None:
+            return self._txn.aot_deltas
+        return {}
+
+    def delta_for(self, table: str) -> DeltaBuffer:
+        assert self._explicit and self._txn is not None
+        return self._txn.aot_deltas.setdefault(
+            table.upper(), DeltaBuffer(table.upper())
+        )
+
+    def snapshot_epoch_for_statement(self) -> int:
+        """Pin (and return) the transaction's accelerator snapshot epoch."""
+        if self._explicit and self._txn is not None:
+            if self._txn.snapshot_epoch is None:
+                self._txn.snapshot_epoch = self._system.accelerator.current_epoch
+            return self._txn.snapshot_epoch
+        return self._system.accelerator.current_epoch
+
+    # -- execution ----------------------------------------------------------------------------
+
+    def execute(
+        self,
+        sql: Union[str, ast.Statement],
+        params: Sequence[object] = (),
+    ) -> Result:
+        stmt = parse_statement(sql) if isinstance(sql, str) else sql
+
+        if isinstance(stmt, ast.BeginStatement):
+            self.begin()
+            return Result(message="BEGIN", engine="DB2")
+        if isinstance(stmt, ast.CommitStatement):
+            self.commit()
+            return Result(message="COMMIT", engine="DB2")
+        if isinstance(stmt, ast.RollbackStatement):
+            self.rollback()
+            return Result(message="ROLLBACK", engine="DB2")
+
+        autocommit = not self._explicit
+        if autocommit:
+            self._txn = self._system.db2.txn_manager.begin()
+        txn = self._txn
+        assert txn is not None
+        savepoint = self._statement_savepoint(txn)
+        started = time.perf_counter()
+        try:
+            result = self._dispatch(stmt, txn, params)
+        except Exception:
+            if autocommit:
+                self._system.db2.rollback(txn)
+                self._txn = None
+            else:
+                self._restore_savepoint(txn, savepoint)
+            raise
+        finally:
+            if self._txn is not None:
+                self._system.db2.txn_manager.end_statement(self._txn)
+        if autocommit:
+            self._explicit = True  # reuse commit() for the implicit txn
+            try:
+                self.commit()
+            finally:
+                self._explicit = False
+        self._system.statement_history.append(
+            StatementRecord(
+                user=self.user.name,
+                statement_type=type(stmt).__name__.replace("Statement", ""),
+                engine=result.engine,
+                elapsed_seconds=time.perf_counter() - started,
+                rowcount=result.rowcount,
+            )
+        )
+        return result
+
+    def execute_script(self, sql: str) -> list[Result]:
+        """Execute a semicolon-separated script; returns all results."""
+        from repro.sql import parse_script
+
+        return [self.execute(stmt) for stmt in parse_script(sql)]
+
+    def query(self, sql: str, params: Sequence[object] = ()) -> list[tuple]:
+        """Convenience: execute and return rows."""
+        return self.execute(sql, params).rows
+
+    # -- statement-level atomicity inside explicit transactions -----------------------------
+
+    @staticmethod
+    def _statement_savepoint(txn: Transaction):
+        deltas = {
+            table: (len(delta.inserted), set(delta.deleted_base_ids))
+            for table, delta in txn.aot_deltas.items()
+        }
+        return (len(txn.undo_log), len(txn.pending_changes), deltas)
+
+    @staticmethod
+    def _restore_savepoint(txn: Transaction, savepoint) -> None:
+        undo_length, changes_length, deltas = savepoint
+        while len(txn.undo_log) > undo_length:
+            txn.undo_log.pop()()
+        del txn.pending_changes[changes_length:]
+        for table, delta in list(txn.aot_deltas.items()):
+            saved = deltas.get(table)
+            if saved is None:
+                del txn.aot_deltas[table]
+                continue
+            inserted_length, deleted_ids = saved
+            del delta.inserted[inserted_length:]
+            delta.deleted_base_ids = deleted_ids
+
+    # -- dispatch --------------------------------------------------------------------------------
+
+    def _dispatch(
+        self, stmt: ast.Statement, txn: Transaction, params: Sequence[object]
+    ) -> Result:
+        if isinstance(stmt, (ast.SelectStatement, ast.SetOperation)):
+            return self._execute_query(stmt, txn, params)
+        if isinstance(stmt, ast.InsertStatement):
+            return self._execute_insert(stmt, txn, params)
+        if isinstance(stmt, ast.UpdateStatement):
+            return self._execute_update(stmt, txn, params)
+        if isinstance(stmt, ast.DeleteStatement):
+            return self._execute_delete(stmt, txn, params)
+        if isinstance(stmt, ast.CreateTableStatement):
+            return self._execute_create_table(stmt, txn, params)
+        if isinstance(stmt, ast.DropTableStatement):
+            return self._execute_drop_table(stmt)
+        if isinstance(stmt, ast.CreateViewStatement):
+            return self._execute_create_view(stmt)
+        if isinstance(stmt, ast.DropViewStatement):
+            return self._execute_drop_view(stmt)
+        if isinstance(stmt, (ast.GrantStatement, ast.RevokeStatement)):
+            return self._execute_grant_revoke(stmt)
+        if isinstance(stmt, ast.ExplainStatement):
+            plan = self.explain(stmt.statement)
+            rows = [
+                (key.upper(), _render_plan_value(value))
+                for key, value in plan.items()
+            ]
+            return Result(columns=["ITEM", "VALUE"], rows=rows, engine="DB2")
+        if isinstance(stmt, ast.SetStatement):
+            return self._execute_set(stmt)
+        if isinstance(stmt, ast.CallStatement):
+            self._system.interconnect.send_to_accelerator(
+                STATEMENT_OVERHEAD_BYTES
+            )
+            return self._system.procedures.call(self._system, self, stmt)
+        raise SqlError(f"unsupported statement {type(stmt).__name__}")
+
+    def _execute_set(self, stmt: ast.SetStatement) -> Result:
+        register = stmt.register.upper()
+        if register == "CURRENT QUERY ACCELERATION":
+            self.set_acceleration(stmt.value)
+            return Result(
+                message=f"CURRENT QUERY ACCELERATION = "
+                f"{self.acceleration.value}",
+                engine="DB2",
+            )
+        raise SqlError(f"unknown special register {stmt.register}")
+
+    def explain(self, sql: Union[str, ast.Statement]) -> dict:
+        """Where would this statement run, and why?
+
+        Returns a dict with ``engine``, ``reason``, ``tables`` (and their
+        placements), and the estimated input rows — without executing the
+        statement.
+        """
+        stmt = parse_statement(sql) if isinstance(sql, str) else sql
+        catalog = self._system.catalog
+        if isinstance(stmt, (ast.SelectStatement, ast.SetOperation)):
+            stmt, __views = self._expand_views(stmt)
+            tables = {name.upper() for name in stmt.referenced_tables()}
+            decision = self._system.router.route_query(
+                stmt,
+                self.acceleration,
+                estimated_rows=self._estimate_rows(tables),
+            )
+            return {
+                "statement": "QUERY",
+                "engine": decision.engine,
+                "reason": decision.reason,
+                "acceleration": self.acceleration.value,
+                "estimated_rows": self._estimate_rows(tables),
+                "tables": {
+                    name: catalog.table(name).location.value
+                    for name in sorted(tables)
+                },
+            }
+        if isinstance(
+            stmt, (ast.InsertStatement, ast.UpdateStatement, ast.DeleteStatement)
+        ):
+            decision = self._system.router.route_dml(stmt.table)
+            return {
+                "statement": type(stmt).__name__.replace(
+                    "Statement", ""
+                ).upper(),
+                "engine": decision.engine,
+                "reason": decision.reason,
+                "tables": {
+                    stmt.table.upper(): catalog.table(
+                        stmt.table
+                    ).location.value
+                },
+            }
+        if isinstance(stmt, ast.CallStatement):
+            return {
+                "statement": "CALL",
+                "engine": "ACCELERATOR",
+                "reason": "procedures execute on the accelerator after "
+                "DB2 authorisation",
+                "tables": {},
+            }
+        return {
+            "statement": type(stmt).__name__.replace("Statement", "").upper(),
+            "engine": "DB2",
+            "reason": "DDL and control statements run on DB2",
+            "tables": {},
+        }
+
+    def _reject_view_target(self, name: str) -> None:
+        if self._system.catalog.has_view(name):
+            raise SqlError(f"{name.upper()} is a view; views are read-only")
+
+    # -- privileges ---------------------------------------------------------------------
+
+    def _check_table_privilege(
+        self, privilege: Privilege, descriptor: TableDescriptor
+    ) -> None:
+        if self.user.is_admin or descriptor.owner == self.user.name:
+            return
+        self._system.catalog.privileges.check(
+            self.user.name, privilege, "TABLE", descriptor.name
+        )
+
+    # -- queries --------------------------------------------------------------------------
+
+    def _execute_query(
+        self,
+        stmt: Union[ast.SelectStatement, ast.SetOperation],
+        txn: Transaction,
+        params: Sequence[object],
+    ) -> Result:
+        """Top-level SELECT: route, run, and charge the result transfer."""
+        columns, rows, engine = self._run_select(
+            stmt, txn, params, self.acceleration
+        )
+        if engine == "ACCELERATOR":
+            self._system.interconnect.send_to_accelerator(
+                STATEMENT_OVERHEAD_BYTES
+            )
+            self._system.interconnect.send_to_db2(estimate_rows_bytes(rows))
+        return Result(columns=columns, rows=rows, engine=engine)
+
+    def _run_select(
+        self,
+        stmt: Union[ast.SelectStatement, ast.SetOperation],
+        txn: Transaction,
+        params: Sequence[object],
+        mode: AccelerationMode,
+    ) -> tuple[list[str], list[tuple], str]:
+        """Authorise, route, and execute a SELECT. No movement charges —
+        callers charge according to where the rows actually go."""
+        # Definer-rights views: the caller needs SELECT on each view and
+        # on each base table referenced *directly* in the statement —
+        # tables reached only through a view body are covered by the
+        # view grant.
+        direct_tables = {
+            name.upper()
+            for name in stmt.referenced_tables()
+            if not self._system.catalog.has_view(name)
+        }
+        stmt, view_names = self._expand_views(stmt)
+        for view_name in view_names:
+            view = self._system.catalog.view(view_name)
+            if not (self.user.is_admin or view.owner == self.user.name):
+                self._system.catalog.privileges.check(
+                    self.user.name, Privilege.SELECT, "TABLE", view.name
+                )
+        tables = {name.upper() for name in stmt.referenced_tables()}
+        for name in direct_tables:
+            self._check_table_privilege(
+                Privilege.SELECT, self._system.catalog.table(name)
+            )
+        decision = self._system.router.route_query(
+            stmt, mode, estimated_rows=self._estimate_rows(tables)
+        )
+        self.last_decision = decision.reason
+        if decision.engine == "ACCELERATOR":
+            epoch = self.snapshot_epoch_for_statement()
+            columns, rows = self._system.accelerator.execute_select(
+                stmt,
+                params=params,
+                snapshot_epoch=epoch,
+                deltas=self.active_deltas(),
+            )
+            return columns, rows, "ACCELERATOR"
+        columns, rows = self._system.db2.execute_select(txn, stmt, params)
+        return columns, rows, "DB2"
+
+    def _expand_views(self, stmt):
+        catalog = self._system.catalog
+
+        def lookup(name: str):
+            if catalog.has_view(name):
+                return catalog.view(name).query
+            return None
+
+        return expand_views(stmt, lookup)
+
+    def _estimate_rows(self, tables: set[str]) -> int:
+        total = 0
+        for name in tables:
+            if self._system.db2.has_storage(name):
+                total += self._system.db2.storage_for(name).row_count
+            elif self._system.accelerator.has_storage(name):
+                total += self._system.accelerator.storage_for(name).row_count
+        return total
+
+    # -- DML ------------------------------------------------------------------------------------
+
+    def _execute_insert(
+        self,
+        stmt: ast.InsertStatement,
+        txn: Transaction,
+        params: Sequence[object],
+    ) -> Result:
+        self._reject_view_target(stmt.table)
+        descriptor = self._system.catalog.table(stmt.table)
+        self._check_table_privilege(Privilege.INSERT, descriptor)
+
+        if stmt.values is not None:
+            rows = self._evaluate_value_rows(stmt, descriptor, params)
+            source_engine = "DB2"
+        else:
+            assert stmt.select is not None
+            # An AOT target forces the sub-select onto the accelerator
+            # whenever its sources are visible there (mode ALL semantics);
+            # the whole INSERT ... SELECT then executes in place.
+            mode = (
+                AccelerationMode.ALL if descriptor.is_aot else self.acceleration
+            )
+            __, source_rows, source_engine = self._run_select(
+                stmt.select, txn, params, mode
+            )
+            rows = [
+                self._coerce_insert_row(descriptor, stmt.columns, row)
+                for row in source_rows
+            ]
+
+        if descriptor.is_aot:
+            nbytes = sum(
+                descriptor.schema.row_byte_size(row) for row in rows
+            )
+            if source_engine != "ACCELERATOR":
+                # VALUES (or a DB2-side sub-select): rows cross the wire.
+                self._system.interconnect.send_to_accelerator(
+                    nbytes + STATEMENT_OVERHEAD_BYTES
+                )
+            else:
+                # INSERT ... SELECT entirely on the accelerator: only the
+                # statement travels. This is the paper's headline saving.
+                self._system.interconnect.send_to_accelerator(
+                    STATEMENT_OVERHEAD_BYTES
+                )
+            delta = self.delta_for(descriptor.name) if self.in_transaction else None
+            count = self._system.accelerator.insert_into(
+                descriptor.name, rows, delta=delta, already_coerced=True
+            )
+            return Result(engine="ACCELERATOR", rowcount=count)
+        if source_engine == "ACCELERATOR":
+            # Legacy-flow price: accelerator results materialised in DB2
+            # cross the interconnect coming back...
+            self._system.interconnect.send_to_db2(
+                sum(descriptor.schema.row_byte_size(row) for row in rows)
+            )
+            # ...and, if the target is accelerated, replication ships them
+            # to the accelerator again after commit.
+        count = self._system.db2.insert_rows(
+            txn, descriptor.name, rows, already_coerced=True
+        )
+        return Result(engine="DB2", rowcount=count)
+
+    def _evaluate_value_rows(
+        self,
+        stmt: ast.InsertStatement,
+        descriptor: TableDescriptor,
+        params: Sequence[object],
+    ) -> list[tuple]:
+        from repro.sql.expressions import Scope, compile_scalar
+
+        scope = Scope([])
+        rows: list[tuple] = []
+        for value_row in stmt.values or []:
+            values = [
+                compile_scalar(expr, scope, params)(()) for expr in value_row
+            ]
+            rows.append(
+                self._coerce_insert_row(descriptor, stmt.columns, values)
+            )
+        return rows
+
+    @staticmethod
+    def _coerce_insert_row(
+        descriptor: TableDescriptor,
+        columns: Optional[list[str]],
+        values: Sequence[object],
+    ) -> tuple:
+        if columns is None:
+            return descriptor.schema.coerce_row(values)
+        return descriptor.schema.coerce_partial(columns, values)
+
+    def _execute_update(
+        self,
+        stmt: ast.UpdateStatement,
+        txn: Transaction,
+        params: Sequence[object],
+    ) -> Result:
+        self._reject_view_target(stmt.table)
+        descriptor = self._system.catalog.table(stmt.table)
+        self._check_table_privilege(Privilege.UPDATE, descriptor)
+        if descriptor.is_aot:
+            self._system.interconnect.send_to_accelerator(
+                STATEMENT_OVERHEAD_BYTES
+            )
+            delta = self.delta_for(descriptor.name) if self.in_transaction else None
+            epoch = self.snapshot_epoch_for_statement() if self.in_transaction else None
+            count = self._system.accelerator.update_where(
+                stmt, params=params, snapshot_epoch=epoch, delta=delta
+            )
+            return Result(engine="ACCELERATOR", rowcount=count)
+        count = self._system.db2.update_where(txn, stmt, params)
+        return Result(engine="DB2", rowcount=count)
+
+    def _execute_delete(
+        self,
+        stmt: ast.DeleteStatement,
+        txn: Transaction,
+        params: Sequence[object],
+    ) -> Result:
+        self._reject_view_target(stmt.table)
+        descriptor = self._system.catalog.table(stmt.table)
+        self._check_table_privilege(Privilege.DELETE, descriptor)
+        if descriptor.is_aot:
+            self._system.interconnect.send_to_accelerator(
+                STATEMENT_OVERHEAD_BYTES
+            )
+            delta = self.delta_for(descriptor.name) if self.in_transaction else None
+            epoch = self.snapshot_epoch_for_statement() if self.in_transaction else None
+            count = self._system.accelerator.delete_where(
+                stmt, params=params, snapshot_epoch=epoch, delta=delta
+            )
+            return Result(engine="ACCELERATOR", rowcount=count)
+        count = self._system.db2.delete_where(txn, stmt, params)
+        return Result(engine="DB2", rowcount=count)
+
+    # -- DDL --------------------------------------------------------------------------------------
+
+    def _execute_create_table(
+        self,
+        stmt: ast.CreateTableStatement,
+        txn: Transaction,
+        params: Sequence[object],
+    ) -> Result:
+        if stmt.if_not_exists and self._system.catalog.has_table(stmt.name):
+            return Result(message="TABLE EXISTS", engine="DB2")
+
+        if stmt.as_select is not None:
+            mode = (
+                AccelerationMode.ALL
+                if stmt.in_accelerator
+                else self.acceleration
+            )
+            source_columns, source_rows, source_engine = self._run_select(
+                stmt.as_select, txn, params, mode
+            )
+            schema = self._schema_from_rows(source_columns, source_rows)
+        else:
+            schema = TableSchema(
+                [
+                    Column(
+                        column.name,
+                        column.sql_type,
+                        nullable=column.nullable,
+                        primary_key=column.primary_key,
+                    )
+                    for column in stmt.columns
+                ]
+            )
+        location = (
+            TableLocation.ACCELERATOR_ONLY
+            if stmt.in_accelerator
+            else TableLocation.DB2_ONLY
+        )
+        descriptor = self._system.catalog.create_table(
+            stmt.name,
+            schema,
+            location=location,
+            distribute_on=stmt.distribute_on,
+            owner=self.user.name,
+        )
+        if stmt.in_accelerator:
+            # The nickname/proxy stays in the DB2 catalog; the data lives
+            # only on the accelerator (paper Sec. 2, Fig. 1).
+            self._system.accelerator.create_storage(descriptor)
+            self._system.interconnect.send_to_accelerator(
+                STATEMENT_OVERHEAD_BYTES
+            )
+        else:
+            self._system.db2.create_storage(descriptor)
+
+        count = 0
+        if stmt.as_select is not None:
+            rows = [schema.coerce_row(row) for row in source_rows]
+            nbytes = sum(schema.row_byte_size(row) for row in rows)
+            if descriptor.is_aot:
+                if source_engine != "ACCELERATOR":
+                    # DB2-resident source: rows cross to the accelerator.
+                    self._system.interconnect.send_to_accelerator(nbytes)
+                delta = (
+                    self.delta_for(descriptor.name)
+                    if self.in_transaction
+                    else None
+                )
+                count = self._system.accelerator.insert_into(
+                    descriptor.name, rows, delta=delta, already_coerced=True
+                )
+            else:
+                if source_engine == "ACCELERATOR":
+                    # Legacy-flow price: materialising accelerator results
+                    # in DB2 ships them back over the interconnect.
+                    self._system.interconnect.send_to_db2(nbytes)
+                count = self._system.db2.insert_rows(
+                    txn, descriptor.name, rows, already_coerced=True
+                )
+        return Result(
+            message=f"TABLE {descriptor.name} CREATED",
+            engine="ACCELERATOR" if stmt.in_accelerator else "DB2",
+            rowcount=count,
+        )
+
+    @staticmethod
+    def _schema_from_rows(
+        names: list[str], rows: list[tuple]
+    ) -> TableSchema:
+        from repro.sql.types import infer_type, DOUBLE
+
+        columns: list[Column] = []
+        for index, name in enumerate(names):
+            sample = next(
+                (row[index] for row in rows if row[index] is not None),
+                None,
+            )
+            sql_type = infer_type(sample) if sample is not None else DOUBLE
+            columns.append(Column(name, sql_type))
+        return TableSchema(columns)
+
+    def _execute_drop_table(self, stmt: ast.DropTableStatement) -> Result:
+        if stmt.if_exists and not self._system.catalog.has_table(stmt.name):
+            return Result(message="NO TABLE", engine="DB2")
+        descriptor = self._system.catalog.table(stmt.name)
+        if not (self.user.is_admin or descriptor.owner == self.user.name):
+            raise AuthorizationError(
+                f"user {self.user.name} cannot drop {descriptor.name}"
+            )
+        self._system.catalog.drop_table(descriptor.name)
+        self._system.db2.drop_storage(descriptor.name)
+        self._system.accelerator.drop_storage(descriptor.name)
+        self._system.replication.unregister_table(descriptor.name)
+        return Result(message=f"TABLE {descriptor.name} DROPPED", engine="DB2")
+
+    def _execute_create_view(self, stmt: ast.CreateViewStatement) -> Result:
+        # Validate eagerly: expansion catches unknown views; execution of
+        # the definition would catch unknown tables, but a cheap catalog
+        # check keeps CREATE VIEW errors early and clear.
+        expanded, __ = self._expand_views(stmt.query)
+        for name in expanded.referenced_tables():
+            self._system.catalog.table(name)  # raises if unknown
+        descriptor = self._system.catalog.create_view(
+            stmt.name, stmt.query, owner=self.user.name
+        )
+        return Result(
+            message=f"VIEW {descriptor.name} CREATED", engine="DB2"
+        )
+
+    def _execute_drop_view(self, stmt: ast.DropViewStatement) -> Result:
+        if stmt.if_exists and not self._system.catalog.has_view(stmt.name):
+            return Result(message="NO VIEW", engine="DB2")
+        descriptor = self._system.catalog.view(stmt.name)
+        if not (self.user.is_admin or descriptor.owner == self.user.name):
+            raise AuthorizationError(
+                f"user {self.user.name} cannot drop view {descriptor.name}"
+            )
+        self._system.catalog.drop_view(descriptor.name)
+        return Result(message=f"VIEW {descriptor.name} DROPPED", engine="DB2")
+
+    # -- GRANT / REVOKE ------------------------------------------------------------------------------
+
+    def _execute_grant_revoke(
+        self, stmt: Union[ast.GrantStatement, ast.RevokeStatement]
+    ) -> Result:
+        is_grant = isinstance(stmt, ast.GrantStatement)
+        object_name = stmt.object_name.upper()
+        if stmt.object_type == "TABLE":
+            catalog = self._system.catalog
+            descriptor = (
+                catalog.view(object_name)
+                if catalog.has_view(object_name)
+                else catalog.table(object_name)
+            )
+            if not (self.user.is_admin or descriptor.owner == self.user.name):
+                raise AuthorizationError(
+                    f"user {self.user.name} cannot "
+                    f"{'grant' if is_grant else 'revoke'} on {object_name}"
+                )
+            object_name = descriptor.name
+        elif not self.user.is_admin:
+            raise AuthorizationError(
+                "only administrators manage procedure privileges"
+            )
+        grantee = self._system.catalog.user(stmt.grantee).name
+        privileges = self._resolve_privileges(stmt.privileges, stmt.object_type)
+        manager = self._system.catalog.privileges
+        if is_grant:
+            manager.grant(grantee, privileges, stmt.object_type, object_name)
+        else:
+            manager.revoke(grantee, privileges, stmt.object_type, object_name)
+        return Result(
+            message=f"{'GRANT' if is_grant else 'REVOKE'} OK", engine="DB2"
+        )
+
+    @staticmethod
+    def _resolve_privileges(
+        names: list[str], object_type: str
+    ) -> list[Privilege]:
+        if "ALL" in names:
+            if object_type == "PROCEDURE":
+                return [Privilege.EXECUTE]
+            return [
+                Privilege.SELECT,
+                Privilege.INSERT,
+                Privilege.UPDATE,
+                Privilege.DELETE,
+                Privilege.LOAD,
+            ]
+        return [Privilege.from_name(name) for name in names]

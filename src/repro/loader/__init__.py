@@ -1,0 +1,25 @@
+"""The IDAA Loader analogue: direct external ingestion.
+
+Section 2 of the paper: data can originate from a variety of sources —
+even applications not running on System z — and can be ingested into
+regular DB2 tables *or directly into accelerator-only tables*, bypassing
+DB2 entirely. This package provides the sources (CSV, JSON-lines,
+in-memory iterables) and the batch loader with per-target semantics:
+
+* ``DB2_ONLY`` table — rows land in the row store only;
+* ``ACCELERATED`` table — *dual load*: rows land in DB2 and are bulk-
+  appended to the accelerator copy directly (not through replication);
+* ``ACCELERATOR_ONLY`` table — rows go straight to the accelerator; DB2
+  executes nothing.
+"""
+
+from repro.loader.sources import CsvSource, IterableSource, JsonLinesSource
+from repro.loader.loader import IdaaLoader, LoadReport
+
+__all__ = [
+    "CsvSource",
+    "JsonLinesSource",
+    "IterableSource",
+    "IdaaLoader",
+    "LoadReport",
+]

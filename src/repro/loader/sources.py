@@ -1,0 +1,178 @@
+"""Row sources for the loader: CSV, JSON-lines, and in-memory data."""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable, Iterator, Optional, Sequence, Union
+
+from repro.catalog.schema import Column, TableSchema
+from repro.errors import LoaderError
+from repro.sql.types import infer_type
+
+__all__ = ["RowSource", "CsvSource", "JsonLinesSource", "IterableSource"]
+
+
+class RowSource:
+    """Base class: named columns plus an iterator of raw row tuples."""
+
+    def column_names(self) -> list[str]:
+        raise NotImplementedError
+
+    def rows(self) -> Iterator[tuple]:
+        raise NotImplementedError
+
+    def infer_schema(self, sample_size: int = 100) -> TableSchema:
+        """Infer a schema from a sample of rows (used with create=True)."""
+        names = self.column_names()
+        samples: list[tuple] = []
+        for row in self.rows():
+            samples.append(row)
+            if len(samples) >= sample_size:
+                break
+        if not samples:
+            raise LoaderError("cannot infer a schema from an empty source")
+        columns: list[Column] = []
+        for position, name in enumerate(names):
+            sample = next(
+                (row[position] for row in samples if row[position] is not None),
+                None,
+            )
+            if sample is None:
+                raise LoaderError(
+                    f"column {name} is entirely NULL in the sample; "
+                    "provide an explicit schema"
+                )
+            sql_type = infer_type(_convert_text(sample))
+            columns.append(Column(name.upper(), sql_type))
+        return TableSchema(columns)
+
+
+def _convert_text(value):
+    """Best-effort typed conversion of a CSV cell."""
+    if not isinstance(value, str):
+        return value
+    text = value.strip()
+    if text == "":
+        return None
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+class CsvSource(RowSource):
+    """CSV file source with optional header and type conversion.
+
+    Empty cells become NULL; numeric-looking cells become int/float.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        has_header: bool = True,
+        delimiter: str = ",",
+        columns: Optional[Sequence[str]] = None,
+    ) -> None:
+        self.path = Path(path)
+        self.has_header = has_header
+        self.delimiter = delimiter
+        self._columns = [c.upper() for c in columns] if columns else None
+        if not self.has_header and self._columns is None:
+            raise LoaderError("headerless CSV needs an explicit column list")
+
+    def column_names(self) -> list[str]:
+        if self._columns is not None:
+            return list(self._columns)
+        with open(self.path, newline="") as handle:
+            reader = csv.reader(handle, delimiter=self.delimiter)
+            header = next(reader, None)
+        if header is None:
+            raise LoaderError(f"{self.path} is empty")
+        self._columns = [name.strip().upper() for name in header]
+        return list(self._columns)
+
+    def rows(self) -> Iterator[tuple]:
+        width = len(self.column_names())
+        with open(self.path, newline="") as handle:
+            reader = csv.reader(handle, delimiter=self.delimiter)
+            if self.has_header:
+                next(reader, None)
+            for line_number, record in enumerate(reader, start=2):
+                if not record:
+                    continue
+                if len(record) != width:
+                    raise LoaderError(
+                        f"{self.path}:{line_number}: expected {width} "
+                        f"fields, got {len(record)}"
+                    )
+                yield tuple(_convert_text(cell) for cell in record)
+
+
+class JsonLinesSource(RowSource):
+    """One JSON object per line (the social-media ingestion shape)."""
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        columns: Optional[Sequence[str]] = None,
+    ) -> None:
+        self.path = Path(path)
+        self._columns = [c.upper() for c in columns] if columns else None
+
+    def column_names(self) -> list[str]:
+        if self._columns is not None:
+            return list(self._columns)
+        with open(self.path) as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    record = json.loads(line)
+                    self._columns = [key.upper() for key in record]
+                    return list(self._columns)
+        raise LoaderError(f"{self.path} contains no records")
+
+    def rows(self) -> Iterator[tuple]:
+        names = self.column_names()
+        lowered = [name.lower() for name in names]
+        with open(self.path) as handle:
+            for line_number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as error:
+                    raise LoaderError(
+                        f"{self.path}:{line_number}: invalid JSON ({error})"
+                    ) from None
+                yield tuple(
+                    record.get(name, record.get(lower))
+                    for name, lower in zip(names, lowered)
+                )
+
+
+class IterableSource(RowSource):
+    """Rows from any Python iterable (generators stream once)."""
+
+    def __init__(
+        self, rows: Iterable[tuple], columns: Sequence[str]
+    ) -> None:
+        self._rows = rows
+        self._columns = [c.upper() for c in columns]
+        self._consumed = False
+
+    def column_names(self) -> list[str]:
+        return list(self._columns)
+
+    def rows(self) -> Iterator[tuple]:
+        if self._consumed and not isinstance(self._rows, (list, tuple)):
+            raise LoaderError("generator source was already consumed")
+        self._consumed = True
+        return iter(self._rows)

@@ -1,0 +1,5 @@
+"""Instrumentation: movement counters and timing helpers."""
+
+from repro.metrics.counters import MovementStats, Timer, estimate_rows_bytes
+
+__all__ = ["MovementStats", "Timer", "estimate_rows_bytes"]

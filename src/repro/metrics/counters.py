@@ -1,0 +1,93 @@
+"""Counters for the experiments.
+
+The paper's central quantitative claim is about *data movement*: the
+legacy ELT flow materialises every pipeline stage in DB2 and re-replicates
+it to the accelerator, while AOTs keep intermediate data on the
+accelerator. :class:`MovementStats` is the measurement unit the benchmarks
+report.
+"""
+
+from __future__ import annotations
+
+import datetime
+import decimal
+import time
+from dataclasses import dataclass
+
+__all__ = ["MovementStats", "Timer", "estimate_rows_bytes", "estimate_value_bytes"]
+
+
+@dataclass(frozen=True)
+class MovementStats:
+    """Bytes and messages crossing the DB2 ↔ accelerator interconnect."""
+
+    bytes_to_accelerator: int = 0
+    bytes_from_accelerator: int = 0
+    messages: int = 0
+    simulated_seconds: float = 0.0
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_to_accelerator + self.bytes_from_accelerator
+
+    def __sub__(self, other: "MovementStats") -> "MovementStats":
+        return MovementStats(
+            bytes_to_accelerator=self.bytes_to_accelerator
+            - other.bytes_to_accelerator,
+            bytes_from_accelerator=self.bytes_from_accelerator
+            - other.bytes_from_accelerator,
+            messages=self.messages - other.messages,
+            simulated_seconds=self.simulated_seconds - other.simulated_seconds,
+        )
+
+    def __add__(self, other: "MovementStats") -> "MovementStats":
+        return MovementStats(
+            bytes_to_accelerator=self.bytes_to_accelerator
+            + other.bytes_to_accelerator,
+            bytes_from_accelerator=self.bytes_from_accelerator
+            + other.bytes_from_accelerator,
+            messages=self.messages + other.messages,
+            simulated_seconds=self.simulated_seconds + other.simulated_seconds,
+        )
+
+
+class Timer:
+    """Context-manager stopwatch."""
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+
+def estimate_value_bytes(value) -> int:
+    """Serialized-size estimate of one value (schema-free path)."""
+    if value is None:
+        return 1
+    if isinstance(value, bool):
+        return 1
+    if isinstance(value, int):
+        return 8
+    if isinstance(value, float):
+        return 8
+    if isinstance(value, decimal.Decimal):
+        return 16
+    if isinstance(value, str):
+        return 4 + len(value)
+    if isinstance(value, datetime.datetime):
+        return 10
+    if isinstance(value, datetime.date):
+        return 4
+    return 16
+
+
+def estimate_rows_bytes(rows) -> int:
+    """Serialized-size estimate of a result set."""
+    return sum(
+        1 + estimate_value_bytes(value) for row in rows for value in row
+    )

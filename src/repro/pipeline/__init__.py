@@ -1,0 +1,25 @@
+"""Multi-stage ELT / mining pipelines (the paper's motivating workload).
+
+Predictive-analytics tools like SPSS push a chain of SQL stages into the
+database: prepare → transform → train → score. The paper's point is the
+cost difference between materialising each stage in DB2 (legacy) and
+keeping every intermediate on the accelerator as an AOT. This package
+provides the staged-pipeline API and runs the *same* stage list in either
+mode, measuring per-stage data movement and latency.
+"""
+
+from repro.pipeline.pipeline import (
+    Pipeline,
+    PipelineResult,
+    ProcedureStage,
+    StageMetrics,
+    TransformStage,
+)
+
+__all__ = [
+    "Pipeline",
+    "PipelineResult",
+    "ProcedureStage",
+    "StageMetrics",
+    "TransformStage",
+]

@@ -1,0 +1,46 @@
+"""Result of executing a statement anywhere in the federation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["Result"]
+
+
+@dataclass
+class Result:
+    """Rows + metadata returned by ``Connection.execute``.
+
+    ``engine`` records where the statement actually ran (``"DB2"`` or
+    ``"ACCELERATOR"``) — the transparency experiments assert on it.
+    """
+
+    columns: list[str] = field(default_factory=list)
+    rows: list[tuple] = field(default_factory=list)
+    engine: str = "DB2"
+    rowcount: int = 0
+    message: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.rows and not self.rowcount:
+            self.rowcount = len(self.rows)
+
+    def scalar(self):
+        """First column of the first row (for aggregate lookups)."""
+        if not self.rows:
+            return None
+        return self.rows[0][0]
+
+    def column(self, name: str) -> list:
+        index = self.columns.index(name)
+        return [row[index] for row in self.rows]
+
+    def as_dicts(self) -> list[dict]:
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)

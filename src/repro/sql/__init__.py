@@ -1,0 +1,15 @@
+"""SQL front end shared by both engines of the federation.
+
+The dialect is a pragmatic subset of DB2 SQL extended with the paper's
+``CREATE TABLE ... IN ACCELERATOR`` clause and ``CALL`` for the analytics
+framework. Both the row-oriented DB2 engine and the columnar accelerator
+compile statements through this package, so a query is parsed once and can
+be routed to either engine.
+"""
+
+from repro.sql.lexer import tokenize
+from repro.sql.parser import parse_statement, parse_script
+from repro.sql import ast
+from repro.sql import types
+
+__all__ = ["tokenize", "parse_statement", "parse_script", "ast", "types"]

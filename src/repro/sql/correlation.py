@@ -1,0 +1,272 @@
+"""Correlated-subquery support shared by both engines.
+
+A subquery is *correlated* when it references columns of the enclosing
+query. Both executors handle it the same way: the engine-side subquery
+resolver analyses the subquery once against the outer scope, and for each
+outer row produces a bound copy of the subquery in which every outer
+reference is replaced by that row's value as a literal. Bound copies are
+executed through the normal engine path and memoised by the tuple of
+bound values, so a correlated subquery over K distinct outer key values
+executes K times, not N times.
+
+Only one level of correlation is supported (a subquery may reference its
+immediate enclosing query). A reference that resolves in neither the
+subquery's own scope nor the outer scope fails with the usual unknown-
+column error.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Optional, Sequence
+
+from repro.errors import ParseError
+from repro.sql import ast
+from repro.sql.expressions import Scope
+from repro.sql.planning import map_children
+
+__all__ = [
+    "CorrelationPlan",
+    "SubqueryExecutor",
+    "analyze_subquery",
+    "scope_of_from_item",
+]
+
+#: Resolves a base-table name to its column names.
+ColumnNamesOf = Callable[[str], list[str]]
+
+
+def scope_of_from_item(
+    item: Optional[ast.FromItem], column_names_of: ColumnNamesOf
+) -> Scope:
+    """Name-resolution scope a query's FROM clause provides."""
+    entries: list[tuple[Optional[str], str]] = []
+    _collect_scope(item, column_names_of, entries)
+    return Scope(entries)
+
+
+def _collect_scope(item, column_names_of, entries) -> None:
+    if item is None:
+        return
+    if isinstance(item, ast.TableRef):
+        for name in column_names_of(item.name):
+            entries.append((item.binding, name))
+    elif isinstance(item, ast.SubquerySource):
+        from repro.sql.expressions import expression_label
+
+        for position, select_item in enumerate(item.query.select_items):
+            label = select_item.alias or expression_label(
+                select_item.expression, position
+            )
+            entries.append((item.alias, label))
+    elif isinstance(item, ast.Join):
+        _collect_scope(item.left, column_names_of, entries)
+        _collect_scope(item.right, column_names_of, entries)
+
+
+class CorrelationPlan:
+    """Analysis result for one subquery against one outer scope."""
+
+    def __init__(
+        self,
+        query: ast.SelectStatement,
+        outer_scope: Scope,
+        column_names_of: ColumnNamesOf,
+    ) -> None:
+        self._query = query
+        self._outer_scope = outer_scope
+        self._column_names_of = column_names_of
+        #: Outer scope positions the subquery reads, in discovery order.
+        self.outer_indexes: list[int] = []
+        # Detection pass: bind against a sentinel row; the bound query is
+        # discarded, only the used indexes matter.
+        self._bind(None)
+
+    @property
+    def is_correlated(self) -> bool:
+        return bool(self.outer_indexes)
+
+    def bind(self, row: Sequence[object]) -> ast.SelectStatement:
+        """The subquery with outer references bound to ``row``'s values."""
+        return self._bind(row)
+
+    def key(self, row: Sequence[object]) -> tuple:
+        """Memoisation key: the outer values this subquery depends on."""
+        return tuple(row[index] for index in self.outer_indexes)
+
+    # -- rewriting ----------------------------------------------------------
+
+    def _bind(self, row: Optional[Sequence[object]]) -> ast.SelectStatement:
+        collecting = row is None
+        return self._rewrite_query(
+            self._query, self._outer_scope, row, collecting
+        )
+
+    def _rewrite_query(
+        self,
+        query: ast.SelectStatement,
+        outer_scope: Scope,
+        row: Optional[Sequence[object]],
+        collecting: bool,
+    ) -> ast.SelectStatement:
+        inner_scope = scope_of_from_item(query.from_item, self._column_names_of)
+
+        def rewrite_expr(expr: ast.Expression) -> ast.Expression:
+            if isinstance(expr, ast.ColumnRef):
+                if _resolves(inner_scope, expr):
+                    return expr
+                index = _try_resolve(outer_scope, expr)
+                if index is None:
+                    return expr  # let normal execution report the error
+                if collecting and index not in self.outer_indexes:
+                    self.outer_indexes.append(index)
+                value = row[index] if row is not None else None
+                return ast.Literal(value=value)
+            if isinstance(expr, ast.SubqueryExpression):
+                # Recurse so references to the *outermost* scope are bound
+                # even inside nested subqueries. References to this
+                # (middle) query's columns stay as ColumnRefs — the
+                # engine binds them when the middle query executes.
+                rebound = self._rewrite_query(
+                    expr.query, outer_scope, row, collecting
+                )
+                new = dataclasses.replace(expr, query=rebound)
+                if new.operand is not None:
+                    new = dataclasses.replace(
+                        new, operand=rewrite_expr(new.operand)
+                    )
+                return new
+            return map_children(expr, rewrite_expr)
+
+        new_items = [
+            ast.SelectItem(
+                expression=rewrite_expr(item.expression), alias=item.alias
+            )
+            for item in query.select_items
+        ]
+        new_from = self._rewrite_from(
+            query.from_item, outer_scope, row, collecting, rewrite_expr
+        )
+        return dataclasses.replace(
+            query,
+            select_items=new_items,
+            from_item=new_from,
+            where=rewrite_expr(query.where) if query.where is not None else None,
+            group_by=[rewrite_expr(g) for g in query.group_by],
+            having=rewrite_expr(query.having)
+            if query.having is not None
+            else None,
+            order_by=[
+                ast.OrderItem(
+                    expression=rewrite_expr(o.expression),
+                    ascending=o.ascending,
+                )
+                for o in query.order_by
+            ],
+        )
+
+    def _rewrite_from(
+        self, item, outer_scope, row, collecting, rewrite_expr
+    ):
+        if item is None or isinstance(item, ast.TableRef):
+            return item
+        if isinstance(item, ast.SubquerySource):
+            # Derived tables may also reference the outer query (a small
+            # LATERAL-like extension; standard SQL forbids it, DB2's
+            # lateral tables allow it).
+            return dataclasses.replace(
+                item,
+                query=self._rewrite_query(
+                    item.query, outer_scope, row, collecting
+                ),
+            )
+        if isinstance(item, ast.Join):
+            return dataclasses.replace(
+                item,
+                left=self._rewrite_from(
+                    item.left, outer_scope, row, collecting, rewrite_expr
+                ),
+                right=self._rewrite_from(
+                    item.right, outer_scope, row, collecting, rewrite_expr
+                ),
+                condition=rewrite_expr(item.condition)
+                if item.condition is not None
+                else None,
+            )
+        return item
+
+
+def _resolves(scope: Scope, ref: ast.ColumnRef) -> bool:
+    try:
+        scope.resolve(ref.name, ref.table)
+        return True
+    except ParseError:
+        return False
+
+
+def _try_resolve(scope: Scope, ref: ast.ColumnRef) -> Optional[int]:
+    try:
+        return scope.resolve(ref.name, ref.table)
+    except ParseError:
+        return None
+
+
+def analyze_subquery(
+    query: ast.SelectStatement,
+    outer_scope: Scope,
+    column_names_of: ColumnNamesOf,
+) -> CorrelationPlan:
+    """Analyse ``query`` for references into ``outer_scope``."""
+    return CorrelationPlan(query, outer_scope, column_names_of)
+
+
+class SubqueryExecutor:
+    """The engines' subquery resolver: analysis, binding, memoisation.
+
+    One instance is created per (statement, compile scope). Call it as
+    ``resolver(query, row)``; uncorrelated subqueries execute once,
+    correlated ones execute once per distinct tuple of bound outer
+    values.
+    """
+
+    def __init__(
+        self,
+        outer_scope: Scope,
+        column_names_of: ColumnNamesOf,
+        execute: Callable[[ast.SelectStatement], list[tuple]],
+    ) -> None:
+        self._outer_scope = outer_scope
+        self._column_names_of = column_names_of
+        self._execute = execute
+        self._plans: dict[int, CorrelationPlan] = {}
+        self._memo: dict[tuple[int, tuple], list[tuple]] = {}
+
+    def _plan(self, query: ast.SelectStatement) -> CorrelationPlan:
+        plan = self._plans.get(id(query))
+        if plan is None:
+            plan = analyze_subquery(
+                query, self._outer_scope, self._column_names_of
+            )
+            self._plans[id(query)] = plan
+        return plan
+
+    def is_correlated(self, query: ast.SelectStatement) -> bool:
+        return self._plan(query).is_correlated
+
+    def __call__(
+        self, query: ast.SelectStatement, row: Sequence[object] = ()
+    ) -> list[tuple]:
+        plan = self._plan(query)
+        if not plan.is_correlated:
+            key = (id(query), ())
+            rows = self._memo.get(key)
+            if rows is None:
+                rows = self._execute(query)
+                self._memo[key] = rows
+            return rows
+        key = (id(query), plan.key(row))
+        rows = self._memo.get(key)
+        if rows is None:
+            rows = self._execute(plan.bind(row))
+            self._memo[key] = rows
+        return rows

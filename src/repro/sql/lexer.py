@@ -1,0 +1,176 @@
+"""Hand-written SQL tokenizer.
+
+Produces a flat list of :class:`Token` objects. Identifiers are upper-cased
+(the dialect is case-insensitive, like DB2), quoted identifiers preserve
+case, and string literals use single quotes with ``''`` escaping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+from repro.errors import LexerError
+
+__all__ = ["Token", "TokenType", "tokenize", "KEYWORDS"]
+
+
+class TokenType(Enum):
+    KEYWORD = auto()
+    IDENTIFIER = auto()
+    NUMBER = auto()
+    STRING = auto()
+    OPERATOR = auto()
+    PUNCTUATION = auto()
+    PARAMETER = auto()  # ? positional parameter
+    EOF = auto()
+
+
+#: Reserved words recognised as keywords rather than identifiers.
+KEYWORDS = frozenset(
+    """
+    SELECT FROM WHERE GROUP BY HAVING ORDER ASC DESC LIMIT OFFSET FETCH
+    FIRST NEXT ROWS ROW ONLY DISTINCT ALL AS AND OR NOT IN IS NULL LIKE
+    BETWEEN EXISTS CASE WHEN THEN ELSE END CAST JOIN INNER LEFT RIGHT FULL
+    OUTER CROSS ON USING UNION EXCEPT INTERSECT INSERT INTO VALUES UPDATE
+    SET DELETE CREATE TABLE DROP IF PRIMARY KEY NOT UNIQUE DEFAULT
+    ACCELERATOR GRANT REVOKE TO CALL COMMIT ROLLBACK BEGIN TRANSACTION
+    WORK TRUE FALSE COUNT SUM AVG MIN MAX DISTRIBUTE RANDOM
+    EXECUTE PROCEDURE VIEW REPLACE WITH EXPLAIN
+    """.split()
+)
+
+_TWO_CHAR_OPERATORS = ("<=", ">=", "<>", "!=", "||")
+_ONE_CHAR_OPERATORS = "+-*/%<>=."
+_PUNCTUATION = "(),;"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source offset (for error messages)."""
+
+    type: TokenType
+    value: str
+    position: int
+
+    def matches_keyword(self, *names: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.value in names
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.type.name}, {self.value!r})"
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize ``text`` into a list ending with an EOF token.
+
+    >>> [t.value for t in tokenize("SELECT 1")][:2]
+    ['SELECT', '1']
+    """
+    tokens: list[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "-" and text.startswith("--", i):
+            end = text.find("\n", i)
+            i = n if end < 0 else end + 1
+            continue
+        if ch == "/" and text.startswith("/*", i):
+            end = text.find("*/", i + 2)
+            if end < 0:
+                raise LexerError("unterminated block comment", i)
+            i = end + 2
+            continue
+        if ch == "'":
+            value, i = _read_string(text, i)
+            tokens.append(Token(TokenType.STRING, value, i))
+            continue
+        if ch == '"':
+            end = text.find('"', i + 1)
+            if end < 0:
+                raise LexerError("unterminated quoted identifier", i)
+            tokens.append(Token(TokenType.IDENTIFIER, text[i + 1 : end], i))
+            i = end + 1
+            continue
+        if ch.isdigit() or (
+            ch == "." and i + 1 < n and text[i + 1].isdigit()
+        ):
+            value, i = _read_number(text, i)
+            tokens.append(Token(TokenType.NUMBER, value, i))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (text[i].isalnum() or text[i] == "_"):
+                i += 1
+            word = text[start:i].upper()
+            kind = TokenType.KEYWORD if word in KEYWORDS else TokenType.IDENTIFIER
+            tokens.append(Token(kind, word, start))
+            continue
+        if ch == "?":
+            tokens.append(Token(TokenType.PARAMETER, "?", i))
+            i += 1
+            continue
+        two = text[i : i + 2]
+        if two in _TWO_CHAR_OPERATORS:
+            tokens.append(Token(TokenType.OPERATOR, two, i))
+            i += 2
+            continue
+        if ch in _ONE_CHAR_OPERATORS:
+            tokens.append(Token(TokenType.OPERATOR, ch, i))
+            i += 1
+            continue
+        if ch in _PUNCTUATION:
+            tokens.append(Token(TokenType.PUNCTUATION, ch, i))
+            i += 1
+            continue
+        raise LexerError(f"unexpected character {ch!r}", i)
+    tokens.append(Token(TokenType.EOF, "", n))
+    return tokens
+
+
+def _read_string(text: str, start: int) -> tuple[str, int]:
+    """Read a single-quoted string literal with ``''`` escapes."""
+    parts: list[str] = []
+    i = start + 1
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "'":
+            if i + 1 < n and text[i + 1] == "'":
+                parts.append("'")
+                i += 2
+                continue
+            return "".join(parts), i + 1
+        parts.append(ch)
+        i += 1
+    raise LexerError("unterminated string literal", start)
+
+
+def _read_number(text: str, start: int) -> tuple[str, int]:
+    i = start
+    n = len(text)
+    seen_dot = False
+    seen_exp = False
+    while i < n:
+        ch = text[i]
+        if ch.isdigit():
+            i += 1
+        elif ch == "." and not seen_dot and not seen_exp:
+            # A dot not followed by a digit terminates the number (it is a
+            # qualifier dot, e.g. "T1.COL" after "... 1.").
+            if i + 1 < n and text[i + 1].isdigit():
+                seen_dot = True
+                i += 1
+            else:
+                break
+        elif ch in "eE" and not seen_exp and i + 1 < n and (
+            text[i + 1].isdigit() or text[i + 1] in "+-"
+        ):
+            seen_exp = True
+            i += 2 if text[i + 1] in "+-" else 1
+        else:
+            break
+    return text[start:i], i

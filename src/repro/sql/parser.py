@@ -1,0 +1,906 @@
+"""Recursive-descent parser for the federation's SQL dialect.
+
+Supported statements:
+
+* ``SELECT`` with joins, derived tables, scalar/IN/EXISTS subqueries,
+  GROUP BY / HAVING, ORDER BY, LIMIT/OFFSET and ``FETCH FIRST n ROWS ONLY``
+* ``CREATE TABLE`` with column constraints and the paper's
+  ``IN ACCELERATOR`` and ``DISTRIBUTE BY HASH(...)`` clauses, plus
+  ``CREATE TABLE ... AS (SELECT ...)``
+* ``INSERT`` (VALUES and INSERT-SELECT), ``UPDATE``, ``DELETE``
+* ``GRANT`` / ``REVOKE`` on tables and procedures
+* ``CALL`` for the in-database analytics framework
+* ``COMMIT`` / ``ROLLBACK`` / ``BEGIN``
+* ``UNION [ALL]`` / ``EXCEPT`` / ``INTERSECT``
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.errors import ParseError
+from repro.sql import ast
+from repro.sql.lexer import Token, TokenType, tokenize
+from repro.sql.types import type_from_name
+
+__all__ = ["parse_statement", "parse_script", "Parser"]
+
+
+def parse_statement(sql: str) -> ast.Statement:
+    """Parse a single SQL statement (a trailing semicolon is allowed)."""
+    parser = Parser(tokenize(sql))
+    statement = parser.parse_single()
+    return statement
+
+
+def parse_script(sql: str) -> list[ast.Statement]:
+    """Parse a semicolon-separated sequence of statements."""
+    parser = Parser(tokenize(sql))
+    return parser.parse_all()
+
+
+_COMPARISON_OPS = ("=", "<>", "!=", "<", "<=", ">", ">=")
+
+
+class Parser:
+    """Single-pass recursive-descent parser over a token list."""
+
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+        self._param_count = 0
+
+    # -- token helpers ------------------------------------------------------
+
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _peek(self, offset: int = 1) -> Token:
+        index = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._current
+        if token.type is not TokenType.EOF:
+            self._pos += 1
+        return token
+
+    def _error(self, message: str) -> ParseError:
+        token = self._current
+        found = token.value or "<end of input>"
+        return ParseError(f"{message}, found {found!r}")
+
+    def _expect_keyword(self, *names: str) -> Token:
+        if self._current.matches_keyword(*names):
+            return self._advance()
+        raise self._error(f"expected {' or '.join(names)}")
+
+    def _accept_keyword(self, *names: str) -> bool:
+        if self._current.matches_keyword(*names):
+            self._advance()
+            return True
+        return False
+
+    def _expect_punct(self, value: str) -> Token:
+        token = self._current
+        if token.type is TokenType.PUNCTUATION and token.value == value:
+            return self._advance()
+        raise self._error(f"expected {value!r}")
+
+    def _accept_punct(self, value: str) -> bool:
+        token = self._current
+        if token.type is TokenType.PUNCTUATION and token.value == value:
+            self._advance()
+            return True
+        return False
+
+    def _accept_operator(self, *values: str) -> Optional[str]:
+        token = self._current
+        if token.type is TokenType.OPERATOR and token.value in values:
+            self._advance()
+            return token.value
+        return None
+
+    def _expect_identifier(self) -> str:
+        token = self._current
+        if token.type is TokenType.IDENTIFIER:
+            self._advance()
+            return token.value
+        # Allow non-reserved keywords in identifier position where harmless.
+        if token.type is TokenType.KEYWORD and token.value in (
+            "COUNT",
+            "SUM",
+            "AVG",
+            "MIN",
+            "MAX",
+            "FIRST",
+            "NEXT",
+            "KEY",
+            "WORK",
+            "RANDOM",
+        ):
+            self._advance()
+            return token.value
+        raise self._error("expected identifier")
+
+    def _qualified_name(self) -> str:
+        """Parse ``IDENT[.IDENT]`` into a dotted name string."""
+        name = self._expect_identifier()
+        while self._accept_operator("."):
+            name += "." + self._expect_identifier()
+        return name
+
+    # -- entry points -------------------------------------------------------
+
+    def parse_single(self) -> ast.Statement:
+        statement = self._statement()
+        self._accept_punct(";")
+        if self._current.type is not TokenType.EOF:
+            raise self._error("unexpected trailing input")
+        return statement
+
+    def parse_all(self) -> list[ast.Statement]:
+        statements: list[ast.Statement] = []
+        while self._current.type is not TokenType.EOF:
+            if self._accept_punct(";"):
+                continue
+            statements.append(self._statement())
+        return statements
+
+    # -- statements ---------------------------------------------------------
+
+    def _statement(self) -> ast.Statement:
+        token = self._current
+        if token.matches_keyword("SELECT") or (
+            token.type is TokenType.PUNCTUATION and token.value == "("
+        ):
+            return self._select_with_set_ops()
+        if token.matches_keyword("CREATE"):
+            return self._create()
+        if token.matches_keyword("DROP"):
+            return self._drop_table()
+        if token.matches_keyword("INSERT"):
+            return self._insert()
+        if token.matches_keyword("UPDATE"):
+            return self._update()
+        if token.matches_keyword("DELETE"):
+            return self._delete()
+        if token.matches_keyword("GRANT"):
+            return self._grant_or_revoke(is_grant=True)
+        if token.matches_keyword("REVOKE"):
+            return self._grant_or_revoke(is_grant=False)
+        if token.matches_keyword("CALL"):
+            return self._call()
+        if token.matches_keyword("SET"):
+            return self._set_register()
+        if token.matches_keyword("EXPLAIN"):
+            self._advance()
+            return ast.ExplainStatement(statement=self._statement())
+        if token.matches_keyword("COMMIT"):
+            self._advance()
+            self._accept_keyword("WORK")
+            return ast.CommitStatement()
+        if token.matches_keyword("ROLLBACK"):
+            self._advance()
+            self._accept_keyword("WORK")
+            return ast.RollbackStatement()
+        if token.matches_keyword("BEGIN"):
+            self._advance()
+            self._accept_keyword("TRANSACTION", "WORK")
+            return ast.BeginStatement()
+        raise self._error("expected a statement")
+
+    def _select_with_set_ops(self) -> Union[ast.SelectStatement, ast.SetOperation]:
+        left = self._select_operand()
+        while self._current.matches_keyword("UNION", "EXCEPT", "INTERSECT"):
+            op = self._advance().value
+            if op == "UNION" and self._accept_keyword("ALL"):
+                op = "UNION ALL"
+            right = self._select_operand()
+            left = ast.SetOperation(op=op, left=left, right=right)
+        # A trailing ORDER BY / LIMIT belongs to the whole expression.
+        order_by = self._order_by_clause()
+        limit, offset = self._limit_clause()
+        if order_by:
+            left.order_by = order_by
+        if limit is not None:
+            left.limit = limit
+        if offset is not None:
+            left.offset = offset
+        return left
+
+    def _select_operand(self) -> Union[ast.SelectStatement, ast.SetOperation]:
+        if self._accept_punct("("):
+            inner = self._select_with_set_ops()
+            self._expect_punct(")")
+            return inner
+        return self._select()
+
+    def _subquery_select(self) -> ast.SelectStatement:
+        """Parse a subquery body (ORDER BY / LIMIT allowed, set ops not)."""
+        query = self._select_with_set_ops()
+        if isinstance(query, ast.SetOperation):
+            raise ParseError("set operations are not supported in subqueries")
+        return query
+
+    def _order_by_clause(self) -> list[ast.OrderItem]:
+        order_by: list[ast.OrderItem] = []
+        if self._accept_keyword("ORDER"):
+            self._expect_keyword("BY")
+            order_by.append(self._order_item())
+            while self._accept_punct(","):
+                order_by.append(self._order_item())
+        return order_by
+
+    def _select(self) -> ast.SelectStatement:
+        self._expect_keyword("SELECT")
+        distinct = False
+        if self._accept_keyword("DISTINCT"):
+            distinct = True
+        else:
+            self._accept_keyword("ALL")
+        select_items = [self._select_item()]
+        while self._accept_punct(","):
+            select_items.append(self._select_item())
+
+        from_item: Optional[ast.FromItem] = None
+        if self._accept_keyword("FROM"):
+            from_item = self._from_clause()
+
+        where = self._expression() if self._accept_keyword("WHERE") else None
+
+        group_by: list[ast.Expression] = []
+        if self._accept_keyword("GROUP"):
+            self._expect_keyword("BY")
+            group_by.append(self._expression())
+            while self._accept_punct(","):
+                group_by.append(self._expression())
+
+        having = self._expression() if self._accept_keyword("HAVING") else None
+        # ORDER BY / LIMIT are parsed by _select_with_set_ops so that a
+        # trailing clause applies to the whole set-operation expression.
+        return ast.SelectStatement(
+            select_items=select_items,
+            from_item=from_item,
+            where=where,
+            group_by=group_by,
+            having=having,
+            distinct=distinct,
+        )
+
+    def _limit_clause(self) -> tuple[Optional[int], Optional[int]]:
+        limit: Optional[int] = None
+        offset: Optional[int] = None
+        if self._accept_keyword("LIMIT"):
+            limit = self._integer_literal()
+            if self._accept_keyword("OFFSET"):
+                offset = self._integer_literal()
+        elif self._accept_keyword("OFFSET"):
+            offset = self._integer_literal()
+            self._expect_keyword("ROWS", "ROW")
+            if self._accept_keyword("FETCH"):
+                limit = self._fetch_first()
+        elif self._current.matches_keyword("FETCH"):
+            self._advance()
+            limit = self._fetch_first()
+        return limit, offset
+
+    def _fetch_first(self) -> int:
+        self._expect_keyword("FIRST", "NEXT")
+        count = self._integer_literal()
+        self._expect_keyword("ROWS", "ROW")
+        self._expect_keyword("ONLY")
+        return count
+
+    def _integer_literal(self) -> int:
+        token = self._current
+        if token.type is not TokenType.NUMBER:
+            raise self._error("expected an integer")
+        self._advance()
+        try:
+            return int(token.value)
+        except ValueError:
+            raise self._error("expected an integer") from None
+
+    def _select_item(self) -> ast.SelectItem:
+        token = self._current
+        if token.type is TokenType.OPERATOR and token.value == "*":
+            self._advance()
+            return ast.SelectItem(expression=ast.Star())
+        # T.* — identifier, dot, star
+        if (
+            token.type is TokenType.IDENTIFIER
+            and self._peek().type is TokenType.OPERATOR
+            and self._peek().value == "."
+            and self._peek(2).type is TokenType.OPERATOR
+            and self._peek(2).value == "*"
+        ):
+            table = self._advance().value
+            self._advance()  # '.'
+            self._advance()  # '*'
+            return ast.SelectItem(expression=ast.Star(table=table))
+        expression = self._expression()
+        alias: Optional[str] = None
+        if self._accept_keyword("AS"):
+            alias = self._expect_identifier()
+        elif self._current.type is TokenType.IDENTIFIER:
+            alias = self._advance().value
+        return ast.SelectItem(expression=expression, alias=alias)
+
+    def _order_item(self) -> ast.OrderItem:
+        expression = self._expression()
+        ascending = True
+        if self._accept_keyword("DESC"):
+            ascending = False
+        else:
+            self._accept_keyword("ASC")
+        return ast.OrderItem(expression=expression, ascending=ascending)
+
+    # -- FROM clause ---------------------------------------------------------
+
+    def _from_clause(self) -> ast.FromItem:
+        item = self._join_chain()
+        while self._accept_punct(","):
+            right = self._join_chain()
+            item = ast.Join(left=item, right=right, join_type="CROSS")
+        return item
+
+    def _join_chain(self) -> ast.FromItem:
+        item = self._table_source()
+        while True:
+            join_type = self._maybe_join_type()
+            if join_type is None:
+                return item
+            right = self._table_source()
+            condition: Optional[ast.Expression] = None
+            if join_type != "CROSS":
+                self._expect_keyword("ON")
+                condition = self._expression()
+            item = ast.Join(
+                left=item, right=right, join_type=join_type, condition=condition
+            )
+
+    def _maybe_join_type(self) -> Optional[str]:
+        if self._accept_keyword("CROSS"):
+            self._expect_keyword("JOIN")
+            return "CROSS"
+        if self._accept_keyword("INNER"):
+            self._expect_keyword("JOIN")
+            return "INNER"
+        if self._current.matches_keyword("LEFT", "RIGHT", "FULL"):
+            join_type = self._advance().value
+            self._accept_keyword("OUTER")
+            self._expect_keyword("JOIN")
+            return join_type
+        if self._accept_keyword("JOIN"):
+            return "INNER"
+        return None
+
+    def _table_source(self) -> ast.FromItem:
+        if self._accept_punct("("):
+            # Either a derived table or a parenthesised join tree.
+            if self._current.matches_keyword("SELECT"):
+                query = self._select_with_set_ops()
+                self._expect_punct(")")
+                self._accept_keyword("AS")
+                alias = self._expect_identifier()
+                if isinstance(query, ast.SetOperation):
+                    raise ParseError(
+                        "set operations are not supported as derived tables"
+                    )
+                return ast.SubquerySource(query=query, alias=alias)
+            inner = self._from_clause()
+            self._expect_punct(")")
+            return inner
+        name = self._qualified_name()
+        alias: Optional[str] = None
+        if self._accept_keyword("AS"):
+            alias = self._expect_identifier()
+        elif self._current.type is TokenType.IDENTIFIER:
+            alias = self._advance().value
+        return ast.TableRef(name=name, alias=alias)
+
+    # -- DDL ------------------------------------------------------------------
+
+    def _create(self) -> ast.Statement:
+        self._expect_keyword("CREATE")
+        if self._accept_keyword("VIEW"):
+            return self._create_view()
+        self._expect_keyword("TABLE")
+        if_not_exists = False
+        if self._accept_keyword("IF"):
+            self._expect_keyword("NOT")
+            # EXISTS is a keyword in our dialect
+            self._expect_keyword("EXISTS")
+            if_not_exists = True
+        name = self._qualified_name()
+
+        columns: list[ast.ColumnDef] = []
+        as_select: Optional[ast.SelectStatement] = None
+        if self._accept_punct("("):
+            if self._current.matches_keyword("SELECT"):
+                raise self._error("use CREATE TABLE name AS (SELECT ...)")
+            columns.append(self._column_def())
+            while self._accept_punct(","):
+                if self._accept_keyword("PRIMARY"):
+                    self._expect_keyword("KEY")
+                    self._expect_punct("(")
+                    key_columns = [self._expect_identifier()]
+                    while self._accept_punct(","):
+                        key_columns.append(self._expect_identifier())
+                    self._expect_punct(")")
+                    for column in columns:
+                        if column.name in key_columns:
+                            column.primary_key = True
+                            column.nullable = False
+                    continue
+                columns.append(self._column_def())
+            self._expect_punct(")")
+        elif self._accept_keyword("AS"):
+            self._expect_punct("(")
+            query = self._select_with_set_ops()
+            self._expect_punct(")")
+            if isinstance(query, ast.SetOperation):
+                raise ParseError("CREATE TABLE AS does not support set operations")
+            as_select = query
+            self._accept_keyword("WITH")  # WITH DATA — data is always included
+            if self._current.type is TokenType.IDENTIFIER and self._current.value == "DATA":
+                self._advance()
+        else:
+            raise self._error("expected column list or AS (SELECT ...)")
+
+        in_accelerator = False
+        distribute_on: Optional[list[str]] = None
+        while True:
+            if self._accept_keyword("IN"):
+                self._expect_keyword("ACCELERATOR")
+                in_accelerator = True
+                # Optional accelerator name, e.g. IN ACCELERATOR IDAA1
+                if self._current.type is TokenType.IDENTIFIER:
+                    self._advance()
+                continue
+            if self._accept_keyword("DISTRIBUTE"):
+                self._expect_keyword("BY")
+                if self._accept_keyword("RANDOM"):
+                    distribute_on = []
+                else:
+                    # HASH(col, ...) — HASH arrives as an identifier token
+                    hash_word = self._expect_identifier()
+                    if hash_word != "HASH":
+                        raise ParseError(
+                            "expected HASH(...) or RANDOM after DISTRIBUTE BY"
+                        )
+                    self._expect_punct("(")
+                    distribute_on = [self._expect_identifier()]
+                    while self._accept_punct(","):
+                        distribute_on.append(self._expect_identifier())
+                    self._expect_punct(")")
+                continue
+            break
+        return ast.CreateTableStatement(
+            name=name,
+            columns=columns,
+            in_accelerator=in_accelerator,
+            distribute_on=distribute_on,
+            if_not_exists=if_not_exists,
+            as_select=as_select,
+        )
+
+    def _column_def(self) -> ast.ColumnDef:
+        name = self._expect_identifier()
+        type_name = self._expect_identifier()
+        params: tuple[int, ...] = ()
+        if self._accept_punct("("):
+            numbers = [self._integer_literal()]
+            while self._accept_punct(","):
+                numbers.append(self._integer_literal())
+            self._expect_punct(")")
+            params = tuple(numbers)
+        sql_type = type_from_name(type_name, params)
+        nullable = True
+        primary_key = False
+        default: Optional[ast.Expression] = None
+        while True:
+            if self._accept_keyword("NOT"):
+                self._expect_keyword("NULL")
+                nullable = False
+                continue
+            if self._accept_keyword("NULL"):
+                nullable = True
+                continue
+            if self._accept_keyword("PRIMARY"):
+                self._expect_keyword("KEY")
+                primary_key = True
+                nullable = False
+                continue
+            if self._accept_keyword("DEFAULT"):
+                default = self._primary()
+                continue
+            if self._accept_keyword("UNIQUE"):
+                continue
+            break
+        return ast.ColumnDef(
+            name=name,
+            sql_type=sql_type,
+            nullable=nullable,
+            primary_key=primary_key,
+            default=default,
+        )
+
+    def _create_view(self) -> ast.CreateViewStatement:
+        name = self._qualified_name()
+        self._expect_keyword("AS")
+        parenthesised = self._accept_punct("(")
+        query = self._select_with_set_ops()
+        if parenthesised:
+            self._expect_punct(")")
+        if isinstance(query, ast.SetOperation):
+            raise ParseError("set operations are not supported in views")
+        return ast.CreateViewStatement(name=name, query=query)
+
+    def _drop_table(self) -> ast.Statement:
+        self._expect_keyword("DROP")
+        is_view = self._accept_keyword("VIEW")
+        if not is_view:
+            self._expect_keyword("TABLE")
+        if_exists = False
+        if self._accept_keyword("IF"):
+            self._expect_keyword("EXISTS")
+            if_exists = True
+        name = self._qualified_name()
+        if is_view:
+            return ast.DropViewStatement(name=name, if_exists=if_exists)
+        return ast.DropTableStatement(name=name, if_exists=if_exists)
+
+    # -- DML ------------------------------------------------------------------
+
+    def _insert(self) -> ast.InsertStatement:
+        self._expect_keyword("INSERT")
+        self._expect_keyword("INTO")
+        table = self._qualified_name()
+        columns: Optional[list[str]] = None
+        if self._accept_punct("("):
+            columns = [self._expect_identifier()]
+            while self._accept_punct(","):
+                columns.append(self._expect_identifier())
+            self._expect_punct(")")
+        if self._accept_keyword("VALUES"):
+            rows = [self._value_row()]
+            while self._accept_punct(","):
+                rows.append(self._value_row())
+            return ast.InsertStatement(table=table, columns=columns, values=rows)
+        select = self._select_with_set_ops()
+        return ast.InsertStatement(table=table, columns=columns, select=select)
+
+    def _value_row(self) -> list[ast.Expression]:
+        self._expect_punct("(")
+        row = [self._expression()]
+        while self._accept_punct(","):
+            row.append(self._expression())
+        self._expect_punct(")")
+        return row
+
+    def _update(self) -> ast.UpdateStatement:
+        self._expect_keyword("UPDATE")
+        table = self._qualified_name()
+        self._expect_keyword("SET")
+        assignments = [self._assignment()]
+        while self._accept_punct(","):
+            assignments.append(self._assignment())
+        where = self._expression() if self._accept_keyword("WHERE") else None
+        return ast.UpdateStatement(table=table, assignments=assignments, where=where)
+
+    def _assignment(self) -> tuple[str, ast.Expression]:
+        column = self._expect_identifier()
+        if self._accept_operator("=") is None:
+            raise self._error("expected '=' in assignment")
+        return column, self._expression()
+
+    def _delete(self) -> ast.DeleteStatement:
+        self._expect_keyword("DELETE")
+        self._expect_keyword("FROM")
+        table = self._qualified_name()
+        where = self._expression() if self._accept_keyword("WHERE") else None
+        return ast.DeleteStatement(table=table, where=where)
+
+    # -- access control ---------------------------------------------------------
+
+    def _grant_or_revoke(self, is_grant: bool) -> ast.Statement:
+        self._advance()  # GRANT or REVOKE
+        privileges = [self._privilege_name()]
+        while self._accept_punct(","):
+            privileges.append(self._privilege_name())
+        self._expect_keyword("ON")
+        object_type = "TABLE"
+        if self._accept_keyword("PROCEDURE"):
+            object_type = "PROCEDURE"
+        else:
+            self._accept_keyword("TABLE")
+        object_name = self._qualified_name()
+        if is_grant:
+            self._expect_keyword("TO")
+        else:
+            self._expect_keyword("FROM")
+        grantee = self._expect_identifier()
+        cls = ast.GrantStatement if is_grant else ast.RevokeStatement
+        return cls(
+            privileges=privileges,
+            object_type=object_type,
+            object_name=object_name,
+            grantee=grantee,
+        )
+
+    def _privilege_name(self) -> str:
+        token = self._current
+        if token.matches_keyword(
+            "SELECT", "INSERT", "UPDATE", "DELETE", "ALL", "EXECUTE"
+        ):
+            self._advance()
+            if token.value == "ALL":
+                # ALL [PRIVILEGES]
+                if (
+                    self._current.type is TokenType.IDENTIFIER
+                    and self._current.value == "PRIVILEGES"
+                ):
+                    self._advance()
+            return token.value
+        if token.type is TokenType.IDENTIFIER and token.value in ("LOAD",):
+            self._advance()
+            return token.value
+        raise self._error("expected a privilege name")
+
+    # -- CALL ---------------------------------------------------------------------
+
+    def _call(self) -> ast.CallStatement:
+        self._expect_keyword("CALL")
+        procedure = self._qualified_name()
+        arguments: list[ast.Expression] = []
+        if self._accept_punct("("):
+            if not self._accept_punct(")"):
+                arguments.append(self._expression())
+                while self._accept_punct(","):
+                    arguments.append(self._expression())
+                self._expect_punct(")")
+        return ast.CallStatement(procedure=procedure, arguments=arguments)
+
+    def _set_register(self) -> ast.SetStatement:
+        """``SET CURRENT QUERY ACCELERATION = NONE|ENABLE|ALL`` (and any
+        future special registers following the same shape)."""
+        self._expect_keyword("SET")
+        words = [self._expect_identifier()]
+        while self._current.type is TokenType.IDENTIFIER:
+            words.append(self._advance().value)
+        if self._accept_operator("=") is None:
+            raise self._error("expected '=' in SET statement")
+        token = self._current
+        if token.type in (TokenType.IDENTIFIER, TokenType.KEYWORD):
+            value = self._advance().value
+        elif token.type is TokenType.STRING:
+            value = self._advance().value
+        else:
+            raise self._error("expected a register value")
+        return ast.SetStatement(register=" ".join(words), value=value)
+
+    # -- expressions (precedence climbing) -----------------------------------------
+
+    def _expression(self) -> ast.Expression:
+        return self._or_expr()
+
+    def _or_expr(self) -> ast.Expression:
+        left = self._and_expr()
+        while self._accept_keyword("OR"):
+            right = self._and_expr()
+            left = ast.BinaryOp(op="OR", left=left, right=right)
+        return left
+
+    def _and_expr(self) -> ast.Expression:
+        left = self._not_expr()
+        while self._accept_keyword("AND"):
+            right = self._not_expr()
+            left = ast.BinaryOp(op="AND", left=left, right=right)
+        return left
+
+    def _not_expr(self) -> ast.Expression:
+        if self._accept_keyword("NOT"):
+            return ast.UnaryOp(op="NOT", operand=self._not_expr())
+        return self._comparison()
+
+    def _comparison(self) -> ast.Expression:
+        left = self._additive()
+        op = self._accept_operator(*_COMPARISON_OPS)
+        if op is not None:
+            if op == "!=":
+                op = "<>"
+            right = self._additive()
+            return ast.BinaryOp(op=op, left=left, right=right)
+
+        negated = False
+        if self._current.matches_keyword("NOT") and self._peek().matches_keyword(
+            "IN", "BETWEEN", "LIKE"
+        ):
+            self._advance()
+            negated = True
+
+        if self._accept_keyword("IS"):
+            is_negated = self._accept_keyword("NOT")
+            self._expect_keyword("NULL")
+            return ast.IsNull(operand=left, negated=is_negated)
+        if self._accept_keyword("IN"):
+            return self._in_tail(left, negated)
+        if self._accept_keyword("BETWEEN"):
+            lower = self._additive()
+            self._expect_keyword("AND")
+            upper = self._additive()
+            return ast.Between(operand=left, lower=lower, upper=upper, negated=negated)
+        if self._accept_keyword("LIKE"):
+            pattern = self._additive()
+            return ast.Like(operand=left, pattern=pattern, negated=negated)
+        return left
+
+    def _in_tail(self, operand: ast.Expression, negated: bool) -> ast.Expression:
+        self._expect_punct("(")
+        if self._current.matches_keyword("SELECT"):
+            query = self._subquery_select()
+            self._expect_punct(")")
+            return ast.SubqueryExpression(
+                query=query, kind="in", operand=operand, negated=negated
+            )
+        items = [self._expression()]
+        while self._accept_punct(","):
+            items.append(self._expression())
+        self._expect_punct(")")
+        return ast.InList(operand=operand, items=items, negated=negated)
+
+    def _additive(self) -> ast.Expression:
+        left = self._multiplicative()
+        while True:
+            op = self._accept_operator("+", "-", "||")
+            if op is None:
+                return left
+            right = self._multiplicative()
+            left = ast.BinaryOp(op=op, left=left, right=right)
+
+    def _multiplicative(self) -> ast.Expression:
+        left = self._unary()
+        while True:
+            op = self._accept_operator("*", "/", "%")
+            if op is None:
+                return left
+            right = self._unary()
+            left = ast.BinaryOp(op=op, left=left, right=right)
+
+    def _unary(self) -> ast.Expression:
+        if self._accept_operator("-"):
+            return ast.UnaryOp(op="-", operand=self._unary())
+        if self._accept_operator("+"):
+            return self._unary()
+        return self._primary()
+
+    def _primary(self) -> ast.Expression:
+        token = self._current
+
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            return ast.Literal(value=_parse_number(token.value))
+        if token.type is TokenType.STRING:
+            self._advance()
+            return ast.Literal(value=token.value)
+        if token.type is TokenType.PARAMETER:
+            self._advance()
+            parameter = ast.Parameter(index=self._param_count)
+            self._param_count += 1
+            return parameter
+        if token.matches_keyword("TRUE"):
+            self._advance()
+            return ast.Literal(value=True)
+        if token.matches_keyword("FALSE"):
+            self._advance()
+            return ast.Literal(value=False)
+        if token.matches_keyword("NULL"):
+            self._advance()
+            return ast.Literal(value=None)
+        if token.matches_keyword("CASE"):
+            return self._case()
+        if token.matches_keyword("CAST"):
+            return self._cast()
+        if token.matches_keyword("EXISTS"):
+            self._advance()
+            self._expect_punct("(")
+            query = self._subquery_select()
+            self._expect_punct(")")
+            return ast.SubqueryExpression(query=query, kind="exists")
+        if token.matches_keyword("COUNT", "SUM", "AVG", "MIN", "MAX"):
+            return self._function_call(self._advance().value)
+        if token.type is TokenType.PUNCTUATION and token.value == "(":
+            self._advance()
+            if self._current.matches_keyword("SELECT"):
+                query = self._subquery_select()
+                self._expect_punct(")")
+                return ast.SubqueryExpression(query=query, kind="scalar")
+            inner = self._expression()
+            self._expect_punct(")")
+            return inner
+        if token.type is TokenType.IDENTIFIER:
+            return self._identifier_expression()
+        raise self._error("expected an expression")
+
+    def _identifier_expression(self) -> ast.Expression:
+        name = self._advance().value
+        # Function call?
+        if self._current.type is TokenType.PUNCTUATION and self._current.value == "(":
+            return self._function_call(name)
+        # Qualified column T.C ?
+        if (
+            self._current.type is TokenType.OPERATOR
+            and self._current.value == "."
+        ):
+            self._advance()
+            column = self._expect_identifier()
+            return ast.ColumnRef(name=column, table=name)
+        return ast.ColumnRef(name=name)
+
+    def _function_call(self, name: str) -> ast.Expression:
+        self._expect_punct("(")
+        distinct = False
+        args: list[ast.Expression] = []
+        if self._current.type is TokenType.OPERATOR and self._current.value == "*":
+            self._advance()
+            args.append(ast.Star())
+        elif not (
+            self._current.type is TokenType.PUNCTUATION
+            and self._current.value == ")"
+        ):
+            if self._accept_keyword("DISTINCT"):
+                distinct = True
+            args.append(self._expression())
+            while self._accept_punct(","):
+                args.append(self._expression())
+        self._expect_punct(")")
+        return ast.FunctionCall(name=name.upper(), args=args, distinct=distinct)
+
+    def _case(self) -> ast.Expression:
+        self._expect_keyword("CASE")
+        branches: list[ast.CaseBranch] = []
+        simple_operand: Optional[ast.Expression] = None
+        if not self._current.matches_keyword("WHEN"):
+            simple_operand = self._expression()
+        while self._accept_keyword("WHEN"):
+            condition = self._expression()
+            if simple_operand is not None:
+                condition = ast.BinaryOp(op="=", left=simple_operand, right=condition)
+            self._expect_keyword("THEN")
+            result = self._expression()
+            branches.append(ast.CaseBranch(condition=condition, result=result))
+        if not branches:
+            raise self._error("CASE requires at least one WHEN branch")
+        default: Optional[ast.Expression] = None
+        if self._accept_keyword("ELSE"):
+            default = self._expression()
+        self._expect_keyword("END")
+        return ast.CaseExpression(branches=branches, default=default)
+
+    def _cast(self) -> ast.Expression:
+        self._expect_keyword("CAST")
+        self._expect_punct("(")
+        operand = self._expression()
+        self._expect_keyword("AS")
+        type_name = self._expect_identifier()
+        params: tuple[int, ...] = ()
+        if self._accept_punct("("):
+            numbers = [self._integer_literal()]
+            while self._accept_punct(","):
+                numbers.append(self._integer_literal())
+            self._expect_punct(")")
+            params = tuple(numbers)
+        self._expect_punct(")")
+        return ast.Cast(operand=operand, target_type=type_from_name(type_name, params))
+
+
+def _parse_number(text: str):
+    # Decimal literals become floats: the evaluator computes in binary
+    # floating point (like the accelerator's vectorised arithmetic), and
+    # DECIMAL columns re-quantise on insert anyway.
+    if "." in text or "e" in text or "E" in text:
+        return float(text)
+    return int(text)

@@ -1,0 +1,8 @@
+"""Storage engines: a slotted-page row store (DB2 side) and a chunked
+columnar store with zone maps (accelerator side)."""
+
+from repro.storage.row_store import RowStoreTable, RowId
+from repro.storage.column_store import ColumnStoreTable, Chunk
+from repro.storage.zone_maps import ZoneMap
+
+__all__ = ["RowStoreTable", "RowId", "ColumnStoreTable", "Chunk", "ZoneMap"]

@@ -1,0 +1,356 @@
+"""Chunked columnar store used by the accelerator engine.
+
+Data is organised Netezza-style:
+
+* rows are distributed over **slices** (the simulated processing units),
+  either by hash on the distribution key or block-round-robin;
+* within a slice, each ingest batch seals an immutable **chunk** (extent)
+  holding one numpy array (plus optional null mask) per column;
+* every row carries ``insert_epoch`` / ``delete_epoch`` stamps — a scan at
+  snapshot epoch *e* sees exactly the rows with
+  ``insert_epoch <= e < delete_epoch``, which is how the engine provides
+  snapshot isolation without locking readers;
+* numeric columns keep per-chunk **zone maps** (min/max) so scans can skip
+  chunks that cannot match a range predicate.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Iterator, Optional, Sequence
+
+import numpy as np
+
+from repro.catalog.schema import TableSchema
+from repro.errors import ReproError
+from repro.sql.expressions import VColumn
+from repro.storage.zone_maps import ZoneMap
+
+__all__ = ["Chunk", "ColumnStoreTable", "NEVER_DELETED"]
+
+#: Sentinel delete epoch for live rows.
+NEVER_DELETED = np.iinfo(np.int64).max
+
+#: Target rows per chunk when large batches are split.
+DEFAULT_CHUNK_ROWS = 65536
+
+
+def _hash_key(values: tuple) -> int:
+    """Deterministic distribution hash (Python's hash() is salted)."""
+    return zlib.crc32(repr(values).encode("utf-8"))
+
+
+class Chunk:
+    """One immutable extent of rows for a slice."""
+
+    __slots__ = (
+        "row_ids",
+        "columns",
+        "masks",
+        "insert_epochs",
+        "delete_epochs",
+        "zone_maps",
+    )
+
+    def __init__(
+        self,
+        row_ids: np.ndarray,
+        columns: dict[str, np.ndarray],
+        masks: dict[str, Optional[np.ndarray]],
+        insert_epoch: int,
+    ) -> None:
+        self.row_ids = row_ids
+        self.columns = columns
+        self.masks = masks
+        count = len(row_ids)
+        self.insert_epochs = np.full(count, insert_epoch, dtype=np.int64)
+        self.delete_epochs = np.full(count, NEVER_DELETED, dtype=np.int64)
+        self.zone_maps: dict[str, ZoneMap] = {}
+        for name, values in columns.items():
+            if values.dtype.kind in "if" and len(values):
+                mask = masks.get(name)
+                zone_map = ZoneMap.build(values, mask)
+                if zone_map is not None:
+                    self.zone_maps[name] = zone_map
+
+    def __len__(self) -> int:
+        return len(self.row_ids)
+
+    def visible_mask(self, epoch: int) -> np.ndarray:
+        return (self.insert_epochs <= epoch) & (epoch < self.delete_epochs)
+
+    def may_match(self, column: str, low, high) -> bool:
+        """Zone-map test: can any row of this chunk fall in [low, high]?"""
+        zone_map = self.zone_maps.get(column)
+        if zone_map is None:
+            return True
+        return zone_map.overlaps(low, high)
+
+
+class ColumnStoreTable:
+    """A sliced, chunked, multi-version columnar table."""
+
+    def __init__(
+        self,
+        schema: TableSchema,
+        slice_count: int = 4,
+        distribute_on: Optional[Sequence[str]] = None,
+        chunk_rows: int = DEFAULT_CHUNK_ROWS,
+    ) -> None:
+        if slice_count < 1:
+            raise ReproError("slice_count must be >= 1")
+        self.schema = schema
+        self.slice_count = slice_count
+        self.distribute_on = list(distribute_on or [])
+        self.chunk_rows = chunk_rows
+        self._slices: list[list[Chunk]] = [[] for _ in range(slice_count)]
+        self._next_row_id = 0
+        self._locator: dict[int, tuple[int, int, int]] = {}
+        self._live_rows = 0
+        self.zone_maps_enabled = True
+
+    # -- write path -----------------------------------------------------------
+
+    @property
+    def row_count(self) -> int:
+        """Number of rows not yet marked deleted (latest epoch view)."""
+        return self._live_rows
+
+    @property
+    def total_chunk_count(self) -> int:
+        return sum(len(chunks) for chunks in self._slices)
+
+    def append_rows(
+        self,
+        rows: Sequence[tuple],
+        epoch: int,
+        row_ids: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Append coerced rows at ``epoch``; returns their row ids.
+
+        ``row_ids`` preserves existing ids across a rewrite (GROOM); by
+        default fresh monotonic ids are assigned.
+        """
+        if not rows:
+            return np.empty(0, dtype=np.int64)
+        if row_ids is None:
+            row_ids = np.arange(
+                self._next_row_id, self._next_row_id + len(rows),
+                dtype=np.int64,
+            )
+            self._next_row_id += len(rows)
+        else:
+            row_ids = np.asarray(row_ids, dtype=np.int64)
+            if len(row_ids) != len(rows):
+                raise ReproError("row_ids and rows length mismatch")
+            self._next_row_id = max(
+                self._next_row_id, int(row_ids.max()) + 1
+            )
+
+        per_slice: list[list[int]] = [[] for _ in range(self.slice_count)]
+        if self.distribute_on:
+            positions = [
+                self.schema.position_of(name) for name in self.distribute_on
+            ]
+            for index, row in enumerate(rows):
+                key = tuple(row[p] for p in positions)
+                per_slice[_hash_key(key) % self.slice_count].append(index)
+        else:
+            # Block round-robin keeps slice contents contiguous and balanced.
+            for block, indexes in enumerate(
+                np.array_split(np.arange(len(rows)), self.slice_count)
+            ):
+                per_slice[block].extend(int(i) for i in indexes)
+
+        for slice_id, indexes in enumerate(per_slice):
+            for start in range(0, len(indexes), self.chunk_rows):
+                batch = indexes[start : start + self.chunk_rows]
+                if not batch:
+                    continue
+                self._seal_chunk(slice_id, batch, rows, row_ids, epoch)
+        self._live_rows += len(rows)
+        return row_ids
+
+    def _seal_chunk(
+        self,
+        slice_id: int,
+        indexes: list[int],
+        rows: Sequence[tuple],
+        row_ids: np.ndarray,
+        epoch: int,
+    ) -> None:
+        columns: dict[str, np.ndarray] = {}
+        masks: dict[str, Optional[np.ndarray]] = {}
+        for position, column in enumerate(self.schema.columns):
+            items = [rows[i][position] for i in indexes]
+            packed = self._pack_column(column.sql_type.numpy_dtype, items)
+            columns[column.name] = packed.values
+            masks[column.name] = packed.mask
+        chunk_ids = row_ids[np.array(indexes, dtype=np.int64)]
+        chunk = Chunk(chunk_ids, columns, masks, epoch)
+        chunk_index = len(self._slices[slice_id])
+        self._slices[slice_id].append(chunk)
+        for offset, row_id in enumerate(chunk_ids):
+            self._locator[int(row_id)] = (slice_id, chunk_index, offset)
+
+    @staticmethod
+    def _pack_column(dtype: np.dtype, items: list[object]) -> VColumn:
+        mask = np.array([item is None for item in items], dtype=bool)
+        has_nulls = bool(mask.any())
+        if dtype.kind in "ifb":
+            fill = 0 if dtype.kind in "ib" else np.nan
+            values = np.array(
+                [fill if item is None else item for item in items], dtype=dtype
+            )
+        else:
+            values = np.empty(len(items), dtype=object)
+            values[:] = items
+        return VColumn(values=values, mask=mask if has_nulls else None)
+
+    def mark_deleted(self, row_ids: Sequence[int], epoch: int) -> int:
+        """Stamp ``delete_epoch`` for the given rows; returns count."""
+        deleted = 0
+        for row_id in row_ids:
+            location = self._locator.get(int(row_id))
+            if location is None:
+                continue
+            slice_id, chunk_index, offset = location
+            chunk = self._slices[slice_id][chunk_index]
+            if chunk.delete_epochs[offset] == NEVER_DELETED:
+                chunk.delete_epochs[offset] = epoch
+                deleted += 1
+        self._live_rows -= deleted
+        return deleted
+
+    def truncate(self, epoch: int) -> int:
+        """Mark every live row deleted at ``epoch``."""
+        removed = 0
+        for chunks in self._slices:
+            for chunk in chunks:
+                live = chunk.delete_epochs == NEVER_DELETED
+                removed += int(live.sum())
+                chunk.delete_epochs[live] = epoch
+        self._live_rows -= removed
+        return removed
+
+    # -- read path --------------------------------------------------------------
+
+    def iter_chunks(self) -> Iterator[tuple[int, Chunk]]:
+        for slice_id, chunks in enumerate(self._slices):
+            for chunk in chunks:
+                yield slice_id, chunk
+
+    def read_visible(
+        self,
+        epoch: int,
+        columns: Optional[Sequence[str]] = None,
+        ranges: Optional[dict[str, tuple[object, object]]] = None,
+    ) -> tuple[np.ndarray, dict[str, VColumn]]:
+        """Materialise all rows visible at ``epoch``.
+
+        ``ranges`` maps column name → (low, high) bounds derived from the
+        query predicate; chunks whose zone maps exclude the range are
+        skipped entirely (the scan still re-applies the full predicate).
+        Returns (row_ids, {column: VColumn}).
+        """
+        wanted = list(columns) if columns is not None else self.schema.column_names
+        id_parts: list[np.ndarray] = []
+        value_parts: dict[str, list[np.ndarray]] = {name: [] for name in wanted}
+        mask_parts: dict[str, list[np.ndarray]] = {name: [] for name in wanted}
+        self.last_scan_chunks_skipped = 0
+        self.last_scan_chunks_total = 0
+        for _, chunk in self.iter_chunks():
+            self.last_scan_chunks_total += 1
+            if self.zone_maps_enabled and ranges:
+                skip = any(
+                    not chunk.may_match(name, low, high)
+                    for name, (low, high) in ranges.items()
+                )
+                if skip:
+                    self.last_scan_chunks_skipped += 1
+                    continue
+            visible = chunk.visible_mask(epoch)
+            if not visible.any():
+                continue
+            if visible.all():
+                id_parts.append(chunk.row_ids)
+                for name in wanted:
+                    value_parts[name].append(chunk.columns[name])
+                    mask = chunk.masks.get(name)
+                    mask_parts[name].append(
+                        mask if mask is not None else np.zeros(len(chunk), bool)
+                    )
+            else:
+                id_parts.append(chunk.row_ids[visible])
+                for name in wanted:
+                    value_parts[name].append(chunk.columns[name][visible])
+                    mask = chunk.masks.get(name)
+                    mask_parts[name].append(
+                        mask[visible]
+                        if mask is not None
+                        else np.zeros(int(visible.sum()), bool)
+                    )
+        if not id_parts:
+            empty_ids = np.empty(0, dtype=np.int64)
+            return empty_ids, {
+                name: self._empty_column(name) for name in wanted
+            }
+        row_ids = np.concatenate(id_parts)
+        out: dict[str, VColumn] = {}
+        for name in wanted:
+            values = np.concatenate(value_parts[name])
+            mask = np.concatenate(mask_parts[name])
+            out[name] = VColumn(values=values, mask=mask if mask.any() else None)
+        return row_ids, out
+
+    def _empty_column(self, name: str) -> VColumn:
+        dtype = self.schema.column(name).sql_type.numpy_dtype
+        return VColumn(values=np.empty(0, dtype=dtype))
+
+    def fetch_rows(self, row_ids: Sequence[int]) -> list[tuple]:
+        """Random access by row id (replication/delta bookkeeping)."""
+        out: list[tuple] = []
+        names = self.schema.column_names
+        for row_id in row_ids:
+            slice_id, chunk_index, offset = self._locator[int(row_id)]
+            chunk = self._slices[slice_id][chunk_index]
+            row = []
+            for name in names:
+                mask = chunk.masks.get(name)
+                if mask is not None and mask[offset]:
+                    row.append(None)
+                else:
+                    value = chunk.columns[name][offset]
+                    row.append(value.item() if hasattr(value, "item") else value)
+            out.append(tuple(row))
+        return out
+
+    def byte_count(self, epoch: Optional[int] = None) -> int:
+        """Estimated serialized size of rows visible at ``epoch`` (or all)."""
+        total = 0
+        for _, chunk in self.iter_chunks():
+            if epoch is None:
+                mask = chunk.delete_epochs == NEVER_DELETED
+            else:
+                mask = chunk.visible_mask(epoch)
+            count = int(mask.sum())
+            if not count:
+                continue
+            for column in self.schema.columns:
+                values = chunk.columns[column.name][mask]
+                null_mask = chunk.masks.get(column.name)
+                nulls = (
+                    int(null_mask[mask].sum()) if null_mask is not None else 0
+                )
+                total += count  # null indicators
+                live = count - nulls
+                if live and column.sql_type.numpy_dtype.kind in "ifb":
+                    total += live * column.sql_type.byte_size(0)
+                elif live:
+                    for value, is_null in zip(
+                        values,
+                        null_mask[mask] if null_mask is not None else [False] * count,
+                    ):
+                        if not is_null:
+                            total += column.sql_type.byte_size(value)
+        return total

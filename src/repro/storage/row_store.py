@@ -1,0 +1,137 @@
+"""Slotted-page row store used by the DB2 engine.
+
+Rows live in fixed-capacity pages; a :class:`RowId` names a (page, slot)
+pair and stays stable for the row's lifetime (updates happen in place,
+deletes leave a tombstone). The structure deliberately mirrors a classic
+OLTP heap so the DB2 engine's row-at-a-time cost profile is honest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence
+
+from repro.catalog.schema import TableSchema
+from repro.errors import ReproError
+
+__all__ = ["RowId", "Page", "RowStoreTable"]
+
+#: Rows per page; small enough that multi-page behaviour shows up in tests.
+DEFAULT_PAGE_CAPACITY = 256
+
+
+@dataclass(frozen=True)
+class RowId:
+    """Stable physical address of a row."""
+
+    page: int
+    slot: int
+
+
+class Page:
+    """One heap page: a slot array where ``None`` marks a tombstone."""
+
+    __slots__ = ("slots", "live_count")
+
+    def __init__(self) -> None:
+        self.slots: list[Optional[tuple]] = []
+        self.live_count = 0
+
+    def __len__(self) -> int:
+        return len(self.slots)
+
+    @property
+    def has_space(self) -> bool:
+        return len(self.slots) < DEFAULT_PAGE_CAPACITY
+
+
+class RowStoreTable:
+    """A heap of pages holding coerced row tuples."""
+
+    def __init__(self, schema: TableSchema) -> None:
+        self.schema = schema
+        self._pages: list[Page] = [Page()]
+        self._row_count = 0
+        self._byte_count = 0
+
+    @property
+    def row_count(self) -> int:
+        return self._row_count
+
+    @property
+    def byte_count(self) -> int:
+        """Estimated live-data size (drives movement accounting)."""
+        return self._byte_count
+
+    @property
+    def page_count(self) -> int:
+        return len(self._pages)
+
+    def insert(self, row: Sequence[object]) -> RowId:
+        """Insert a row that has already been coerced by the schema."""
+        row = tuple(row)
+        page_index = len(self._pages) - 1
+        page = self._pages[page_index]
+        if not page.has_space:
+            page = Page()
+            self._pages.append(page)
+            page_index += 1
+        slot = len(page.slots)
+        page.slots.append(row)
+        page.live_count += 1
+        self._row_count += 1
+        self._byte_count += self.schema.row_byte_size(row)
+        return RowId(page=page_index, slot=slot)
+
+    def fetch(self, row_id: RowId) -> tuple:
+        try:
+            row = self._pages[row_id.page].slots[row_id.slot]
+        except IndexError:
+            raise ReproError(f"invalid row id {row_id}") from None
+        if row is None:
+            raise ReproError(f"row {row_id} was deleted")
+        return row
+
+    def update(self, row_id: RowId, row: Sequence[object]) -> tuple:
+        """Replace the row at ``row_id``; returns the before-image."""
+        before = self.fetch(row_id)
+        new_row = tuple(row)
+        self._pages[row_id.page].slots[row_id.slot] = new_row
+        self._byte_count += self.schema.row_byte_size(new_row)
+        self._byte_count -= self.schema.row_byte_size(before)
+        return before
+
+    def delete(self, row_id: RowId) -> tuple:
+        """Tombstone the row at ``row_id``; returns the before-image."""
+        before = self.fetch(row_id)
+        page = self._pages[row_id.page]
+        page.slots[row_id.slot] = None
+        page.live_count -= 1
+        self._row_count -= 1
+        self._byte_count -= self.schema.row_byte_size(before)
+        return before
+
+    def undelete(self, row_id: RowId, row: Sequence[object]) -> None:
+        """Re-materialise a tombstoned row (transaction rollback)."""
+        page = self._pages[row_id.page]
+        if page.slots[row_id.slot] is not None:
+            raise ReproError(f"slot {row_id} is occupied")
+        page.slots[row_id.slot] = tuple(row)
+        page.live_count += 1
+        self._row_count += 1
+        self._byte_count += self.schema.row_byte_size(row)
+
+    def scan(self) -> Iterator[tuple[RowId, tuple]]:
+        """Yield all live rows in physical order."""
+        for page_index, page in enumerate(self._pages):
+            for slot, row in enumerate(page.slots):
+                if row is not None:
+                    yield RowId(page=page_index, slot=slot), row
+
+    def truncate(self) -> int:
+        """Remove all rows; returns how many were removed."""
+        removed = self._row_count
+        self._pages = [Page()]
+        self._row_count = 0
+        self._byte_count = 0
+        return removed

@@ -1,0 +1,50 @@
+"""Zone maps: per-chunk min/max statistics for scan pruning.
+
+Netezza's zone maps let the FPGA skip whole extents whose value range
+cannot satisfy a predicate. The accelerator's scan asks each chunk's zone
+map whether a predicate range overlaps before touching the data; E10
+quantifies the effect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["ZoneMap"]
+
+
+@dataclass(frozen=True)
+class ZoneMap:
+    """Min/max of the non-null values of one column in one chunk."""
+
+    minimum: float
+    maximum: float
+
+    @staticmethod
+    def build(
+        values: np.ndarray, mask: Optional[np.ndarray] = None
+    ) -> Optional["ZoneMap"]:
+        """Build a zone map, or ``None`` when the chunk is all-NULL."""
+        live = values if mask is None else values[~mask]
+        if len(live) == 0:
+            return None
+        if live.dtype.kind == "f":
+            finite = live[np.isfinite(live)]
+            if len(finite) == 0:
+                return None
+            return ZoneMap(float(finite.min()), float(finite.max()))
+        return ZoneMap(float(live.min()), float(live.max()))
+
+    def overlaps(self, low, high) -> bool:
+        """True when [low, high] intersects [min, max].
+
+        ``None`` bounds are open (e.g. ``x > 5`` has high=None).
+        """
+        if low is not None and self.maximum < low:
+            return False
+        if high is not None and self.minimum > high:
+            return False
+        return True

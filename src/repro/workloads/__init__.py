@@ -1,0 +1,39 @@
+"""Synthetic workload generators (deterministic, seeded).
+
+These stand in for the paper's proprietary customer data:
+
+* a retail **star schema** (customers, products, transactions) for the
+  OLAP-offload and mixed-workload experiments;
+* a **churn** feature table with a learnable signal for the predictive-
+  analytics pipelines;
+* a **social-media post stream** for the direct-ingestion use case the
+  paper calls out ("enrich analytics e.g., with social media data").
+"""
+
+from repro.workloads.starschema import (
+    StarSchemaData,
+    create_star_schema,
+    generate_customers,
+    generate_products,
+    generate_transactions,
+)
+from repro.workloads.churn import CHURN_COLUMNS, create_churn_table, generate_churn_rows
+from repro.workloads.socialmedia import (
+    SOCIAL_COLUMNS,
+    generate_posts,
+    write_posts_jsonl,
+)
+
+__all__ = [
+    "StarSchemaData",
+    "create_star_schema",
+    "generate_customers",
+    "generate_products",
+    "generate_transactions",
+    "CHURN_COLUMNS",
+    "create_churn_table",
+    "generate_churn_rows",
+    "SOCIAL_COLUMNS",
+    "generate_posts",
+    "write_posts_jsonl",
+]

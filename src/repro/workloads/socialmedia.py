@@ -1,0 +1,77 @@
+"""Social-media post stream — the paper's direct-ingestion use case.
+
+"allowing to ingest data from any other source directly to the
+accelerator to enrich analytics e.g., with social media data" (abstract).
+Posts are generated as row tuples or a JSON-lines file, mimicking a feed
+that never touches the mainframe.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import random
+from pathlib import Path
+from typing import Iterator, Union
+
+__all__ = ["SOCIAL_COLUMNS", "SOCIAL_DDL", "generate_posts", "write_posts_jsonl"]
+
+SOCIAL_COLUMNS = (
+    "POST_ID",
+    "HANDLE",
+    "REGION",
+    "TOPIC",
+    "SENTIMENT",
+    "LIKES",
+    "POSTED_AT",
+)
+
+#: AOT DDL for the posts table (note IN ACCELERATOR).
+SOCIAL_DDL = """
+CREATE TABLE SOCIAL_POSTS (
+    POST_ID INTEGER NOT NULL,
+    HANDLE VARCHAR(24) NOT NULL,
+    REGION VARCHAR(4) NOT NULL,
+    TOPIC VARCHAR(16) NOT NULL,
+    SENTIMENT DOUBLE NOT NULL,
+    LIKES INTEGER NOT NULL,
+    POSTED_AT TIMESTAMP NOT NULL
+) IN ACCELERATOR
+"""
+
+_TOPICS = ("PRICING", "SUPPORT", "OUTAGE", "FEATURE", "PRAISE")
+_REGIONS = ("EU", "US", "AP", "LA")
+
+
+def generate_posts(count: int, seed: int = 41) -> Iterator[tuple]:
+    """Yield post rows matching :data:`SOCIAL_COLUMNS`."""
+    rng = random.Random(seed)
+    base = datetime.datetime(2015, 6, 1, 0, 0, 0)
+    for post_id in range(1, count + 1):
+        topic = rng.choice(_TOPICS)
+        # Sentiment skews by topic: outages are angry, praise is happy.
+        center = {"OUTAGE": -0.6, "SUPPORT": -0.2, "PRICING": -0.1,
+                  "FEATURE": 0.2, "PRAISE": 0.7}[topic]
+        sentiment = max(-1.0, min(1.0, rng.gauss(center, 0.3)))
+        yield (
+            post_id,
+            f"user_{rng.randint(1, max(10, count // 5))}",
+            rng.choice(_REGIONS),
+            topic,
+            round(sentiment, 4),
+            max(0, int(rng.expovariate(1 / 20.0))),
+            base + datetime.timedelta(minutes=post_id),
+        )
+
+
+def write_posts_jsonl(
+    path: Union[str, Path], count: int, seed: int = 41
+) -> Path:
+    """Write a JSON-lines feed file (for the JsonLinesSource tests)."""
+    path = Path(path)
+    with open(path, "w") as handle:
+        for row in generate_posts(count, seed):
+            record = dict(zip((c.lower() for c in SOCIAL_COLUMNS), row))
+            record["posted_at"] = row[-1].strftime("%Y-%m-%d %H:%M:%S")
+            handle.write(json.dumps(record) + "\n")
+    return path

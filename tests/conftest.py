@@ -1,0 +1,35 @@
+"""Shared fixtures: a small federation instance and populated workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AcceleratedDatabase
+from repro.workloads import create_churn_table, create_star_schema
+
+
+@pytest.fixture
+def db() -> AcceleratedDatabase:
+    """A fresh federation with small chunks so multi-chunk paths run."""
+    return AcceleratedDatabase(slice_count=2, chunk_rows=256)
+
+
+@pytest.fixture
+def conn(db):
+    return db.connect()
+
+
+@pytest.fixture
+def star(db, conn):
+    """Accelerated star schema (small)."""
+    create_star_schema(
+        conn, customers=100, products=20, transactions=800, accelerate=True
+    )
+    return db
+
+
+@pytest.fixture
+def churn(db, conn):
+    """Accelerated churn table (small)."""
+    create_churn_table(conn, count=400, accelerate=True)
+    return db

@@ -1,0 +1,177 @@
+"""Analytics framework plumbing: params, registry, context, model store."""
+
+import pytest
+
+from repro import AcceleratedDatabase
+from repro.analytics import Procedure, parse_parameter_string
+from repro.analytics.model_store import Model, ModelStore
+from repro.errors import (
+    DuplicateObjectError,
+    ProcedureError,
+    UnknownObjectError,
+)
+
+
+class TestParameterParsing:
+    def test_basic(self):
+        assert parse_parameter_string("intable=T1, k=4") == {
+            "intable": "T1",
+            "k": "4",
+        }
+
+    def test_keys_lowercased_values_kept(self):
+        assert parse_parameter_string("InTable=MyTab") == {"intable": "MyTab"}
+
+    def test_whitespace_tolerated(self):
+        assert parse_parameter_string("  a = 1 ,  b = x y ") == {
+            "a": "1",
+            "b": "x y",
+        }
+
+    def test_empty_segments_ignored(self):
+        assert parse_parameter_string("a=1,,") == {"a": "1"}
+
+    def test_malformed_segment_rejected(self):
+        with pytest.raises(ProcedureError):
+            parse_parameter_string("a=1, nonsense")
+
+    def test_empty_string(self):
+        assert parse_parameter_string("") == {}
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        db = AcceleratedDatabase()
+        names = db.procedures.names()
+        assert "INZA.KMEANS" in names
+        assert "INZA.NORMALIZE" in names
+        assert "INZA.ARULE" in names
+
+    def test_unknown_procedure(self):
+        db = AcceleratedDatabase()
+        conn = db.connect()
+        with pytest.raises(UnknownObjectError):
+            conn.execute("CALL INZA.NO_SUCH_PROC('a=1')")
+
+    def test_custom_procedure_registration(self):
+        db = AcceleratedDatabase()
+
+        def handler(ctx):
+            return f"hello {ctx.require('name')}"
+
+        db.procedures.register(
+            Procedure(
+                name="APP.HELLO",
+                handler=handler,
+                description="test proc",
+                input_params=(),
+                output_params=(),
+            )
+        )
+        conn = db.connect()
+        result = conn.execute("CALL APP.HELLO('name=world')")
+        assert result.message == "hello world"
+
+    def test_call_argument_must_be_string(self):
+        db = AcceleratedDatabase()
+        conn = db.connect()
+        with pytest.raises(ProcedureError):
+            conn.execute("CALL INZA.KMEANS(42)")
+
+    def test_context_helpers(self):
+        db = AcceleratedDatabase()
+
+        captured = {}
+
+        def handler(ctx):
+            captured["int"] = ctx.get_int("k", 3)
+            captured["float"] = ctx.get_float("f", 0.5)
+            captured["cols"] = ctx.column_list("incolumn")
+            captured["missing"] = ctx.get("nope")
+            ctx.log("a detail line")
+            return "ok"
+
+        db.procedures.register(
+            Procedure("APP.P", handler, input_params=(), output_params=())
+        )
+        conn = db.connect()
+        result = conn.execute("CALL APP.P('k=7, f=1.5, incolumn=A;B ;c')")
+        assert captured == {
+            "int": 7,
+            "float": 1.5,
+            "cols": ["A", "B", "C"],
+            "missing": None,
+        }
+        assert ("a detail line",) in result.rows
+
+    def test_bad_int_parameter(self):
+        db = AcceleratedDatabase()
+
+        def handler(ctx):
+            ctx.get_int("k")
+            return "ok"
+
+        db.procedures.register(
+            Procedure("APP.P", handler, input_params=(), output_params=())
+        )
+        conn = db.connect()
+        with pytest.raises(ProcedureError):
+            conn.execute("CALL APP.P('k=banana')")
+
+    def test_require_missing_parameter(self):
+        db = AcceleratedDatabase()
+
+        def handler(ctx):
+            ctx.require("intable")
+            return "ok"
+
+        db.procedures.register(
+            Procedure("APP.P", handler, input_params=(), output_params=())
+        )
+        conn = db.connect()
+        with pytest.raises(ProcedureError):
+            conn.execute("CALL APP.P('other=1')")
+
+
+class TestModelStore:
+    def test_register_get_drop(self):
+        store = ModelStore()
+        store.register(Model(name="m1", kind="KMEANS", features=["A"]))
+        assert store.get("M1").kind == "KMEANS"
+        assert "m1" in store
+        store.drop("m1")
+        assert "m1" not in store
+
+    def test_duplicate_without_replace(self):
+        store = ModelStore()
+        store.register(Model(name="m1", kind="KMEANS", features=[]))
+        with pytest.raises(DuplicateObjectError):
+            store.register(Model(name="M1", kind="LINREG", features=[]))
+
+    def test_replace(self):
+        store = ModelStore()
+        store.register(Model(name="m1", kind="KMEANS", features=[]))
+        store.register(
+            Model(name="m1", kind="LINREG", features=[]), replace=True
+        )
+        assert store.get("m1").kind == "LINREG"
+
+    def test_unknown_model(self):
+        with pytest.raises(UnknownObjectError):
+            ModelStore().get("GHOST")
+        with pytest.raises(UnknownObjectError):
+            ModelStore().drop("GHOST")
+
+    def test_list_models_procedure(self):
+        db = AcceleratedDatabase()
+        db.models.register(Model(name="m1", kind="KMEANS", features=[]))
+        conn = db.connect()
+        result = conn.execute("CALL INZA.LIST_MODELS()")
+        assert result.message == "MODELS: 1"
+
+    def test_drop_model_procedure(self):
+        db = AcceleratedDatabase()
+        db.models.register(Model(name="m1", kind="KMEANS", features=[]))
+        conn = db.connect()
+        conn.execute("CALL INZA.DROP_MODEL('model=m1')")
+        assert len(db.models) == 0

@@ -1,0 +1,176 @@
+"""Catalog, schemas, and privilege management."""
+
+import pytest
+
+from repro.catalog import (
+    Catalog,
+    Column,
+    Privilege,
+    PrivilegeManager,
+    TableLocation,
+    TableSchema,
+)
+from repro.errors import (
+    AuthorizationError,
+    DuplicateObjectError,
+    TypeError_,
+    UnknownObjectError,
+)
+from repro.sql.types import DOUBLE, INTEGER, VarcharType
+
+
+@pytest.fixture
+def schema():
+    return TableSchema(
+        [
+            Column("ID", INTEGER, nullable=False, primary_key=True),
+            Column("V", DOUBLE),
+        ]
+    )
+
+
+class TestTableSchema:
+    def test_positions_and_lookup(self, schema):
+        assert schema.position_of("V") == 1
+        assert schema.column("ID").primary_key
+        assert schema.column_names == ["ID", "V"]
+        assert schema.primary_key_columns == ["ID"]
+
+    def test_unknown_column(self, schema):
+        with pytest.raises(UnknownObjectError):
+            schema.position_of("NOPE")
+
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(DuplicateObjectError):
+            TableSchema([Column("A", INTEGER), Column("A", DOUBLE)])
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(TypeError_):
+            TableSchema([])
+
+    def test_coerce_row(self, schema):
+        assert schema.coerce_row(("3", "1.5")) == (3, 1.5)
+
+    def test_coerce_row_width_mismatch(self, schema):
+        with pytest.raises(TypeError_):
+            schema.coerce_row((1,))
+
+    def test_not_null_enforced(self, schema):
+        with pytest.raises(TypeError_):
+            schema.coerce_row((None, 1.0))
+
+    def test_coerce_partial_fills_nulls(self, schema):
+        assert schema.coerce_partial(["ID"], [7]) == (7, None)
+
+    def test_coerce_partial_unknown_column(self, schema):
+        with pytest.raises(UnknownObjectError):
+            schema.coerce_partial(["NOPE"], [1])
+
+    def test_row_byte_size(self, schema):
+        wide = TableSchema([Column("S", VarcharType(20))])
+        assert wide.row_byte_size(("abc",)) == 1 + 4 + 3
+        assert wide.row_byte_size((None,)) == 1
+
+    def test_render(self, schema):
+        assert "ID INTEGER NOT NULL" in schema.render()
+
+
+class TestCatalog:
+    def test_create_and_lookup(self, schema):
+        catalog = Catalog()
+        descriptor = catalog.create_table("t1", schema, owner="alice")
+        assert catalog.table("T1") is descriptor
+        assert descriptor.owner == "ALICE"
+        assert catalog.has_table("t1")
+
+    def test_duplicate_table(self, schema):
+        catalog = Catalog()
+        catalog.create_table("t1", schema)
+        with pytest.raises(DuplicateObjectError):
+            catalog.create_table("T1", schema)
+
+    def test_drop_table_removes_grants(self, schema):
+        catalog = Catalog()
+        catalog.create_table("t1", schema)
+        catalog.create_user("BOB")
+        catalog.privileges.grant("BOB", [Privilege.SELECT], "TABLE", "T1")
+        catalog.drop_table("t1")
+        assert not catalog.privileges.has_privilege(
+            "BOB", Privilege.SELECT, "TABLE", "T1"
+        )
+        with pytest.raises(UnknownObjectError):
+            catalog.table("t1")
+
+    def test_location_predicates(self, schema):
+        catalog = Catalog()
+        aot = catalog.create_table(
+            "a", schema, location=TableLocation.ACCELERATOR_ONLY
+        )
+        copy = TableSchema([Column("X", INTEGER)])
+        accelerated = catalog.create_table(
+            "b", copy, location=TableLocation.ACCELERATED
+        )
+        plain = catalog.create_table("c", copy)
+        assert aot.is_aot and aot.is_accelerated and not aot.db2_resident
+        assert accelerated.is_accelerated and accelerated.db2_resident
+        assert not plain.is_accelerated and plain.db2_resident
+
+    def test_sysadm_preexists(self):
+        catalog = Catalog()
+        assert catalog.user("SYSADM").is_admin
+
+    def test_duplicate_user(self):
+        catalog = Catalog()
+        with pytest.raises(DuplicateObjectError):
+            catalog.create_user("sysadm")
+
+    def test_unknown_user(self):
+        with pytest.raises(UnknownObjectError):
+            Catalog().user("GHOST")
+
+
+class TestPrivilegeManager:
+    def test_grant_check_revoke(self):
+        manager = PrivilegeManager()
+        manager.grant("U", [Privilege.SELECT], "TABLE", "T")
+        manager.check("U", Privilege.SELECT, "TABLE", "T")
+        manager.revoke("U", [Privilege.SELECT], "TABLE", "T")
+        with pytest.raises(AuthorizationError):
+            manager.check("U", Privilege.SELECT, "TABLE", "T")
+
+    def test_admin_bypasses(self):
+        manager = PrivilegeManager()
+        manager.check("ROOT", Privilege.DELETE, "TABLE", "T", is_admin=True)
+
+    def test_privileges_are_per_object(self):
+        manager = PrivilegeManager()
+        manager.grant("U", [Privilege.SELECT], "TABLE", "T1")
+        with pytest.raises(AuthorizationError):
+            manager.check("U", Privilege.SELECT, "TABLE", "T2")
+
+    def test_privileges_are_per_privilege(self):
+        manager = PrivilegeManager()
+        manager.grant("U", [Privilege.SELECT], "TABLE", "T")
+        with pytest.raises(AuthorizationError):
+            manager.check("U", Privilege.INSERT, "TABLE", "T")
+
+    def test_counters(self):
+        manager = PrivilegeManager()
+        manager.grant("U", [Privilege.SELECT], "TABLE", "T")
+        manager.check("U", Privilege.SELECT, "TABLE", "T")
+        with pytest.raises(AuthorizationError):
+            manager.check("U", Privilege.INSERT, "TABLE", "T")
+        assert manager.checks_performed == 2
+        assert manager.denials == 1
+
+    def test_grants_for(self):
+        manager = PrivilegeManager()
+        manager.grant("U", [Privilege.SELECT, Privilege.INSERT], "TABLE", "T")
+        grants = manager.grants_for("U")
+        assert (Privilege.SELECT, "TABLE", "T") in grants
+        assert len(grants) == 2
+
+    def test_from_name(self):
+        assert Privilege.from_name("select") is Privilege.SELECT
+        with pytest.raises(UnknownObjectError):
+            Privilege.from_name("FLY")

@@ -1,0 +1,136 @@
+"""Multi-session stress: concurrent AOT writers, readers, and OLTP.
+
+One connection per thread (connections are not thread-safe; the engines
+are). Invariants checked after the storm: no lost updates, counts add
+up, snapshots never tore.
+"""
+
+import threading
+
+import pytest
+
+from repro import AcceleratedDatabase
+
+THREADS = 4
+ROUNDS = 25
+
+
+@pytest.fixture
+def db():
+    return AcceleratedDatabase(slice_count=2, chunk_rows=128)
+
+
+def run_threads(workers):
+    errors: list[BaseException] = []
+
+    def guard(fn):
+        def inner():
+            try:
+                fn()
+            except BaseException as error:  # pragma: no cover - surfaced below
+                errors.append(error)
+
+        return inner
+
+    threads = [threading.Thread(target=guard(fn)) for fn in workers]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors, errors[0]
+
+
+class TestAotConcurrency:
+    def test_concurrent_aot_inserters(self, db):
+        admin = db.connect()
+        admin.execute("CREATE TABLE S (WORKER INTEGER, N INTEGER) IN ACCELERATOR")
+
+        def writer(worker_id):
+            def work():
+                conn = db.connect()
+                for round_no in range(ROUNDS):
+                    conn.execute(
+                        f"INSERT INTO S VALUES ({worker_id}, {round_no})"
+                    )
+
+            return work
+
+        run_threads([writer(i) for i in range(THREADS)])
+        counts = admin.execute(
+            "SELECT worker, COUNT(*) FROM s GROUP BY worker ORDER BY worker"
+        ).rows
+        assert counts == [(i, ROUNDS) for i in range(THREADS)]
+
+    def test_concurrent_transactions_with_rollbacks(self, db):
+        admin = db.connect()
+        admin.execute("CREATE TABLE S (WORKER INTEGER) IN ACCELERATOR")
+
+        def writer(worker_id):
+            def work():
+                conn = db.connect()
+                for round_no in range(ROUNDS):
+                    conn.execute("BEGIN")
+                    conn.execute(f"INSERT INTO S VALUES ({worker_id})")
+                    if round_no % 2:
+                        conn.execute("ROLLBACK")
+                    else:
+                        conn.execute("COMMIT")
+
+            return work
+
+        run_threads([writer(i) for i in range(THREADS)])
+        total = admin.execute("SELECT COUNT(*) FROM s").scalar()
+        # Only even rounds committed.
+        assert total == THREADS * ((ROUNDS + 1) // 2)
+
+    def test_readers_see_consistent_snapshots_during_writes(self, db):
+        """Rows are inserted in atomic pairs; a reader must never observe
+        an odd count (a torn write batch)."""
+        admin = db.connect()
+        admin.execute("CREATE TABLE PAIRS (A INTEGER) IN ACCELERATOR")
+        stop = threading.Event()
+        observed_odd = []
+
+        def writer():
+            conn = db.connect()
+            for i in range(ROUNDS * 2):
+                conn.execute(f"INSERT INTO PAIRS VALUES ({i}), ({i})")
+            stop.set()
+
+        def reader():
+            conn = db.connect()
+            while not stop.is_set():
+                count = conn.execute("SELECT COUNT(*) FROM pairs").scalar()
+                if count % 2:
+                    observed_odd.append(count)
+
+        run_threads([writer, reader, reader])
+        assert not observed_odd
+
+    def test_mixed_db2_and_aot_sessions(self, db):
+        admin = db.connect()
+        admin.execute(
+            "CREATE TABLE LEDGER (ID INTEGER NOT NULL PRIMARY KEY, V DOUBLE)"
+        )
+        rows = ", ".join(f"({i}, 0.0)" for i in range(THREADS))
+        admin.execute(f"INSERT INTO LEDGER VALUES {rows}")
+        admin.execute("CREATE TABLE EVENTS (W INTEGER) IN ACCELERATOR")
+
+        def worker(worker_id):
+            def work():
+                conn = db.connect()
+                for __ in range(ROUNDS):
+                    conn.execute("BEGIN")
+                    conn.execute(
+                        f"UPDATE ledger SET v = v + 1 WHERE id = {worker_id}"
+                    )
+                    conn.execute(f"INSERT INTO EVENTS VALUES ({worker_id})")
+                    conn.execute("COMMIT")
+
+            return work
+
+        run_threads([worker(i) for i in range(THREADS)])
+        ledger_total = admin.execute("SELECT SUM(v) FROM ledger").scalar()
+        event_total = admin.execute("SELECT COUNT(*) FROM events").scalar()
+        assert ledger_total == THREADS * ROUNDS
+        assert event_total == THREADS * ROUNDS

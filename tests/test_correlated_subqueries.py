@@ -1,0 +1,236 @@
+"""Correlated subqueries (EXISTS / IN / scalar) on both engines."""
+
+import pytest
+
+from repro import AcceleratedDatabase
+from repro.catalog import Column, TableSchema
+from repro.sql import parse_statement
+from repro.sql.correlation import analyze_subquery, scope_of_from_item
+from repro.sql.expressions import Scope
+from repro.sql.types import DOUBLE, INTEGER, VarcharType
+
+
+@pytest.fixture
+def db():
+    return AcceleratedDatabase(slice_count=2, chunk_rows=32)
+
+
+@pytest.fixture
+def conn(db):
+    connection = db.connect()
+    connection.execute(
+        "CREATE TABLE CUST (C_ID INTEGER NOT NULL PRIMARY KEY, "
+        "C_TIER VARCHAR(8))"
+    )
+    connection.execute(
+        "INSERT INTO CUST VALUES (1, 'GOLD'), (2, 'SILVER'), (3, 'GOLD'), "
+        "(4, 'SILVER')"
+    )
+    connection.execute(
+        "CREATE TABLE ORD (O_ID INTEGER NOT NULL PRIMARY KEY, "
+        "O_CUST INTEGER, O_AMOUNT DOUBLE)"
+    )
+    connection.execute(
+        "INSERT INTO ORD VALUES "
+        "(10, 1, 100.0), (11, 1, 50.0), (12, 2, 500.0), (13, 3, 20.0), "
+        "(14, 9, 75.0)"
+    )
+    db.add_table_to_accelerator("CUST")
+    db.add_table_to_accelerator("ORD")
+    return connection
+
+
+def both_equal(conn, sql, ordered=True):
+    conn.set_acceleration("NONE")
+    db2 = conn.execute(sql)
+    assert db2.engine == "DB2"
+    conn.set_acceleration("ALL")
+    accel = conn.execute(sql)
+    assert accel.engine == "ACCELERATOR"
+    if ordered:
+        assert accel.rows == db2.rows, sql
+    else:
+        assert sorted(map(repr, accel.rows)) == sorted(map(repr, db2.rows))
+    return db2.rows
+
+
+class TestAnalysis:
+    def column_names_of(self, name):
+        return {
+            "CUST": ["C_ID", "C_TIER"],
+            "ORD": ["O_ID", "O_CUST", "O_AMOUNT"],
+        }[name.upper()]
+
+    def test_uncorrelated_detected(self):
+        query = parse_statement("SELECT MAX(o_amount) FROM ord")
+        outer = Scope([("CUST", "C_ID"), ("CUST", "C_TIER")])
+        plan = analyze_subquery(query, outer, self.column_names_of)
+        assert not plan.is_correlated
+
+    def test_correlated_detected_and_indexed(self):
+        query = parse_statement(
+            "SELECT COUNT(*) FROM ord WHERE o_cust = c_id"
+        )
+        outer = Scope([("CUST", "C_ID"), ("CUST", "C_TIER")])
+        plan = analyze_subquery(query, outer, self.column_names_of)
+        assert plan.is_correlated
+        assert plan.outer_indexes == [0]
+
+    def test_bind_substitutes_literals(self):
+        from repro.sql import ast
+
+        query = parse_statement(
+            "SELECT COUNT(*) FROM ord WHERE o_cust = c_id"
+        )
+        outer = Scope([("CUST", "C_ID")])
+        plan = analyze_subquery(query, outer, self.column_names_of)
+        bound = plan.bind((42,))
+        literal = bound.where.right
+        assert isinstance(literal, ast.Literal)
+        assert literal.value == 42
+        # Binding must not mutate the original AST.
+        assert isinstance(query.where.right, ast.ColumnRef)
+
+    def test_memo_key(self):
+        query = parse_statement("SELECT 1 FROM ord WHERE o_cust = c_id")
+        outer = Scope([("CUST", "C_ID"), ("CUST", "C_TIER")])
+        plan = analyze_subquery(query, outer, self.column_names_of)
+        assert plan.key((7, "GOLD")) == (7,)
+
+    def test_scope_of_from_item(self):
+        query = parse_statement("SELECT * FROM cust c JOIN ord o ON 1 = 1")
+        scope = scope_of_from_item(query.from_item, self.column_names_of)
+        assert ("C", "C_TIER") in scope.entries
+        assert ("O", "O_AMOUNT") in scope.entries
+
+
+class TestCorrelatedExists:
+    def test_exists(self, conn):
+        rows = both_equal(
+            conn,
+            "SELECT c_id FROM cust WHERE EXISTS "
+            "(SELECT 1 FROM ord WHERE o_cust = c_id) ORDER BY c_id",
+        )
+        assert rows == [(1,), (2,), (3,)]
+
+    def test_not_exists(self, conn):
+        rows = both_equal(
+            conn,
+            "SELECT c_id FROM cust WHERE NOT EXISTS "
+            "(SELECT 1 FROM ord WHERE o_cust = c_id) ORDER BY c_id",
+        )
+        assert rows == [(4,)]
+
+    def test_exists_with_extra_predicate(self, conn):
+        rows = both_equal(
+            conn,
+            "SELECT c_id FROM cust WHERE EXISTS "
+            "(SELECT 1 FROM ord WHERE o_cust = c_id AND o_amount > 90) "
+            "ORDER BY c_id",
+        )
+        assert rows == [(1,), (2,)]
+
+    def test_exists_with_alias_qualification(self, conn):
+        rows = both_equal(
+            conn,
+            "SELECT c.c_id FROM cust c WHERE EXISTS "
+            "(SELECT 1 FROM ord o WHERE o.o_cust = c.c_id) ORDER BY c.c_id",
+        )
+        assert rows == [(1,), (2,), (3,)]
+
+
+class TestCorrelatedScalar:
+    def test_scalar_in_select_list(self, conn):
+        rows = both_equal(
+            conn,
+            "SELECT c_id, (SELECT SUM(o_amount) FROM ord "
+            "WHERE o_cust = c_id) AS total FROM cust ORDER BY c_id",
+        )
+        assert rows == [(1, 150.0), (2, 500.0), (3, 20.0), (4, None)]
+
+    def test_scalar_in_where(self, conn):
+        rows = both_equal(
+            conn,
+            "SELECT c_id FROM cust WHERE "
+            "(SELECT COUNT(*) FROM ord WHERE o_cust = c_id) > 1 "
+            "ORDER BY c_id",
+        )
+        assert rows == [(1,)]
+
+    def test_correlated_in_subquery(self, conn):
+        rows = both_equal(
+            conn,
+            "SELECT o_id FROM ord WHERE o_cust IN "
+            "(SELECT c_id FROM cust WHERE c_id = o_cust "
+            "AND c_tier = 'GOLD') ORDER BY o_id",
+        )
+        assert rows == [(10,), (11,), (13,)]
+
+    def test_mixed_with_uncorrelated(self, conn):
+        rows = both_equal(
+            conn,
+            "SELECT c_id FROM cust WHERE EXISTS "
+            "(SELECT 1 FROM ord WHERE o_cust = c_id) "
+            "AND c_id IN (SELECT o_cust FROM ord) ORDER BY c_id",
+        )
+        assert rows == [(1,), (2,), (3,)]
+
+
+class TestMemoisation:
+    def test_correlated_subquery_executes_once_per_distinct_key(self, db):
+        """On the accelerator, queries_executed counts subquery runs."""
+        conn = db.connect()
+        conn.execute("CREATE TABLE A (K INTEGER) IN ACCELERATOR")
+        conn.execute(
+            "INSERT INTO A VALUES (1), (1), (1), (2), (2)"
+        )
+        conn.execute("CREATE TABLE B (K INTEGER) IN ACCELERATOR")
+        conn.execute("INSERT INTO B VALUES (1)")
+        before = db.accelerator.queries_executed
+        conn.execute(
+            "SELECT COUNT(*) FROM a WHERE EXISTS "
+            "(SELECT 1 FROM b WHERE b.k = a.k)"
+        )
+        # 1 outer query + 2 distinct correlation keys, not 5.
+        assert db.accelerator.queries_executed - before <= 3
+
+
+class TestCorrelatedDml:
+    def test_correlated_delete_on_db2(self, conn):
+        conn.set_acceleration("NONE")
+        result = conn.execute(
+            "DELETE FROM ord WHERE NOT EXISTS "
+            "(SELECT 1 FROM cust WHERE c_id = o_cust)"
+        )
+        assert result.rowcount == 1  # order 14 references ghost customer 9
+        assert conn.execute("SELECT COUNT(*) FROM ord").scalar() == 4
+
+    def test_correlated_update_on_aot(self, db):
+        conn = db.connect()
+        conn.execute("CREATE TABLE X (K INTEGER, V DOUBLE) IN ACCELERATOR")
+        conn.execute("INSERT INTO X VALUES (1, 0.0), (2, 0.0)")
+        conn.execute("CREATE TABLE Y (K INTEGER) IN ACCELERATOR")
+        conn.execute("INSERT INTO Y VALUES (1)")
+        count = conn.execute(
+            "UPDATE x SET v = 1 WHERE EXISTS "
+            "(SELECT 1 FROM y WHERE y.k = x.k)"
+        ).rowcount
+        assert count == 1
+        assert conn.execute(
+            "SELECT v FROM x ORDER BY k"
+        ).rows == [(1.0,), (0.0,)]
+
+
+class TestCorrelatedOnAots:
+    def test_exists_between_aots(self, db):
+        conn = db.connect()
+        conn.execute("CREATE TABLE S (ID INTEGER, G INTEGER) IN ACCELERATOR")
+        conn.execute("INSERT INTO S VALUES (1, 10), (2, 20), (3, 30)")
+        conn.execute("CREATE TABLE F (G INTEGER) IN ACCELERATOR")
+        conn.execute("INSERT INTO F VALUES (10), (30)")
+        result = conn.execute(
+            "SELECT id FROM s WHERE EXISTS "
+            "(SELECT 1 FROM f WHERE f.g = s.g) ORDER BY id"
+        )
+        assert result.engine == "ACCELERATOR"
+        assert result.rows == [(1,), (3,)]

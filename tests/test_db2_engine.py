@@ -1,0 +1,242 @@
+"""DB2 engine: DML, undo, PK index, change capture."""
+
+import pytest
+
+from repro.catalog import Catalog, Column, TableLocation, TableSchema
+from repro.db2 import Db2Engine
+from repro.errors import SqlError, UnknownObjectError
+from repro.sql import parse_statement
+from repro.sql.types import DOUBLE, INTEGER, VarcharType
+
+
+@pytest.fixture
+def engine():
+    catalog = Catalog()
+    engine = Db2Engine(catalog)
+    schema = TableSchema(
+        [
+            Column("ID", INTEGER, nullable=False, primary_key=True),
+            Column("REGION", VarcharType(8)),
+            Column("AMOUNT", DOUBLE),
+        ]
+    )
+    engine.create_storage(catalog.create_table("SALES", schema))
+    return engine
+
+
+def populate(engine, count=20):
+    txn = engine.txn_manager.begin()
+    engine.insert_rows(
+        txn,
+        "SALES",
+        [(i, "EU" if i % 2 else "US", float(i)) for i in range(count)],
+    )
+    engine.commit(txn)
+
+
+class TestInsert:
+    def test_insert_and_count(self, engine):
+        populate(engine)
+        assert engine.storage_for("SALES").row_count == 20
+
+    def test_coercion_applied(self, engine):
+        txn = engine.txn_manager.begin()
+        engine.insert_rows(txn, "SALES", [("1", "EU", "2.5")])
+        engine.commit(txn)
+        assert engine.table_rows("SALES") == [(1, "EU", 2.5)]
+
+    def test_duplicate_primary_key_rejected(self, engine):
+        populate(engine, 5)
+        txn = engine.txn_manager.begin()
+        with pytest.raises(SqlError):
+            engine.insert_rows(txn, "SALES", [(3, "EU", 0.0)])
+        engine.rollback(txn)
+
+    def test_unknown_table(self, engine):
+        txn = engine.txn_manager.begin()
+        with pytest.raises(UnknownObjectError):
+            engine.insert_rows(txn, "GHOST", [(1,)])
+
+
+class TestUpdateDelete:
+    def test_update_where(self, engine):
+        populate(engine, 10)
+        txn = engine.txn_manager.begin()
+        count = engine.update_where(
+            txn,
+            parse_statement("UPDATE sales SET amount = amount + 100 WHERE id < 3"),
+        )
+        engine.commit(txn)
+        assert count == 3
+        rows = dict((r[0], r[2]) for r in engine.table_rows("SALES"))
+        assert rows[0] == 100.0 and rows[5] == 5.0
+
+    def test_update_primary_key_maintains_index(self, engine):
+        populate(engine, 3)
+        txn = engine.txn_manager.begin()
+        engine.update_where(
+            txn, parse_statement("UPDATE sales SET id = 100 WHERE id = 0")
+        )
+        engine.commit(txn)
+        txn = engine.txn_manager.begin()
+        __, rows = engine.execute_select(
+            txn, parse_statement("SELECT id FROM sales WHERE id = 100")
+        )
+        assert rows == [(100,)]
+        engine.commit(txn)
+
+    def test_update_to_duplicate_pk_rejected(self, engine):
+        populate(engine, 3)
+        txn = engine.txn_manager.begin()
+        with pytest.raises(SqlError):
+            engine.update_where(
+                txn, parse_statement("UPDATE sales SET id = 1 WHERE id = 2")
+            )
+        engine.rollback(txn)
+
+    def test_delete_where(self, engine):
+        populate(engine, 10)
+        txn = engine.txn_manager.begin()
+        count = engine.delete_where(
+            txn, parse_statement("DELETE FROM sales WHERE region = 'EU'")
+        )
+        engine.commit(txn)
+        assert count == 5
+        assert engine.storage_for("SALES").row_count == 5
+
+    def test_delete_all(self, engine):
+        populate(engine, 4)
+        txn = engine.txn_manager.begin()
+        assert engine.delete_where(txn, parse_statement("DELETE FROM sales")) == 4
+        engine.commit(txn)
+
+
+class TestRollback:
+    def test_insert_rollback(self, engine):
+        populate(engine, 5)
+        txn = engine.txn_manager.begin()
+        engine.insert_rows(txn, "SALES", [(100, "EU", 1.0)])
+        engine.rollback(txn)
+        assert engine.storage_for("SALES").row_count == 5
+
+    def test_update_rollback_restores_values(self, engine):
+        populate(engine, 5)
+        txn = engine.txn_manager.begin()
+        engine.update_where(txn, parse_statement("UPDATE sales SET amount = 0"))
+        engine.rollback(txn)
+        assert sum(r[2] for r in engine.table_rows("SALES")) == 10.0
+
+    def test_delete_rollback_restores_rows(self, engine):
+        populate(engine, 5)
+        txn = engine.txn_manager.begin()
+        engine.delete_where(txn, parse_statement("DELETE FROM sales"))
+        engine.rollback(txn)
+        assert engine.storage_for("SALES").row_count == 5
+
+    def test_rollback_restores_pk_index(self, engine):
+        populate(engine, 5)
+        txn = engine.txn_manager.begin()
+        engine.delete_where(
+            txn, parse_statement("DELETE FROM sales WHERE id = 2")
+        )
+        engine.rollback(txn)
+        txn = engine.txn_manager.begin()
+        # Insert with the same key must now fail (index restored).
+        with pytest.raises(SqlError):
+            engine.insert_rows(txn, "SALES", [(2, "EU", 0.0)])
+        engine.rollback(txn)
+
+
+class TestPointLookup:
+    def test_index_fast_path_used(self, engine):
+        populate(engine, 20)
+        txn = engine.txn_manager.begin()
+        before = engine.index_lookups
+        __, rows = engine.execute_select(
+            txn, parse_statement("SELECT amount FROM sales WHERE id = 7")
+        )
+        assert rows == [(7.0,)]
+        assert engine.index_lookups == before + 1
+        engine.commit(txn)
+
+    def test_fast_path_scans_no_rows(self, engine):
+        populate(engine, 20)
+        txn = engine.txn_manager.begin()
+        before = engine.rows_read
+        engine.execute_select(
+            txn, parse_statement("SELECT amount FROM sales WHERE id = 7")
+        )
+        # Index access examines only the fetched row, not the table.
+        assert engine.rows_read - before <= 1
+        engine.commit(txn)
+
+    def test_missing_key_returns_empty(self, engine):
+        populate(engine, 5)
+        txn = engine.txn_manager.begin()
+        __, rows = engine.execute_select(
+            txn, parse_statement("SELECT * FROM sales WHERE id = 999")
+        )
+        assert rows == []
+        engine.commit(txn)
+
+    def test_extra_conjuncts_still_apply(self, engine):
+        populate(engine, 5)
+        txn = engine.txn_manager.begin()
+        __, rows = engine.execute_select(
+            txn,
+            parse_statement(
+                "SELECT id FROM sales WHERE id = 3 AND region = 'US'"
+            ),
+        )
+        assert rows == []  # id 3 is EU
+        engine.commit(txn)
+
+    def test_non_pk_equality_not_fast_pathed(self, engine):
+        populate(engine, 5)
+        txn = engine.txn_manager.begin()
+        before = engine.index_lookups
+        engine.execute_select(
+            txn, parse_statement("SELECT id FROM sales WHERE region = 'EU'")
+        )
+        assert engine.index_lookups == before
+        engine.commit(txn)
+
+
+class TestChangeCapture:
+    def test_changes_published_only_for_accelerated_tables(self, engine):
+        populate(engine, 3)
+        assert len(engine.change_log) == 0  # DB2_ONLY: no capture
+        engine.catalog.set_location("SALES", TableLocation.ACCELERATED)
+        txn = engine.txn_manager.begin()
+        engine.insert_rows(txn, "SALES", [(50, "EU", 1.0)])
+        assert len(engine.change_log) == 0  # buffered until commit
+        engine.commit(txn)
+        assert len(engine.change_log) == 1
+
+    def test_rollback_discards_captured_changes(self, engine):
+        engine.catalog.set_location("SALES", TableLocation.ACCELERATED)
+        txn = engine.txn_manager.begin()
+        engine.insert_rows(txn, "SALES", [(60, "EU", 1.0)])
+        engine.rollback(txn)
+        assert len(engine.change_log) == 0
+
+    def test_update_produces_before_and_after(self, engine):
+        populate(engine, 2)
+        engine.catalog.set_location("SALES", TableLocation.ACCELERATED)
+        txn = engine.txn_manager.begin()
+        engine.update_where(
+            txn, parse_statement("UPDATE sales SET amount = 9 WHERE id = 0")
+        )
+        engine.commit(txn)
+        record = engine.change_log.read_from(1)[0]
+        assert record.op == "UPDATE"
+        assert record.before[2] == 0.0
+        assert record.after[2] == 9.0
+
+    def test_lsns_are_monotonic(self, engine):
+        engine.catalog.set_location("SALES", TableLocation.ACCELERATED)
+        txn = engine.txn_manager.begin()
+        engine.insert_rows(txn, "SALES", [(i, "EU", 0.0) for i in range(5)])
+        engine.commit(txn)
+        lsns = [r.lsn for r in engine.change_log.read_from(1)]
+        assert lsns == [1, 2, 3, 4, 5]

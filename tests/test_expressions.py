@@ -1,0 +1,314 @@
+"""Expression compilation: scalar and vector paths, NULL semantics.
+
+Most tests run the *same* expression through both compilers and require
+identical results — the two engines must agree on SQL semantics.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParseError, SqlError
+from repro.sql import parse_statement
+from repro.sql.expressions import (
+    Scope,
+    VColumn,
+    compile_scalar,
+    compile_vector,
+)
+
+
+def expr_of(text):
+    return parse_statement(f"SELECT {text} FROM t").select_items[0].expression
+
+
+def where_of(text):
+    return parse_statement(f"SELECT 1 FROM t WHERE {text}").where
+
+
+SCOPE = Scope([("T", "A"), ("T", "B"), ("T", "S")])
+
+# Three aligned columns: A (int, one NULL), B (float), S (string, one NULL).
+A_VALUES = [1, 2, None, 4, 5]
+B_VALUES = [10.0, 20.0, 30.0, 40.0, 50.0]
+S_VALUES = ["apple", "banana", None, "cherry", "apricot"]
+
+
+def both(text, expression=None):
+    """Evaluate via scalar and vector compilers; assert equal; return it."""
+    node = expression if expression is not None else expr_of(text)
+    scalar_fn = compile_scalar(node, SCOPE)
+    rows = list(zip(A_VALUES, B_VALUES, S_VALUES))
+    scalar_out = [scalar_fn(row) for row in rows]
+    vector_fn = compile_vector(node, SCOPE)
+    columns = [
+        VColumn.from_objects(A_VALUES),
+        VColumn.from_objects(B_VALUES),
+        VColumn.from_objects(S_VALUES),
+    ]
+    vector_out = vector_fn(columns, len(rows)).to_objects()
+    normalised_scalar = [_normalise(v) for v in scalar_out]
+    normalised_vector = [_normalise(v) for v in vector_out]
+    assert normalised_vector == pytest.approx(normalised_scalar), text
+    return normalised_scalar
+
+
+def _normalise(value):
+    if value is None:
+        return None
+    if isinstance(value, (bool, np.bool_)):
+        return bool(value)
+    if isinstance(value, (int, np.integer)):
+        return float(value)
+    if isinstance(value, (float, np.floating)):
+        return float(value)
+    return value
+
+
+class TestArithmetic:
+    def test_add_null_propagates(self):
+        assert both("a + b") == [11.0, 22.0, None, 44.0, 55.0]
+
+    def test_multiply(self):
+        assert both("a * 2") == [2.0, 4.0, None, 8.0, 10.0]
+
+    def test_subtract_negate(self):
+        assert both("-a + b") == [9.0, 18.0, None, 36.0, 45.0]
+
+    def test_float_division(self):
+        assert both("b / 4") == [2.5, 5.0, 7.5, 10.0, 12.5]
+
+    def test_integer_division_truncates(self):
+        assert both("a / 2") == [0.0, 1.0, None, 2.0, 2.0]
+
+    def test_modulo(self):
+        assert both("a % 2") == [1.0, 0.0, None, 0.0, 1.0]
+
+    def test_division_by_zero_scalar(self):
+        fn = compile_scalar(expr_of("a / 0"), SCOPE)
+        with pytest.raises(SqlError):
+            fn((1, 0.0, "x"))
+
+    def test_division_by_zero_vector(self):
+        fn = compile_vector(expr_of("b / (a - a)"), SCOPE)
+        columns = [
+            VColumn.from_objects([1, 2]),
+            VColumn.from_objects([1.0, 2.0]),
+            VColumn.from_objects(["x", "y"]),
+        ]
+        with pytest.raises(SqlError):
+            fn(columns, 2)
+
+
+class TestComparisons:
+    def test_greater(self):
+        assert both("a > 2") == [False, False, None, True, True]
+
+    def test_equality(self):
+        assert both("a = 2") == [False, True, None, False, False]
+
+    def test_not_equal(self):
+        assert both("a <> 2") == [True, False, None, True, True]
+
+    def test_string_compare(self):
+        assert both("s = 'banana'") == [False, True, None, False, False]
+
+    def test_between(self):
+        assert both("a BETWEEN 2 AND 4") == [False, True, None, True, False]
+
+    def test_not_between(self):
+        assert both("a NOT BETWEEN 2 AND 4") == [True, False, None, False, True]
+
+    def test_in_list(self):
+        assert both("a IN (1, 5)") == [True, False, None, False, True]
+
+    def test_not_in_list(self):
+        assert both("a NOT IN (1, 5)") == [False, True, None, True, False]
+
+    def test_is_null(self):
+        assert both("a IS NULL") == [False, False, True, False, False]
+
+    def test_is_not_null(self):
+        assert both("a IS NOT NULL") == [True, True, False, True, True]
+
+    def test_like_prefix(self):
+        assert both("s LIKE 'ap%'") == [True, False, None, False, True]
+
+    def test_like_underscore(self):
+        assert both("s LIKE '_anana'") == [False, True, None, False, False]
+
+    def test_not_like(self):
+        assert both("s NOT LIKE 'ap%'") == [False, True, None, True, False]
+
+
+class TestLogic:
+    def test_and_kleene(self):
+        # NULL AND FALSE = FALSE; NULL AND TRUE = NULL.
+        assert both("a > 2 AND b > 15") == [False, False, None, True, True]
+        assert both("a > 2 AND b > 100") == [False, False, False, False, False]
+
+    def test_or_kleene(self):
+        # NULL OR TRUE = TRUE; NULL OR FALSE = NULL.
+        assert both("a > 2 OR b > 25") == [False, False, True, True, True]
+        assert both("a > 2 OR b > 100") == [False, False, None, True, True]
+
+    def test_not(self):
+        assert both("NOT (a > 2)") == [True, True, None, False, False]
+
+
+class TestFunctions:
+    def test_abs(self):
+        assert both("ABS(a - 3)") == [2.0, 1.0, None, 1.0, 2.0]
+
+    def test_sqrt_exp_ln(self):
+        assert both("SQRT(b)") == pytest.approx(
+            [np.sqrt(v) for v in B_VALUES]
+        )
+        assert both("LN(b)") == pytest.approx([np.log(v) for v in B_VALUES])
+
+    def test_floor_ceil(self):
+        assert both("FLOOR(b / 3)") == [3.0, 6.0, 10.0, 13.0, 16.0]
+        assert both("CEIL(b / 3)") == [4.0, 7.0, 10.0, 14.0, 17.0]
+
+    def test_round(self):
+        assert both("ROUND(b / 3, 1)") == [3.3, 6.7, 10.0, 13.3, 16.7]
+
+    def test_power_mod(self):
+        assert both("POWER(a, 2)") == [1.0, 4.0, None, 16.0, 25.0]
+        assert both("MOD(a, 3)") == [1.0, 2.0, None, 1.0, 2.0]
+
+    def test_string_functions(self):
+        assert both("UPPER(s)") == ["APPLE", "BANANA", None, "CHERRY", "APRICOT"]
+        assert both("LENGTH(s)") == [5.0, 6.0, None, 6.0, 7.0]
+        assert both("SUBSTR(s, 1, 3)") == ["app", "ban", None, "che", "apr"]
+
+    def test_concat(self):
+        assert both("s || '!'") == [
+            "apple!",
+            "banana!",
+            None,
+            "cherry!",
+            "apricot!",
+        ]
+
+    def test_coalesce(self):
+        assert both("COALESCE(a, 0)") == [1.0, 2.0, 0.0, 4.0, 5.0]
+        assert both("COALESCE(s, 'missing')") == [
+            "apple",
+            "banana",
+            "missing",
+            "cherry",
+            "apricot",
+        ]
+
+    def test_nullif(self):
+        assert both("NULLIF(a, 2)") == [1.0, None, None, 4.0, 5.0]
+
+    def test_unknown_function(self):
+        with pytest.raises(ParseError):
+            compile_scalar(expr_of("FROBNICATE(a)"), SCOPE)
+        with pytest.raises(ParseError):
+            compile_vector(expr_of("FROBNICATE(a)"), SCOPE)
+
+    def test_aggregate_rejected_in_scalar_context(self):
+        with pytest.raises(ParseError):
+            compile_scalar(expr_of("SUM(a)"), SCOPE)
+
+
+class TestCase:
+    def test_searched_case(self):
+        assert both(
+            "CASE WHEN a >= 4 THEN 'big' WHEN a >= 2 THEN 'mid' "
+            "ELSE 'small' END"
+        ) == ["small", "mid", "small", "big", "big"]
+
+    def test_case_without_else_yields_null(self):
+        assert both("CASE WHEN a > 100 THEN 1 END") == [None] * 5
+
+    def test_case_numeric_branches(self):
+        assert both("CASE WHEN a > 2 THEN b ELSE 0 END") == [
+            0.0,
+            0.0,
+            0.0,
+            40.0,
+            50.0,
+        ]
+
+
+class TestCast:
+    def test_cast_to_varchar(self):
+        assert both("CAST(a AS VARCHAR(10))") == ["1", "2", None, "4", "5"]
+
+    def test_cast_to_double(self):
+        assert both("CAST(a AS DOUBLE)") == [1.0, 2.0, None, 4.0, 5.0]
+
+    def test_cast_to_integer(self):
+        assert both("CAST(b AS INTEGER)") == [10.0, 20.0, 30.0, 40.0, 50.0]
+
+
+class TestScopeResolution:
+    def test_unknown_column(self):
+        with pytest.raises(ParseError):
+            compile_scalar(expr_of("zzz"), SCOPE)
+
+    def test_ambiguous_column(self):
+        ambiguous = Scope([("T", "X"), ("U", "X")])
+        with pytest.raises(ParseError):
+            compile_scalar(expr_of("x"), ambiguous)
+
+    def test_qualified_resolves_ambiguity(self):
+        ambiguous = Scope([("T", "X"), ("U", "X")])
+        fn = compile_scalar(expr_of("u.x"), ambiguous)
+        assert fn((1, 2)) == 2
+
+    def test_star_indexes(self):
+        assert SCOPE.star_indexes() == [0, 1, 2]
+        assert SCOPE.star_indexes("T") == [0, 1, 2]
+        with pytest.raises(ParseError):
+            SCOPE.star_indexes("Z")
+
+
+class TestParameters:
+    def test_scalar_parameter_binding(self):
+        stmt = parse_statement("SELECT 1 FROM t WHERE a > ?")
+        fn = compile_scalar(stmt.where, SCOPE, params=(3,))
+        assert fn((4, 0.0, "x")) is True
+        assert fn((2, 0.0, "x")) is False
+
+    def test_missing_parameter(self):
+        stmt = parse_statement("SELECT 1 FROM t WHERE a > ?")
+        with pytest.raises(SqlError):
+            compile_scalar(stmt.where, SCOPE, params=())
+
+    def test_vector_parameter_binding(self):
+        stmt = parse_statement("SELECT 1 FROM t WHERE a > ?")
+        fn = compile_vector(stmt.where, SCOPE, params=(3,))
+        columns = [
+            VColumn.from_objects(A_VALUES),
+            VColumn.from_objects(B_VALUES),
+            VColumn.from_objects(S_VALUES),
+        ]
+        assert fn(columns, 5).to_objects() == [False, False, None, True, True]
+
+
+class TestVColumn:
+    def test_from_objects_int(self):
+        col = VColumn.from_objects([1, 2, 3])
+        assert col.values.dtype == np.int64
+        assert col.mask is None
+
+    def test_from_objects_with_none(self):
+        col = VColumn.from_objects([1, None, 3])
+        assert col.mask is not None
+        assert col.to_objects() == [1, None, 3]
+
+    def test_from_objects_mixed_numeric(self):
+        col = VColumn.from_objects([1, 2.5])
+        assert col.values.dtype == np.float64
+
+    def test_from_objects_strings(self):
+        col = VColumn.from_objects(["a", None])
+        assert col.values.dtype == object
+
+    def test_from_objects_bools(self):
+        col = VColumn.from_objects([True, False])
+        assert col.values.dtype == np.bool_

@@ -1,0 +1,188 @@
+"""Failure injection: errors must leave the federation consistent."""
+
+import pytest
+
+from repro import AcceleratedDatabase, IdaaLoader, IterableSource
+from repro.errors import (
+    AuthorizationError,
+    ReplicationError,
+    SqlError,
+    TypeError_,
+)
+
+
+@pytest.fixture
+def db():
+    return AcceleratedDatabase(slice_count=2, chunk_rows=64)
+
+
+@pytest.fixture
+def conn(db):
+    return db.connect()
+
+
+class TestStatementFailures:
+    def test_mid_statement_failure_undoes_partial_rows(self, conn):
+        """A multi-row INSERT failing on row 3 must insert nothing."""
+        conn.execute("CREATE TABLE T (A INTEGER NOT NULL PRIMARY KEY)")
+        with pytest.raises(SqlError):
+            conn.execute("INSERT INTO T VALUES (1), (2), (1)")
+        assert conn.execute("SELECT COUNT(*) FROM t").scalar() == 0
+
+    def test_coercion_failure_mid_statement(self, conn):
+        conn.execute("CREATE TABLE T (A INTEGER)")
+        with pytest.raises(TypeError_):
+            conn.execute("INSERT INTO T VALUES (1), ('oops')")
+        assert conn.execute("SELECT COUNT(*) FROM t").scalar() == 0
+
+    def test_failed_update_keeps_old_values(self, conn):
+        conn.execute("CREATE TABLE T (A INTEGER NOT NULL PRIMARY KEY)")
+        conn.execute("INSERT INTO T VALUES (1), (2)")
+        with pytest.raises(SqlError):
+            # Both rows map to A=5: second update hits a duplicate key.
+            conn.execute("UPDATE t SET a = 5")
+        rows = conn.execute("SELECT a FROM t ORDER BY a").rows
+        assert rows == [(1,), (2,)]
+
+    def test_failed_insert_select_into_aot_inside_txn(self, conn):
+        conn.execute("CREATE TABLE A (X INTEGER) IN ACCELERATOR")
+        conn.execute("INSERT INTO A VALUES (1)")
+        conn.execute("BEGIN")
+        conn.execute("INSERT INTO A VALUES (2)")
+        with pytest.raises(Exception):
+            conn.execute("INSERT INTO A SELECT x FROM missing_table")
+        # The failed statement must not roll back the earlier insert.
+        assert conn.execute("SELECT COUNT(*) FROM a").scalar() == 2
+        conn.execute("COMMIT")
+        assert conn.execute("SELECT COUNT(*) FROM a").scalar() == 2
+
+    def test_division_by_zero_aborts_statement_cleanly(self, conn):
+        conn.execute("CREATE TABLE T (A INTEGER)")
+        conn.execute("INSERT INTO T VALUES (0), (1)")
+        with pytest.raises(SqlError):
+            conn.execute("SELECT 1 / a FROM t")
+        # Connection still usable.
+        assert conn.execute("SELECT COUNT(*) FROM t").scalar() == 2
+
+
+class TestReplicationFailures:
+    def test_failed_apply_batch_is_atomic(self, db, conn):
+        """A batch that fails mid-way must not half-apply."""
+        from repro.db2.changelog import ChangeRecord
+
+        conn.execute("CREATE TABLE T (A INTEGER) IN ACCELERATOR")
+        conn.execute("INSERT INTO T VALUES (1), (2), (3)")
+        count_before = conn.execute("SELECT COUNT(*) FROM t").scalar()
+        records = [
+            ChangeRecord(1, 1, "T", "INSERT", after=(4,)),
+            ChangeRecord(2, 1, "T", "DELETE", before=(999,)),  # missing
+        ]
+        with pytest.raises(ReplicationError):
+            db.accelerator.apply_changes("T", records)
+        assert conn.execute("SELECT COUNT(*) FROM t").scalar() == count_before
+
+    def test_replication_survives_unrelated_table_drop(self, db, conn):
+        db.auto_replicate = False
+        conn.execute("CREATE TABLE A (X INTEGER NOT NULL PRIMARY KEY)")
+        conn.execute("INSERT INTO A VALUES (1)")
+        db.add_table_to_accelerator("A")
+        conn.execute("CREATE TABLE B (Y INTEGER)")
+        conn.execute("INSERT INTO A VALUES (2)")
+        conn.execute("DROP TABLE B")
+        assert db.replication.drain() == 1
+        conn.set_acceleration("ALL")
+        assert conn.execute("SELECT COUNT(*) FROM a").scalar() == 2
+
+
+class TestLoaderFailures:
+    def test_loader_failure_keeps_earlier_batches(self, db, conn):
+        """Batches commit independently (bulk-load semantics): a failure
+        in batch 2 keeps batch 1, like the real loader's restartability."""
+        conn.execute("CREATE TABLE T (A INTEGER)")
+        loader = IdaaLoader(db, batch_size=2)
+        rows = [(1,), (2,), ("bad",), (4,)]
+        with pytest.raises(TypeError_):
+            loader.load(IterableSource(rows, ["A"]), "T", conn)
+        assert conn.execute("SELECT COUNT(*) FROM t").scalar() == 2
+
+    def test_loader_failure_does_not_poison_connection(self, db, conn):
+        conn.execute("CREATE TABLE T (A INTEGER)")
+        loader = IdaaLoader(db, batch_size=10)
+        with pytest.raises(TypeError_):
+            loader.load(IterableSource([("bad",)], ["A"]), "T", conn)
+        conn.execute("INSERT INTO T VALUES (1)")
+        assert conn.execute("SELECT COUNT(*) FROM t").scalar() == 1
+
+
+class TestAuthorizationFailuresAreClean:
+    def test_denied_dml_modifies_nothing(self, db, conn):
+        conn.execute("CREATE TABLE T (A INTEGER) IN ACCELERATOR")
+        conn.execute("INSERT INTO T VALUES (1)")
+        db.create_user("PLEB")
+        pleb = db.connect("PLEB")
+        with pytest.raises(AuthorizationError):
+            pleb.execute("DELETE FROM t")
+        assert conn.execute("SELECT COUNT(*) FROM t").scalar() == 1
+
+    def test_denied_statement_in_open_txn_keeps_txn_alive(self, db, conn):
+        conn.execute("CREATE TABLE T (A INTEGER)")
+        db.create_user("PLEB")
+        pleb = db.connect("PLEB")
+        pleb.execute("BEGIN")
+        with pytest.raises(AuthorizationError):
+            pleb.execute("SELECT * FROM t")
+        # Transaction still open and usable.
+        pleb.execute("ROLLBACK")
+
+
+class TestProcedureFailures:
+    def test_failed_procedure_in_autocommit_leaves_no_output(self, db, conn):
+        conn.execute("CREATE TABLE D (A INTEGER, B DOUBLE) IN ACCELERATOR")
+        conn.execute("INSERT INTO D VALUES (1, NULL)")
+        from repro.errors import AnalyticsError
+
+        with pytest.raises(AnalyticsError):
+            # B is all NULL → read_matrix refuses after creating nothing.
+            conn.execute(
+                "CALL INZA.KMEANS('intable=D, outtable=OUT, id=A, k=1, "
+                "incolumn=B')"
+            )
+        assert not db.catalog.has_table("OUT")
+
+    def test_procedure_failure_mid_txn_preserves_txn_work(self, db, conn):
+        conn.execute("CREATE TABLE D (A INTEGER) IN ACCELERATOR")
+        conn.execute("BEGIN")
+        conn.execute("INSERT INTO D VALUES (1)")
+        with pytest.raises(Exception):
+            conn.execute("CALL INZA.SUMMARY('intable=NO_SUCH, outtable=X')")
+        assert conn.execute("SELECT COUNT(*) FROM d").scalar() == 1
+        conn.execute("COMMIT")
+
+
+class TestReplicationCacheConsistency:
+    def test_failed_batch_does_not_poison_the_lookup_cache(self, db, conn):
+        """A drain failure must not leave the incremental row-lookup cache
+        inconsistent: retrying with a corrected batch still applies."""
+        from repro.db2.changelog import ChangeRecord
+        from repro.errors import ReplicationError
+
+        conn.execute("CREATE TABLE T (A INTEGER) IN ACCELERATOR")
+        conn.execute("INSERT INTO T VALUES (1), (2)")
+        # Prime the cache with a successful batch.
+        db.accelerator.apply_changes(
+            "T", [ChangeRecord(1, 1, "T", "INSERT", after=(3,))]
+        )
+        # Failing batch: one applicable update, then a missing row.
+        bad = [
+            ChangeRecord(2, 1, "T", "UPDATE", before=(1,), after=(10,)),
+            ChangeRecord(3, 1, "T", "DELETE", before=(999,)),
+        ]
+        with pytest.raises(ReplicationError):
+            db.accelerator.apply_changes("T", bad)
+        # Storage untouched, and a corrected retry still locates row (1,).
+        assert conn.execute("SELECT COUNT(*) FROM t").scalar() == 3
+        db.accelerator.apply_changes(
+            "T", [ChangeRecord(2, 1, "T", "UPDATE", before=(1,), after=(10,))]
+        )
+        rows = conn.execute("SELECT a FROM t ORDER BY a").rows
+        assert rows == [(2,), (3,), (10,)]

@@ -1,0 +1,238 @@
+"""Federation facade: transparency, AOT lifecycle, DDL/DML routing."""
+
+import pytest
+
+from repro import AcceleratedDatabase
+from repro.catalog import TableLocation
+from repro.errors import (
+    DuplicateObjectError,
+    RoutingError,
+    SqlError,
+    TransactionStateError,
+    UnknownObjectError,
+)
+
+
+@pytest.fixture
+def db():
+    return AcceleratedDatabase(slice_count=2, chunk_rows=128)
+
+
+@pytest.fixture
+def conn(db):
+    return db.connect()
+
+
+class TestAotLifecycle:
+    def test_create_in_accelerator_places_data_only_there(self, db, conn):
+        conn.execute("CREATE TABLE A1 (ID INTEGER, V DOUBLE) IN ACCELERATOR")
+        descriptor = db.catalog.table("A1")
+        assert descriptor.location is TableLocation.ACCELERATOR_ONLY
+        assert db.accelerator.has_storage("A1")
+        assert not db.db2.has_storage("A1")  # only the nickname in DB2
+
+    def test_aot_query_runs_on_accelerator(self, db, conn):
+        conn.execute("CREATE TABLE A1 (ID INTEGER) IN ACCELERATOR")
+        conn.execute("INSERT INTO A1 VALUES (1), (2)")
+        result = conn.execute("SELECT COUNT(*) FROM a1")
+        assert result.engine == "ACCELERATOR"
+        assert result.scalar() == 2
+
+    def test_aot_update_delete(self, db, conn):
+        conn.execute("CREATE TABLE A1 (ID INTEGER, V DOUBLE) IN ACCELERATOR")
+        conn.execute("INSERT INTO A1 VALUES (1, 1.0), (2, 2.0), (3, 3.0)")
+        assert conn.execute("UPDATE a1 SET v = 0 WHERE id > 1").rowcount == 2
+        assert conn.execute("DELETE FROM a1 WHERE v = 0").rowcount == 2
+        assert conn.execute("SELECT COUNT(*) FROM a1").scalar() == 1
+
+    def test_insert_select_from_aot_to_aot_stays_on_accelerator(self, db, conn):
+        conn.execute("CREATE TABLE SRC (ID INTEGER, V DOUBLE) IN ACCELERATOR")
+        conn.execute("INSERT INTO SRC VALUES (1, 1.0), (2, 2.0)")
+        conn.execute("CREATE TABLE DST (ID INTEGER, V DOUBLE) IN ACCELERATOR")
+        snapshot = db.movement_snapshot()
+        conn.execute("INSERT INTO DST SELECT id, v * 2 FROM src")
+        moved = db.movement_since(snapshot)
+        # Only the statement itself crosses; no row data.
+        assert moved.bytes_from_accelerator == 0
+        assert moved.bytes_to_accelerator <= 512
+        assert conn.execute("SELECT SUM(v) FROM dst").scalar() == 6.0
+
+    def test_create_table_as_select_in_accelerator(self, db, conn):
+        conn.execute("CREATE TABLE SRC (ID INTEGER, V DOUBLE) IN ACCELERATOR")
+        conn.execute("INSERT INTO SRC VALUES (1, 1.5), (2, 2.5)")
+        result = conn.execute(
+            "CREATE TABLE DST AS (SELECT id, v + 1 AS v1 FROM src) "
+            "IN ACCELERATOR"
+        )
+        assert result.rowcount == 2
+        assert db.catalog.table("DST").is_aot
+        assert conn.execute("SELECT SUM(v1) FROM dst").scalar() == 6.0
+
+    def test_drop_aot_removes_nickname_and_storage(self, db, conn):
+        conn.execute("CREATE TABLE A1 (ID INTEGER) IN ACCELERATOR")
+        conn.execute("DROP TABLE A1")
+        assert not db.catalog.has_table("A1")
+        assert not db.accelerator.has_storage("A1")
+
+    def test_mixing_aot_with_plain_db2_table_raises(self, db, conn):
+        conn.execute("CREATE TABLE A1 (ID INTEGER) IN ACCELERATOR")
+        conn.execute("CREATE TABLE P1 (ID INTEGER)")
+        with pytest.raises(RoutingError):
+            conn.execute("SELECT * FROM a1 JOIN p1 ON a1.id = p1.id")
+
+    def test_insert_select_from_db2_into_aot_ships_rows(self, db, conn):
+        conn.execute("CREATE TABLE P1 (ID INTEGER)")
+        conn.execute("INSERT INTO P1 VALUES (1), (2), (3)")
+        conn.execute("CREATE TABLE A1 (ID INTEGER) IN ACCELERATOR")
+        snapshot = db.movement_snapshot()
+        conn.execute("INSERT INTO A1 SELECT id FROM p1")
+        moved = db.movement_since(snapshot)
+        assert moved.bytes_to_accelerator > 0
+        assert conn.execute("SELECT COUNT(*) FROM a1").scalar() == 3
+
+
+class TestDdl:
+    def test_create_if_not_exists(self, conn):
+        conn.execute("CREATE TABLE T (A INTEGER)")
+        conn.execute("CREATE TABLE IF NOT EXISTS T (A INTEGER)")  # no error
+
+    def test_duplicate_create_raises(self, conn):
+        conn.execute("CREATE TABLE T (A INTEGER)")
+        with pytest.raises(DuplicateObjectError):
+            conn.execute("CREATE TABLE T (A INTEGER)")
+
+    def test_drop_if_exists(self, conn):
+        conn.execute("DROP TABLE IF EXISTS GHOST")  # no error
+
+    def test_drop_missing_raises(self, conn):
+        with pytest.raises(UnknownObjectError):
+            conn.execute("DROP TABLE GHOST")
+
+    def test_primary_key_enforced_through_sql(self, conn):
+        conn.execute("CREATE TABLE T (A INTEGER NOT NULL PRIMARY KEY)")
+        conn.execute("INSERT INTO T VALUES (1)")
+        with pytest.raises(SqlError):
+            conn.execute("INSERT INTO T VALUES (1)")
+
+    def test_insert_with_column_list_fills_nulls(self, conn):
+        conn.execute("CREATE TABLE T (A INTEGER, B DOUBLE)")
+        conn.execute("INSERT INTO T (A) VALUES (7)")
+        assert conn.execute("SELECT a, b FROM t").rows == [(7, None)]
+
+
+class TestTransparency:
+    """Identical SQL, different placements, same answers."""
+
+    def test_same_query_same_answer_before_and_after_acceleration(
+        self, db, conn
+    ):
+        conn.execute("CREATE TABLE T (ID INTEGER NOT NULL PRIMARY KEY, V DOUBLE)")
+        rows = ", ".join(f"({i}, {i * 0.5})" for i in range(50))
+        conn.execute(f"INSERT INTO T VALUES {rows}")
+        sql = "SELECT COUNT(*), SUM(v) FROM t WHERE v > 5"
+        before = conn.execute(sql)
+        assert before.engine == "DB2"
+        db.add_table_to_accelerator("T")
+        conn.set_acceleration("ALL")
+        after = conn.execute(sql)
+        assert after.engine == "ACCELERATOR"
+        assert after.rows == before.rows
+
+    def test_result_metadata_consistent(self, db, conn):
+        conn.execute("CREATE TABLE T (ID INTEGER, V DOUBLE)")
+        conn.execute("INSERT INTO T VALUES (1, 2.0)")
+        db.add_table_to_accelerator("T")
+        db2_result = conn.execute("SELECT id AS key, v AS val FROM t")
+        conn.set_acceleration("ALL")
+        acc_result = conn.execute("SELECT id AS key, v AS val FROM t")
+        assert db2_result.columns == acc_result.columns == ["KEY", "VAL"]
+
+    def test_parameterised_queries(self, db, conn):
+        conn.execute("CREATE TABLE T (ID INTEGER, V DOUBLE) IN ACCELERATOR")
+        conn.execute("INSERT INTO T VALUES (1, 1.0), (2, 2.0), (3, 3.0)")
+        result = conn.execute("SELECT id FROM t WHERE v > ? ORDER BY id", (1.5,))
+        assert result.rows == [(2,), (3,)]
+
+
+class TestConnectionTransactions:
+    def test_commit_via_sql(self, conn):
+        conn.execute("CREATE TABLE T (A INTEGER)")
+        conn.execute("BEGIN")
+        conn.execute("INSERT INTO T VALUES (1)")
+        conn.execute("COMMIT")
+        assert conn.execute("SELECT COUNT(*) FROM t").scalar() == 1
+
+    def test_rollback_via_sql(self, conn):
+        conn.execute("CREATE TABLE T (A INTEGER)")
+        conn.execute("BEGIN")
+        conn.execute("INSERT INTO T VALUES (1)")
+        conn.execute("ROLLBACK")
+        assert conn.execute("SELECT COUNT(*) FROM t").scalar() == 0
+
+    def test_nested_begin_rejected(self, conn):
+        conn.execute("BEGIN")
+        with pytest.raises(TransactionStateError):
+            conn.execute("BEGIN")
+        conn.execute("ROLLBACK")
+
+    def test_commit_without_begin_rejected(self, conn):
+        with pytest.raises(TransactionStateError):
+            conn.execute("COMMIT")
+
+    def test_context_manager_rolls_back_open_txn(self, db):
+        with db.connect() as session:
+            session.execute("CREATE TABLE T (A INTEGER)")
+            session.execute("BEGIN")
+            session.execute("INSERT INTO T VALUES (1)")
+        follow_up = db.connect()
+        assert follow_up.execute("SELECT COUNT(*) FROM t").scalar() == 0
+
+    def test_failed_statement_in_txn_preserves_prior_work(self, conn):
+        """Statement-level atomicity: a failed statement undoes only
+        itself, not the whole transaction."""
+        conn.execute("CREATE TABLE T (A INTEGER NOT NULL PRIMARY KEY)")
+        conn.execute("BEGIN")
+        conn.execute("INSERT INTO T VALUES (1)")
+        with pytest.raises(SqlError):
+            conn.execute("INSERT INTO T VALUES (2), (2)")  # dup inside stmt
+        conn.execute("COMMIT")
+        assert conn.execute("SELECT COUNT(*) FROM t").scalar() == 1
+
+    def test_failed_autocommit_statement_leaves_nothing(self, conn):
+        conn.execute("CREATE TABLE T (A INTEGER NOT NULL PRIMARY KEY)")
+        with pytest.raises(SqlError):
+            conn.execute("INSERT INTO T VALUES (3), (3)")
+        assert conn.execute("SELECT COUNT(*) FROM t").scalar() == 0
+
+    def test_execute_script(self, conn):
+        results = conn.execute_script(
+            "CREATE TABLE T (A INTEGER); INSERT INTO T VALUES (1), (2); "
+            "SELECT COUNT(*) FROM T"
+        )
+        assert results[-1].scalar() == 2
+
+
+class TestMovementAccounting:
+    def test_offloaded_query_charges_result_bytes(self, db, conn):
+        conn.execute("CREATE TABLE T (ID INTEGER, V DOUBLE) IN ACCELERATOR")
+        conn.execute("INSERT INTO T VALUES (1, 1.0), (2, 2.0)")
+        snapshot = db.movement_snapshot()
+        conn.execute("SELECT * FROM t")
+        moved = db.movement_since(snapshot)
+        assert moved.bytes_from_accelerator > 0
+
+    def test_db2_query_crosses_nothing(self, db, conn):
+        conn.execute("CREATE TABLE T (ID INTEGER)")
+        conn.execute("INSERT INTO T VALUES (1)")
+        snapshot = db.movement_snapshot()
+        conn.execute("SELECT * FROM t")
+        moved = db.movement_since(snapshot)
+        assert moved.total_bytes == 0
+
+    def test_simulated_time_advances_with_bytes(self, db, conn):
+        conn.execute("CREATE TABLE T (ID INTEGER) IN ACCELERATOR")
+        rows = ", ".join(f"({i})" for i in range(500))
+        snapshot = db.movement_snapshot()
+        conn.execute(f"INSERT INTO T VALUES {rows}")
+        moved = db.movement_since(snapshot)
+        assert moved.simulated_seconds > 0

@@ -1,0 +1,182 @@
+"""Data governance: DB2-side privilege enforcement (paper Sec. 3)."""
+
+import pytest
+
+from repro import AcceleratedDatabase
+from repro.errors import AuthorizationError, UnknownObjectError
+
+
+@pytest.fixture
+def db():
+    database = AcceleratedDatabase(slice_count=2, chunk_rows=64)
+    admin = database.connect()
+    admin.execute(
+        "CREATE TABLE DATA (ID INTEGER, V DOUBLE) IN ACCELERATOR"
+    )
+    admin.execute("INSERT INTO DATA VALUES (1, 1.0), (2, 2.0), (3, 3.0)")
+    database.create_user("ANALYST")
+    database.create_user("INTERN")
+    return database
+
+
+@pytest.fixture
+def admin(db):
+    return db.connect()
+
+
+@pytest.fixture
+def analyst(db):
+    return db.connect("ANALYST")
+
+
+class TestTablePrivileges:
+    def test_select_denied_without_grant(self, analyst):
+        with pytest.raises(AuthorizationError):
+            analyst.execute("SELECT * FROM data")
+
+    def test_select_allowed_after_grant(self, admin, analyst):
+        admin.execute("GRANT SELECT ON DATA TO ANALYST")
+        assert analyst.execute("SELECT COUNT(*) FROM data").scalar() == 3
+
+    def test_grant_is_privilege_specific(self, admin, analyst):
+        admin.execute("GRANT SELECT ON DATA TO ANALYST")
+        with pytest.raises(AuthorizationError):
+            analyst.execute("INSERT INTO DATA VALUES (4, 4.0)")
+        with pytest.raises(AuthorizationError):
+            analyst.execute("DELETE FROM data")
+        with pytest.raises(AuthorizationError):
+            analyst.execute("UPDATE data SET v = 0")
+
+    def test_grant_all(self, admin, analyst):
+        admin.execute("GRANT ALL ON DATA TO ANALYST")
+        analyst.execute("INSERT INTO DATA VALUES (4, 4.0)")
+        analyst.execute("UPDATE data SET v = 0 WHERE id = 4")
+        analyst.execute("DELETE FROM data WHERE id = 4")
+
+    def test_revoke(self, admin, analyst):
+        admin.execute("GRANT SELECT ON DATA TO ANALYST")
+        admin.execute("REVOKE SELECT ON DATA FROM ANALYST")
+        with pytest.raises(AuthorizationError):
+            analyst.execute("SELECT * FROM data")
+
+    def test_owner_has_implicit_privileges(self, db, analyst):
+        analyst.execute("CREATE TABLE MINE (A INTEGER) IN ACCELERATOR")
+        analyst.execute("INSERT INTO MINE VALUES (1)")
+        assert analyst.execute("SELECT COUNT(*) FROM mine").scalar() == 1
+        analyst.execute("DROP TABLE MINE")
+
+    def test_non_owner_cannot_drop(self, db, admin, analyst):
+        admin.execute("GRANT ALL ON DATA TO ANALYST")
+        with pytest.raises(AuthorizationError):
+            analyst.execute("DROP TABLE DATA")
+
+    def test_non_owner_cannot_grant(self, db, analyst):
+        with pytest.raises(AuthorizationError):
+            analyst.execute("GRANT SELECT ON DATA TO INTERN")
+
+    def test_owner_can_grant(self, db, analyst):
+        analyst.execute("CREATE TABLE MINE (A INTEGER)")
+        analyst.execute("GRANT SELECT ON MINE TO INTERN")
+        intern = db.connect("INTERN")
+        assert intern.execute("SELECT COUNT(*) FROM mine").scalar() == 0
+
+    def test_grant_to_unknown_user(self, admin):
+        with pytest.raises(UnknownObjectError):
+            admin.execute("GRANT SELECT ON DATA TO GHOST")
+
+    def test_join_checks_all_tables(self, db, admin, analyst):
+        admin.execute("CREATE TABLE D2 (ID INTEGER) IN ACCELERATOR")
+        admin.execute("GRANT SELECT ON DATA TO ANALYST")
+        with pytest.raises(AuthorizationError):
+            analyst.execute("SELECT * FROM data JOIN d2 ON data.id = d2.id")
+
+    def test_subquery_tables_checked(self, db, admin, analyst):
+        admin.execute("CREATE TABLE D2 (ID INTEGER) IN ACCELERATOR")
+        admin.execute("GRANT SELECT ON DATA TO ANALYST")
+        with pytest.raises(AuthorizationError):
+            analyst.execute(
+                "SELECT * FROM data WHERE id IN (SELECT id FROM d2)"
+            )
+
+
+class TestProcedureGovernance:
+    """CALL delegation must not bypass DB2 authorisation."""
+
+    def test_execute_denied_without_grant(self, analyst):
+        with pytest.raises(AuthorizationError):
+            analyst.execute(
+                "CALL INZA.SUMMARY('intable=DATA, outtable=OUT1')"
+            )
+
+    def test_execute_grant_alone_is_not_enough(self, admin, analyst):
+        admin.execute("GRANT EXECUTE ON PROCEDURE INZA.SUMMARY TO ANALYST")
+        with pytest.raises(AuthorizationError):
+            # Still lacks SELECT on the input table.
+            analyst.execute(
+                "CALL INZA.SUMMARY('intable=DATA, outtable=OUT1')"
+            )
+
+    def test_full_grants_allow_call(self, db, admin, analyst):
+        admin.execute("GRANT EXECUTE ON PROCEDURE INZA.SUMMARY TO ANALYST")
+        admin.execute("GRANT SELECT ON DATA TO ANALYST")
+        result = analyst.execute(
+            "CALL INZA.SUMMARY('intable=DATA, outtable=OUT1')"
+        )
+        assert "SUMMARY ok" in result.message
+        # The output AOT belongs to the analyst.
+        assert db.catalog.table("OUT1").owner == "ANALYST"
+        assert analyst.execute("SELECT COUNT(*) FROM out1").scalar() == 2
+
+    def test_denied_call_leaves_no_output(self, db, analyst):
+        with pytest.raises(AuthorizationError):
+            analyst.execute(
+                "CALL INZA.SUMMARY('intable=DATA, outtable=OUT2')"
+            )
+        assert not db.catalog.has_table("OUT2")
+
+    def test_existing_output_table_needs_insert(self, db, admin, analyst):
+        admin.execute("CREATE TABLE OUT3 (A INTEGER) IN ACCELERATOR")
+        admin.execute("GRANT EXECUTE ON PROCEDURE INZA.SUMMARY TO ANALYST")
+        admin.execute("GRANT SELECT ON DATA TO ANALYST")
+        with pytest.raises(AuthorizationError):
+            analyst.execute(
+                "CALL INZA.SUMMARY('intable=DATA, outtable=OUT3')"
+            )
+
+    def test_denial_counters(self, db, analyst):
+        denied_before = db.procedures.calls_denied
+        with pytest.raises(AuthorizationError):
+            analyst.execute("CALL INZA.SUMMARY('intable=DATA, outtable=X')")
+        assert db.procedures.calls_denied == denied_before + 1
+
+    def test_admin_bypasses_procedure_checks(self, admin):
+        result = admin.execute(
+            "CALL INZA.SUMMARY('intable=DATA, outtable=ADMIN_OUT')"
+        )
+        assert "SUMMARY ok" in result.message
+
+    def test_only_admin_grants_procedures(self, db, analyst):
+        with pytest.raises(AuthorizationError):
+            analyst.execute(
+                "GRANT EXECUTE ON PROCEDURE INZA.SUMMARY TO INTERN"
+            )
+
+
+class TestLoaderGovernance:
+    def test_load_requires_privilege(self, db, admin, analyst):
+        from repro import IdaaLoader, IterableSource
+
+        loader = IdaaLoader(db)
+        source = IterableSource([(10, 1.0)], ["ID", "V"])
+        with pytest.raises(AuthorizationError):
+            loader.load(source, "DATA", analyst)
+
+    def test_load_allowed_with_load_privilege(self, db, admin, analyst):
+        from repro import IdaaLoader, IterableSource
+
+        admin.execute("GRANT LOAD ON DATA TO ANALYST")
+        loader = IdaaLoader(db)
+        report = loader.load(
+            IterableSource([(10, 1.0)], ["ID", "V"]), "DATA", analyst
+        )
+        assert report.rows == 1

@@ -1,0 +1,116 @@
+"""Tokenizer behaviour."""
+
+import pytest
+
+from repro.errors import LexerError
+from repro.sql.lexer import Token, TokenType, tokenize
+
+
+def values(sql):
+    return [t.value for t in tokenize(sql) if t.type is not TokenType.EOF]
+
+
+def kinds(sql):
+    return [t.type for t in tokenize(sql) if t.type is not TokenType.EOF]
+
+
+class TestBasics:
+    def test_empty_input_yields_only_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].type is TokenType.EOF
+
+    def test_keywords_are_uppercased(self):
+        assert values("select From wHeRe") == ["SELECT", "FROM", "WHERE"]
+        assert kinds("select") == [TokenType.KEYWORD]
+
+    def test_identifiers_are_uppercased(self):
+        assert values("my_table") == ["MY_TABLE"]
+        assert kinds("my_table") == [TokenType.IDENTIFIER]
+
+    def test_quoted_identifier_preserves_case(self):
+        tokens = tokenize('"MixedCase"')
+        assert tokens[0].type is TokenType.IDENTIFIER
+        assert tokens[0].value == "MixedCase"
+
+    def test_unterminated_quoted_identifier(self):
+        with pytest.raises(LexerError):
+            tokenize('"oops')
+
+
+class TestStrings:
+    def test_simple_string(self):
+        tokens = tokenize("'hello'")
+        assert tokens[0].type is TokenType.STRING
+        assert tokens[0].value == "hello"
+
+    def test_escaped_quote(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0].value == "it's"
+
+    def test_string_preserves_case(self):
+        assert tokenize("'MiXeD'")[0].value == "MiXeD"
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(LexerError) as excinfo:
+            tokenize("'oops")
+        assert excinfo.value.position == 0
+
+    def test_empty_string(self):
+        assert tokenize("''")[0].value == ""
+
+
+class TestNumbers:
+    def test_integer(self):
+        assert values("42") == ["42"]
+
+    def test_decimal(self):
+        assert values("3.14") == ["3.14"]
+
+    def test_exponent(self):
+        assert values("1e6 2.5E-3") == ["1e6", "2.5E-3"]
+
+    def test_leading_dot(self):
+        assert values(".5") == [".5"]
+
+    def test_qualifier_dot_not_consumed(self):
+        # "T1.COL" must not lex "1." as a number boundary issue.
+        assert values("t1.col") == ["T1", ".", "COL"]
+
+
+class TestOperatorsAndComments:
+    def test_two_char_operators(self):
+        assert values("<= >= <> != ||") == ["<=", ">=", "<>", "!=", "||"]
+
+    def test_single_char_operators(self):
+        assert values("+ - * / % < > = .") == list("+-*/%<>=.")
+
+    def test_line_comment_skipped(self):
+        assert values("SELECT -- comment here\n 1") == ["SELECT", "1"]
+
+    def test_block_comment_skipped(self):
+        assert values("SELECT /* multi\nline */ 1") == ["SELECT", "1"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexerError):
+            tokenize("SELECT /* oops")
+
+    def test_parameter_marker(self):
+        tokens = tokenize("?")
+        assert tokens[0].type is TokenType.PARAMETER
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexerError):
+            tokenize("SELECT @")
+
+
+class TestTokenHelpers:
+    def test_matches_keyword(self):
+        token = Token(TokenType.KEYWORD, "SELECT", 0)
+        assert token.matches_keyword("SELECT")
+        assert token.matches_keyword("FROM", "SELECT")
+        assert not token.matches_keyword("FROM")
+
+    def test_identifier_does_not_match_keyword(self):
+        token = Token(TokenType.IDENTIFIER, "SELECT_LIKE", 0)
+        assert not token.matches_keyword("SELECT_LIKE")

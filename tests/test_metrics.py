@@ -1,0 +1,92 @@
+"""Movement stats, interconnect model, and byte estimation."""
+
+import datetime
+
+import pytest
+import decimal
+
+from repro.federation.network import Interconnect
+from repro.metrics.counters import (
+    MovementStats,
+    Timer,
+    estimate_rows_bytes,
+    estimate_value_bytes,
+)
+
+
+class TestMovementStats:
+    def test_addition_and_subtraction(self):
+        a = MovementStats(100, 50, 3, 0.1)
+        b = MovementStats(40, 20, 1, 0.04)
+        total = a + b
+        assert total.bytes_to_accelerator == 140
+        assert total.messages == 4
+        diff = a - b
+        assert diff.bytes_from_accelerator == 30
+        assert diff.simulated_seconds == pytest.approx(0.06)
+
+    def test_total_bytes(self):
+        assert MovementStats(10, 5).total_bytes == 15
+
+    def test_defaults_zero(self):
+        stats = MovementStats()
+        assert stats.total_bytes == 0
+
+
+class TestInterconnect:
+    def test_directional_counters(self):
+        link = Interconnect()
+        link.send_to_accelerator(100)
+        link.send_to_db2(30)
+        assert link.bytes_to_accelerator == 100
+        assert link.bytes_from_accelerator == 30
+        assert link.messages == 2
+
+    def test_simulated_time_model(self):
+        link = Interconnect(
+            bandwidth_bytes_per_second=1000, message_latency_seconds=0.01
+        )
+        link.send_to_accelerator(500)
+        assert link.simulated_seconds == 0.01 + 0.5
+
+    def test_snapshot_and_since(self):
+        link = Interconnect()
+        link.send_to_accelerator(10)
+        snapshot = link.snapshot()
+        link.send_to_accelerator(25)
+        delta = link.since(snapshot)
+        assert delta.bytes_to_accelerator == 25
+        assert delta.messages == 1
+
+    def test_reset(self):
+        link = Interconnect()
+        link.send_to_db2(10)
+        link.reset()
+        assert link.snapshot().total_bytes == 0
+
+
+class TestByteEstimation:
+    def test_value_sizes(self):
+        assert estimate_value_bytes(None) == 1
+        assert estimate_value_bytes(True) == 1
+        assert estimate_value_bytes(7) == 8
+        assert estimate_value_bytes(1.5) == 8
+        assert estimate_value_bytes("abc") == 7
+        assert estimate_value_bytes(decimal.Decimal("1.5")) == 16
+        assert estimate_value_bytes(datetime.date(2016, 1, 1)) == 4
+        assert estimate_value_bytes(datetime.datetime(2016, 1, 1)) == 10
+
+    def test_rows_bytes(self):
+        rows = [(1, "ab"), (None, "c")]
+        expected = (1 + 8) + (1 + 6) + (1 + 1) + (1 + 5)
+        assert estimate_rows_bytes(rows) == expected
+
+    def test_empty(self):
+        assert estimate_rows_bytes([]) == 0
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as timer:
+            sum(range(1000))
+        assert timer.elapsed > 0

@@ -1,0 +1,412 @@
+"""Parser coverage: every statement form of the dialect."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sql import ast, parse_script, parse_statement
+from repro.sql.types import DecimalType, IntegerType, VarcharType
+
+
+class TestSelect:
+    def test_simple_select(self):
+        stmt = parse_statement("SELECT a, b FROM t")
+        assert isinstance(stmt, ast.SelectStatement)
+        assert len(stmt.select_items) == 2
+        assert stmt.from_item.name == "T"
+
+    def test_select_star(self):
+        stmt = parse_statement("SELECT * FROM t")
+        assert isinstance(stmt.select_items[0].expression, ast.Star)
+
+    def test_qualified_star(self):
+        stmt = parse_statement("SELECT t.* FROM t")
+        star = stmt.select_items[0].expression
+        assert isinstance(star, ast.Star)
+        assert star.table == "T"
+
+    def test_aliases(self):
+        stmt = parse_statement("SELECT a AS x, b y FROM t AS u")
+        assert stmt.select_items[0].alias == "X"
+        assert stmt.select_items[1].alias == "Y"
+        assert stmt.from_item.alias == "U"
+
+    def test_where_clause(self):
+        stmt = parse_statement("SELECT a FROM t WHERE a > 5 AND b < 3")
+        assert isinstance(stmt.where, ast.BinaryOp)
+        assert stmt.where.op == "AND"
+
+    def test_group_by_having(self):
+        stmt = parse_statement(
+            "SELECT a, COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 2"
+        )
+        assert len(stmt.group_by) == 1
+        assert stmt.having is not None
+
+    def test_order_by_directions(self):
+        stmt = parse_statement("SELECT a, b FROM t ORDER BY a DESC, b ASC, a")
+        assert [o.ascending for o in stmt.order_by] == [False, True, True]
+
+    def test_limit_offset(self):
+        stmt = parse_statement("SELECT a FROM t LIMIT 10 OFFSET 5")
+        assert stmt.limit == 10
+        assert stmt.offset == 5
+
+    def test_fetch_first(self):
+        stmt = parse_statement("SELECT a FROM t FETCH FIRST 7 ROWS ONLY")
+        assert stmt.limit == 7
+
+    def test_offset_fetch(self):
+        stmt = parse_statement(
+            "SELECT a FROM t OFFSET 3 ROWS FETCH NEXT 4 ROWS ONLY"
+        )
+        assert stmt.offset == 3
+        assert stmt.limit == 4
+
+    def test_distinct(self):
+        assert parse_statement("SELECT DISTINCT a FROM t").distinct
+
+    def test_select_without_from(self):
+        stmt = parse_statement("SELECT 1 + 2")
+        assert stmt.from_item is None
+
+    def test_referenced_tables(self):
+        stmt = parse_statement(
+            "SELECT * FROM a JOIN b ON a.x = b.x "
+            "WHERE a.y IN (SELECT y FROM c)"
+        )
+        assert sorted(stmt.referenced_tables()) == ["A", "B", "C"]
+
+    def test_is_aggregate_query(self):
+        assert parse_statement("SELECT SUM(a) FROM t").is_aggregate_query
+        assert not parse_statement("SELECT a FROM t").is_aggregate_query
+
+
+class TestJoins:
+    def test_inner_join(self):
+        stmt = parse_statement("SELECT * FROM a JOIN b ON a.x = b.x")
+        assert isinstance(stmt.from_item, ast.Join)
+        assert stmt.from_item.join_type == "INNER"
+
+    def test_left_outer_join(self):
+        stmt = parse_statement("SELECT * FROM a LEFT OUTER JOIN b ON a.x = b.x")
+        assert stmt.from_item.join_type == "LEFT"
+
+    def test_right_join(self):
+        stmt = parse_statement("SELECT * FROM a RIGHT JOIN b ON a.x = b.x")
+        assert stmt.from_item.join_type == "RIGHT"
+
+    def test_cross_join(self):
+        stmt = parse_statement("SELECT * FROM a CROSS JOIN b")
+        assert stmt.from_item.join_type == "CROSS"
+        assert stmt.from_item.condition is None
+
+    def test_comma_join_is_cross(self):
+        stmt = parse_statement("SELECT * FROM a, b")
+        assert stmt.from_item.join_type == "CROSS"
+
+    def test_join_chain_left_deep(self):
+        stmt = parse_statement(
+            "SELECT * FROM a JOIN b ON a.x = b.x JOIN c ON b.y = c.y"
+        )
+        outer = stmt.from_item
+        assert isinstance(outer.left, ast.Join)
+        assert isinstance(outer.right, ast.TableRef)
+
+    def test_derived_table(self):
+        stmt = parse_statement(
+            "SELECT * FROM (SELECT a FROM t) AS sub WHERE sub.a > 1"
+        )
+        assert isinstance(stmt.from_item, ast.SubquerySource)
+        assert stmt.from_item.alias == "SUB"
+
+    def test_join_requires_on(self):
+        with pytest.raises(ParseError):
+            parse_statement("SELECT * FROM a JOIN b")
+
+
+class TestExpressions:
+    def expr(self, text):
+        return parse_statement(f"SELECT {text} FROM t").select_items[0].expression
+
+    def test_precedence_mul_over_add(self):
+        node = self.expr("a + b * c")
+        assert node.op == "+"
+        assert node.right.op == "*"
+
+    def test_parentheses_override(self):
+        node = self.expr("(a + b) * c")
+        assert node.op == "*"
+
+    def test_unary_minus(self):
+        node = self.expr("-a")
+        assert isinstance(node, ast.UnaryOp)
+
+    def test_case_searched(self):
+        node = self.expr("CASE WHEN a > 1 THEN 'x' ELSE 'y' END")
+        assert isinstance(node, ast.CaseExpression)
+        assert node.default is not None
+
+    def test_case_simple_form(self):
+        node = self.expr("CASE a WHEN 1 THEN 'one' WHEN 2 THEN 'two' END")
+        assert len(node.branches) == 2
+        # Simple CASE is rewritten to equality conditions.
+        assert node.branches[0].condition.op == "="
+
+    def test_case_requires_when(self):
+        with pytest.raises(ParseError):
+            parse_statement("SELECT CASE END FROM t")
+
+    def test_in_list(self):
+        node = self.expr("a IN (1, 2, 3)")
+        assert isinstance(node, ast.InList)
+        assert len(node.items) == 3
+
+    def test_not_in(self):
+        node = self.expr("a NOT IN (1)")
+        assert node.negated
+
+    def test_between(self):
+        node = self.expr("a BETWEEN 1 AND 10")
+        assert isinstance(node, ast.Between)
+
+    def test_not_between(self):
+        assert self.expr("a NOT BETWEEN 1 AND 2").negated
+
+    def test_is_null_and_is_not_null(self):
+        assert not self.expr("a IS NULL").negated
+        assert self.expr("a IS NOT NULL").negated
+
+    def test_like(self):
+        node = self.expr("a LIKE 'x%'")
+        assert isinstance(node, ast.Like)
+
+    def test_cast(self):
+        node = self.expr("CAST(a AS VARCHAR(10))")
+        assert isinstance(node, ast.Cast)
+        assert isinstance(node.target_type, VarcharType)
+
+    def test_function_call(self):
+        node = self.expr("SUBSTR(name, 1, 3)")
+        assert isinstance(node, ast.FunctionCall)
+        assert len(node.args) == 3
+
+    def test_count_star(self):
+        node = self.expr("COUNT(*)")
+        assert isinstance(node.args[0], ast.Star)
+
+    def test_count_distinct(self):
+        node = self.expr("COUNT(DISTINCT a)")
+        assert node.distinct
+
+    def test_concat_operator(self):
+        assert self.expr("a || b").op == "||"
+
+    def test_scalar_subquery(self):
+        node = self.expr("(SELECT MAX(x) FROM u)")
+        assert isinstance(node, ast.SubqueryExpression)
+        assert node.kind == "scalar"
+
+    def test_exists(self):
+        node = parse_statement(
+            "SELECT a FROM t WHERE EXISTS (SELECT 1 FROM u)"
+        ).where
+        assert node.kind == "exists"
+
+    def test_in_subquery(self):
+        node = parse_statement(
+            "SELECT a FROM t WHERE a IN (SELECT x FROM u)"
+        ).where
+        assert node.kind == "in"
+
+    def test_parameters_numbered_in_order(self):
+        stmt = parse_statement("SELECT a FROM t WHERE a = ? AND b = ?")
+        params = [
+            n for n in stmt.where.walk() if isinstance(n, ast.Parameter)
+        ]
+        assert [p.index for p in params] == [0, 1]
+
+    def test_boolean_and_null_literals(self):
+        assert self.expr("TRUE").value is True
+        assert self.expr("FALSE").value is False
+        assert self.expr("NULL").value is None
+
+
+class TestSetOperations:
+    def test_union(self):
+        stmt = parse_statement("SELECT a FROM t UNION SELECT b FROM u")
+        assert isinstance(stmt, ast.SetOperation)
+        assert stmt.op == "UNION"
+
+    def test_union_all(self):
+        stmt = parse_statement("SELECT a FROM t UNION ALL SELECT b FROM u")
+        assert stmt.op == "UNION ALL"
+
+    def test_except_intersect(self):
+        assert parse_statement("SELECT a FROM t EXCEPT SELECT b FROM u").op == "EXCEPT"
+        assert (
+            parse_statement("SELECT a FROM t INTERSECT SELECT b FROM u").op
+            == "INTERSECT"
+        )
+
+    def test_trailing_order_by_belongs_to_whole_expression(self):
+        stmt = parse_statement(
+            "SELECT a FROM t UNION ALL SELECT b FROM u ORDER BY 1 LIMIT 5"
+        )
+        assert isinstance(stmt, ast.SetOperation)
+        assert len(stmt.order_by) == 1
+        assert stmt.limit == 5
+        # Operands carry no order/limit of their own.
+        assert not stmt.left.order_by
+        assert not stmt.right.order_by
+
+
+class TestCreateTable:
+    def test_columns_and_constraints(self):
+        stmt = parse_statement(
+            "CREATE TABLE t (id INTEGER NOT NULL PRIMARY KEY, "
+            "name VARCHAR(20), price DECIMAL(9, 2) DEFAULT 0)"
+        )
+        assert stmt.name == "T"
+        assert stmt.columns[0].primary_key
+        assert not stmt.columns[0].nullable
+        assert isinstance(stmt.columns[1].sql_type, VarcharType)
+        assert isinstance(stmt.columns[2].sql_type, DecimalType)
+        assert stmt.columns[2].default is not None
+
+    def test_table_level_primary_key(self):
+        stmt = parse_statement(
+            "CREATE TABLE t (a INTEGER, b INTEGER, PRIMARY KEY (a, b))"
+        )
+        assert stmt.columns[0].primary_key and stmt.columns[1].primary_key
+
+    def test_in_accelerator_clause(self):
+        stmt = parse_statement(
+            "CREATE TABLE aot1 (id INTEGER) IN ACCELERATOR"
+        )
+        assert stmt.in_accelerator
+
+    def test_in_accelerator_with_name(self):
+        stmt = parse_statement(
+            "CREATE TABLE aot1 (id INTEGER) IN ACCELERATOR IDAA1"
+        )
+        assert stmt.in_accelerator
+
+    def test_distribute_by_hash(self):
+        stmt = parse_statement(
+            "CREATE TABLE t (id INTEGER) IN ACCELERATOR DISTRIBUTE BY HASH(id)"
+        )
+        assert stmt.distribute_on == ["ID"]
+
+    def test_distribute_by_random(self):
+        stmt = parse_statement(
+            "CREATE TABLE t (id INTEGER) DISTRIBUTE BY RANDOM"
+        )
+        assert stmt.distribute_on == []
+
+    def test_if_not_exists(self):
+        stmt = parse_statement("CREATE TABLE IF NOT EXISTS t (a INTEGER)")
+        assert stmt.if_not_exists
+
+    def test_create_table_as_select(self):
+        stmt = parse_statement(
+            "CREATE TABLE t2 AS (SELECT a FROM t) IN ACCELERATOR"
+        )
+        assert stmt.as_select is not None
+        assert stmt.in_accelerator
+
+    def test_drop_table(self):
+        stmt = parse_statement("DROP TABLE t")
+        assert isinstance(stmt, ast.DropTableStatement)
+        assert not stmt.if_exists
+
+    def test_drop_table_if_exists(self):
+        assert parse_statement("DROP TABLE IF EXISTS t").if_exists
+
+
+class TestDml:
+    def test_insert_values(self):
+        stmt = parse_statement("INSERT INTO t VALUES (1, 'a'), (2, 'b')")
+        assert len(stmt.values) == 2
+        assert stmt.columns is None
+
+    def test_insert_with_column_list(self):
+        stmt = parse_statement("INSERT INTO t (a, b) VALUES (1, 2)")
+        assert stmt.columns == ["A", "B"]
+
+    def test_insert_select(self):
+        stmt = parse_statement("INSERT INTO t SELECT a, b FROM u WHERE a > 1")
+        assert stmt.select is not None
+        assert stmt.values is None
+
+    def test_update(self):
+        stmt = parse_statement("UPDATE t SET a = a + 1, b = 'x' WHERE id = 3")
+        assert len(stmt.assignments) == 2
+        assert stmt.where is not None
+
+    def test_update_without_where(self):
+        assert parse_statement("UPDATE t SET a = 1").where is None
+
+    def test_delete(self):
+        stmt = parse_statement("DELETE FROM t WHERE a < 0")
+        assert isinstance(stmt, ast.DeleteStatement)
+
+    def test_delete_all(self):
+        assert parse_statement("DELETE FROM t").where is None
+
+
+class TestAccessControlAndCall:
+    def test_grant(self):
+        stmt = parse_statement("GRANT SELECT, INSERT ON TABLE t TO alice")
+        assert stmt.privileges == ["SELECT", "INSERT"]
+        assert stmt.grantee == "ALICE"
+
+    def test_grant_all(self):
+        stmt = parse_statement("GRANT ALL ON t TO bob")
+        assert stmt.privileges == ["ALL"]
+
+    def test_grant_execute_on_procedure(self):
+        stmt = parse_statement("GRANT EXECUTE ON PROCEDURE inza.kmeans TO bob")
+        assert stmt.object_type == "PROCEDURE"
+        assert stmt.object_name == "INZA.KMEANS"
+
+    def test_revoke(self):
+        stmt = parse_statement("REVOKE SELECT ON t FROM alice")
+        assert isinstance(stmt, ast.RevokeStatement)
+
+    def test_call_with_parameter_string(self):
+        stmt = parse_statement("CALL INZA.KMEANS('intable=T, k=3')")
+        assert stmt.procedure == "INZA.KMEANS"
+        assert stmt.arguments[0].value == "intable=T, k=3"
+
+    def test_call_without_arguments(self):
+        assert parse_statement("CALL INZA.LIST_MODELS()").arguments == []
+
+    def test_transaction_statements(self):
+        assert isinstance(parse_statement("BEGIN"), ast.BeginStatement)
+        assert isinstance(parse_statement("COMMIT"), ast.CommitStatement)
+        assert isinstance(parse_statement("ROLLBACK WORK"), ast.RollbackStatement)
+
+
+class TestScriptsAndErrors:
+    def test_parse_script(self):
+        statements = parse_script(
+            "CREATE TABLE t (a INTEGER); INSERT INTO t VALUES (1); "
+            "SELECT * FROM t;"
+        )
+        assert len(statements) == 3
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_statement("SELECT 1 FROM t banana nonsense extra")
+
+    def test_unknown_statement(self):
+        with pytest.raises(ParseError):
+            parse_statement("FROB THE TABLE")
+
+    def test_missing_expression(self):
+        with pytest.raises(ParseError):
+            parse_statement("SELECT FROM t")
+
+    def test_unbalanced_parens(self):
+        with pytest.raises(ParseError):
+            parse_statement("SELECT (1 + 2 FROM t")

@@ -1,0 +1,124 @@
+"""Staged pipelines: legacy vs AOT mode, metrics, repeatability."""
+
+import pytest
+
+from repro import AcceleratedDatabase, Pipeline
+from repro.errors import ReproError
+from repro.workloads import create_churn_table
+
+
+@pytest.fixture
+def db():
+    return AcceleratedDatabase(slice_count=2, chunk_rows=256)
+
+
+@pytest.fixture
+def conn(db):
+    connection = db.connect()
+    create_churn_table(connection, count=600, accelerate=True)
+    return connection
+
+
+@pytest.fixture
+def pipeline():
+    return (
+        Pipeline("churn")
+        .add_transform(
+            "clean",
+            "CHURN_CLEAN",
+            "SELECT cust_id, tenure_months, monthly_charges, "
+            "COALESCE(total_charges, monthly_charges * tenure_months) "
+            "AS total_charges, support_calls, contract_months, churned "
+            "FROM churn",
+        )
+        .add_transform(
+            "features",
+            "CHURN_FEATURES",
+            "SELECT cust_id, tenure_months, monthly_charges, total_charges, "
+            "support_calls, contract_months, "
+            "total_charges / tenure_months AS avg_charge, churned "
+            "FROM churn_clean",
+        )
+        .add_procedure(
+            "cluster",
+            "CALL INZA.KMEANS('intable=CHURN_FEATURES, "
+            "outtable=CHURN_SEGMENTS, id=CUST_ID, k=3, model=CHURN_KM')",
+            ("CHURN_SEGMENTS",),
+        )
+    )
+
+
+class TestExecution:
+    def test_aot_mode_produces_results(self, db, conn, pipeline):
+        result = pipeline.run(conn, mode="aot")
+        assert [s.name for s in result.stages] == ["clean", "features", "cluster"]
+        assert conn.execute("SELECT COUNT(*) FROM churn_segments").scalar() == 600
+        assert db.catalog.table("CHURN_CLEAN").is_aot
+
+    def test_legacy_mode_produces_same_results(self, db, conn, pipeline):
+        aot = pipeline.run(conn, mode="aot")
+        aot_counts = conn.execute(
+            "SELECT cluster_id, COUNT(*) FROM churn_segments "
+            "GROUP BY cluster_id ORDER BY cluster_id"
+        ).rows
+        legacy = pipeline.run(conn, mode="legacy")
+        legacy_counts = conn.execute(
+            "SELECT cluster_id, COUNT(*) FROM churn_segments "
+            "GROUP BY cluster_id ORDER BY cluster_id"
+        ).rows
+        assert aot_counts == legacy_counts
+        assert not db.catalog.table("CHURN_CLEAN").is_aot
+
+    def test_invalid_mode_rejected(self, conn, pipeline):
+        with pytest.raises(ReproError):
+            pipeline.run(conn, mode="hybrid")
+
+    def test_rerun_is_idempotent(self, conn, pipeline):
+        pipeline.run(conn, mode="aot")
+        pipeline.run(conn, mode="aot")
+        assert conn.execute("SELECT COUNT(*) FROM churn_segments").scalar() == 600
+
+    def test_cleanup_drops_stage_tables(self, db, conn, pipeline):
+        pipeline.run(conn, mode="aot")
+        pipeline.cleanup(conn)
+        assert not db.catalog.has_table("CHURN_CLEAN")
+        assert not db.catalog.has_table("CHURN_SEGMENTS")
+
+
+class TestMovement:
+    """The paper's core claim: AOTs eliminate per-stage data movement."""
+
+    def test_aot_moves_orders_of_magnitude_less(self, conn, pipeline):
+        aot = pipeline.run(conn, mode="aot")
+        legacy = pipeline.run(conn, mode="legacy")
+        assert legacy.total_movement.total_bytes > 10 * max(
+            1, aot.total_movement.total_bytes
+        )
+
+    def test_aot_transform_stages_ship_only_statements(self, conn, pipeline):
+        result = pipeline.run(conn, mode="aot")
+        for stage in result.stages[:2]:
+            assert stage.movement.bytes_from_accelerator == 0
+            assert stage.movement.bytes_to_accelerator <= 512
+
+    def test_legacy_transform_stages_round_trip(self, conn, pipeline):
+        result = pipeline.run(conn, mode="legacy")
+        for stage in result.stages[:2]:
+            # Materialised in DB2, then re-replicated outward.
+            assert stage.movement.bytes_to_accelerator > 1000
+
+    def test_stage_engines_reported(self, conn, pipeline):
+        aot = pipeline.run(conn, mode="aot")
+        assert all(s.engine == "ACCELERATOR" for s in aot.stages)
+        legacy = pipeline.run(conn, mode="legacy")
+        assert legacy.stages[0].engine == "DB2"
+
+    def test_report_renders(self, conn, pipeline):
+        result = pipeline.run(conn, mode="aot")
+        text = result.report()
+        assert "churn" in text
+        assert "clean" in text
+
+    def test_total_elapsed_positive(self, conn, pipeline):
+        result = pipeline.run(conn, mode="aot")
+        assert result.total_elapsed > 0

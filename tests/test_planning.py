@@ -1,0 +1,130 @@
+"""Planner utilities: range extraction, canonicalisation, conjuncts."""
+
+import pytest
+
+from repro.sql import ast, parse_statement
+from repro.sql.expressions import Scope
+from repro.sql.planning import (
+    canonicalize,
+    extract_column_ranges,
+    references_only,
+    split_conjuncts,
+)
+
+SCOPE = Scope([("T", "A"), ("T", "B"), ("T", "S")])
+BINDINGS = {0: "A", 1: "B"}  # S is non-numeric: no ranges
+
+
+def where_of(sql_condition):
+    return parse_statement(f"SELECT 1 FROM t WHERE {sql_condition}").where
+
+
+class TestExtractColumnRanges:
+    def ranges(self, condition):
+        return extract_column_ranges(where_of(condition), SCOPE, BINDINGS)
+
+    def test_simple_bounds(self):
+        assert self.ranges("a > 5") == {"A": (5.0, None)}
+        assert self.ranges("a < 5") == {"A": (None, 5.0)}
+        assert self.ranges("a >= 5 AND a <= 9") == {"A": (5.0, 9.0)}
+
+    def test_equality_pins_both_bounds(self):
+        assert self.ranges("a = 7") == {"A": (7.0, 7.0)}
+
+    def test_flipped_comparison(self):
+        assert self.ranges("5 < a") == {"A": (5.0, None)}
+        assert self.ranges("9 >= a") == {"A": (None, 9.0)}
+
+    def test_between(self):
+        assert self.ranges("a BETWEEN 2 AND 4") == {"A": (2.0, 4.0)}
+
+    def test_not_between_contributes_nothing(self):
+        assert self.ranges("a NOT BETWEEN 2 AND 4") == {}
+
+    def test_negative_literals(self):
+        assert self.ranges("a > -5") == {"A": (-5.0, None)}
+
+    def test_multiple_columns(self):
+        result = self.ranges("a > 1 AND b < 2")
+        assert result == {"A": (1.0, None), "B": (None, 2.0)}
+
+    def test_tightest_bound_wins(self):
+        assert self.ranges("a > 1 AND a > 5") == {"A": (5.0, None)}
+        assert self.ranges("a < 9 AND a < 3") == {"A": (None, 3.0)}
+
+    def test_or_contributes_nothing(self):
+        assert self.ranges("a > 5 OR b > 1") == {}
+
+    def test_or_beside_and_keeps_and_part(self):
+        assert self.ranges("a > 5 AND (b > 1 OR s = 'x')") == {
+            "A": (5.0, None)
+        }
+
+    def test_non_literal_side_ignored(self):
+        assert self.ranges("a > b") == {}
+
+    def test_unmapped_column_ignored(self):
+        # S is not in the binding map (non-numeric).
+        assert self.ranges("s = 'x'") == {}
+
+    def test_none_where(self):
+        assert extract_column_ranges(None, SCOPE, BINDINGS) == {}
+
+
+class TestSplitConjuncts:
+    def test_flattens_nested_ands(self):
+        parts = split_conjuncts(where_of("a > 1 AND b > 2 AND s = 'x'"))
+        assert len(parts) == 3
+
+    def test_or_is_one_conjunct(self):
+        assert len(split_conjuncts(where_of("a > 1 OR b > 2"))) == 1
+
+    def test_none(self):
+        assert split_conjuncts(None) == []
+
+
+class TestCanonicalize:
+    def expr(self, text):
+        return parse_statement(f"SELECT {text} FROM t").select_items[0].expression
+
+    def test_qualified_and_bare_refs_match(self):
+        assert canonicalize(self.expr("t.a + 1"), SCOPE) == canonicalize(
+            self.expr("a + 1"), SCOPE
+        )
+
+    def test_different_columns_differ(self):
+        assert canonicalize(self.expr("a"), SCOPE) != canonicalize(
+            self.expr("b"), SCOPE
+        )
+
+    def test_structure_matters(self):
+        assert canonicalize(self.expr("a + b"), SCOPE) != canonicalize(
+            self.expr("b + a"), SCOPE
+        )
+
+    def test_case_expressions_compare(self):
+        first = canonicalize(
+            self.expr("CASE WHEN a > 1 THEN b ELSE 0 END"), SCOPE
+        )
+        second = canonicalize(
+            self.expr("CASE WHEN t.a > 1 THEN t.b ELSE 0 END"), SCOPE
+        )
+        assert first == second
+
+
+class TestReferencesOnly:
+    def test_contained(self):
+        assert references_only(self.make("a + b"), SCOPE)
+
+    def test_not_contained(self):
+        assert not references_only(self.make("a + zzz"), SCOPE)
+
+    def test_star_never_contained(self):
+        assert not references_only(ast.Star(), SCOPE)
+
+    def test_literals_always_contained(self):
+        assert references_only(self.make("1 + 2"), Scope([]))
+
+    @staticmethod
+    def make(text):
+        return parse_statement(f"SELECT {text} FROM t").select_items[0].expression

@@ -1,0 +1,305 @@
+"""The built-in INZA procedures end-to-end through SQL CALL."""
+
+import pytest
+
+from repro import AcceleratedDatabase
+from repro.errors import AnalyticsError, ProcedureError
+from repro.workloads import create_churn_table
+
+
+@pytest.fixture
+def db():
+    return AcceleratedDatabase(slice_count=2, chunk_rows=256)
+
+
+@pytest.fixture
+def conn(db):
+    connection = db.connect()
+    create_churn_table(connection, count=400, accelerate=True)
+    return connection
+
+
+class TestTransforms:
+    def test_normalize_zscore(self, conn):
+        result = conn.execute(
+            "CALL INZA.NORMALIZE('intable=CHURN, outtable=N1, "
+            "incolumn=MONTHLY_CHARGES, method=zscore')"
+        )
+        assert "NORMALIZE ok" in result.message
+        stats = conn.execute(
+            "SELECT AVG(monthly_charges), STDDEV(monthly_charges) FROM n1"
+        ).rows[0]
+        assert stats[0] == pytest.approx(0.0, abs=1e-9)
+        assert stats[1] == pytest.approx(1.0, abs=1e-6)
+
+    def test_normalize_minmax(self, conn):
+        conn.execute(
+            "CALL INZA.NORMALIZE('intable=CHURN, outtable=N2, "
+            "incolumn=MONTHLY_CHARGES, method=minmax')"
+        )
+        low, high = conn.execute(
+            "SELECT MIN(monthly_charges), MAX(monthly_charges) FROM n2"
+        ).rows[0]
+        assert low == pytest.approx(0.0)
+        assert high == pytest.approx(1.0)
+
+    def test_normalize_unknown_method(self, conn):
+        with pytest.raises(ProcedureError):
+            conn.execute(
+                "CALL INZA.NORMALIZE('intable=CHURN, outtable=N3, "
+                "method=banana')"
+            )
+
+    def test_impute_mean_removes_nulls(self, conn):
+        nulls_before = conn.execute(
+            "SELECT COUNT(*) FROM churn WHERE total_charges IS NULL"
+        ).scalar()
+        assert nulls_before > 0
+        result = conn.execute(
+            "CALL INZA.IMPUTE('intable=CHURN, outtable=I1, "
+            "incolumn=TOTAL_CHARGES, method=mean')"
+        )
+        assert f"{nulls_before} values imputed" in result.message
+        assert conn.execute(
+            "SELECT COUNT(*) FROM i1 WHERE total_charges IS NULL"
+        ).scalar() == 0
+
+    def test_impute_preserves_non_null_values(self, conn):
+        conn.execute(
+            "CALL INZA.IMPUTE('intable=CHURN, outtable=I2, "
+            "incolumn=TOTAL_CHARGES, method=constant, value=0')"
+        )
+        original = conn.execute(
+            "SELECT SUM(total_charges) FROM churn "
+            "WHERE total_charges IS NOT NULL"
+        ).scalar()
+        imputed = conn.execute("SELECT SUM(total_charges) FROM i2").scalar()
+        assert imputed == pytest.approx(original)
+
+    def test_bin_produces_bounded_ids(self, conn):
+        conn.execute(
+            "CALL INZA.BIN('intable=CHURN, outtable=B1, "
+            "incolumn=MONTHLY_CHARGES, bins=5')"
+        )
+        low, high = conn.execute(
+            "SELECT MIN(monthly_charges_bin), MAX(monthly_charges_bin) FROM b1"
+        ).rows[0]
+        assert low == 0
+        assert high == 4
+
+    def test_sample_fraction(self, conn):
+        conn.execute(
+            "CALL INZA.SAMPLE('intable=CHURN, outtable=S1, fraction=0.25, "
+            "randseed=3')"
+        )
+        assert conn.execute("SELECT COUNT(*) FROM s1").scalar() == 100
+
+    def test_sample_deterministic(self, conn):
+        conn.execute(
+            "CALL INZA.SAMPLE('intable=CHURN, outtable=S2, size=50, randseed=9')"
+        )
+        conn.execute(
+            "CALL INZA.SAMPLE('intable=CHURN, outtable=S3, size=50, randseed=9')"
+        )
+        a = conn.execute("SELECT cust_id FROM s2 ORDER BY cust_id").rows
+        b = conn.execute("SELECT cust_id FROM s3 ORDER BY cust_id").rows
+        assert a == b
+
+    def test_sample_requires_size_or_fraction(self, conn):
+        with pytest.raises(ProcedureError):
+            conn.execute("CALL INZA.SAMPLE('intable=CHURN, outtable=S4')")
+
+    def test_split_data_partitions(self, conn):
+        conn.execute(
+            "CALL INZA.SPLIT_DATA('intable=CHURN, traintable=TR, "
+            "testtable=TE, fraction=0.8, randseed=5')"
+        )
+        train = conn.execute("SELECT COUNT(*) FROM tr").scalar()
+        test = conn.execute("SELECT COUNT(*) FROM te").scalar()
+        assert train + test == 400
+        assert train == 320
+        overlap = conn.execute(
+            "SELECT COUNT(*) FROM tr WHERE cust_id IN "
+            "(SELECT cust_id FROM te)"
+        ).scalar()
+        assert overlap == 0
+
+    def test_summary_statistics(self, conn):
+        conn.execute("CALL INZA.SUMMARY('intable=CHURN, outtable=SUMM')")
+        rows = conn.execute(
+            "SELECT column_name, non_null, nulls FROM summ ORDER BY column_name"
+        ).as_dicts()
+        by_name = {r["COLUMN_NAME"]: r for r in rows}
+        assert by_name["CUST_ID"]["NON_NULL"] == 400
+        assert by_name["TOTAL_CHARGES"]["NULLS"] > 0
+
+
+class TestMiningProcedures:
+    def test_kmeans_end_to_end(self, conn, db):
+        result = conn.execute(
+            "CALL INZA.KMEANS('intable=CHURN, outtable=KM_OUT, id=CUST_ID, "
+            "k=3, model=KM1, "
+            "incolumn=TENURE_MONTHS;MONTHLY_CHARGES;SUPPORT_CALLS')"
+        )
+        assert "KMEANS ok" in result.message
+        counts = conn.execute(
+            "SELECT cluster_id, COUNT(*) FROM km_out GROUP BY cluster_id"
+        ).rows
+        assert sum(c for __, c in counts) == 400
+        assert len(counts) == 3
+        assert "KM1" in db.models
+
+    def test_kmeans_then_predict(self, conn):
+        conn.execute(
+            "CALL INZA.KMEANS('intable=CHURN, outtable=KM_OUT, id=CUST_ID, "
+            "k=3, model=KM1, "
+            "incolumn=TENURE_MONTHS;MONTHLY_CHARGES;SUPPORT_CALLS')"
+        )
+        conn.execute(
+            "CALL INZA.PREDICT_KMEANS('model=KM1, intable=CHURN, "
+            "outtable=KM_SCORED, id=CUST_ID')"
+        )
+        # Scoring the training data reproduces the training assignment.
+        mismatch = conn.execute(
+            "SELECT COUNT(*) FROM km_out a JOIN km_scored b "
+            "ON a.cust_id = b.cust_id "
+            "WHERE a.cluster_id <> b.cluster_id"
+        ).scalar()
+        assert mismatch == 0
+
+    def test_linear_regression_on_correlated_data(self, conn, db):
+        # TOTAL_CHARGES ≈ MONTHLY_CHARGES * TENURE: regression on the
+        # imputed table should fit decently.
+        conn.execute(
+            "CALL INZA.IMPUTE('intable=CHURN, outtable=CLEAN, "
+            "incolumn=TOTAL_CHARGES, method=mean')"
+        )
+        result = conn.execute(
+            "CALL INZA.LINEAR_REGRESSION('intable=CLEAN, target=TOTAL_CHARGES, "
+            "model=LR1, incolumn=TENURE_MONTHS;MONTHLY_CHARGES, "
+            "outtable=LR1_COEF')"
+        )
+        assert "LINEAR_REGRESSION ok" in result.message
+        assert db.models.get("LR1").metrics["r_squared"] > 0.5
+        rows = conn.execute("SELECT term FROM lr1_coef ORDER BY term").rows
+        assert ("INTERCEPT",) in rows
+
+    def test_regression_predict(self, conn):
+        conn.execute(
+            "CALL INZA.IMPUTE('intable=CHURN, outtable=CLEAN, "
+            "incolumn=TOTAL_CHARGES, method=mean')"
+        )
+        conn.execute(
+            "CALL INZA.LINEAR_REGRESSION('intable=CLEAN, target=TOTAL_CHARGES, "
+            "model=LR1, incolumn=TENURE_MONTHS;MONTHLY_CHARGES')"
+        )
+        conn.execute(
+            "CALL INZA.PREDICT_LINEAR_REGRESSION('model=LR1, intable=CLEAN, "
+            "outtable=LR_SCORED, id=CUST_ID')"
+        )
+        assert conn.execute("SELECT COUNT(*) FROM lr_scored").scalar() == 400
+
+    def test_naive_bayes_beats_base_rate(self, conn, db):
+        conn.execute(
+            "CALL INZA.IMPUTE('intable=CHURN, outtable=CLEAN, "
+            "incolumn=TOTAL_CHARGES, method=mean')"
+        )
+        conn.execute(
+            "CALL INZA.NAIVEBAYES('intable=CLEAN, class=CHURNED, model=NB1, "
+            "id=CUST_ID')"
+        )
+        base_rate = max(
+            row[1]
+            for row in conn.execute(
+                "SELECT churned, COUNT(*) FROM clean GROUP BY churned"
+            ).rows
+        ) / 400
+        assert db.models.get("NB1").metrics["training_accuracy"] > base_rate
+
+    def test_decision_tree_and_predict(self, conn, db):
+        conn.execute(
+            "CALL INZA.IMPUTE('intable=CHURN, outtable=CLEAN, "
+            "incolumn=TOTAL_CHARGES, method=mean')"
+        )
+        conn.execute(
+            "CALL INZA.DECTREE('intable=CLEAN, class=CHURNED, model=DT1, "
+            "id=CUST_ID, maxdepth=5')"
+        )
+        assert db.models.get("DT1").metrics["training_accuracy"] > 0.7
+        conn.execute(
+            "CALL INZA.PREDICT_DECTREE('model=DT1, intable=CLEAN, "
+            "outtable=DT_SCORED, id=CUST_ID')"
+        )
+        distinct = conn.execute(
+            "SELECT COUNT(DISTINCT prediction) FROM dt_scored"
+        ).scalar()
+        assert distinct == 2
+
+    def test_wrong_model_kind_rejected(self, conn):
+        conn.execute(
+            "CALL INZA.KMEANS('intable=CHURN, outtable=K1, id=CUST_ID, "
+            "k=2, model=KM2, incolumn=TENURE_MONTHS;MONTHLY_CHARGES')"
+        )
+        with pytest.raises(AnalyticsError):
+            conn.execute(
+                "CALL INZA.PREDICT_DECTREE('model=KM2, intable=CHURN, "
+                "outtable=X, id=CUST_ID')"
+            )
+
+    def test_nulls_rejected_with_hint(self, conn):
+        with pytest.raises(AnalyticsError) as excinfo:
+            conn.execute(
+                "CALL INZA.KMEANS('intable=CHURN, outtable=K2, id=CUST_ID, "
+                "k=2, incolumn=TOTAL_CHARGES')"
+            )
+        assert "IMPUTE" in str(excinfo.value)
+
+    def test_arule_on_basket_table(self, conn):
+        conn.execute(
+            "CREATE TABLE BASKETS (TID INTEGER, ITEM VARCHAR(16)) "
+            "IN ACCELERATOR"
+        )
+        baskets = [
+            (1, "beer"), (1, "chips"),
+            (2, "beer"), (2, "chips"), (2, "salsa"),
+            (3, "beer"), (3, "diapers"),
+            (4, "chips"), (4, "salsa"),
+            (5, "beer"), (5, "chips"), (5, "diapers"),
+        ]
+        values = ", ".join(f"({t}, '{i}')" for t, i in baskets)
+        conn.execute(f"INSERT INTO BASKETS VALUES {values}")
+        result = conn.execute(
+            "CALL INZA.ARULE('intable=BASKETS, tid=TID, item=ITEM, "
+            "outtable=RULES, support=0.4, confidence=0.7')"
+        )
+        assert "ARULE ok" in result.message
+        rules = conn.execute(
+            "SELECT antecedent, consequent, confidence FROM rules "
+            "ORDER BY confidence DESC"
+        ).rows
+        assert ("chips", "beer", pytest.approx(0.75)) in [
+            (a, c, pytest.approx(conf)) for a, c, conf in rules
+        ] or any(
+            a == "chips" and c == "beer" and abs(conf - 0.75) < 1e-9
+            for a, c, conf in rules
+        )
+
+    def test_procedure_outputs_are_aots(self, conn, db):
+        conn.execute(
+            "CALL INZA.KMEANS('intable=CHURN, outtable=K3, id=CUST_ID, "
+            "k=2, incolumn=TENURE_MONTHS;MONTHLY_CHARGES')"
+        )
+        assert db.catalog.table("K3").is_aot
+
+    def test_output_table_collision_raises(self, conn):
+        conn.execute(
+            "CALL INZA.KMEANS('intable=CHURN, outtable=K4, id=CUST_ID, "
+            "k=2, incolumn=TENURE_MONTHS;MONTHLY_CHARGES')"
+        )
+        from repro.errors import DuplicateObjectError
+
+        with pytest.raises(DuplicateObjectError):
+            conn.execute(
+                "CALL INZA.KMEANS('intable=CHURN, outtable=K4, id=CUST_ID, "
+                "k=2, incolumn=TENURE_MONTHS;MONTHLY_CHARGES')"
+            )

@@ -1,0 +1,279 @@
+"""Query-processing edge cases, exercised on BOTH engines.
+
+Each case runs the same SQL against a DB2-resident table and the
+accelerated copy (acceleration ALL) and asserts identical results — the
+transparency property under awkward inputs.
+"""
+
+import pytest
+
+from repro import AcceleratedDatabase
+
+
+@pytest.fixture
+def db():
+    return AcceleratedDatabase(slice_count=2, chunk_rows=16)
+
+
+@pytest.fixture
+def conn(db):
+    connection = db.connect()
+    connection.execute(
+        "CREATE TABLE E (ID INTEGER NOT NULL PRIMARY KEY, "
+        "G VARCHAR(4), V DOUBLE)"
+    )
+    rows = []
+    for i in range(40):
+        group = "NULL" if i % 7 == 0 else f"'g{i % 3}'"
+        value = "NULL" if i % 5 == 0 else str(float(i))
+        rows.append(f"({i}, {group}, {value})")
+    connection.execute(f"INSERT INTO E VALUES {', '.join(rows)}")
+    connection.execute("CREATE TABLE EMPTY (A INTEGER, B VARCHAR(4))")
+    db.add_table_to_accelerator("E")
+    db.add_table_to_accelerator("EMPTY")
+    return connection
+
+
+def both(conn, sql):
+    conn.set_acceleration("NONE")
+    db2 = conn.execute(sql)
+    assert db2.engine == "DB2"
+    conn.set_acceleration("ALL")
+    accel = conn.execute(sql)
+    assert accel.engine == "ACCELERATOR"
+    assert accel.columns == db2.columns
+    return db2.rows, accel.rows
+
+
+def both_equal(conn, sql, ordered=False):
+    db2, accel = both(conn, sql)
+    if ordered:
+        assert accel == db2, sql
+    else:
+        assert sorted(map(repr, accel)) == sorted(map(repr, db2)), sql
+    return db2
+
+
+class TestEmptyInputs:
+    def test_scan_empty_table(self, conn):
+        assert both_equal(conn, "SELECT * FROM empty") == []
+
+    def test_aggregates_over_empty_table(self, conn):
+        rows = both_equal(
+            conn, "SELECT COUNT(*), COUNT(a), SUM(a), AVG(a), MIN(a) FROM empty"
+        )
+        assert rows == [(0, 0, None, None, None)]
+
+    def test_group_by_over_empty_table(self, conn):
+        assert both_equal(
+            conn, "SELECT b, COUNT(*) FROM empty GROUP BY b"
+        ) == []
+
+    def test_join_with_empty_side(self, conn):
+        assert both_equal(
+            conn, "SELECT e.id FROM e JOIN empty ON e.id = empty.a"
+        ) == []
+
+    def test_left_join_with_empty_right(self, conn):
+        rows = both_equal(
+            conn,
+            "SELECT e.id, empty.b FROM e LEFT JOIN empty "
+            "ON e.id = empty.a WHERE e.id < 3 ORDER BY e.id",
+            ordered=True,
+        )
+        assert rows == [(0, None), (1, None), (2, None)]
+
+    def test_empty_in_subquery(self, conn):
+        assert both_equal(
+            conn, "SELECT id FROM e WHERE id IN (SELECT a FROM empty)"
+        ) == []
+
+    def test_not_exists_on_empty(self, conn):
+        rows = both_equal(
+            conn,
+            "SELECT COUNT(*) FROM e WHERE EXISTS (SELECT 1 FROM empty)",
+        )
+        assert rows == [(0,)]
+
+
+class TestLimitsAndOffsets:
+    def test_limit_zero(self, conn):
+        assert both_equal(conn, "SELECT id FROM e LIMIT 0") == []
+
+    def test_offset_beyond_end(self, conn):
+        assert both_equal(
+            conn, "SELECT id FROM e ORDER BY id OFFSET 999 ROWS", ordered=True
+        ) == []
+
+    def test_limit_larger_than_table(self, conn):
+        rows = both_equal(
+            conn, "SELECT id FROM e ORDER BY id LIMIT 9999", ordered=True
+        )
+        assert len(rows) == 40
+
+    def test_offset_without_limit(self, conn):
+        rows = both_equal(
+            conn, "SELECT id FROM e ORDER BY id OFFSET 38 ROWS", ordered=True
+        )
+        assert rows == [(38,), (39,)]
+
+
+class TestNullHandling:
+    def test_group_by_null_forms_one_group(self, conn):
+        rows = both_equal(
+            conn, "SELECT g, COUNT(*) FROM e GROUP BY g"
+        )
+        null_groups = [r for r in rows if r[0] is None]
+        assert len(null_groups) == 1
+        assert null_groups[0][1] == 6  # ids 0,7,14,21,28,35
+
+    def test_order_by_nulls_high(self, conn):
+        rows = both_equal(
+            conn,
+            "SELECT id, v FROM e ORDER BY v, id LIMIT 40",
+            ordered=True,
+        )
+        values = [r[1] for r in rows]
+        non_null = [v for v in values if v is not None]
+        assert non_null == sorted(non_null)
+        assert all(v is None for v in values[len(non_null):])
+
+    def test_where_null_comparison_filters(self, conn):
+        rows = both_equal(conn, "SELECT COUNT(*) FROM e WHERE v = v")
+        # NULL = NULL is NULL → filtered (8 rows have NULL v).
+        assert rows == [(32,)]
+
+    def test_count_distinct_ignores_nulls(self, conn):
+        # g cycles g0/g1/g2 with every 7th row NULL: 3 distinct values,
+        # NULLs not counted.
+        rows = both_equal(conn, "SELECT COUNT(DISTINCT g) FROM e")
+        assert rows == [(3,)]
+
+    def test_sum_of_all_null_group(self, conn):
+        conn.set_acceleration("ALL")
+        conn.execute(
+            "CREATE TABLE NULLGRP (K INTEGER, V DOUBLE) IN ACCELERATOR"
+        )
+        conn.execute("INSERT INTO NULLGRP VALUES (1, NULL), (1, NULL)")
+        rows = conn.execute(
+            "SELECT k, SUM(v), COUNT(v) FROM nullgrp GROUP BY k"
+        ).rows
+        assert rows == [(1, None, 0)]
+
+
+class TestJoinsAndNesting:
+    def test_self_join(self, conn):
+        rows = both_equal(
+            conn,
+            "SELECT a.id FROM e a JOIN e b ON a.id = b.id + 1 "
+            "WHERE b.id < 3 ORDER BY a.id",
+            ordered=True,
+        )
+        assert rows == [(1,), (2,), (3,)]
+
+    def test_three_way_join(self, conn):
+        rows = both_equal(
+            conn,
+            "SELECT COUNT(*) FROM e a JOIN e b ON a.id = b.id "
+            "JOIN e c ON b.id = c.id",
+        )
+        assert rows == [(40,)]
+
+    def test_nested_derived_tables(self, conn):
+        rows = both_equal(
+            conn,
+            "SELECT t2.n FROM (SELECT t1.g AS gg, COUNT(*) AS n FROM "
+            "(SELECT g FROM e WHERE g IS NOT NULL) AS t1 "
+            "GROUP BY t1.g) AS t2 ORDER BY t2.n DESC",
+            ordered=True,
+        )
+        assert sum(r[0] for r in rows) == 34
+
+    def test_join_on_expression(self, conn):
+        rows = both_equal(
+            conn,
+            "SELECT COUNT(*) FROM e a JOIN e b ON a.id + 1 = b.id",
+        )
+        assert rows == [(39,)]
+
+    def test_cross_join_count(self, conn):
+        rows = both_equal(
+            conn,
+            "SELECT COUNT(*) FROM e a CROSS JOIN e b "
+            "WHERE a.id < 5 AND b.id < 5",
+        )
+        assert rows == [(25,)]
+
+    def test_non_equi_join(self, conn):
+        rows = both_equal(
+            conn,
+            "SELECT COUNT(*) FROM e a JOIN e b ON a.id < b.id "
+            "WHERE a.id < 4 AND b.id < 4",
+        )
+        assert rows == [(6,)]
+
+
+class TestExpressionsInQueries:
+    def test_case_in_group_by(self, conn):
+        rows = both_equal(
+            conn,
+            "SELECT CASE WHEN id < 20 THEN 'lo' ELSE 'hi' END AS bucket, "
+            "COUNT(*) FROM e GROUP BY CASE WHEN id < 20 THEN 'lo' "
+            "ELSE 'hi' END ORDER BY bucket",
+            ordered=True,
+        )
+        assert rows == [("hi", 20), ("lo", 20)]
+
+    def test_arithmetic_in_aggregate(self, conn):
+        both_equal(conn, "SELECT SUM(v * 2 + 1) FROM e")
+
+    def test_aggregate_of_aggregate_rejected(self, conn):
+        from repro.errors import ParseError
+
+        conn.set_acceleration("NONE")
+        with pytest.raises(ParseError):
+            conn.execute("SELECT SUM(COUNT(*)) FROM e")
+
+    def test_having_without_group_by(self, conn):
+        rows = both_equal(
+            conn, "SELECT COUNT(*) FROM e HAVING COUNT(*) > 100"
+        )
+        assert rows == []
+
+    def test_distinct_on_expression(self, conn):
+        rows = both_equal(conn, "SELECT DISTINCT id % 4 FROM e ORDER BY 1",
+                          ordered=True)
+        assert rows == [(0,), (1,), (2,), (3,)]
+
+    def test_concat_and_functions(self, conn):
+        both_equal(
+            conn,
+            "SELECT UPPER(COALESCE(g, 'none')) || '-' || "
+            "CAST(id AS VARCHAR(4)) FROM e ORDER BY id LIMIT 5",
+            ordered=True,
+        )
+
+
+class TestMonitoring:
+    def test_statement_history_records(self, db, conn):
+        before = len(db.statement_history)
+        conn.execute("SELECT COUNT(*) FROM e")
+        assert len(db.statement_history) == before + 1
+        record = db.statement_history[-1]
+        assert record.statement_type == "Select"
+        assert record.engine in ("DB2", "ACCELERATOR")
+        assert record.elapsed_seconds >= 0
+
+    def test_history_procedure(self, db, conn):
+        conn.execute("SELECT 1")
+        result = conn.execute(
+            "CALL SYSPROC.ACCEL_GET_QUERY_HISTORY('limit=3')"
+        )
+        assert "ACCEL_GET_QUERY_HISTORY" in result.message
+        assert len(result.rows) >= 2
+
+    def test_failed_statements_not_recorded(self, db, conn):
+        before = len(db.statement_history)
+        with pytest.raises(Exception):
+            conn.execute("SELECT * FROM nonexistent")
+        assert len(db.statement_history) == before

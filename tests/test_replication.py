@@ -1,0 +1,139 @@
+"""Replication service: capture → drain → apply, staleness, batching."""
+
+import pytest
+
+from repro import AcceleratedDatabase
+
+
+@pytest.fixture
+def db():
+    # Manual drains: auto_replicate off so staleness is observable.
+    return AcceleratedDatabase(
+        slice_count=2, chunk_rows=128, auto_replicate=False
+    )
+
+
+@pytest.fixture
+def conn(db):
+    connection = db.connect()
+    connection.execute(
+        "CREATE TABLE ITEMS (ID INTEGER NOT NULL PRIMARY KEY, V DOUBLE)"
+    )
+    rows = ", ".join(f"({i}, {float(i)})" for i in range(100))
+    connection.execute(f"INSERT INTO ITEMS VALUES {rows}")
+    db.add_table_to_accelerator("ITEMS")
+    return connection
+
+
+def accel_sum(conn):
+    conn.set_acceleration("ALL")
+    result = conn.execute("SELECT SUM(v) FROM items")
+    assert result.engine == "ACCELERATOR"
+    conn.set_acceleration("ENABLE")
+    return result.scalar()
+
+
+class TestInitialCopy:
+    def test_copy_matches_source(self, db, conn):
+        assert accel_sum(conn) == sum(float(i) for i in range(100))
+
+    def test_copy_charged_to_interconnect(self, db, conn):
+        assert db.interconnect.bytes_to_accelerator > 0
+
+    def test_cannot_accelerate_twice(self, db, conn):
+        from repro.errors import DuplicateObjectError
+
+        with pytest.raises(DuplicateObjectError):
+            db.add_table_to_accelerator("ITEMS")
+
+
+class TestDrain:
+    def test_copy_is_stale_until_drained(self, db, conn):
+        conn.execute("UPDATE items SET v = v + 1000 WHERE id < 10")
+        assert db.replication.backlog == 10
+        assert accel_sum(conn) == 4950.0  # still the old copy
+        applied = db.replication.drain()
+        assert applied == 10
+        assert accel_sum(conn) == 4950.0 + 10 * 1000
+
+    def test_drain_in_batches(self, db, conn):
+        conn.execute("UPDATE items SET v = 0")
+        assert db.replication.backlog == 100
+        assert db.replication.drain(batch_size=30, max_batches=2) == 60
+        assert db.replication.backlog == 40
+        assert db.replication.drain(batch_size=30) == 40
+        assert accel_sum(conn) == 0.0
+
+    def test_drain_empty_log_is_noop(self, db, conn):
+        assert db.replication.drain() == 0
+
+    def test_deletes_replicate(self, db, conn):
+        conn.execute("DELETE FROM items WHERE id >= 50")
+        db.replication.drain()
+        conn.set_acceleration("ALL")
+        assert conn.execute("SELECT COUNT(*) FROM items").scalar() == 50
+
+    def test_inserts_replicate(self, db, conn):
+        conn.execute("INSERT INTO ITEMS VALUES (1000, 0.5)")
+        db.replication.drain()
+        conn.set_acceleration("ALL")
+        assert conn.execute("SELECT COUNT(*) FROM items").scalar() == 101
+
+    def test_records_charged_to_interconnect(self, db, conn):
+        before = db.interconnect.bytes_to_accelerator
+        conn.execute("UPDATE items SET v = v + 1")
+        db.replication.drain()
+        assert db.interconnect.bytes_to_accelerator > before
+
+
+class TestRegistration:
+    def test_changes_before_registration_are_skipped(self, db, conn):
+        """The initial copy already contains older rows; replication must
+        not re-apply records from before the table was registered."""
+        conn.execute("CREATE TABLE T2 (ID INTEGER NOT NULL PRIMARY KEY)")
+        conn.execute("INSERT INTO T2 VALUES (1), (2)")
+        db.add_table_to_accelerator("T2")
+        conn.execute("INSERT INTO T2 VALUES (3)")
+        db.replication.drain()
+        conn.set_acceleration("ALL")
+        assert conn.execute("SELECT COUNT(*) FROM t2").scalar() == 3
+
+    def test_unregistered_table_changes_skipped(self, db, conn):
+        conn.execute("UPDATE items SET v = -1 WHERE id = 0")
+        db.remove_table_from_accelerator("ITEMS")
+        #
+
+        before = db.replication.records_skipped
+        db.replication.drain()
+        assert db.replication.records_skipped > before
+
+
+class TestAutoReplication:
+    def test_auto_mode_keeps_copy_fresh(self):
+        db = AcceleratedDatabase(auto_replicate=True)
+        conn = db.connect()
+        conn.execute("CREATE TABLE A (ID INTEGER NOT NULL PRIMARY KEY, V DOUBLE)")
+        conn.execute("INSERT INTO A VALUES (1, 1.0), (2, 2.0)")
+        db.add_table_to_accelerator("A")
+        conn.execute("UPDATE a SET v = 10 WHERE id = 1")
+        conn.set_acceleration("ALL")
+        assert conn.execute("SELECT SUM(v) FROM a").scalar() == 12.0
+
+
+class TestTransactionalCapture:
+    def test_uncommitted_changes_not_replicated(self, db, conn):
+        conn.execute("BEGIN")
+        conn.execute("UPDATE items SET v = 0")
+        assert db.replication.backlog == 0  # nothing published yet
+        conn.execute("ROLLBACK")
+        db.replication.drain()
+        assert accel_sum(conn) == 4950.0
+
+    def test_commit_publishes_all_changes_in_order(self, db, conn):
+        conn.execute("BEGIN")
+        conn.execute("UPDATE items SET v = 1 WHERE id = 0")
+        conn.execute("UPDATE items SET v = 2 WHERE id = 0")
+        conn.execute("COMMIT")
+        db.replication.drain()
+        conn.set_acceleration("ALL")
+        assert conn.execute("SELECT v FROM items WHERE id = 0").scalar() == 2.0

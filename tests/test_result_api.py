@@ -1,0 +1,144 @@
+"""Result object API and cross-engine type fidelity (incl. DECIMAL)."""
+
+import datetime
+import decimal
+
+import pytest
+
+from repro import AcceleratedDatabase
+from repro.result import Result
+
+
+@pytest.fixture
+def db():
+    return AcceleratedDatabase(slice_count=2, chunk_rows=64)
+
+
+@pytest.fixture
+def conn(db):
+    return db.connect()
+
+
+class TestResultObject:
+    def test_scalar(self):
+        assert Result(columns=["A"], rows=[(7,)]).scalar() == 7
+        assert Result(columns=["A"], rows=[]).scalar() is None
+
+    def test_column(self):
+        result = Result(columns=["A", "B"], rows=[(1, "x"), (2, "y")])
+        assert result.column("B") == ["x", "y"]
+
+    def test_as_dicts(self):
+        result = Result(columns=["A"], rows=[(1,)])
+        assert result.as_dicts() == [{"A": 1}]
+
+    def test_len_and_iter(self):
+        result = Result(columns=["A"], rows=[(1,), (2,)])
+        assert len(result) == 2
+        assert [row[0] for row in result] == [1, 2]
+
+    def test_rowcount_defaults_from_rows(self):
+        assert Result(columns=["A"], rows=[(1,), (2,)]).rowcount == 2
+
+
+class TestTypeFidelity:
+    """Values must round-trip identically on both engines."""
+
+    def setup_table(self, db, conn):
+        conn.execute(
+            "CREATE TABLE TYPES (ID INTEGER NOT NULL PRIMARY KEY, "
+            "D DECIMAL(9, 2), S VARCHAR(10), DT DATE, TS TIMESTAMP, "
+            "B BOOLEAN, F DOUBLE)"
+        )
+        conn.execute(
+            "INSERT INTO TYPES VALUES "
+            "(1, 10.25, 'abc', '2016-03-15', '2016-03-15 10:30:00', "
+            "TRUE, 1.5), "
+            "(2, NULL, NULL, NULL, NULL, NULL, NULL)"
+        )
+        db.add_table_to_accelerator("TYPES")
+
+    def fetch_both(self, conn, sql):
+        conn.set_acceleration("NONE")
+        db2 = conn.execute(sql).rows
+        conn.set_acceleration("ALL")
+        accel = conn.execute(sql).rows
+        return db2, accel
+
+    def test_row_roundtrip_identical(self, db, conn):
+        self.setup_table(db, conn)
+        db2, accel = self.fetch_both(conn, "SELECT * FROM types ORDER BY id")
+        assert db2 == accel
+        row = db2[0]
+        assert row[1] == decimal.Decimal("10.25")
+        assert row[3] == datetime.date(2016, 3, 15)
+        assert row[4] == datetime.datetime(2016, 3, 15, 10, 30)
+        assert row[5] is True
+
+    def test_decimal_aggregates_agree(self, db, conn):
+        self.setup_table(db, conn)
+        sql = "SELECT SUM(d), AVG(d), MIN(d), MAX(d), COUNT(d) FROM types"
+        db2, accel = self.fetch_both(conn, sql)
+        assert db2 == accel
+        assert db2[0][0] == decimal.Decimal("10.25")
+
+    def test_date_functions_agree(self, db, conn):
+        self.setup_table(db, conn)
+        sql = (
+            "SELECT YEAR(dt), MONTH(dt), DAY(dt) FROM types "
+            "WHERE dt IS NOT NULL"
+        )
+        db2, accel = self.fetch_both(conn, sql)
+        assert db2 == accel == [(2016, 3, 15)]
+
+    def test_boolean_predicates_agree(self, db, conn):
+        self.setup_table(db, conn)
+        db2, accel = self.fetch_both(
+            conn, "SELECT id FROM types WHERE b = TRUE"
+        )
+        assert db2 == accel == [(1,)]
+
+    def test_decimal_arithmetic_on_both_engines(self, db, conn):
+        self.setup_table(db, conn)
+        sql = "SELECT d * 2 FROM types WHERE id = 1"
+        db2, accel = self.fetch_both(conn, sql)
+        assert db2 == accel
+        assert db2[0][0] == decimal.Decimal("20.50")
+
+    def test_null_row_stays_null_everywhere(self, db, conn):
+        self.setup_table(db, conn)
+        db2, accel = self.fetch_both(
+            conn, "SELECT d, s, dt, ts, b, f FROM types WHERE id = 2"
+        )
+        assert db2 == accel == [(None,) * 6]
+
+
+class TestCorrelationProcedure:
+    def test_correlation_finds_known_relationship(self, db, conn):
+        conn.execute("CREATE TABLE XY (X DOUBLE, Y DOUBLE, Z DOUBLE) IN ACCELERATOR")
+        rows = ", ".join(
+            f"({i}.0, {2 * i}.0, {(-1) ** i}.0)" for i in range(1, 41)
+        )
+        conn.execute(f"INSERT INTO XY VALUES {rows}")
+        conn.execute("CALL INZA.CORRELATION('intable=XY, outtable=C')")
+        pairs = {
+            (a, b): r
+            for a, b, r, __n in conn.execute(
+                "SELECT * FROM c"
+            ).rows
+        }
+        assert pairs[("X", "Y")] == pytest.approx(1.0)
+        assert abs(pairs[("X", "Z")]) < 0.2
+
+    def test_correlation_needs_two_columns(self, db, conn):
+        from repro.errors import AnalyticsError
+
+        conn.execute("CREATE TABLE ONECOL (X DOUBLE) IN ACCELERATOR")
+        with pytest.raises(AnalyticsError):
+            conn.execute("CALL INZA.CORRELATION('intable=ONECOL, outtable=C')")
+
+    def test_constant_column_yields_null_correlation(self, db, conn):
+        conn.execute("CREATE TABLE CC (X DOUBLE, Y DOUBLE) IN ACCELERATOR")
+        conn.execute("INSERT INTO CC VALUES (1.0, 5.0), (2.0, 5.0), (3.0, 5.0)")
+        conn.execute("CALL INZA.CORRELATION('intable=CC, outtable=C')")
+        assert conn.execute("SELECT correlation FROM c").rows == [(None,)]

@@ -1,0 +1,225 @@
+"""Row store and column store behaviour (incl. MVCC and zone maps)."""
+
+import numpy as np
+import pytest
+
+from repro.catalog import Column, TableSchema
+from repro.errors import ReproError
+from repro.sql.types import DOUBLE, INTEGER, VarcharType
+from repro.storage.column_store import ColumnStoreTable, NEVER_DELETED
+from repro.storage.row_store import DEFAULT_PAGE_CAPACITY, RowStoreTable
+from repro.storage.zone_maps import ZoneMap
+
+
+@pytest.fixture
+def schema():
+    return TableSchema(
+        [
+            Column("ID", INTEGER, nullable=False),
+            Column("V", DOUBLE),
+            Column("NAME", VarcharType(16)),
+        ]
+    )
+
+
+class TestRowStore:
+    def test_insert_and_fetch(self, schema):
+        table = RowStoreTable(schema)
+        row_id = table.insert((1, 2.0, "a"))
+        assert table.fetch(row_id) == (1, 2.0, "a")
+        assert table.row_count == 1
+
+    def test_pages_fill_and_overflow(self, schema):
+        table = RowStoreTable(schema)
+        for i in range(DEFAULT_PAGE_CAPACITY + 1):
+            table.insert((i, None, None))
+        assert table.page_count == 2
+
+    def test_row_ids_stable_across_deletes(self, schema):
+        table = RowStoreTable(schema)
+        ids = [table.insert((i, None, None)) for i in range(10)]
+        table.delete(ids[3])
+        assert table.fetch(ids[4]) == (4, None, None)
+
+    def test_delete_then_fetch_raises(self, schema):
+        table = RowStoreTable(schema)
+        row_id = table.insert((1, None, None))
+        table.delete(row_id)
+        with pytest.raises(ReproError):
+            table.fetch(row_id)
+
+    def test_double_delete_raises(self, schema):
+        table = RowStoreTable(schema)
+        row_id = table.insert((1, None, None))
+        table.delete(row_id)
+        with pytest.raises(ReproError):
+            table.delete(row_id)
+
+    def test_update_returns_before_image(self, schema):
+        table = RowStoreTable(schema)
+        row_id = table.insert((1, 2.0, "a"))
+        before = table.update(row_id, (1, 9.0, "b"))
+        assert before == (1, 2.0, "a")
+        assert table.fetch(row_id) == (1, 9.0, "b")
+
+    def test_undelete_restores(self, schema):
+        table = RowStoreTable(schema)
+        row_id = table.insert((1, 2.0, "a"))
+        before = table.delete(row_id)
+        table.undelete(row_id, before)
+        assert table.fetch(row_id) == (1, 2.0, "a")
+        assert table.row_count == 1
+
+    def test_undelete_occupied_slot_raises(self, schema):
+        table = RowStoreTable(schema)
+        row_id = table.insert((1, None, None))
+        with pytest.raises(ReproError):
+            table.undelete(row_id, (1, None, None))
+
+    def test_scan_skips_tombstones(self, schema):
+        table = RowStoreTable(schema)
+        ids = [table.insert((i, None, None)) for i in range(5)]
+        table.delete(ids[0])
+        table.delete(ids[4])
+        assert [row[0] for _, row in table.scan()] == [1, 2, 3]
+
+    def test_byte_count_tracks_changes(self, schema):
+        table = RowStoreTable(schema)
+        row_id = table.insert((1, 2.0, "abcd"))
+        bytes_full = table.byte_count
+        table.delete(row_id)
+        assert table.byte_count == 0
+        assert bytes_full > 0
+
+    def test_truncate(self, schema):
+        table = RowStoreTable(schema)
+        for i in range(5):
+            table.insert((i, None, None))
+        assert table.truncate() == 5
+        assert table.row_count == 0
+        assert list(table.scan()) == []
+
+
+class TestColumnStore:
+    def make(self, schema, rows=100, **kwargs):
+        table = ColumnStoreTable(schema, **kwargs)
+        data = [(i, float(i), f"n{i}") for i in range(rows)]
+        row_ids = table.append_rows(data, epoch=1)
+        return table, row_ids
+
+    def test_append_and_read(self, schema):
+        table, __ = self.make(schema, rows=50, slice_count=2, chunk_rows=16)
+        row_ids, columns = table.read_visible(epoch=1)
+        assert len(row_ids) == 50
+        assert sorted(columns["ID"].values.tolist()) == list(range(50))
+
+    def test_rows_split_into_chunks(self, schema):
+        table, __ = self.make(schema, rows=100, slice_count=2, chunk_rows=16)
+        assert table.total_chunk_count > 2
+
+    def test_snapshot_isolation_of_deletes(self, schema):
+        table, row_ids = self.make(schema, rows=20)
+        table.mark_deleted(row_ids[:10], epoch=2)
+        old_ids, __ = table.read_visible(epoch=1)
+        new_ids, __ = table.read_visible(epoch=2)
+        assert len(old_ids) == 20
+        assert len(new_ids) == 10
+
+    def test_rows_invisible_before_insert_epoch(self, schema):
+        table = ColumnStoreTable(schema)
+        table.append_rows([(1, 1.0, "a")], epoch=5)
+        assert len(table.read_visible(epoch=4)[0]) == 0
+        assert len(table.read_visible(epoch=5)[0]) == 1
+
+    def test_double_delete_counts_once(self, schema):
+        table, row_ids = self.make(schema, rows=10)
+        assert table.mark_deleted(row_ids[:5], epoch=2) == 5
+        assert table.mark_deleted(row_ids[:5], epoch=3) == 0
+        assert table.row_count == 5
+
+    def test_hash_distribution_is_deterministic(self, schema):
+        table_a = ColumnStoreTable(schema, slice_count=4, distribute_on=["ID"])
+        table_b = ColumnStoreTable(schema, slice_count=4, distribute_on=["ID"])
+        rows = [(i, float(i), "x") for i in range(64)]
+        table_a.append_rows(rows, epoch=1)
+        table_b.append_rows(rows, epoch=1)
+        layout_a = [[len(c) for c in chunks] for chunks in table_a._slices]
+        layout_b = [[len(c) for c in chunks] for chunks in table_b._slices]
+        assert layout_a == layout_b
+
+    def test_fetch_rows_round_trips(self, schema):
+        table, row_ids = self.make(schema, rows=10)
+        rows = table.fetch_rows(row_ids[3:5])
+        assert rows == [(3, 3.0, "n3"), (4, 4.0, "n4")]
+
+    def test_fetch_preserves_nulls(self, schema):
+        table = ColumnStoreTable(schema)
+        ids = table.append_rows([(1, None, None)], epoch=1)
+        assert table.fetch_rows(ids) == [(1, None, None)]
+
+    def test_truncate_is_versioned(self, schema):
+        table, __ = self.make(schema, rows=10)
+        removed = table.truncate(epoch=2)
+        assert removed == 10
+        assert len(table.read_visible(epoch=1)[0]) == 10
+        assert len(table.read_visible(epoch=2)[0]) == 0
+
+    def test_zone_map_pruning_skips_chunks(self, schema):
+        table, __ = self.make(schema, rows=256, slice_count=1, chunk_rows=32)
+        table.read_visible(epoch=1, ranges={"ID": (10, 20)})
+        assert table.last_scan_chunks_skipped > 0
+        # Correctness: pruned scan still returns a superset of the range.
+        row_ids, columns = table.read_visible(epoch=1, ranges={"ID": (10, 20)})
+        ids = columns["ID"].values
+        assert set(range(10, 21)) <= set(ids.tolist())
+
+    def test_zone_maps_can_be_disabled(self, schema):
+        table, __ = self.make(schema, rows=256, slice_count=1, chunk_rows=32)
+        table.zone_maps_enabled = False
+        table.read_visible(epoch=1, ranges={"ID": (10, 20)})
+        assert table.last_scan_chunks_skipped == 0
+
+    def test_byte_count_shrinks_after_delete(self, schema):
+        table, row_ids = self.make(schema, rows=20)
+        before = table.byte_count(1)
+        table.mark_deleted(row_ids, epoch=2)
+        assert table.byte_count(2) == 0
+        assert before > 0
+
+    def test_empty_table_read(self, schema):
+        table = ColumnStoreTable(schema)
+        row_ids, columns = table.read_visible(epoch=1)
+        assert len(row_ids) == 0
+        assert set(columns) == {"ID", "V", "NAME"}
+
+    def test_invalid_slice_count(self, schema):
+        with pytest.raises(ReproError):
+            ColumnStoreTable(schema, slice_count=0)
+
+
+class TestZoneMap:
+    def test_build_and_overlap(self):
+        zone = ZoneMap.build(np.array([5.0, 1.0, 9.0]))
+        assert zone.minimum == 1.0 and zone.maximum == 9.0
+        assert zone.overlaps(0, 2)
+        assert zone.overlaps(9, None)
+        assert not zone.overlaps(10, None)
+        assert not zone.overlaps(None, 0.5)
+
+    def test_open_bounds(self):
+        zone = ZoneMap(1.0, 2.0)
+        assert zone.overlaps(None, None)
+
+    def test_all_null_column(self):
+        values = np.array([0.0, 0.0])
+        mask = np.array([True, True])
+        assert ZoneMap.build(values, mask) is None
+
+    def test_nan_only_column(self):
+        assert ZoneMap.build(np.array([np.nan, np.nan])) is None
+
+    def test_mask_excluded_from_bounds(self):
+        values = np.array([100.0, 1.0])
+        mask = np.array([True, False])
+        zone = ZoneMap.build(values, mask)
+        assert zone.maximum == 1.0

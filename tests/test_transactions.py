@@ -1,0 +1,197 @@
+"""Locking, cursor stability, and concurrent transactions."""
+
+import threading
+
+import pytest
+
+from repro.catalog import Catalog, Column, TableSchema
+from repro.db2 import Db2Engine, LockManager, LockMode
+from repro.db2.transaction import Transaction, TransactionManager
+from repro.errors import LockTimeoutError, TransactionStateError
+from repro.sql import parse_statement
+from repro.sql.types import DOUBLE, INTEGER
+
+
+@pytest.fixture
+def engine():
+    catalog = Catalog()
+    engine = Db2Engine(catalog)
+    schema = TableSchema(
+        [Column("ID", INTEGER, nullable=False), Column("V", DOUBLE)]
+    )
+    engine.create_storage(catalog.create_table("T", schema))
+    txn = engine.txn_manager.begin()
+    engine.insert_rows(txn, "T", [(i, float(i)) for i in range(10)])
+    engine.commit(txn)
+    return engine
+
+
+class TestLockManager:
+    def test_shared_locks_compatible(self):
+        manager = LockManager(timeout=0.1)
+        a = Transaction(txn_id=1)
+        b = Transaction(txn_id=2)
+        manager.acquire(a, "T", LockMode.SHARED)
+        manager.acquire(b, "T", LockMode.SHARED)  # no timeout
+
+    def test_exclusive_blocks_shared(self):
+        manager = LockManager(timeout=0.05)
+        a = Transaction(txn_id=1)
+        b = Transaction(txn_id=2)
+        manager.acquire(a, "T", LockMode.EXCLUSIVE)
+        with pytest.raises(LockTimeoutError):
+            manager.acquire(b, "T", LockMode.SHARED)
+
+    def test_shared_blocks_exclusive(self):
+        manager = LockManager(timeout=0.05)
+        a = Transaction(txn_id=1)
+        b = Transaction(txn_id=2)
+        manager.acquire(a, "T", LockMode.SHARED)
+        with pytest.raises(LockTimeoutError):
+            manager.acquire(b, "T", LockMode.EXCLUSIVE)
+
+    def test_upgrade_when_sole_sharer(self):
+        manager = LockManager(timeout=0.05)
+        a = Transaction(txn_id=1)
+        manager.acquire(a, "T", LockMode.SHARED)
+        manager.acquire(a, "T", LockMode.EXCLUSIVE)  # upgrade allowed
+
+    def test_release_all_unblocks_waiter(self):
+        manager = LockManager(timeout=1.0)
+        a = Transaction(txn_id=1)
+        b = Transaction(txn_id=2)
+        manager.acquire(a, "T", LockMode.EXCLUSIVE)
+        acquired = threading.Event()
+
+        def waiter():
+            manager.acquire(b, "T", LockMode.EXCLUSIVE)
+            acquired.set()
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        manager.release_all(a)
+        thread.join(timeout=2.0)
+        assert acquired.is_set()
+
+    def test_statement_locks_released_separately(self):
+        manager = LockManager(timeout=0.05)
+        reader = Transaction(txn_id=1)
+        writer = Transaction(txn_id=2)
+        manager.acquire(reader, "T", LockMode.SHARED)
+        manager.release_statement_locks(reader)  # cursor stability
+        manager.acquire(writer, "T", LockMode.EXCLUSIVE)  # now succeeds
+
+    def test_different_tables_do_not_conflict(self):
+        manager = LockManager(timeout=0.05)
+        a = Transaction(txn_id=1)
+        b = Transaction(txn_id=2)
+        manager.acquire(a, "T1", LockMode.EXCLUSIVE)
+        manager.acquire(b, "T2", LockMode.EXCLUSIVE)
+
+
+class TestTransactionManager:
+    def test_commit_clears_undo(self):
+        manager = TransactionManager()
+        txn = manager.begin()
+        txn.add_undo(lambda: None)
+        manager.commit(txn)
+        assert not txn.undo_log
+        assert manager.commits == 1
+
+    def test_commit_twice_rejected(self):
+        manager = TransactionManager()
+        txn = manager.begin()
+        manager.commit(txn)
+        with pytest.raises(TransactionStateError):
+            manager.commit(txn)
+
+    def test_rollback_runs_undo_in_reverse(self):
+        manager = TransactionManager()
+        txn = manager.begin()
+        order = []
+        txn.add_undo(lambda: order.append("first"))
+        txn.add_undo(lambda: order.append("second"))
+        manager.rollback(txn)
+        assert order == ["second", "first"]
+
+    def test_transaction_ids_unique(self):
+        manager = TransactionManager()
+        assert manager.begin().txn_id != manager.begin().txn_id
+
+
+class TestCursorStability:
+    def test_reader_does_not_block_writer_after_statement(self, engine):
+        reader = engine.txn_manager.begin()
+        engine.execute_select(reader, parse_statement("SELECT * FROM t"))
+        engine.txn_manager.end_statement(reader)  # S lock released here
+        writer = engine.txn_manager.begin()
+        engine.update_where(
+            writer, parse_statement("UPDATE t SET v = 0 WHERE id = 1")
+        )
+        engine.commit(writer)
+        engine.commit(reader)
+
+    def test_writer_blocks_reader_until_commit(self, engine):
+        engine.txn_manager.lock_manager.timeout = 0.05
+        writer = engine.txn_manager.begin()
+        engine.update_where(
+            writer, parse_statement("UPDATE t SET v = 0 WHERE id = 1")
+        )
+        engine.txn_manager.end_statement(writer)  # X lock survives
+        reader = engine.txn_manager.begin()
+        with pytest.raises(LockTimeoutError):
+            engine.execute_select(reader, parse_statement("SELECT * FROM t"))
+        engine.commit(writer)
+
+    def test_no_dirty_reads(self, engine):
+        """A reader after writer commit sees all-or-nothing."""
+        writer = engine.txn_manager.begin()
+        engine.update_where(writer, parse_statement("UPDATE t SET v = 100"))
+        engine.rollback(writer)
+        reader = engine.txn_manager.begin()
+        __, rows = engine.execute_select(
+            reader, parse_statement("SELECT SUM(v) FROM t")
+        )
+        assert rows == [(45.0,)]
+        engine.commit(reader)
+
+
+class TestConcurrentThroughput:
+    def test_concurrent_writers_serialize_without_corruption(self, engine):
+        """N threads each transfer value between rows; total conserved."""
+        errors = []
+
+        def worker(worker_id):
+            try:
+                for __ in range(10):
+                    txn = engine.txn_manager.begin()
+                    engine.update_where(
+                        txn,
+                        parse_statement(
+                            f"UPDATE t SET v = v + 1 WHERE id = {worker_id}"
+                        ),
+                    )
+                    engine.update_where(
+                        txn,
+                        parse_statement(
+                            f"UPDATE t SET v = v - 1 WHERE id = {worker_id + 5}"
+                        ),
+                    )
+                    engine.commit(txn)
+            except Exception as error:  # pragma: no cover - fail loudly
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        txn = engine.txn_manager.begin()
+        __, rows = engine.execute_select(
+            txn, parse_statement("SELECT SUM(v) FROM t")
+        )
+        engine.commit(txn)
+        assert rows == [(45.0,)]  # transfers conserve the total

@@ -1,0 +1,213 @@
+"""SQL type system: coercion, range checks, byte sizing, inference."""
+
+import datetime
+import decimal
+
+import numpy as np
+import pytest
+
+from repro.errors import TypeError_
+from repro.sql.types import (
+    BIGINT,
+    BOOLEAN,
+    DATE,
+    DOUBLE,
+    INTEGER,
+    SMALLINT,
+    TIMESTAMP,
+    CharType,
+    DecimalType,
+    VarcharType,
+    infer_type,
+    type_from_name,
+)
+
+
+class TestIntegers:
+    def test_coerce_int(self):
+        assert INTEGER.coerce(42) == 42
+
+    def test_coerce_numeric_string(self):
+        assert INTEGER.coerce(" 7 ") == 7
+
+    def test_coerce_whole_float(self):
+        assert INTEGER.coerce(3.0) == 3
+
+    def test_reject_fractional_float(self):
+        with pytest.raises(TypeError_):
+            INTEGER.coerce(3.5)
+
+    def test_bool_becomes_int(self):
+        assert INTEGER.coerce(True) == 1
+
+    def test_null_passthrough(self):
+        assert INTEGER.coerce(None) is None
+
+    def test_integer_range(self):
+        assert INTEGER.coerce(2**31 - 1) == 2**31 - 1
+        with pytest.raises(TypeError_):
+            INTEGER.coerce(2**31)
+
+    def test_smallint_range(self):
+        with pytest.raises(TypeError_):
+            SMALLINT.coerce(40000)
+
+    def test_bigint_accepts_large(self):
+        assert BIGINT.coerce(2**60) == 2**60
+
+    def test_reject_garbage_string(self):
+        with pytest.raises(TypeError_):
+            INTEGER.coerce("abc")
+
+    def test_numpy_scalars(self):
+        assert INTEGER.coerce(np.int64(5)) == 5
+        assert isinstance(INTEGER.coerce(np.int64(5)), int)
+
+    def test_byte_sizes(self):
+        assert SMALLINT.byte_size(1) == 2
+        assert INTEGER.byte_size(1) == 4
+        assert BIGINT.byte_size(1) == 8
+
+
+class TestDouble:
+    def test_coerce(self):
+        assert DOUBLE.coerce(1) == 1.0
+        assert isinstance(DOUBLE.coerce(1), float)
+        assert DOUBLE.coerce("2.5") == 2.5
+        assert DOUBLE.coerce(decimal.Decimal("1.25")) == 1.25
+
+    def test_reject(self):
+        with pytest.raises(TypeError_):
+            DOUBLE.coerce("xyz")
+
+    def test_is_numeric(self):
+        assert DOUBLE.is_numeric
+        assert not VarcharType(5).is_numeric
+
+
+class TestDecimal:
+    def test_quantizes_to_scale(self):
+        value = DecimalType(9, 2).coerce("3.14159")
+        assert value == decimal.Decimal("3.14")
+
+    def test_rounds_half_up(self):
+        assert DecimalType(9, 2).coerce("1.005") == decimal.Decimal("1.01")
+
+    def test_precision_enforced(self):
+        with pytest.raises(TypeError_):
+            DecimalType(4, 2).coerce("12345.0")
+
+    def test_render(self):
+        assert DecimalType(9, 2).render() == "DECIMAL(9, 2)"
+
+
+class TestStrings:
+    def test_varchar_length_enforced(self):
+        assert VarcharType(3).coerce("abc") == "abc"
+        with pytest.raises(TypeError_):
+            VarcharType(3).coerce("abcd")
+
+    def test_varchar_converts_numbers(self):
+        assert VarcharType(10).coerce(42) == "42"
+
+    def test_char_pads(self):
+        assert CharType(4).coerce("ab") == "ab  "
+
+    def test_char_overflow(self):
+        with pytest.raises(TypeError_):
+            CharType(2).coerce("abc")
+
+    def test_varchar_byte_size(self):
+        assert VarcharType(10).byte_size("abc") == 7  # 4 + len
+
+
+class TestBoolean:
+    @pytest.mark.parametrize("value", [True, 1, "true", "T", "yes", "1"])
+    def test_truthy(self, value):
+        assert BOOLEAN.coerce(value) is True
+
+    @pytest.mark.parametrize("value", [False, 0, "false", "F", "no", "0"])
+    def test_falsy(self, value):
+        assert BOOLEAN.coerce(value) is False
+
+    def test_reject(self):
+        with pytest.raises(TypeError_):
+            BOOLEAN.coerce("maybe")
+
+
+class TestTemporal:
+    def test_date_from_string(self):
+        assert DATE.coerce("2016-03-15") == datetime.date(2016, 3, 15)
+
+    def test_date_from_datetime(self):
+        assert DATE.coerce(datetime.datetime(2016, 3, 15, 9)) == datetime.date(
+            2016, 3, 15
+        )
+
+    def test_date_rejects_bad_format(self):
+        with pytest.raises(TypeError_):
+            DATE.coerce("15/03/2016")
+
+    def test_timestamp_formats(self):
+        assert TIMESTAMP.coerce("2016-03-15 10:30:00") == datetime.datetime(
+            2016, 3, 15, 10, 30
+        )
+        assert TIMESTAMP.coerce("2016-03-15") == datetime.datetime(2016, 3, 15)
+        assert TIMESTAMP.coerce(
+            "2016-03-15 10:30:00.250000"
+        ) == datetime.datetime(2016, 3, 15, 10, 30, 0, 250000)
+
+    def test_timestamp_from_date(self):
+        assert TIMESTAMP.coerce(datetime.date(2016, 1, 1)) == datetime.datetime(
+            2016, 1, 1
+        )
+
+
+class TestTypeResolution:
+    def test_simple_names(self):
+        assert type_from_name("INTEGER") is INTEGER
+        assert type_from_name("int") is INTEGER
+        assert type_from_name("FLOAT") is DOUBLE
+
+    def test_parameterized(self):
+        assert type_from_name("VARCHAR", (32,)).length == 32
+        decimal_type = type_from_name("DECIMAL", (10, 3))
+        assert (decimal_type.precision, decimal_type.scale) == (10, 3)
+
+    def test_decimal_defaults(self):
+        assert type_from_name("DECIMAL").scale == 0
+
+    def test_unknown_type(self):
+        with pytest.raises(TypeError_):
+            type_from_name("BLOB")
+
+    def test_simple_type_rejects_params(self):
+        with pytest.raises(TypeError_):
+            type_from_name("INTEGER", (5,))
+
+
+class TestInference:
+    def test_infer_int(self):
+        assert infer_type(5) is INTEGER
+
+    def test_infer_big_int(self):
+        assert infer_type(2**40) is BIGINT
+
+    def test_infer_float(self):
+        assert infer_type(1.5) is DOUBLE
+
+    def test_infer_bool(self):
+        assert infer_type(True) is BOOLEAN
+
+    def test_infer_string_rounds_up(self):
+        inferred = infer_type("hello world")
+        assert isinstance(inferred, VarcharType)
+        assert inferred.length >= len("hello world")
+
+    def test_infer_temporal(self):
+        assert infer_type(datetime.date(2016, 1, 1)) is DATE
+        assert infer_type(datetime.datetime(2016, 1, 1)) is TIMESTAMP
+
+    def test_infer_rejects_unknown(self):
+        with pytest.raises(TypeError_):
+            infer_type(object())

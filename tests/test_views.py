@@ -1,0 +1,196 @@
+"""Views: DDL, expansion, routing, governance, read-only enforcement."""
+
+import pytest
+
+from repro import AcceleratedDatabase
+from repro.errors import (
+    AuthorizationError,
+    DuplicateObjectError,
+    SqlError,
+    UnknownObjectError,
+)
+
+
+@pytest.fixture
+def db():
+    return AcceleratedDatabase(slice_count=2, chunk_rows=64)
+
+
+@pytest.fixture
+def conn(db):
+    connection = db.connect()
+    connection.execute(
+        "CREATE TABLE SALES (ID INTEGER NOT NULL PRIMARY KEY, "
+        "REGION VARCHAR(4), AMOUNT DOUBLE)"
+    )
+    rows = ", ".join(
+        f"({i}, '{'EU' if i % 2 else 'US'}', {float(i)})" for i in range(20)
+    )
+    connection.execute(f"INSERT INTO SALES VALUES {rows}")
+    db.add_table_to_accelerator("SALES")
+    connection.execute(
+        "CREATE VIEW EU_SALES AS (SELECT id, amount FROM sales "
+        "WHERE region = 'EU')"
+    )
+    return connection
+
+
+class TestDdl:
+    def test_create_and_query(self, conn):
+        assert conn.execute("SELECT COUNT(*) FROM eu_sales").scalar() == 10
+
+    def test_create_without_parentheses(self, conn):
+        conn.execute("CREATE VIEW V2 AS SELECT id FROM sales WHERE id < 3")
+        assert conn.execute("SELECT COUNT(*) FROM v2").scalar() == 3
+
+    def test_duplicate_view_rejected(self, conn):
+        with pytest.raises(DuplicateObjectError):
+            conn.execute("CREATE VIEW EU_SALES AS (SELECT 1 FROM sales)")
+
+    def test_view_cannot_shadow_table(self, conn):
+        with pytest.raises(DuplicateObjectError):
+            conn.execute("CREATE VIEW SALES AS (SELECT 1 FROM sales)")
+
+    def test_table_cannot_shadow_view(self, conn):
+        with pytest.raises(DuplicateObjectError):
+            conn.execute("CREATE TABLE EU_SALES (A INTEGER)")
+
+    def test_create_view_validates_tables(self, conn):
+        with pytest.raises(UnknownObjectError):
+            conn.execute("CREATE VIEW BAD AS (SELECT x FROM no_such_table)")
+
+    def test_drop_view(self, db, conn):
+        conn.execute("DROP VIEW EU_SALES")
+        assert not db.catalog.has_view("EU_SALES")
+        with pytest.raises(UnknownObjectError):
+            conn.execute("SELECT * FROM eu_sales")
+
+    def test_drop_view_if_exists(self, conn):
+        conn.execute("DROP VIEW IF EXISTS NOT_THERE")
+
+    def test_drop_table_does_not_drop_view(self, conn):
+        with pytest.raises(UnknownObjectError):
+            conn.execute("DROP TABLE EU_SALES")
+
+
+class TestExpansionAndRouting:
+    def test_view_query_routes_like_underlying(self, conn):
+        result = conn.execute("SELECT SUM(amount) FROM eu_sales")
+        assert result.engine == "ACCELERATOR"
+        assert result.scalar() == sum(float(i) for i in range(1, 20, 2))
+
+    def test_view_join_with_table(self, conn):
+        rows = conn.execute(
+            "SELECT COUNT(*) FROM eu_sales e JOIN sales s ON e.id = s.id"
+        ).scalar()
+        assert rows == 10
+
+    def test_view_over_view(self, conn):
+        conn.execute(
+            "CREATE VIEW BIG_EU AS (SELECT id FROM eu_sales WHERE amount > 10)"
+        )
+        # EU rows are odd ids 1..19; amount > 10 leaves {11,13,15,17,19}.
+        assert conn.execute("SELECT COUNT(*) FROM big_eu").scalar() == 5
+
+    def test_view_in_subquery(self, conn):
+        rows = conn.execute(
+            "SELECT id FROM sales WHERE id IN (SELECT id FROM eu_sales) "
+            "AND amount > 15 ORDER BY id"
+        ).rows
+        assert rows == [(17,), (19,)]
+
+    def test_view_cycle_impossible_but_depth_guard_exists(self, db, conn):
+        # Self-referencing views cannot be created through SQL (the name
+        # does not exist yet), but a hand-built cycle must not hang.
+        from repro.sql import parse_statement
+
+        db.catalog.create_view(
+            "CYC_A", parse_statement("SELECT * FROM cyc_b")
+        )
+        db.catalog.create_view(
+            "CYC_B", parse_statement("SELECT * FROM cyc_a")
+        )
+        with pytest.raises(SqlError):
+            conn.execute("SELECT * FROM cyc_a")
+
+    def test_view_of_aot(self, db, conn):
+        conn.execute("CREATE TABLE STAGE (K INTEGER) IN ACCELERATOR")
+        conn.execute("INSERT INTO STAGE VALUES (1), (2)")
+        conn.execute("CREATE VIEW SV AS (SELECT k FROM stage)")
+        result = conn.execute("SELECT COUNT(*) FROM sv")
+        assert result.engine == "ACCELERATOR"
+        assert result.scalar() == 2
+
+    def test_explain_sees_through_views(self, conn):
+        plan = conn.explain("SELECT SUM(amount) FROM eu_sales")
+        # Routing happens on the expanded query over base tables.
+        assert plan["engine"] in ("ACCELERATOR", "DB2")
+
+
+class TestGovernance:
+    def test_view_grant_is_the_boundary(self, db, conn):
+        db.create_user("ANALYST")
+        analyst = db.connect("ANALYST")
+        with pytest.raises(AuthorizationError):
+            analyst.execute("SELECT * FROM eu_sales")
+        conn.execute("GRANT SELECT ON EU_SALES TO ANALYST")
+        # Definer rights: SELECT on the view suffices, no SALES grant.
+        assert analyst.execute("SELECT COUNT(*) FROM eu_sales").scalar() == 10
+        with pytest.raises(AuthorizationError):
+            analyst.execute("SELECT * FROM sales")  # base still protected
+
+    def test_non_owner_cannot_drop_view(self, db, conn):
+        db.create_user("ANALYST")
+        analyst = db.connect("ANALYST")
+        with pytest.raises(AuthorizationError):
+            analyst.execute("DROP VIEW EU_SALES")
+
+    def test_owner_can_drop_own_view(self, db, conn):
+        db.create_user("ANALYST")
+        conn.execute("GRANT SELECT ON SALES TO ANALYST")
+        analyst = db.connect("ANALYST")
+        analyst.execute("CREATE VIEW MINE AS (SELECT id FROM sales)")
+        analyst.execute("DROP VIEW MINE")
+
+
+class TestReadOnly:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "INSERT INTO EU_SALES VALUES (99, 1.0)",
+            "UPDATE eu_sales SET amount = 0",
+            "DELETE FROM eu_sales",
+        ],
+    )
+    def test_dml_on_view_rejected(self, conn, sql):
+        with pytest.raises(SqlError):
+            conn.execute(sql)
+
+    def test_underlying_changes_visible_through_view(self, conn):
+        conn.execute("INSERT INTO SALES VALUES (100, 'EU', 42.0)")
+        assert conn.execute("SELECT COUNT(*) FROM eu_sales").scalar() == 11
+
+
+class TestGovernanceMixedReferences:
+    def test_direct_table_still_checked_alongside_view(self, db, conn):
+        """A query joining a granted view with a *directly referenced*
+        protected table must still be denied: the view grant only covers
+        the tables inside the view body."""
+        db.create_user("ANALYST")
+        conn.execute("GRANT SELECT ON EU_SALES TO ANALYST")
+        analyst = db.connect("ANALYST")
+        with pytest.raises(AuthorizationError):
+            analyst.execute(
+                "SELECT e.id FROM eu_sales e JOIN sales s ON e.id = s.id"
+            )
+        # The view alone remains fine.
+        assert analyst.execute("SELECT COUNT(*) FROM eu_sales").scalar() == 10
+
+    def test_direct_table_in_subquery_checked(self, db, conn):
+        db.create_user("ANALYST")
+        conn.execute("GRANT SELECT ON EU_SALES TO ANALYST")
+        analyst = db.connect("ANALYST")
+        with pytest.raises(AuthorizationError):
+            analyst.execute(
+                "SELECT id FROM eu_sales WHERE id IN (SELECT id FROM sales)"
+            )

@@ -1,0 +1,115 @@
+"""Workload generators: determinism, shape, and SQL integration."""
+
+import pytest
+
+from repro import AcceleratedDatabase
+from repro.workloads import (
+    CHURN_COLUMNS,
+    SOCIAL_COLUMNS,
+    create_churn_table,
+    create_star_schema,
+    generate_churn_rows,
+    generate_customers,
+    generate_posts,
+    generate_transactions,
+    write_posts_jsonl,
+)
+
+
+class TestGenerators:
+    def test_customers_deterministic(self):
+        assert generate_customers(10, seed=1) == generate_customers(10, seed=1)
+        assert generate_customers(10, seed=1) != generate_customers(10, seed=2)
+
+    def test_customers_have_some_null_incomes(self):
+        rows = generate_customers(500, seed=1)
+        nulls = sum(1 for row in rows if row[4] is None)
+        assert 0 < nulls < 100
+
+    def test_transactions_reference_valid_keys(self):
+        rows = generate_transactions(200, customer_count=20, product_count=5)
+        assert all(1 <= row[1] <= 20 for row in rows)
+        assert all(1 <= row[2] <= 5 for row in rows)
+
+    def test_churn_rows_match_columns(self):
+        rows = generate_churn_rows(50)
+        assert all(len(row) == len(CHURN_COLUMNS) for row in rows)
+
+    def test_churn_label_is_binary_and_mixed(self):
+        rows = generate_churn_rows(500)
+        labels = {row[-1] for row in rows}
+        assert labels == {0, 1}
+        churn_rate = sum(row[-1] for row in rows) / len(rows)
+        assert 0.1 < churn_rate < 0.9
+
+    def test_churn_has_learnable_signal(self):
+        """Churners average more support calls (by construction)."""
+        rows = generate_churn_rows(2000)
+        churned_calls = [r[4] for r in rows if r[-1] == 1]
+        retained_calls = [r[4] for r in rows if r[-1] == 0]
+        assert (
+            sum(churned_calls) / len(churned_calls)
+            > sum(retained_calls) / len(retained_calls) + 1
+        )
+
+    def test_posts_deterministic_and_bounded(self):
+        a = list(generate_posts(100, seed=3))
+        b = list(generate_posts(100, seed=3))
+        assert a == b
+        assert all(-1.0 <= row[4] <= 1.0 for row in a)
+        assert all(row[5] >= 0 for row in a)
+
+    def test_posts_jsonl_roundtrip(self, tmp_path):
+        from repro.loader import JsonLinesSource
+
+        path = write_posts_jsonl(tmp_path / "posts.jsonl", count=20)
+        rows = list(JsonLinesSource(path, columns=SOCIAL_COLUMNS).rows())
+        assert len(rows) == 20
+        assert rows[0][1].startswith("user_")
+
+
+class TestSqlIntegration:
+    def test_star_schema_created_and_accelerated(self):
+        db = AcceleratedDatabase(chunk_rows=512)
+        conn = db.connect()
+        data = create_star_schema(
+            conn, customers=50, products=10, transactions=300
+        )
+        assert data.transactions == 300
+        for table in ("CUSTOMERS", "PRODUCTS", "TRANSACTIONS"):
+            assert db.catalog.table(table).is_accelerated
+        result = conn.execute(
+            "SELECT c.c_region, SUM(t.t_amount) FROM transactions t "
+            "JOIN customers c ON t.t_customer = c.c_id "
+            "GROUP BY c.c_region"
+        )
+        assert result.engine == "ACCELERATOR"
+        assert len(result.rows) == 4
+
+    def test_star_schema_quoted_names_safe(self):
+        db = AcceleratedDatabase()
+        conn = db.connect()
+        create_star_schema(
+            conn, customers=5, products=3, transactions=10, accelerate=False
+        )
+        names = conn.execute("SELECT c_name FROM customers LIMIT 1").scalar()
+        assert names.startswith("Customer")
+
+    def test_churn_table_counts(self):
+        db = AcceleratedDatabase()
+        conn = db.connect()
+        count = create_churn_table(conn, count=120, accelerate=False)
+        assert count == 120
+        assert conn.execute("SELECT COUNT(*) FROM churn").scalar() == 120
+
+    def test_date_predicates_work_on_star_schema(self):
+        db = AcceleratedDatabase()
+        conn = db.connect()
+        create_star_schema(
+            conn, customers=20, products=5, transactions=200
+        )
+        conn.set_acceleration("ALL")
+        half = conn.execute(
+            "SELECT COUNT(*) FROM transactions WHERE t_date >= '2015-07-01'"
+        ).scalar()
+        assert 0 < half < 200
