@@ -22,9 +22,12 @@ Quickstart::
 """
 
 from repro.errors import (
+    AcceleratorCrashError,
+    AcceleratorUnavailableError,
     AnalyticsError,
     AuthorizationError,
     CatalogError,
+    LinkError,
     LoaderError,
     LockTimeoutError,
     ParseError,
@@ -35,7 +38,13 @@ from repro.errors import (
     SqlError,
     TransactionError,
 )
-from repro.federation import AcceleratedDatabase, Connection
+from repro.federation import (
+    AcceleratedDatabase,
+    AcceleratorHealthState,
+    Connection,
+    FaultInjector,
+    HealthMonitor,
+)
 from repro.loader import CsvSource, IdaaLoader, IterableSource, JsonLinesSource
 from repro.metrics import MovementStats
 from repro.pipeline import Pipeline, ProcedureStage, TransformStage
@@ -64,6 +73,12 @@ __all__ = [
     "LockTimeoutError",
     "RoutingError",
     "ReplicationError",
+    "LinkError",
+    "AcceleratorCrashError",
+    "AcceleratorUnavailableError",
+    "AcceleratorHealthState",
+    "FaultInjector",
+    "HealthMonitor",
     "LoaderError",
     "AnalyticsError",
     "ProcedureError",

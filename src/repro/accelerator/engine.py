@@ -83,10 +83,15 @@ class AcceleratorEngine:
         catalog: Catalog,
         slice_count: int = 4,
         chunk_rows: int = 65536,
+        fault_injector=None,
     ) -> None:
         self.catalog = catalog
         self.slice_count = slice_count
         self.chunk_rows = chunk_rows
+        #: Optional :class:`repro.federation.faults.FaultInjector`; every
+        #: query/apply entry point consults it before touching storage, so
+        #: an injected crash never leaves a half-written batch behind.
+        self.fault_injector = fault_injector
         self._tables: dict[str, ColumnStoreTable] = {}
         #: Replication-apply cache: table -> {row tuple: [row ids]}.
         #: Maintained incrementally by apply_changes; any other write path
@@ -131,6 +136,10 @@ class AcceleratorEngine:
     def has_storage(self, name: str) -> bool:
         return name.upper() in self._tables
 
+    def _check_fault(self) -> None:
+        if self.fault_injector is not None:
+            self.fault_injector.check("accelerator")
+
     def _staged_epoch(self) -> int:
         """The epoch a write batch stamps its changes with.
 
@@ -148,6 +157,7 @@ class AcceleratorEngine:
 
     def bulk_insert(self, name: str, rows: Sequence[tuple]) -> int:
         """Append coerced rows as one batch at a fresh epoch."""
+        self._check_fault()
         table = self.storage_for(name)
         with self._write_lock:
             self._lookup_cache.pop(name.upper(), None)
@@ -162,6 +172,7 @@ class AcceleratorEngine:
         Rows are located by before-image equality, which is how a
         replication target without shared rowids has to do it.
         """
+        self._check_fault()
         key = name.upper()
         table = self.storage_for(key)
         self._write_lock.acquire()
@@ -379,6 +390,7 @@ class AcceleratorEngine:
         snapshot_epoch: Optional[int] = None,
         deltas: Optional[dict[str, DeltaBuffer]] = None,
     ) -> tuple[list[str], list[tuple]]:
+        self._check_fault()
         epoch = self.current_epoch if snapshot_epoch is None else snapshot_epoch
         provider = _SnapshotProvider(self, epoch, deltas)
         engine = VectorQueryEngine(provider, params)

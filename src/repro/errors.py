@@ -83,6 +83,33 @@ class ReplicationError(ReproError):
     """Raised by the change-capture / apply pipeline."""
 
 
+class LinkError(ReproError):
+    """Raised when the DB2 ↔ accelerator interconnect drops a transfer.
+
+    Link errors are *transient* by nature: the replication service retries
+    them with backoff, and the health monitor only opens the circuit after
+    a run of consecutive failures.
+    """
+
+
+class AcceleratorCrashError(ReproError):
+    """Raised when the accelerator itself fails mid-operation.
+
+    Injected by the fault framework to simulate an appliance crash or
+    restart; callers treat it like a link error but it usually persists
+    until the simulated outage ends.
+    """
+
+
+class AcceleratorUnavailableError(ReproError):
+    """Raised when a statement needs the accelerator but it is OFFLINE.
+
+    Queries over *accelerated copies* can transparently fail back to DB2
+    under ``ENABLE WITH FAILBACK``; accelerator-only tables have no DB2
+    copy, so statements touching them fail fast with this error instead.
+    """
+
+
 class LoaderError(ReproError):
     """Raised by the external-source loader."""
 

@@ -15,7 +15,9 @@ the simulation is managed the same way:
 * ``SYSPROC.ACCEL_GROOM_TABLES('tables=T1')`` — reclaim deleted rows in
   accelerator storage (Netezza GROOM);
 * ``SYSPROC.ACCEL_CONTROL_ACCELERATOR('action=replicate')`` — drain the
-  replication backlog on demand.
+  replication backlog on demand;
+* ``SYSPROC.ACCEL_GET_HEALTH('')`` — accelerator health state, circuit
+  breaker counters, replication backlog/staleness and retry totals.
 
 All of them require administrator authority (SYSADM), mirroring the
 production requirement that accelerator administration is a privileged
@@ -128,6 +130,43 @@ def _accel_control(ctx: ProcedureContext) -> str:
     )
 
 
+def _accel_get_health(ctx: ProcedureContext) -> str:
+    """Accelerator availability, circuit-breaker and replication health.
+
+    Read-only (like ACCEL_GET_TABLES_INFO): monitoring must work for
+    non-admin sessions too.
+    """
+    system = ctx.system
+    health = system.health
+    ctx.log(
+        f"accelerator: state={health.state.value} "
+        f"consecutive_failures={health.consecutive_failures} "
+        f"failures_total={health.failures_total} "
+        f"successes_total={health.successes_total}"
+    )
+    ctx.log(
+        f"circuit: opened={health.times_opened} closed={health.times_closed} "
+        f"probes={health.probes_attempted} "
+        f"rejected={health.requests_rejected} "
+        f"cooldown={health.cooldown_seconds}s"
+    )
+    stats = system.replication.stats()
+    ctx.log(
+        f"replication: backlog={stats.backlog} records "
+        f"(cursor_lsn={stats.cursor_lsn} head_lsn={stats.head_lsn}) "
+        f"applied={stats.records_applied} retries={stats.retries} "
+        f"abandoned={stats.batches_abandoned} "
+        f"skipped_drains={stats.drains_skipped_offline} "
+        f"backoff={stats.simulated_backoff_seconds * 1000:.1f}ms"
+    )
+    ctx.log(
+        f"failbacks={system.failbacks} "
+        f"faults_injected={system.faults.total_injected} "
+        f"link_sends_failed={system.interconnect.sends_failed}"
+    )
+    return f"ACCEL_GET_HEALTH: {health.state.value}"
+
+
 def _accel_get_query_history(ctx: ProcedureContext) -> str:
     limit = ctx.get_int("limit", 20)
     history = list(ctx.system.statement_history)[-limit:]
@@ -154,6 +193,8 @@ def register_admin_procedures(registry: ProcedureRegistry) -> None:
          "reclaim deleted rows in accelerator storage"),
         ("SYSPROC.ACCEL_CONTROL_ACCELERATOR", _accel_control,
          "replication drain / status"),
+        ("SYSPROC.ACCEL_GET_HEALTH", _accel_get_health,
+         "accelerator health, circuit breaker, and replication backlog"),
         ("SYSPROC.ACCEL_GET_QUERY_HISTORY", _accel_get_query_history,
          "recent statements with engine and latency"),
     ):

@@ -1,0 +1,186 @@
+"""Deterministic fault injection for the federation layer.
+
+The real IDAA federation has to survive a misbehaving appliance and a
+flaky private network; this module lets experiments *cause* those
+conditions on demand. A single :class:`FaultInjector` is owned by the
+:class:`~repro.federation.system.AcceleratedDatabase` and consulted from
+the instrumented entry points (``Interconnect.send_*`` and the
+``AcceleratorEngine`` read/write paths). Faults fire
+
+* by **probability** (seeded RNG, so a fixed seed gives a fixed fault
+  sequence),
+* by **call-count schedule** (e.g. "calls 5 through 9 fail" — an exact,
+  reproducible outage window), or
+* unconditionally inside a scoped **context manager**
+  (:meth:`FaultInjector.forced`).
+
+Three fault kinds exist: ``error`` raises :class:`~repro.errors.LinkError`
+(a transient drop), ``crash`` raises
+:class:`~repro.errors.AcceleratorCrashError` (the appliance is gone until
+the rule is cleared), and ``latency`` silently inflates the simulated
+transfer time instead of raising.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional
+
+from repro.errors import AcceleratorCrashError, LinkError
+
+__all__ = ["FaultInjector", "FaultRule", "FAULT_KINDS"]
+
+FAULT_KINDS = ("error", "crash", "latency")
+
+_DEFAULT_ERRORS: dict[str, Callable[[str], Exception]] = {
+    "error": lambda site: LinkError(f"injected link error at {site}"),
+    "crash": lambda site: AcceleratorCrashError(
+        f"injected accelerator crash at {site}"
+    ),
+}
+
+_rule_ids = itertools.count(1)
+
+
+@dataclass
+class FaultRule:
+    """One armed fault. Inactive rules are skipped and can be re-armed."""
+
+    site: str
+    kind: str = "error"
+    #: Fire with this probability per call (None = fire on every call
+    #: unless a schedule is given).
+    probability: Optional[float] = None
+    #: Fire only on these 1-based call indexes of the site.
+    schedule: Optional[frozenset[int]] = None
+    #: Fire at most this many times, then deactivate (None = unlimited).
+    remaining: Optional[int] = None
+    #: For ``latency`` rules: simulated seconds added per firing.
+    latency_seconds: float = 0.0
+    #: Override the raised exception (receives the site name).
+    error_factory: Optional[Callable[[str], Exception]] = None
+    active: bool = True
+    fired: int = 0
+    rule_id: int = field(default_factory=lambda: next(_rule_ids))
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r} (expected one of "
+                f"{', '.join(FAULT_KINDS)})"
+            )
+        if self.probability is not None and not 0.0 <= self.probability <= 1.0:
+            raise ValueError("fault probability must be within [0, 1]")
+
+    def make_error(self) -> Exception:
+        if self.error_factory is not None:
+            return self.error_factory(self.site)
+        return _DEFAULT_ERRORS[self.kind](self.site)
+
+
+class FaultInjector:
+    """Seeded registry of fault rules, consulted per instrumented call.
+
+    ``check(site)`` increments the site's call counter, evaluates every
+    active rule for that site in registration order, and either raises
+    (``error``/``crash`` rules) or returns the extra simulated latency to
+    charge (``latency`` rules). With a fixed seed and a fixed call
+    sequence the injected faults are fully deterministic.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._rules: list[FaultRule] = []
+        #: Per-site number of ``check`` calls (1-based indexes for rules).
+        self.calls: dict[str, int] = {}
+        #: Per-site number of faults that actually fired.
+        self.injected: dict[str, int] = {}
+
+    # -- rule management ---------------------------------------------------------
+
+    def add(
+        self,
+        site: str,
+        kind: str = "error",
+        probability: Optional[float] = None,
+        schedule: Optional[Iterator[int]] = None,
+        count: Optional[int] = None,
+        latency_seconds: float = 0.0,
+        error_factory: Optional[Callable[[str], Exception]] = None,
+    ) -> FaultRule:
+        """Arm a fault rule and return it (keep it to remove it later)."""
+        rule = FaultRule(
+            site=site,
+            kind=kind,
+            probability=probability,
+            schedule=frozenset(schedule) if schedule is not None else None,
+            remaining=count,
+            latency_seconds=latency_seconds,
+            error_factory=error_factory,
+        )
+        self._rules.append(rule)
+        return rule
+
+    def remove(self, rule: FaultRule) -> None:
+        self._rules = [r for r in self._rules if r.rule_id != rule.rule_id]
+
+    def clear(self, site: Optional[str] = None) -> None:
+        """Disarm every rule (or every rule for one site)."""
+        if site is None:
+            self._rules = []
+        else:
+            self._rules = [r for r in self._rules if r.site != site]
+
+    @contextmanager
+    def forced(self, site: str, kind: str = "error", **kwargs):
+        """Scoped outage: the rule fires on every call inside the block."""
+        rule = self.add(site, kind=kind, **kwargs)
+        try:
+            yield rule
+        finally:
+            self.remove(rule)
+
+    def rules(self, site: Optional[str] = None) -> list[FaultRule]:
+        if site is None:
+            return list(self._rules)
+        return [r for r in self._rules if r.site == site]
+
+    # -- evaluation --------------------------------------------------------------
+
+    def check(self, site: str) -> float:
+        """Evaluate ``site``'s rules; raise on a hit, return extra latency."""
+        call_index = self.calls.get(site, 0) + 1
+        self.calls[site] = call_index
+        extra_latency = 0.0
+        for rule in self._rules:
+            if not rule.active or rule.site != site:
+                continue
+            if rule.schedule is not None:
+                if call_index not in rule.schedule:
+                    continue
+            elif rule.probability is not None:
+                if self._rng.random() >= rule.probability:
+                    continue
+            rule.fired += 1
+            if rule.remaining is not None:
+                rule.remaining -= 1
+                if rule.remaining <= 0:
+                    rule.active = False
+            self.injected[site] = self.injected.get(site, 0) + 1
+            if rule.kind == "latency":
+                extra_latency += rule.latency_seconds
+                continue
+            raise rule.make_error()
+        return extra_latency
+
+    @property
+    def total_injected(self) -> int:
+        return sum(self.injected.values())
+
+    def reset_counters(self) -> None:
+        self.calls = {}
+        self.injected = {}

@@ -1,0 +1,150 @@
+"""Accelerator health tracking — a circuit breaker for the federation.
+
+DB2 needs a local, cheap answer to "is the accelerator worth trying right
+now?". The :class:`HealthMonitor` keeps that answer as three states:
+
+* **ONLINE** — recent operations succeeded; route normally.
+* **DEGRADED** — failures are being observed but the consecutive-failure
+  threshold has not been reached; the accelerator is still used.
+* **OFFLINE** — the circuit is *open*: the threshold was crossed, and
+  requests are rejected locally (no doomed round-trips). After
+  ``cooldown_seconds`` the breaker goes *half-open* and admits probe
+  requests; the first success closes the circuit, the first failure
+  re-opens it and restarts the cooldown.
+
+The monitor is deliberately passive: the router/session/replication code
+calls :meth:`record_success` / :meth:`record_failure` around accelerator
+operations and :meth:`allow_request` before them. ``clock`` is injectable
+so tests can drive the cooldown deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from enum import Enum
+from typing import Callable, Optional
+
+__all__ = ["AcceleratorHealthState", "HealthMonitor"]
+
+
+class AcceleratorHealthState(Enum):
+    ONLINE = "ONLINE"
+    DEGRADED = "DEGRADED"
+    OFFLINE = "OFFLINE"
+
+
+class HealthMonitor:
+    """Consecutive-failure circuit breaker with half-open probes."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        cooldown_seconds: float = 0.1,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if cooldown_seconds < 0:
+            raise ValueError("cooldown_seconds must be >= 0")
+        self.failure_threshold = failure_threshold
+        self.cooldown_seconds = cooldown_seconds
+        self.clock = clock
+        #: Concurrent sessions report outcomes from their own threads.
+        self._guard = threading.Lock()
+        self._open = False
+        self._half_open = False
+        self._opened_at: Optional[float] = None
+        self.consecutive_failures = 0
+        # Lifetime counters (surfaced by SYSPROC.ACCEL_GET_HEALTH).
+        self.failures_total = 0
+        self.successes_total = 0
+        self.times_opened = 0
+        self.times_closed = 0
+        self.probes_attempted = 0
+        self.requests_rejected = 0
+
+    # -- state -------------------------------------------------------------------
+
+    @property
+    def state(self) -> AcceleratorHealthState:
+        if self._open:
+            return AcceleratorHealthState.OFFLINE
+        if self.consecutive_failures > 0:
+            return AcceleratorHealthState.DEGRADED
+        return AcceleratorHealthState.ONLINE
+
+    @property
+    def available(self) -> bool:
+        """Non-mutating: would a request be admitted right now?"""
+        if not self._open:
+            return True
+        return self._cooldown_elapsed()
+
+    def _cooldown_elapsed(self) -> bool:
+        assert self._opened_at is not None
+        return self.clock() - self._opened_at >= self.cooldown_seconds
+
+    # -- admission ---------------------------------------------------------------
+
+    def allow_request(self) -> bool:
+        """Admit or reject a request; may transition OFFLINE → half-open."""
+        with self._guard:
+            if not self._open:
+                return True
+            if self._cooldown_elapsed():
+                if not self._half_open:
+                    self._half_open = True
+                self.probes_attempted += 1
+                return True
+            self.requests_rejected += 1
+            return False
+
+    # -- outcome reporting -------------------------------------------------------
+
+    def record_success(self) -> None:
+        with self._guard:
+            self.successes_total += 1
+            self.consecutive_failures = 0
+            if self._open:
+                self._open = False
+                self._half_open = False
+                self._opened_at = None
+                self.times_closed += 1
+
+    def record_failure(self) -> None:
+        with self._guard:
+            self.failures_total += 1
+            self.consecutive_failures += 1
+            if self._open:
+                if self._half_open:
+                    # Failed probe: re-open and restart the cooldown.
+                    self._half_open = False
+                    self._opened_at = self.clock()
+                return
+            if self.consecutive_failures >= self.failure_threshold:
+                self._trip()
+
+    def _trip(self) -> None:
+        self._open = True
+        self._half_open = False
+        self._opened_at = self.clock()
+        self.times_opened += 1
+
+    # -- manual control ----------------------------------------------------------
+
+    def force_offline(self) -> None:
+        """Administratively open the circuit (maintenance window)."""
+        with self._guard:
+            if not self._open:
+                self._trip()
+
+    def reset(self) -> None:
+        """Close the circuit and forget the failure run (not the totals)."""
+        with self._guard:
+            if self._open:
+                self.times_closed += 1
+            self._open = False
+            self._half_open = False
+            self._opened_at = None
+            self.consecutive_failures = 0

@@ -5,13 +5,25 @@ and the appliance; what matters for the paper's experiments is *how many
 bytes* cross and the simulated transfer time, not socket mechanics. Every
 transfer in the federation is routed through this class so experiments
 can snapshot/diff the counters around any operation.
+
+The link is also the federation's first failure domain: when a
+:class:`~repro.federation.faults.FaultInjector` is attached, every send
+consults it first — an ``error``/``crash`` rule aborts the transfer
+(nothing is accounted, mirroring a dropped frame), and a ``latency`` rule
+inflates the simulated transfer time of an otherwise successful send.
 """
 
 from __future__ import annotations
 
+from typing import Optional
+
+from repro.federation.faults import FaultInjector
 from repro.metrics.counters import MovementStats
 
 __all__ = ["Interconnect"]
+
+#: Fault-injection site name for both link directions.
+LINK_SITE = "interconnect"
 
 
 class Interconnect:
@@ -21,29 +33,50 @@ class Interconnect:
         self,
         bandwidth_bytes_per_second: float = 1e9,
         message_latency_seconds: float = 0.0005,
+        fault_injector: Optional[FaultInjector] = None,
     ) -> None:
         self.bandwidth = bandwidth_bytes_per_second
         self.latency = message_latency_seconds
+        self.faults = fault_injector
         self.bytes_to_accelerator = 0
         self.bytes_from_accelerator = 0
         self.messages = 0
         self.simulated_seconds = 0.0
+        #: Injected latency-seconds and dropped sends observed (lifetime;
+        #: not part of ``snapshot()`` because a failed send moved nothing).
+        self.injected_latency_seconds = 0.0
+        self.sends_failed = 0
 
     def send_to_accelerator(self, nbytes: int, messages: int = 1) -> None:
         """Account for data shipped DB2 → accelerator."""
+        extra = self._check_fault()
         self.bytes_to_accelerator += int(nbytes)
-        self._account(nbytes, messages)
+        self._account(nbytes, messages, extra)
 
     def send_to_db2(self, nbytes: int, messages: int = 1) -> None:
         """Account for data shipped accelerator → DB2 (query results,
         legacy stage materialisation)."""
+        extra = self._check_fault()
         self.bytes_from_accelerator += int(nbytes)
-        self._account(nbytes, messages)
+        self._account(nbytes, messages, extra)
 
-    def _account(self, nbytes: int, messages: int) -> None:
+    def _check_fault(self) -> float:
+        """Consult the injector; a raised fault counts as a failed send."""
+        if self.faults is None:
+            return 0.0
+        try:
+            return self.faults.check(LINK_SITE)
+        except Exception:
+            self.sends_failed += 1
+            raise
+
+    def _account(self, nbytes: int, messages: int, extra_latency: float) -> None:
         self.messages += messages
         self.simulated_seconds += messages * self.latency
         self.simulated_seconds += nbytes / self.bandwidth
+        if extra_latency:
+            self.simulated_seconds += extra_latency
+            self.injected_latency_seconds += extra_latency
 
     def snapshot(self) -> MovementStats:
         return MovementStats(
@@ -61,3 +94,5 @@ class Interconnect:
         self.bytes_from_accelerator = 0
         self.messages = 0
         self.simulated_seconds = 0.0
+        self.injected_latency_seconds = 0.0
+        self.sends_failed = 0

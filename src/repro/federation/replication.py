@@ -6,18 +6,53 @@ batch size trades apply throughput against copy staleness (experiment
 E8), and every shipped record is charged to the interconnect — which is
 exactly the recurring price the paper's legacy ELT flow pays when a
 pipeline stage is materialised in DB2 and then re-replicated.
+
+Resilience (experiment E11): a batch that fails — an injected link fault,
+an accelerator crash, or a :class:`~repro.errors.ReplicationError` from
+the apply path — is retried with bounded exponential backoff and jitter.
+The LSN cursor only advances after the *whole* batch applied, and
+partial-batch progress is remembered per table so a retry (even from a
+later ``drain()`` call, even with a different batch size) never
+double-applies a record: exactly-once apply. When a health monitor is
+attached, drains are skipped outright while the circuit is open (the
+backlog simply accumulates) and each drain outcome feeds the breaker —
+so a successful drain doubles as the half-open probe that brings the
+accelerator back ONLINE.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Optional
 
 from repro.accelerator.engine import AcceleratorEngine
 from repro.catalog import Catalog
 from repro.db2.changelog import ChangeLog, ChangeRecord
+from repro.errors import AcceleratorCrashError, LinkError, ReplicationError
+from repro.federation.health import HealthMonitor
 from repro.federation.network import Interconnect
+from repro.metrics.counters import ReplicationStats
 
 __all__ = ["ReplicationService"]
+
+#: Exceptions the drain loop treats as retryable.
+RETRYABLE_ERRORS = (ReplicationError, LinkError, AcceleratorCrashError)
+
+
+@dataclass
+class _PartialBatch:
+    """Progress of a batch that failed mid-apply (exactly-once bookkeeping).
+
+    ``start_lsn``/``record_count`` pin the exact batch extent so a later
+    retry re-reads the *same* records even if the caller changed the batch
+    size; ``applied_tables`` lists the per-table sub-batches that already
+    made it to the accelerator and must not be shipped again.
+    """
+
+    start_lsn: int
+    record_count: int
+    applied_tables: set[str] = field(default_factory=set)
 
 
 class ReplicationService:
@@ -30,19 +65,43 @@ class ReplicationService:
         interconnect: Interconnect,
         catalog: Catalog,
         batch_size: int = 1000,
+        max_retries: int = 4,
+        backoff_base_seconds: float = 0.01,
+        backoff_cap_seconds: float = 1.0,
+        retry_seed: int = 0,
+        health: Optional[HealthMonitor] = None,
+        sleep: Optional[Callable[[float], None]] = None,
     ) -> None:
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
         self._change_log = change_log
         self._accelerator = accelerator
         self._interconnect = interconnect
         self._catalog = catalog
         self.batch_size = batch_size
+        self.max_retries = max_retries
+        self.backoff_base_seconds = backoff_base_seconds
+        self.backoff_cap_seconds = backoff_cap_seconds
+        self._retry_rng = random.Random(retry_seed)
+        self._health = health
+        #: Called with each backoff delay; None keeps backoff simulated
+        #: (accounted in ``simulated_backoff_seconds``) without real sleeps.
+        self._sleep = sleep
         self._cursor = change_log.head_lsn
+        self._partial: Optional[_PartialBatch] = None
         #: Per-table LSN from which this table's changes are relevant
         #: (records older than the initial copy are skipped).
         self._table_start: dict[str, int] = {}
         self.records_applied = 0
         self.batches_applied = 0
         self.records_skipped = 0
+        self.retries = 0
+        self.batches_abandoned = 0
+        self.drains_skipped_offline = 0
+        self.simulated_backoff_seconds = 0.0
+        self.last_error: Optional[Exception] = None
 
     def register_table(self, name: str, start_lsn: int) -> None:
         """Start replicating ``name`` for records with LSN >= start_lsn."""
@@ -56,41 +115,153 @@ class ReplicationService:
         """Committed records not yet applied (copy staleness in records)."""
         return self._change_log.backlog(self._cursor)
 
+    @property
+    def cursor_lsn(self) -> int:
+        return self._cursor
+
+    def stats(self) -> ReplicationStats:
+        """Backlog/staleness and retry counters for monitoring."""
+        return ReplicationStats(
+            backlog=self.backlog,
+            cursor_lsn=self._cursor,
+            head_lsn=self._change_log.head_lsn,
+            records_applied=self.records_applied,
+            batches_applied=self.batches_applied,
+            records_skipped=self.records_skipped,
+            retries=self.retries,
+            batches_abandoned=self.batches_abandoned,
+            drains_skipped_offline=self.drains_skipped_offline,
+            simulated_backoff_seconds=self.simulated_backoff_seconds,
+        )
+
     def drain(
         self,
         batch_size: Optional[int] = None,
         max_batches: Optional[int] = None,
+        raise_on_failure: bool = False,
     ) -> int:
-        """Apply pending changes; returns how many records were applied."""
-        size = batch_size or self.batch_size
+        """Apply pending changes; returns how many records were applied.
+
+        A batch that still fails after ``max_retries`` retries stops the
+        drain without advancing the cursor; by default the error is kept
+        in ``last_error`` (commit-time auto-drains must not fail the
+        already-committed DB2 transaction) — pass ``raise_on_failure=True``
+        to surface it instead. While the health monitor reports the
+        accelerator OFFLINE the drain returns immediately.
+        """
+        if batch_size is None:
+            size = self.batch_size
+        else:
+            if batch_size <= 0:
+                raise ValueError(
+                    f"batch_size must be positive, got {batch_size}"
+                )
+            size = batch_size
+        if self._health is not None and not self._health.available:
+            self.drains_skipped_offline += 1
+            return 0
         applied = 0
         batches = 0
         while max_batches is None or batches < max_batches:
-            records = self._change_log.read_from(self._cursor, limit=size)
+            limit = size
+            partial = self._partial
+            if partial is not None and partial.start_lsn == self._cursor:
+                # Resume the abandoned batch at its original extent so the
+                # per-table skip set lines up with the same records.
+                limit = partial.record_count
+            elif partial is not None:
+                self._partial = None  # stale (cursor moved past it)
+                partial = None
+            records = self._change_log.read_from(self._cursor, limit=limit)
             if not records:
                 break
-            applied += self._apply_batch(records)
+            ok, batch_applied = self._apply_with_retry(records, partial)
+            applied += batch_applied
+            if not ok:
+                if raise_on_failure and self.last_error is not None:
+                    raise self.last_error
+                break
             self._cursor = records[-1].lsn + 1
             batches += 1
-            if len(records) < size:
+            if len(records) < limit:
                 break
         return applied
 
-    def _apply_batch(self, records: list[ChangeRecord]) -> int:
+    def _apply_with_retry(
+        self,
+        records: list[ChangeRecord],
+        partial: Optional[_PartialBatch],
+    ) -> tuple[bool, int]:
+        """Apply one batch with bounded retry; returns (ok, records applied)."""
+        if partial is None:
+            partial = _PartialBatch(
+                start_lsn=records[0].lsn, record_count=len(records)
+            )
+        # A failure can land mid-batch, after some tables already applied;
+        # measure progress from the counter so those records are reported.
+        start_applied = self.records_applied
+        for attempt in range(self.max_retries + 1):
+            try:
+                self._apply_batch(records, partial.applied_tables)
+            except RETRYABLE_ERRORS as exc:
+                self.last_error = exc
+                if self._health is not None:
+                    self._health.record_failure()
+                if attempt == self.max_retries:
+                    self.batches_abandoned += 1
+                    self._partial = partial
+                    return False, self.records_applied - start_applied
+                self.retries += 1
+                self._backoff(attempt)
+            else:
+                self.last_error = None
+                self._partial = None
+                if self._health is not None:
+                    self._health.record_success()
+                return True, self.records_applied - start_applied
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _backoff(self, attempt: int) -> None:
+        """Exponential backoff with deterministic (seeded) jitter."""
+        base = min(
+            self.backoff_cap_seconds,
+            self.backoff_base_seconds * (2.0 ** attempt),
+        )
+        delay = base * (0.5 + self._retry_rng.random() / 2.0)
+        self.simulated_backoff_seconds += delay
+        if self._sleep is not None:
+            self._sleep(delay)
+
+    def _apply_batch(
+        self,
+        records: list[ChangeRecord],
+        applied_tables: set[str],
+    ) -> int:
         per_table: dict[str, list[ChangeRecord]] = {}
+        skipped_now = 0
         for record in records:
             start = self._table_start.get(record.table)
             if start is None or record.lsn < start:
-                self.records_skipped += 1
+                if record.table not in applied_tables:
+                    skipped_now += 1
                 continue
             per_table.setdefault(record.table, []).append(record)
+        # Irrelevant records are "skipped" once per batch, not per retry;
+        # they ride under a sentinel so a retry does not recount them.
+        if "\0skips" not in applied_tables:
+            self.records_skipped += skipped_now
+            applied_tables.add("\0skips")
         applied = 0
         for table, table_records in per_table.items():
+            if table in applied_tables:
+                continue  # already on the accelerator from a prior attempt
             schema = self._catalog.table(table).schema
             nbytes = sum(r.byte_size(schema) for r in table_records)
             self._interconnect.send_to_accelerator(nbytes)
             self._accelerator.apply_changes(table, table_records)
+            applied_tables.add(table)
             applied += len(table_records)
-        self.records_applied += applied
-        self.batches_applied += 1 if records else 0
+            self.records_applied += len(table_records)
+        if applied:
+            self.batches_applied += 1
         return applied

@@ -11,10 +11,18 @@ extension:
 * otherwise offload is controlled by the session's
   ``CURRENT QUERY ACCELERATION`` special register:
   ``NONE`` (never offload), ``ENABLE`` (offload eligible analytical
-  queries), ``ALL`` (offload everything that can run there);
+  queries), ``ENABLE WITH FAILBACK`` (like ENABLE, but offloadable
+  queries over accelerated *copies* silently run on DB2 while the
+  accelerator is OFFLINE), ``ALL`` (offload everything that can run
+  there);
 * under ``ENABLE``, OLTP-shaped statements stay on DB2: primary-key point
   lookups and tiny scans are faster on the row store than the
-  round-trip + columnar scan would be (experiment E3).
+  round-trip + columnar scan would be (experiment E3);
+* when a health monitor is attached and reports the accelerator OFFLINE,
+  a decision that would offload is re-examined: accelerated-copy queries
+  fail back to DB2 under ``ENABLE WITH FAILBACK``; everything else —
+  AOT queries (no DB2 copy exists) and plain ``ENABLE``/``ALL`` sessions
+  — fails fast with :class:`~repro.errors.AcceleratorUnavailableError`.
 """
 
 from __future__ import annotations
@@ -24,7 +32,12 @@ from enum import Enum
 from typing import Optional, Union
 
 from repro.catalog import Catalog, TableLocation
-from repro.errors import RoutingError, UnknownObjectError
+from repro.errors import (
+    AcceleratorUnavailableError,
+    RoutingError,
+    UnknownObjectError,
+)
+from repro.federation.health import HealthMonitor
 from repro.sql import ast
 from repro.sql.expressions import Scope
 from repro.sql.planning import split_conjuncts, references_only
@@ -37,12 +50,17 @@ class AccelerationMode(Enum):
 
     NONE = "NONE"
     ENABLE = "ENABLE"
+    ENABLE_WITH_FAILBACK = "ENABLE WITH FAILBACK"
     ALL = "ALL"
+
+    @property
+    def allows_failback(self) -> bool:
+        return self is AccelerationMode.ENABLE_WITH_FAILBACK
 
     @staticmethod
     def from_name(name: str) -> "AccelerationMode":
         try:
-            return AccelerationMode(name.upper())
+            return AccelerationMode(" ".join(name.upper().split()))
         except ValueError:
             raise UnknownObjectError(
                 f"unknown acceleration mode {name}"
@@ -62,11 +80,14 @@ class QueryRouter:
         self,
         catalog: Catalog,
         offload_row_threshold: int = 2000,
+        health: Optional[HealthMonitor] = None,
     ) -> None:
         self.catalog = catalog
         #: Minimum estimated scanned rows before a plain scan is offloaded
         #: under ENABLE (analytical queries offload regardless of size).
         self.offload_row_threshold = offload_row_threshold
+        #: When set, ACCELERATOR decisions are gated on circuit state.
+        self.health = health
 
     # -- queries ---------------------------------------------------------------
 
@@ -76,6 +97,40 @@ class QueryRouter:
         mode: AccelerationMode,
         estimated_rows: Optional[int] = None,
     ) -> RoutingDecision:
+        decision, has_aot = self._nominal_route(stmt, mode, estimated_rows)
+        if decision.engine != "ACCELERATOR" or self.health is None:
+            return decision
+        if self.health.allow_request():
+            return decision
+        return self.failback_decision(mode, has_aot=has_aot)
+
+    def failback_decision(
+        self, mode: AccelerationMode, has_aot: bool
+    ) -> RoutingDecision:
+        """DB2 fallback for an offload decision the accelerator can't take.
+
+        Raises :class:`AcceleratorUnavailableError` unless the session runs
+        ``ENABLE WITH FAILBACK`` and every referenced table has a DB2 copy.
+        """
+        if mode.allows_failback and not has_aot:
+            return RoutingDecision("DB2", "failback: accelerator offline")
+        if has_aot:
+            raise AcceleratorUnavailableError(
+                "accelerator is unavailable and the query references an "
+                "accelerator-only table (no DB2 copy exists to fail back to)"
+            )
+        raise AcceleratorUnavailableError(
+            "accelerator is unavailable; set CURRENT QUERY ACCELERATION = "
+            "ENABLE WITH FAILBACK to let eligible queries run on DB2"
+        )
+
+    def _nominal_route(
+        self,
+        stmt: Union[ast.SelectStatement, ast.SetOperation],
+        mode: AccelerationMode,
+        estimated_rows: Optional[int] = None,
+    ) -> tuple[RoutingDecision, bool]:
+        """Health-blind routing; returns (decision, references-an-AOT)."""
         tables = [name.upper() for name in stmt.referenced_tables()]
         has_aot = False
         has_plain_db2 = False
@@ -101,7 +156,7 @@ class QueryRouter:
                     "query references an accelerator-only table but "
                     "CURRENT QUERY ACCELERATION is NONE"
                 )
-            return RoutingDecision("ACCELERATOR", "references an AOT")
+            return RoutingDecision("ACCELERATOR", "references an AOT"), True
 
         if mode is AccelerationMode.NONE or not all_on_accelerator:
             reason = (
@@ -109,22 +164,25 @@ class QueryRouter:
                 if mode is AccelerationMode.NONE
                 else "references non-accelerated tables"
             )
-            return RoutingDecision("DB2", reason)
+            return RoutingDecision("DB2", reason), False
 
         if mode is AccelerationMode.ALL:
-            return RoutingDecision("ACCELERATOR", "acceleration mode ALL")
+            return RoutingDecision("ACCELERATOR", "acceleration mode ALL"), False
 
-        # ENABLE: heuristic offload.
+        # ENABLE (with or without FAILBACK): heuristic offload.
         if self._is_point_lookup(stmt):
-            return RoutingDecision("DB2", "primary-key point lookup")
+            return RoutingDecision("DB2", "primary-key point lookup"), False
         if self._is_analytical(stmt):
-            return RoutingDecision("ACCELERATOR", "analytical query shape")
+            return (
+                RoutingDecision("ACCELERATOR", "analytical query shape"),
+                False,
+            )
         if (
             estimated_rows is not None
             and estimated_rows >= self.offload_row_threshold
         ):
-            return RoutingDecision("ACCELERATOR", "large estimated scan")
-        return RoutingDecision("DB2", "small non-analytical query")
+            return RoutingDecision("ACCELERATOR", "large estimated scan"), False
+        return RoutingDecision("DB2", "small non-analytical query"), False
 
     def _is_analytical(
         self, stmt: Union[ast.SelectStatement, ast.SetOperation]
@@ -180,5 +238,11 @@ class QueryRouter:
         """INSERT/UPDATE/DELETE target placement decides the engine."""
         descriptor = self.catalog.table(table)
         if descriptor.location is TableLocation.ACCELERATOR_ONLY:
+            if self.health is not None and not self.health.allow_request():
+                # AOT data exists nowhere else — DML cannot fail back.
+                raise AcceleratorUnavailableError(
+                    f"accelerator is unavailable; cannot modify "
+                    f"accelerator-only table {descriptor.name}"
+                )
             return RoutingDecision("ACCELERATOR", "target is an AOT")
         return RoutingDecision("DB2", "target is DB2-resident")

@@ -31,12 +31,17 @@ from repro.analytics.model_store import ModelStore
 from repro.db2 import Db2Engine
 from repro.db2.transaction import Transaction
 from repro.errors import (
+    AcceleratorCrashError,
+    AcceleratorUnavailableError,
     AuthorizationError,
     DuplicateObjectError,
+    LinkError,
     SqlError,
     TransactionStateError,
     UnknownObjectError,
 )
+from repro.federation.faults import FaultInjector
+from repro.federation.health import HealthMonitor
 from repro.federation.network import Interconnect
 from repro.federation.replication import ReplicationService
 from repro.federation.router import AccelerationMode, QueryRouter
@@ -66,6 +71,9 @@ class StatementRecord:
     engine: str
     elapsed_seconds: float
     rowcount: int
+    #: Routing reason for queries — ``failback: ...`` marks statements
+    #: that re-executed on DB2 because the accelerator was unavailable.
+    reason: str = ""
 
 
 class AcceleratedDatabase:
@@ -80,15 +88,30 @@ class AcceleratedDatabase:
         bandwidth_bytes_per_second: float = 1e9,
         message_latency_seconds: float = 0.0005,
         replication_batch_size: int = 1000,
+        fault_seed: int = 0,
+        failure_threshold: int = 3,
+        cooldown_seconds: float = 0.1,
     ) -> None:
         self.catalog = Catalog()
         self.db2 = Db2Engine(self.catalog)
+        #: Deterministic fault injector consulted by the interconnect and
+        #: the accelerator engine (see repro.federation.faults).
+        self.faults = FaultInjector(seed=fault_seed)
+        #: Circuit breaker tracking accelerator availability.
+        self.health = HealthMonitor(
+            failure_threshold=failure_threshold,
+            cooldown_seconds=cooldown_seconds,
+        )
         self.accelerator = AcceleratorEngine(
-            self.catalog, slice_count=slice_count, chunk_rows=chunk_rows
+            self.catalog,
+            slice_count=slice_count,
+            chunk_rows=chunk_rows,
+            fault_injector=self.faults,
         )
         self.interconnect = Interconnect(
             bandwidth_bytes_per_second=bandwidth_bytes_per_second,
             message_latency_seconds=message_latency_seconds,
+            fault_injector=self.faults,
         )
         self.replication = ReplicationService(
             self.db2.change_log,
@@ -96,10 +119,15 @@ class AcceleratedDatabase:
             self.interconnect,
             self.catalog,
             batch_size=replication_batch_size,
+            health=self.health,
         )
         self.router = QueryRouter(
-            self.catalog, offload_row_threshold=offload_row_threshold
+            self.catalog,
+            offload_row_threshold=offload_row_threshold,
+            health=self.health,
         )
+        #: Queries transparently re-executed on DB2 (ENABLE WITH FAILBACK).
+        self.failbacks = 0
         self.procedures = ProcedureRegistry()
         self.models = ModelStore()
         self.auto_replicate = auto_replicate
@@ -338,6 +366,7 @@ class Connection:
         txn = self._txn
         assert txn is not None
         savepoint = self._statement_savepoint(txn)
+        self.last_decision = None
         started = time.perf_counter()
         try:
             result = self._dispatch(stmt, txn, params)
@@ -364,6 +393,7 @@ class Connection:
                 engine=result.engine,
                 elapsed_seconds=time.perf_counter() - started,
                 rowcount=result.rowcount,
+                reason=self.last_decision or "",
             )
         )
         return result
@@ -516,6 +546,14 @@ class Connection:
         if self._system.catalog.has_view(name):
             raise SqlError(f"{name.upper()} is a view; views are read-only")
 
+    def _require_accelerator_for_dml(self, name: str) -> None:
+        """AOT DML has no DB2 copy to fall back to: fail fast when OFFLINE."""
+        if not self._system.health.allow_request():
+            raise AcceleratorUnavailableError(
+                f"accelerator is unavailable; cannot modify "
+                f"accelerator-only table {name}"
+            )
+
     # -- privileges ---------------------------------------------------------------------
 
     def _check_table_privilege(
@@ -535,16 +573,59 @@ class Connection:
         txn: Transaction,
         params: Sequence[object],
     ) -> Result:
-        """Top-level SELECT: route, run, and charge the result transfer."""
-        columns, rows, engine = self._run_select(
-            stmt, txn, params, self.acceleration
-        )
+        """Top-level SELECT: route, run, and charge the result transfer.
+
+        An accelerator or link failure *during* execution feeds the health
+        monitor; under ``ENABLE WITH FAILBACK`` the statement then
+        transparently re-executes on DB2 (results are identical — the copy
+        is maintained from DB2's own change log), otherwise the failure
+        surfaces as :class:`AcceleratorUnavailableError`.
+        """
+        try:
+            columns, rows, engine = self._attempt_query(
+                stmt, txn, params, self.acceleration
+            )
+        except (AcceleratorCrashError, LinkError) as exc:
+            self._system.health.record_failure()
+            if (
+                not self.acceleration.allows_failback
+                or self._references_aot(stmt)
+            ):
+                raise AcceleratorUnavailableError(
+                    f"accelerator failed mid-statement: {exc}"
+                ) from exc
+            columns, rows, engine = self._attempt_query(
+                stmt, txn, params, AccelerationMode.NONE
+            )
+            self.last_decision = "failback: accelerator failed mid-statement"
+            self._system.failbacks += 1
+        return Result(columns=columns, rows=rows, engine=engine)
+
+    def _attempt_query(
+        self,
+        stmt: Union[ast.SelectStatement, ast.SetOperation],
+        txn: Transaction,
+        params: Sequence[object],
+        mode: AccelerationMode,
+    ) -> tuple[list[str], list[tuple], str]:
+        columns, rows, engine = self._run_select(stmt, txn, params, mode)
         if engine == "ACCELERATOR":
             self._system.interconnect.send_to_accelerator(
                 STATEMENT_OVERHEAD_BYTES
             )
             self._system.interconnect.send_to_db2(estimate_rows_bytes(rows))
-        return Result(columns=columns, rows=rows, engine=engine)
+            self._system.health.record_success()
+        return columns, rows, engine
+
+    def _references_aot(
+        self, stmt: Union[ast.SelectStatement, ast.SetOperation]
+    ) -> bool:
+        expanded, __ = self._expand_views(stmt)
+        catalog = self._system.catalog
+        return any(
+            catalog.table(name).location is TableLocation.ACCELERATOR_ONLY
+            for name in {n.upper() for n in expanded.referenced_tables()}
+        )
 
     def _run_select(
         self,
@@ -580,6 +661,8 @@ class Connection:
             stmt, mode, estimated_rows=self._estimate_rows(tables)
         )
         self.last_decision = decision.reason
+        if decision.reason.startswith("failback"):
+            self._system.failbacks += 1
         if decision.engine == "ACCELERATOR":
             epoch = self.snapshot_epoch_for_statement()
             columns, rows = self._system.accelerator.execute_select(
@@ -643,6 +726,7 @@ class Connection:
             ]
 
         if descriptor.is_aot:
+            self._require_accelerator_for_dml(descriptor.name)
             nbytes = sum(
                 descriptor.schema.row_byte_size(row) for row in rows
             )
@@ -714,6 +798,7 @@ class Connection:
         descriptor = self._system.catalog.table(stmt.table)
         self._check_table_privilege(Privilege.UPDATE, descriptor)
         if descriptor.is_aot:
+            self._require_accelerator_for_dml(descriptor.name)
             self._system.interconnect.send_to_accelerator(
                 STATEMENT_OVERHEAD_BYTES
             )
@@ -736,6 +821,7 @@ class Connection:
         descriptor = self._system.catalog.table(stmt.table)
         self._check_table_privilege(Privilege.DELETE, descriptor)
         if descriptor.is_aot:
+            self._require_accelerator_for_dml(descriptor.name)
             self._system.interconnect.send_to_accelerator(
                 STATEMENT_OVERHEAD_BYTES
             )

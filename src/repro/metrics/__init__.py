@@ -1,5 +1,10 @@
 """Instrumentation: movement counters and timing helpers."""
 
-from repro.metrics.counters import MovementStats, Timer, estimate_rows_bytes
+from repro.metrics.counters import (
+    MovementStats,
+    ReplicationStats,
+    Timer,
+    estimate_rows_bytes,
+)
 
-__all__ = ["MovementStats", "Timer", "estimate_rows_bytes"]
+__all__ = ["MovementStats", "ReplicationStats", "Timer", "estimate_rows_bytes"]

@@ -14,7 +14,13 @@ import decimal
 import time
 from dataclasses import dataclass
 
-__all__ = ["MovementStats", "Timer", "estimate_rows_bytes", "estimate_value_bytes"]
+__all__ = [
+    "MovementStats",
+    "ReplicationStats",
+    "Timer",
+    "estimate_rows_bytes",
+    "estimate_value_bytes",
+]
 
 
 @dataclass(frozen=True)
@@ -49,6 +55,32 @@ class MovementStats:
             messages=self.messages + other.messages,
             simulated_seconds=self.simulated_seconds + other.simulated_seconds,
         )
+
+
+@dataclass(frozen=True)
+class ReplicationStats:
+    """Replication backlog/staleness and resilience counters.
+
+    ``backlog`` is the copy staleness in records (committed changes the
+    accelerator has not seen yet); the retry counters describe how hard
+    the drain loop has had to work to keep it down.
+    """
+
+    backlog: int = 0
+    cursor_lsn: int = 1
+    head_lsn: int = 1
+    records_applied: int = 0
+    batches_applied: int = 0
+    records_skipped: int = 0
+    retries: int = 0
+    batches_abandoned: int = 0
+    drains_skipped_offline: int = 0
+    simulated_backoff_seconds: float = 0.0
+
+    @property
+    def staleness_records(self) -> int:
+        """Alias for ``backlog`` under its experiment name."""
+        return self.backlog
 
 
 class Timer:

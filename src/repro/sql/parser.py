@@ -665,8 +665,10 @@ class Parser:
         return ast.CallStatement(procedure=procedure, arguments=arguments)
 
     def _set_register(self) -> ast.SetStatement:
-        """``SET CURRENT QUERY ACCELERATION = NONE|ENABLE|ALL`` (and any
-        future special registers following the same shape)."""
+        """``SET CURRENT QUERY ACCELERATION = NONE|ENABLE|ENABLE WITH
+        FAILBACK|ALL`` (and any future special registers of that shape).
+        Multi-word values like ``ENABLE WITH FAILBACK`` are joined with
+        single spaces."""
         self._expect_keyword("SET")
         words = [self._expect_identifier()]
         while self._current.type is TokenType.IDENTIFIER:
@@ -675,7 +677,13 @@ class Parser:
             raise self._error("expected '=' in SET statement")
         token = self._current
         if token.type in (TokenType.IDENTIFIER, TokenType.KEYWORD):
-            value = self._advance().value
+            parts = [self._advance().value]
+            while self._current.type in (
+                TokenType.IDENTIFIER,
+                TokenType.KEYWORD,
+            ):
+                parts.append(self._advance().value)
+            value = " ".join(parts)
         elif token.type is TokenType.STRING:
             value = self._advance().value
         else:

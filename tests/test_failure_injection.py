@@ -159,6 +159,146 @@ class TestProcedureFailures:
         conn.execute("COMMIT")
 
 
+class TestInterconnectCounterSemantics:
+    def test_reset_zeroes_every_counter(self, db, conn):
+        conn.execute("CREATE TABLE T (A INTEGER) IN ACCELERATOR")
+        conn.execute("INSERT INTO T VALUES (1), (2)")
+        conn.execute("SELECT COUNT(*) FROM t")
+        link = db.interconnect
+        assert link.messages > 0
+        assert link.bytes_to_accelerator > 0
+        link.reset()
+        assert link.messages == 0
+        assert link.bytes_to_accelerator == 0
+        assert link.bytes_from_accelerator == 0
+        assert link.simulated_seconds == 0.0
+        assert link.injected_latency_seconds == 0.0
+        assert link.sends_failed == 0
+
+    def test_reset_zeroes_fault_counters(self, db):
+        with db.faults.forced("interconnect"):
+            with pytest.raises(Exception):
+                db.interconnect.send_to_accelerator(100)
+        with db.faults.forced("interconnect", kind="latency", latency_seconds=0.5):
+            db.interconnect.send_to_accelerator(100)
+        assert db.interconnect.sends_failed == 1
+        assert db.interconnect.injected_latency_seconds == 0.5
+        db.interconnect.reset()
+        assert db.interconnect.sends_failed == 0
+        assert db.interconnect.injected_latency_seconds == 0.0
+
+    def test_since_measures_only_the_delta(self, db, conn):
+        conn.execute("CREATE TABLE T (A INTEGER) IN ACCELERATOR")
+        conn.execute("INSERT INTO T VALUES (1), (2), (3)")
+        before = db.interconnect.snapshot()
+        conn.execute("SELECT COUNT(*) FROM t")
+        delta = db.interconnect.since(before)
+        # The query went over and its result came back; the earlier
+        # insert's shipped bytes must not leak into the window.
+        after = db.interconnect.snapshot()
+        assert before.bytes_to_accelerator + delta.bytes_to_accelerator == (
+            after.bytes_to_accelerator
+        )
+        assert delta.bytes_to_accelerator < before.bytes_to_accelerator
+        assert delta.bytes_from_accelerator > 0
+        assert delta.messages >= 1
+        # An empty window measures zero.
+        now = db.interconnect.snapshot()
+        empty = db.interconnect.since(now)
+        assert empty.messages == 0
+        assert empty.bytes_from_accelerator == 0
+        assert empty.simulated_seconds == 0.0
+
+    def test_failed_send_accounts_nothing(self, db):
+        before = db.interconnect.snapshot()
+        with db.faults.forced("interconnect"):
+            with pytest.raises(Exception):
+                db.interconnect.send_to_accelerator(4096)
+        delta = db.interconnect.since(before)
+        assert delta.bytes_to_accelerator == 0
+        assert delta.messages == 0
+        assert db.interconnect.sends_failed == 1
+
+
+class TestConcurrentSessionFailures:
+    def test_concurrent_statement_failures_keep_health_consistent(self, db):
+        """Many sessions failing/succeeding at once must leave the health
+        monitor's counters exact and its breaker state valid."""
+        import threading
+
+        from repro.federation.health import AcceleratorHealthState
+
+        setup = db.connect()
+        setup.execute("CREATE TABLE T (A INTEGER NOT NULL PRIMARY KEY)")
+        setup.execute("INSERT INTO T VALUES (1), (2), (3)")
+        db.add_table_to_accelerator("T")
+        # High threshold: the concurrent failures must not trip the breaker,
+        # so every statement exercises the crash → failback path.
+        db.health.failure_threshold = 10_000
+        rule = db.faults.add("accelerator", kind="crash", probability=1.0)
+
+        sessions = 8
+        per_session = 25
+        errors: list[Exception] = []
+        results: list[int] = []
+
+        def worker() -> None:
+            conn = db.connect()
+            conn.set_acceleration("ENABLE WITH FAILBACK")
+            for _ in range(per_session):
+                try:
+                    results.append(
+                        conn.execute("SELECT COUNT(*) FROM t").scalar()
+                    )
+                except Exception as exc:  # pragma: no cover - fail the test
+                    errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(sessions)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        db.faults.remove(rule)
+
+        assert not errors
+        total = sessions * per_session
+        assert results == [3] * total
+        # Every crash was recorded as exactly one failure and one failback;
+        # the DB2 re-executions never touch the accelerator, so no
+        # successes sneak in and the totals stay exact under concurrency.
+        assert db.health.failures_total == total
+        assert db.health.successes_total == 0
+        assert db.failbacks == total
+        assert db.health.state in (
+            AcceleratorHealthState.ONLINE,
+            AcceleratorHealthState.DEGRADED,
+        )
+
+    def test_concurrent_failures_trip_breaker_exactly_once(self, db):
+        import threading
+
+        from repro.federation.health import AcceleratorHealthState
+
+        db.health.failure_threshold = 5
+        db.health.cooldown_seconds = 60.0
+        barrier = threading.Barrier(8)
+
+        def worker() -> None:
+            barrier.wait()
+            for _ in range(10):
+                db.health.record_failure()
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert db.health.state is AcceleratorHealthState.OFFLINE
+        assert db.health.times_opened == 1
+        assert db.health.failures_total == 80
+
+
 class TestReplicationCacheConsistency:
     def test_failed_batch_does_not_poison_the_lookup_cache(self, db, conn):
         """A drain failure must not leave the incremental row-lookup cache
