@@ -47,6 +47,7 @@ from repro.federation import (
 )
 from repro.loader import CsvSource, IdaaLoader, IterableSource, JsonLinesSource
 from repro.metrics import MovementStats
+from repro.obs import MetricsRegistry, Trace, Tracer
 from repro.pipeline import Pipeline, ProcedureStage, TransformStage
 from repro.result import Result
 
@@ -64,6 +65,9 @@ __all__ = [
     "JsonLinesSource",
     "IterableSource",
     "MovementStats",
+    "MetricsRegistry",
+    "Trace",
+    "Tracer",
     "ReproError",
     "SqlError",
     "ParseError",

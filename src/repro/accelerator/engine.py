@@ -10,6 +10,7 @@ transaction's uncommitted AOT delta buffers.
 from __future__ import annotations
 
 import threading
+from dataclasses import dataclass
 from typing import Optional, Sequence
 
 import numpy as np
@@ -21,6 +22,7 @@ from repro.catalog import Catalog, TableDescriptor
 from repro.catalog.schema import TableSchema
 from repro.db2.changelog import ChangeRecord
 from repro.errors import ReplicationError, ReproError, UnknownObjectError
+from repro.obs.trace import NULL_SPAN
 from repro.sql import ast
 from repro.sql.expressions import Scope, VColumn, compile_vector
 from repro.sql.planning import extract_column_ranges
@@ -30,9 +32,6 @@ __all__ = ["AcceleratorEngine", "GroomStats"]
 
 #: Simulated per-slice scan speed (rows/second) for the busy-time model.
 SCAN_ROWS_PER_SECOND = 5_000_000.0
-
-
-from dataclasses import dataclass
 
 
 @dataclass(frozen=True)
@@ -84,6 +83,7 @@ class AcceleratorEngine:
         slice_count: int = 4,
         chunk_rows: int = 65536,
         fault_injector=None,
+        tracer=None,
     ) -> None:
         self.catalog = catalog
         self.slice_count = slice_count
@@ -92,6 +92,9 @@ class AcceleratorEngine:
         #: query/apply entry point consults it before touching storage, so
         #: an injected crash never leaves a half-written batch behind.
         self.fault_injector = fault_injector
+        #: Optional :class:`repro.obs.trace.Tracer`; SELECTs become
+        #: ``accelerator.execute`` spans under the statement trace.
+        self.tracer = tracer
         self._tables: dict[str, ColumnStoreTable] = {}
         #: Replication-apply cache: table -> {row tuple: [row ids]}.
         #: Maintained incrementally by apply_changes; any other write path
@@ -390,12 +393,24 @@ class AcceleratorEngine:
         snapshot_epoch: Optional[int] = None,
         deltas: Optional[dict[str, DeltaBuffer]] = None,
     ) -> tuple[list[str], list[tuple]]:
-        self._check_fault()
         epoch = self.current_epoch if snapshot_epoch is None else snapshot_epoch
-        provider = _SnapshotProvider(self, epoch, deltas)
-        engine = VectorQueryEngine(provider, params)
-        columns, rows = engine.execute(stmt)
-        self.queries_executed += 1
+        tracer = self.tracer
+        span = (
+            tracer.span("accelerator.execute", epoch=epoch)
+            if tracer is not None and tracer.enabled
+            else NULL_SPAN
+        )
+        with span:
+            scanned_before = self.rows_scanned
+            self._check_fault()
+            provider = _SnapshotProvider(self, epoch, deltas)
+            engine = VectorQueryEngine(provider, params)
+            columns, rows = engine.execute(stmt)
+            self.queries_executed += 1
+            span.annotate(
+                rows=len(rows),
+                rows_scanned=self.rows_scanned - scanned_before,
+            )
         return columns, rows
 
     # -- AOT DML ------------------------------------------------------------------------------

@@ -17,7 +17,11 @@ the simulation is managed the same way:
 * ``SYSPROC.ACCEL_CONTROL_ACCELERATOR('action=replicate')`` — drain the
   replication backlog on demand;
 * ``SYSPROC.ACCEL_GET_HEALTH('')`` — accelerator health state, circuit
-  breaker counters, replication backlog/staleness and retry totals.
+  breaker counters, replication backlog/staleness and retry totals;
+* ``SYSPROC.ACCEL_GET_TRACE('trace=T000042')`` — retained statement
+  traces rendered as indented span trees;
+* ``SYSPROC.ACCEL_GET_METRICS('prefix=statement.')`` — the metrics
+  registry flattened to ``name = value`` lines.
 
 All of them require administrator authority (SYSADM), mirroring the
 production requirement that accelerator administration is a privileged
@@ -167,6 +171,56 @@ def _accel_get_health(ctx: ProcedureContext) -> str:
     return f"ACCEL_GET_HEALTH: {health.state.value}"
 
 
+def _accel_get_trace(ctx: ProcedureContext) -> str:
+    """Render retained statement traces as indented span trees.
+
+    ``trace=T000042`` selects one trace by id; otherwise the newest
+    ``limit`` (default 5) traces are rendered. Read-only, like
+    ACCEL_GET_HEALTH — tracing must be inspectable from any session.
+    """
+    tracer = ctx.system.tracer
+    if not tracer.enabled:
+        ctx.log("tracing is disabled")
+    trace_id = ctx.get("trace")
+    if trace_id:
+        trace = tracer.find(trace_id)
+        if trace is None:
+            raise ProcedureError(f"no retained trace {trace_id!r}")
+        traces = [trace]
+    else:
+        limit = ctx.get_int("limit", 5)
+        traces = tracer.traces()[-limit:]
+    for trace in traces:
+        ctx.log(
+            f"{trace.trace_id} {trace.name} "
+            f"{trace.elapsed_seconds * 1000:.3f}ms "
+            f"({len(trace.spans)} spans)"
+        )
+        for line in trace.render():
+            ctx.log(f"  {line}")
+    return f"ACCEL_GET_TRACE: {len(traces)} traces"
+
+
+def _accel_get_metrics(ctx: ProcedureContext) -> str:
+    """Dump the metrics registry (optionally ``prefix=``-filtered).
+
+    One ``name = value`` log line per metric, flattened across owned
+    instruments and registered sources. Read-only.
+    """
+    prefix = ctx.get("prefix") or ""
+    metrics = ctx.system.metrics.collect()
+    matched = 0
+    for name, value in sorted(metrics.items()):
+        if prefix and not name.startswith(prefix):
+            continue
+        if isinstance(value, float):
+            ctx.log(f"{name} = {value:.6f}")
+        else:
+            ctx.log(f"{name} = {value}")
+        matched += 1
+    return f"ACCEL_GET_METRICS: {matched} metrics"
+
+
 def _accel_get_query_history(ctx: ProcedureContext) -> str:
     limit = ctx.get_int("limit", 20)
     history = list(ctx.system.statement_history)[-limit:]
@@ -197,6 +251,10 @@ def register_admin_procedures(registry: ProcedureRegistry) -> None:
          "accelerator health, circuit breaker, and replication backlog"),
         ("SYSPROC.ACCEL_GET_QUERY_HISTORY", _accel_get_query_history,
          "recent statements with engine and latency"),
+        ("SYSPROC.ACCEL_GET_TRACE", _accel_get_trace,
+         "render retained statement traces as span trees"),
+        ("SYSPROC.ACCEL_GET_METRICS", _accel_get_metrics,
+         "dump the metrics registry (counters/gauges/histograms/sources)"),
     ):
         registry.register(
             Procedure(

@@ -19,6 +19,7 @@ from typing import Optional
 
 from repro.federation.faults import FaultInjector
 from repro.metrics.counters import MovementStats
+from repro.obs.trace import NULL_SPAN, Tracer
 
 __all__ = ["Interconnect"]
 
@@ -34,10 +35,14 @@ class Interconnect:
         bandwidth_bytes_per_second: float = 1e9,
         message_latency_seconds: float = 0.0005,
         fault_injector: Optional[FaultInjector] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.bandwidth = bandwidth_bytes_per_second
         self.latency = message_latency_seconds
         self.faults = fault_injector
+        #: Every send becomes an ``interconnect.send`` span (direction,
+        #: bytes, messages) under the current statement trace.
+        self.tracer = tracer
         self.bytes_to_accelerator = 0
         self.bytes_from_accelerator = 0
         self.messages = 0
@@ -49,16 +54,35 @@ class Interconnect:
 
     def send_to_accelerator(self, nbytes: int, messages: int = 1) -> None:
         """Account for data shipped DB2 → accelerator."""
-        extra = self._check_fault()
-        self.bytes_to_accelerator += int(nbytes)
-        self._account(nbytes, messages, extra)
+        with self._trace_send("to_accelerator", nbytes, messages):
+            extra = self._check_fault()
+            self.bytes_to_accelerator += int(nbytes)
+            self._account(nbytes, messages, extra)
 
     def send_to_db2(self, nbytes: int, messages: int = 1) -> None:
         """Account for data shipped accelerator → DB2 (query results,
         legacy stage materialisation)."""
-        extra = self._check_fault()
-        self.bytes_from_accelerator += int(nbytes)
-        self._account(nbytes, messages, extra)
+        with self._trace_send("to_db2", nbytes, messages):
+            extra = self._check_fault()
+            self.bytes_from_accelerator += int(nbytes)
+            self._account(nbytes, messages, extra)
+
+    def _trace_send(self, direction: str, nbytes: int, messages: int):
+        """Span for one transfer; the shared no-op when tracing is off.
+
+        An injected fault raising inside the span marks it ``ERROR``
+        with the fault's text — that is the trace-level fault-injection
+        annotation the monitoring views expose.
+        """
+        tracer = self.tracer
+        if tracer is None or not tracer.enabled:
+            return NULL_SPAN
+        return tracer.span(
+            "interconnect.send",
+            direction=direction,
+            bytes=int(nbytes),
+            messages=messages,
+        )
 
     def _check_fault(self) -> float:
         """Consult the injector; a raised fault counts as a failed send."""

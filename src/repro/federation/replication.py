@@ -23,6 +23,7 @@ accelerator back ONLINE.
 from __future__ import annotations
 
 import random
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
@@ -33,8 +34,10 @@ from repro.errors import AcceleratorCrashError, LinkError, ReplicationError
 from repro.federation.health import HealthMonitor
 from repro.federation.network import Interconnect
 from repro.metrics.counters import ReplicationStats
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_SPAN, Tracer
 
-__all__ = ["ReplicationService"]
+__all__ = ["DrainRecord", "ReplicationService"]
 
 #: Exceptions the drain loop treats as retryable.
 RETRYABLE_ERRORS = (ReplicationError, LinkError, AcceleratorCrashError)
@@ -55,6 +58,23 @@ class _PartialBatch:
     applied_tables: set[str] = field(default_factory=set)
 
 
+@dataclass(frozen=True)
+class DrainRecord:
+    """Monitoring row for one ``drain()`` call (SYSACCEL.MON_REPLICATION)."""
+
+    drain_id: int
+    #: ``ok``, ``idle`` (nothing pending), ``failed`` (batch abandoned),
+    #: or ``skipped_offline`` (circuit open).
+    outcome: str
+    records_applied: int
+    batches: int
+    backlog_before: int
+    backlog_after: int
+    retries: int
+    abandoned: int
+    reason: str = ""
+
+
 class ReplicationService:
     """Single-cursor log reader applying per-table batches."""
 
@@ -71,6 +91,9 @@ class ReplicationService:
         retry_seed: int = 0,
         health: Optional[HealthMonitor] = None,
         sleep: Optional[Callable[[float], None]] = None,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        drain_history_limit: int = 256,
     ) -> None:
         if batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
@@ -102,6 +125,13 @@ class ReplicationService:
         self.drains_skipped_offline = 0
         self.simulated_backoff_seconds = 0.0
         self.last_error: Optional[Exception] = None
+        self._tracer = tracer
+        self._metrics = metrics
+        #: Ring of per-drain monitoring rows (SYSACCEL.MON_REPLICATION).
+        self.drain_history: deque[DrainRecord] = deque(
+            maxlen=drain_history_limit
+        )
+        self._drain_seq = 0
 
     def register_table(self, name: str, start_lsn: int) -> None:
         """Start replicating ``name`` for records with LSN >= start_lsn."""
@@ -157,35 +187,104 @@ class ReplicationService:
                     f"batch_size must be positive, got {batch_size}"
                 )
             size = batch_size
-        if self._health is not None and not self._health.available:
-            self.drains_skipped_offline += 1
-            return 0
-        applied = 0
-        batches = 0
-        while max_batches is None or batches < max_batches:
-            limit = size
-            partial = self._partial
-            if partial is not None and partial.start_lsn == self._cursor:
-                # Resume the abandoned batch at its original extent so the
-                # per-table skip set lines up with the same records.
-                limit = partial.record_count
-            elif partial is not None:
-                self._partial = None  # stale (cursor moved past it)
-                partial = None
-            records = self._change_log.read_from(self._cursor, limit=limit)
-            if not records:
-                break
-            ok, batch_applied = self._apply_with_retry(records, partial)
-            applied += batch_applied
-            if not ok:
-                if raise_on_failure and self.last_error is not None:
-                    raise self.last_error
-                break
-            self._cursor = records[-1].lsn + 1
-            batches += 1
-            if len(records) < limit:
-                break
-        return applied
+        backlog_before = self.backlog
+        retries_before = self.retries
+        abandoned_before = self.batches_abandoned
+        span = (
+            self._tracer.span(
+                "replication.drain",
+                batch_size=size,
+                backlog=backlog_before,
+            )
+            if self._tracer is not None and self._tracer.enabled
+            else NULL_SPAN
+        )
+        with span:
+            if self._health is not None and not self._health.available:
+                self.drains_skipped_offline += 1
+                span.annotate(outcome="skipped_offline")
+                self._record_drain(
+                    "skipped_offline", 0, 0, backlog_before,
+                    reason="circuit open: accelerator OFFLINE",
+                )
+                return 0
+            applied = 0
+            batches = 0
+            failed = False
+            while max_batches is None or batches < max_batches:
+                limit = size
+                partial = self._partial
+                if partial is not None and partial.start_lsn == self._cursor:
+                    # Resume the abandoned batch at its original extent so the
+                    # per-table skip set lines up with the same records.
+                    limit = partial.record_count
+                elif partial is not None:
+                    self._partial = None  # stale (cursor moved past it)
+                    partial = None
+                records = self._change_log.read_from(self._cursor, limit=limit)
+                if not records:
+                    break
+                ok, batch_applied = self._apply_with_retry(records, partial)
+                applied += batch_applied
+                if not ok:
+                    failed = True
+                    break
+                self._cursor = records[-1].lsn + 1
+                batches += 1
+                if len(records) < limit:
+                    break
+            if failed:
+                outcome = "failed"
+            elif applied or batches:
+                outcome = "ok"
+            else:
+                outcome = "idle"
+            span.annotate(
+                outcome=outcome,
+                applied=applied,
+                batches=batches,
+                retries=self.retries - retries_before,
+            )
+            self._record_drain(
+                outcome,
+                applied,
+                batches,
+                backlog_before,
+                retries=self.retries - retries_before,
+                abandoned=self.batches_abandoned - abandoned_before,
+                reason=str(self.last_error) if failed else "",
+            )
+            if failed and raise_on_failure and self.last_error is not None:
+                raise self.last_error
+            return applied
+
+    def _record_drain(
+        self,
+        outcome: str,
+        applied: int,
+        batches: int,
+        backlog_before: int,
+        retries: int = 0,
+        abandoned: int = 0,
+        reason: str = "",
+    ) -> None:
+        self._drain_seq += 1
+        self.drain_history.append(
+            DrainRecord(
+                drain_id=self._drain_seq,
+                outcome=outcome,
+                records_applied=applied,
+                batches=batches,
+                backlog_before=backlog_before,
+                backlog_after=self.backlog,
+                retries=retries,
+                abandoned=abandoned,
+                reason=reason[:512],
+            )
+        )
+        if self._metrics is not None:
+            self._metrics.gauge("replication.backlog").set(self.backlog)
+            self._metrics.counter(f"replication.drains.{outcome}").inc()
 
     def _apply_with_retry(
         self,

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import time
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Optional, Sequence, Union
 
 from repro.accelerator import AcceleratorEngine, DeltaBuffer
@@ -47,6 +47,9 @@ from repro.federation.replication import ReplicationService
 from repro.federation.router import AccelerationMode, QueryRouter
 from repro.federation.views import expand_views
 from repro.metrics.counters import MovementStats, estimate_rows_bytes
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.monitor import execute_monitoring_query, monitoring_tables
+from repro.obs.trace import NULL_SPAN, Tracer
 from repro.result import Result
 from repro.sql import ast, parse_statement
 
@@ -74,6 +77,8 @@ class StatementRecord:
     #: Routing reason for queries — ``failback: ...`` marks statements
     #: that re-executed on DB2 because the accelerator was unavailable.
     reason: str = ""
+    #: Links the record into the tracer ("" while tracing is disabled).
+    trace_id: str = ""
 
 
 class AcceleratedDatabase:
@@ -91,9 +96,17 @@ class AcceleratedDatabase:
         fault_seed: int = 0,
         failure_threshold: int = 3,
         cooldown_seconds: float = 0.1,
+        tracing_enabled: bool = True,
+        trace_retention: int = 256,
     ) -> None:
         self.catalog = Catalog()
         self.db2 = Db2Engine(self.catalog)
+        #: Statement tracer — every component below reports spans into it.
+        self.tracer = Tracer(
+            enabled=tracing_enabled, max_traces=trace_retention
+        )
+        #: Shared metrics registry (owned instruments + snapshot sources).
+        self.metrics = MetricsRegistry()
         #: Deterministic fault injector consulted by the interconnect and
         #: the accelerator engine (see repro.federation.faults).
         self.faults = FaultInjector(seed=fault_seed)
@@ -107,11 +120,13 @@ class AcceleratedDatabase:
             slice_count=slice_count,
             chunk_rows=chunk_rows,
             fault_injector=self.faults,
+            tracer=self.tracer,
         )
         self.interconnect = Interconnect(
             bandwidth_bytes_per_second=bandwidth_bytes_per_second,
             message_latency_seconds=message_latency_seconds,
             fault_injector=self.faults,
+            tracer=self.tracer,
         )
         self.replication = ReplicationService(
             self.db2.change_log,
@@ -120,6 +135,8 @@ class AcceleratedDatabase:
             self.catalog,
             batch_size=replication_batch_size,
             health=self.health,
+            tracer=self.tracer,
+            metrics=self.metrics,
         )
         self.router = QueryRouter(
             self.catalog,
@@ -133,7 +150,52 @@ class AcceleratedDatabase:
         self.auto_replicate = auto_replicate
         #: Ring buffer of recently executed statements (monitoring).
         self.statement_history: deque[StatementRecord] = deque(maxlen=1000)
+        self._register_metric_sources()
+        # Prefetched so the per-statement path avoids registry lookups.
+        self._latency_hist = self.metrics.histogram(
+            "statement.latency_seconds"
+        )
+        self._rows_hist = self.metrics.histogram("statement.rows")
         self._register_builtin_procedures()
+
+    def _register_metric_sources(self) -> None:
+        """Expose the pre-existing stats structures through the registry.
+
+        The dataclasses stay the system of record; ``collect()`` merely
+        snapshots them under ``interconnect.*`` / ``replication.*`` /
+        ``health.*`` / ``accelerator.*`` prefixes.
+        """
+        self.metrics.register_source(
+            "interconnect", lambda: asdict(self.interconnect.snapshot())
+        )
+        self.metrics.register_source(
+            "replication", lambda: asdict(self.replication.stats())
+        )
+        self.metrics.register_source("health", self._health_metrics)
+        self.metrics.register_source("accelerator", self._accelerator_metrics)
+
+    def _health_metrics(self) -> dict:
+        health = self.health
+        return {
+            "state": health.state.value,
+            "consecutive_failures": health.consecutive_failures,
+            "failures_total": health.failures_total,
+            "successes_total": health.successes_total,
+            "times_opened": health.times_opened,
+            "times_closed": health.times_closed,
+            "probes_attempted": health.probes_attempted,
+            "requests_rejected": health.requests_rejected,
+        }
+
+    def _accelerator_metrics(self) -> dict:
+        accelerator = self.accelerator
+        return {
+            "queries_executed": accelerator.queries_executed,
+            "rows_scanned": accelerator.rows_scanned,
+            "chunks_skipped": accelerator.chunks_skipped,
+            "simulated_busy_seconds": accelerator.simulated_busy_seconds,
+            "current_epoch": accelerator.current_epoch,
+        }
 
     def _register_builtin_procedures(self) -> None:
         # Imported lazily to avoid a package cycle at import time.
@@ -214,7 +276,9 @@ class AcceleratedDatabase:
         return self.interconnect.snapshot()
 
     def movement_since(self, snapshot: MovementStats) -> MovementStats:
-        return self.interconnect.since(snapshot)
+        # Clamped: a snapshot taken before an ``interconnect.reset()``
+        # must not yield negative movement deltas.
+        return self.interconnect.since(snapshot).clamped()
 
     # -- procedure output hooks (used by ProcedureContext) --------------------------------
 
@@ -348,16 +412,42 @@ class Connection:
         sql: Union[str, ast.Statement],
         params: Sequence[object] = (),
     ) -> Result:
-        stmt = parse_statement(sql) if isinstance(sql, str) else sql
+        tracer = self._system.tracer
+        if not tracer.enabled:
+            stmt = parse_statement(sql) if isinstance(sql, str) else sql
+            return self._execute_parsed(stmt, params, NULL_SPAN)
+        with tracer.span("statement", user=self.user.name) as span:
+            with tracer.span("parse"):
+                stmt = parse_statement(sql) if isinstance(sql, str) else sql
+            span.annotate(
+                statement=type(stmt).__name__.replace("Statement", "")
+            )
+            return self._execute_parsed(stmt, params, span)
 
+    def _span(self, name: str, **attributes):
+        """A span under the system tracer; the shared no-op when off."""
+        tracer = self._system.tracer
+        if not tracer.enabled:
+            return NULL_SPAN
+        return tracer.span(name, **attributes)
+
+    def _execute_parsed(
+        self,
+        stmt: ast.Statement,
+        params: Sequence[object],
+        span,
+    ) -> Result:
         if isinstance(stmt, ast.BeginStatement):
             self.begin()
+            span.annotate(engine="DB2")
             return Result(message="BEGIN", engine="DB2")
         if isinstance(stmt, ast.CommitStatement):
+            span.annotate(engine="DB2")
             self.commit()
             return Result(message="COMMIT", engine="DB2")
         if isinstance(stmt, ast.RollbackStatement):
             self.rollback()
+            span.annotate(engine="DB2")
             return Result(message="ROLLBACK", engine="DB2")
 
         autocommit = not self._explicit
@@ -383,20 +473,39 @@ class Connection:
         if autocommit:
             self._explicit = True  # reuse commit() for the implicit txn
             try:
-                self.commit()
+                with self._span("commit"):
+                    self.commit()
             finally:
                 self._explicit = False
-        self._system.statement_history.append(
+        elapsed = time.perf_counter() - started
+        span.annotate(engine=result.engine, rows=result.rowcount)
+        self._record_statement(stmt, result, elapsed, span)
+        return result
+
+    def _record_statement(
+        self,
+        stmt: ast.Statement,
+        result: Result,
+        elapsed: float,
+        span,
+    ) -> None:
+        system = self._system
+        system.statement_history.append(
             StatementRecord(
                 user=self.user.name,
                 statement_type=type(stmt).__name__.replace("Statement", ""),
                 engine=result.engine,
-                elapsed_seconds=time.perf_counter() - started,
+                elapsed_seconds=elapsed,
                 rowcount=result.rowcount,
                 reason=self.last_decision or "",
+                trace_id=span.trace_id or "",
             )
         )
-        return result
+        system._latency_hist.observe(elapsed)
+        system._rows_hist.observe(result.rowcount)
+        system.metrics.counter(
+            f"statement.engine.{result.engine.lower()}"
+        ).inc()
 
     def execute_script(self, sql: str) -> list[Result]:
         """Execute a semicolon-separated script; returns all results."""
@@ -493,6 +602,19 @@ class Connection:
         stmt = parse_statement(sql) if isinstance(sql, str) else sql
         catalog = self._system.catalog
         if isinstance(stmt, (ast.SelectStatement, ast.SetOperation)):
+            monitored = monitoring_tables(stmt.referenced_tables())
+            if monitored:
+                return {
+                    "statement": "QUERY",
+                    "engine": "DB2",
+                    "reason": "monitoring views are served from the "
+                    "observability structures on the DB2 side",
+                    "acceleration": self.acceleration.value,
+                    "estimated_rows": 0,
+                    "tables": {
+                        name: "MONITORING VIEW" for name in sorted(monitored)
+                    },
+                }
             stmt, __views = self._expand_views(stmt)
             tables = {name.upper() for name in stmt.referenced_tables()}
             decision = self._system.router.route_query(
@@ -594,11 +716,15 @@ class Connection:
                 raise AcceleratorUnavailableError(
                     f"accelerator failed mid-statement: {exc}"
                 ) from exc
-            columns, rows, engine = self._attempt_query(
-                stmt, txn, params, AccelerationMode.NONE
-            )
+            with self._span(
+                "failback", reason=f"{type(exc).__name__}: {exc}"[:200]
+            ):
+                columns, rows, engine = self._attempt_query(
+                    stmt, txn, params, AccelerationMode.NONE
+                )
             self.last_decision = "failback: accelerator failed mid-statement"
             self._system.failbacks += 1
+            self._system.metrics.counter("statement.failbacks").inc()
         return Result(columns=columns, rows=rows, engine=engine)
 
     def _attempt_query(
@@ -636,6 +762,19 @@ class Connection:
     ) -> tuple[list[str], list[tuple], str]:
         """Authorise, route, and execute a SELECT. No movement charges —
         callers charge according to where the rows actually go."""
+        # SYSACCEL.MON_* monitoring views never reach routing: they are
+        # served DB2-side from the live observability structures and are
+        # readable by every session (like ACCEL_GET_HEALTH).
+        monitored = monitoring_tables(stmt.referenced_tables())
+        if monitored:
+            with self._span(
+                "monitor.query", views=",".join(sorted(monitored))
+            ):
+                columns, rows = execute_monitoring_query(
+                    self._system, stmt, params
+                )
+            self.last_decision = "monitoring view"
+            return columns, rows, "DB2"
         # Definer-rights views: the caller needs SELECT on each view and
         # on each base table referenced *directly* in the statement —
         # tables reached only through a view body are covered by the
@@ -657,12 +796,17 @@ class Connection:
             self._check_table_privilege(
                 Privilege.SELECT, self._system.catalog.table(name)
             )
-        decision = self._system.router.route_query(
-            stmt, mode, estimated_rows=self._estimate_rows(tables)
-        )
+        with self._span("route", mode=mode.value) as route_span:
+            decision = self._system.router.route_query(
+                stmt, mode, estimated_rows=self._estimate_rows(tables)
+            )
+            route_span.annotate(
+                engine=decision.engine, reason=decision.reason
+            )
         self.last_decision = decision.reason
         if decision.reason.startswith("failback"):
             self._system.failbacks += 1
+            self._system.metrics.counter("statement.failbacks").inc()
         if decision.engine == "ACCELERATOR":
             epoch = self.snapshot_epoch_for_statement()
             columns, rows = self._system.accelerator.execute_select(
@@ -672,7 +816,9 @@ class Connection:
                 deltas=self.active_deltas(),
             )
             return columns, rows, "ACCELERATOR"
-        columns, rows = self._system.db2.execute_select(txn, stmt, params)
+        with self._span("db2.execute") as db2_span:
+            columns, rows = self._system.db2.execute_select(txn, stmt, params)
+            db2_span.annotate(rows=len(rows))
         return columns, rows, "DB2"
 
     def _expand_views(self, stmt):

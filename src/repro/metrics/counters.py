@@ -36,6 +36,19 @@ class MovementStats:
     def total_bytes(self) -> int:
         return self.bytes_to_accelerator + self.bytes_from_accelerator
 
+    def clamped(self) -> "MovementStats":
+        """This snapshot with negative fields floored at zero.
+
+        A difference taken across an ``Interconnect.reset()`` would
+        otherwise report negative movement.
+        """
+        return MovementStats(
+            bytes_to_accelerator=max(0, self.bytes_to_accelerator),
+            bytes_from_accelerator=max(0, self.bytes_from_accelerator),
+            messages=max(0, self.messages),
+            simulated_seconds=max(0.0, self.simulated_seconds),
+        )
+
     def __sub__(self, other: "MovementStats") -> "MovementStats":
         return MovementStats(
             bytes_to_accelerator=self.bytes_to_accelerator
@@ -84,7 +97,7 @@ class ReplicationStats:
 
 
 class Timer:
-    """Context-manager stopwatch."""
+    """Context-manager stopwatch; re-entering accumulates splits."""
 
     def __init__(self) -> None:
         self.elapsed = 0.0
@@ -94,7 +107,10 @@ class Timer:
         return self
 
     def __exit__(self, *exc_info) -> None:
-        self.elapsed = time.perf_counter() - self._start
+        self.elapsed += time.perf_counter() - self._start
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
 
 
 def estimate_value_bytes(value) -> int:

@@ -1,0 +1,24 @@
+"""Observability for the federated accelerator.
+
+``repro.obs`` is the instrumentation layer the rest of the federation
+reports into: :class:`Tracer` builds a hierarchical span tree per
+statement, :class:`MetricsRegistry` holds named counters/gauges/
+histograms (with the pre-existing stats dataclasses registered as
+snapshot sources), :mod:`repro.obs.monitor` surfaces both through
+SQL-queryable ``SYSACCEL.MON_*`` views, and :mod:`repro.obs.export`
+turns them into the JSON breakdowns the benchmarks persist.
+"""
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.trace import NULL_SPAN, Trace, TraceSpan, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "Trace",
+    "TraceSpan",
+    "Tracer",
+]

@@ -1,0 +1,211 @@
+"""SQL-queryable monitoring views (DB2 instrumentation-facility style).
+
+Real DB2 surfaces accelerator monitoring through catalog-like views and
+the instrumentation facility; this module provides the simulation's
+equivalents as *virtual tables* under the ``SYSACCEL`` schema:
+
+* ``SYSACCEL.MON_STATEMENTS`` — the statement history ring with engine,
+  latency, routing reason, and the trace id linking into MON_SPANS;
+* ``SYSACCEL.MON_SPANS`` — the flattened span trees of every retained
+  trace (phase name, depth, timings, bytes/rows, status, attributes);
+* ``SYSACCEL.MON_REPLICATION`` — one row per replication drain with its
+  outcome, batch counts, backlog movement, and retry totals.
+
+They hold no storage: each query materialises rows from the live
+observability structures and runs the full SELECT pipeline (WHERE,
+GROUP BY, ORDER BY, joins between monitoring views) through the
+vectorised executor. Like ``ACCEL_GET_HEALTH``, monitoring is readable
+by every session — there is nothing to GRANT.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.accelerator.executor import VectorQueryEngine
+from repro.accelerator.vtable import columns_from_rows
+from repro.catalog import Column, TableSchema
+from repro.errors import SqlError
+from repro.sql.types import BIGINT, DOUBLE, INTEGER, VarcharType
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.federation.system import AcceleratedDatabase
+
+__all__ = [
+    "MONITORING_VIEWS",
+    "execute_monitoring_query",
+    "monitoring_tables",
+]
+
+_ID = VarcharType(24)
+_NAME = VarcharType(64)
+_TEXT = VarcharType(512)
+
+_SCHEMAS: dict[str, TableSchema] = {
+    "SYSACCEL.MON_STATEMENTS": TableSchema(
+        [
+            Column("TRACE_ID", _ID),
+            Column("USER_NAME", _NAME),
+            Column("STATEMENT_TYPE", VarcharType(32)),
+            Column("ENGINE", VarcharType(16)),
+            Column("ELAPSED_MS", DOUBLE),
+            Column("ROW_COUNT", BIGINT),
+            Column("REASON", _TEXT),
+        ]
+    ),
+    "SYSACCEL.MON_SPANS": TableSchema(
+        [
+            Column("TRACE_ID", _ID),
+            Column("SPAN_ID", _ID),
+            Column("PARENT_ID", _ID),
+            Column("NAME", _NAME),
+            Column("DEPTH", INTEGER),
+            Column("START_MS", DOUBLE),
+            Column("ELAPSED_MS", DOUBLE),
+            Column("STATUS", VarcharType(8)),
+            Column("BYTES", BIGINT),
+            Column("ROW_COUNT", BIGINT),
+            Column("ATTRIBUTES", _TEXT),
+        ]
+    ),
+    "SYSACCEL.MON_REPLICATION": TableSchema(
+        [
+            Column("DRAIN_ID", BIGINT),
+            Column("OUTCOME", VarcharType(20)),
+            Column("RECORDS_APPLIED", BIGINT),
+            Column("BATCHES", BIGINT),
+            Column("BACKLOG_BEFORE", BIGINT),
+            Column("BACKLOG_AFTER", BIGINT),
+            Column("RETRIES", BIGINT),
+            Column("ABANDONED", BIGINT),
+            Column("REASON", _TEXT),
+        ]
+    ),
+}
+
+#: Public view-name -> schema mapping (names are fully qualified).
+MONITORING_VIEWS = dict(_SCHEMAS)
+
+
+def _clip(text, limit: int = 512):
+    if text is None:
+        return None
+    text = str(text)
+    return text[:limit] if len(text) > limit else text
+
+
+def _render_attributes(attributes: dict) -> str:
+    return "; ".join(
+        f"{key}={value}" for key, value in sorted(attributes.items())
+    )
+
+
+def _statements_rows(system: "AcceleratedDatabase") -> list[tuple]:
+    return [
+        (
+            record.trace_id or None,
+            record.user,
+            record.statement_type,
+            record.engine,
+            record.elapsed_seconds * 1000.0,
+            record.rowcount,
+            _clip(record.reason),
+        )
+        for record in system.statement_history
+    ]
+
+
+def _int_or_none(value):
+    try:
+        return int(value)
+    except (TypeError, ValueError):
+        return None
+
+
+def _spans_rows(system: "AcceleratedDatabase") -> list[tuple]:
+    rows: list[tuple] = []
+    for trace in system.tracer.traces():
+        for span in trace.spans:
+            attributes = span.attributes
+            rows.append(
+                (
+                    span.trace_id,
+                    span.span_id,
+                    span.parent_id,
+                    _clip(span.name, 64),
+                    span.depth,
+                    span.start_offset_seconds * 1000.0,
+                    span.elapsed_seconds * 1000.0,
+                    span.status,
+                    _int_or_none(attributes.get("bytes")),
+                    _int_or_none(attributes.get("rows")),
+                    _clip(_render_attributes(attributes)),
+                )
+            )
+    return rows
+
+
+def _replication_rows(system: "AcceleratedDatabase") -> list[tuple]:
+    return [
+        (
+            record.drain_id,
+            record.outcome,
+            record.records_applied,
+            record.batches,
+            record.backlog_before,
+            record.backlog_after,
+            record.retries,
+            record.abandoned,
+            _clip(record.reason),
+        )
+        for record in system.replication.drain_history
+    ]
+
+
+_ROW_BUILDERS: dict[str, Callable] = {
+    "SYSACCEL.MON_STATEMENTS": _statements_rows,
+    "SYSACCEL.MON_SPANS": _spans_rows,
+    "SYSACCEL.MON_REPLICATION": _replication_rows,
+}
+
+
+def monitoring_tables(names) -> set[str]:
+    """Subset of ``names`` (any case) that are monitoring views."""
+    return {name.upper() for name in names if name.upper() in _SCHEMAS}
+
+
+class _MonitoringProvider:
+    """Vector-executor table provider over materialised monitoring rows.
+
+    Rows are built once per query (not per scan), so self-joins between
+    monitoring views see one consistent snapshot.
+    """
+
+    def __init__(self, system: "AcceleratedDatabase") -> None:
+        self._system = system
+        self._rows: dict[str, list[tuple]] = {}
+
+    def table_schema(self, name: str) -> TableSchema:
+        return _SCHEMAS[name.upper()]
+
+    def scan_columns(self, name: str, ranges=None):
+        key = name.upper()
+        rows = self._rows.get(key)
+        if rows is None:
+            rows = self._rows[key] = _ROW_BUILDERS[key](self._system)
+        return columns_from_rows(_SCHEMAS[key], rows), len(rows)
+
+
+def execute_monitoring_query(
+    system: "AcceleratedDatabase", stmt, params=()
+) -> tuple[list[str], list[tuple]]:
+    """Run a SELECT that references monitoring views only."""
+    names = {name.upper() for name in stmt.referenced_tables()}
+    foreign = sorted(names - set(_SCHEMAS))
+    if foreign:
+        raise SqlError(
+            "monitoring views cannot be combined with other tables: "
+            + ", ".join(foreign)
+        )
+    engine = VectorQueryEngine(_MonitoringProvider(system), params)
+    return engine.execute(stmt)

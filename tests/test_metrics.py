@@ -15,6 +15,18 @@ from repro.metrics.counters import (
 
 
 class TestMovementStats:
+    def test_clamped_floors_negative_fields(self):
+        diff = MovementStats(10, 5, 1, 0.1) - MovementStats(40, 2, 3, 0.5)
+        clamped = diff.clamped()
+        assert clamped.bytes_to_accelerator == 0
+        assert clamped.bytes_from_accelerator == 3
+        assert clamped.messages == 0
+        assert clamped.simulated_seconds == 0.0
+
+    def test_clamped_identity_when_positive(self):
+        stats = MovementStats(10, 5, 2, 0.1)
+        assert stats.clamped() == stats
+
     def test_addition_and_subtraction(self):
         a = MovementStats(100, 50, 3, 0.1)
         b = MovementStats(40, 20, 1, 0.04)
@@ -72,9 +84,23 @@ class TestByteEstimation:
         assert estimate_value_bytes(7) == 8
         assert estimate_value_bytes(1.5) == 8
         assert estimate_value_bytes("abc") == 7
+        assert estimate_value_bytes("") == 4
         assert estimate_value_bytes(decimal.Decimal("1.5")) == 16
         assert estimate_value_bytes(datetime.date(2016, 1, 1)) == 4
         assert estimate_value_bytes(datetime.datetime(2016, 1, 1)) == 10
+        # Unknown types fall back to the 16-byte estimate.
+        assert estimate_value_bytes(b"blob") == 16
+        assert estimate_value_bytes(object()) == 16
+
+    def test_datetime_checked_before_date(self):
+        """datetime is a date subclass; the 10-byte branch must win."""
+        value = datetime.datetime(2016, 1, 1, 12, 30)
+        assert isinstance(value, datetime.date)
+        assert estimate_value_bytes(value) == 10
+
+    def test_bool_checked_before_int(self):
+        """bool is an int subclass; the 1-byte branch must win."""
+        assert estimate_value_bytes(False) == 1
 
     def test_rows_bytes(self):
         rows = [(1, "ab"), (None, "c")]
@@ -90,3 +116,52 @@ class TestTimer:
         with Timer() as timer:
             sum(range(1000))
         assert timer.elapsed > 0
+
+    def test_reentry_accumulates(self):
+        timer = Timer()
+        with timer:
+            sum(range(1000))
+        first = timer.elapsed
+        with timer:
+            sum(range(1000))
+        assert timer.elapsed > first
+
+    def test_reset(self):
+        timer = Timer()
+        with timer:
+            sum(range(100))
+        timer.reset()
+        assert timer.elapsed == 0.0
+
+
+class TestSystemMovement:
+    def _system(self):
+        from repro.federation.system import AcceleratedDatabase
+
+        db = AcceleratedDatabase()
+        conn = db.connect()
+        conn.execute("CREATE TABLE T (A INTEGER, B VARCHAR(8))")
+        conn.execute("INSERT INTO T VALUES (1, 'x'), (2, 'y')")
+        return db, conn
+
+    def test_movement_snapshot_and_since(self):
+        db, conn = self._system()
+        before = db.movement_snapshot()
+        db.add_table_to_accelerator("T")
+        delta = db.movement_since(before)
+        assert delta.bytes_to_accelerator > 0
+        assert delta.bytes_from_accelerator == 0
+
+    def test_movement_since_clamps_across_reset(self):
+        """A snapshot taken before ``interconnect.reset()`` must not
+        produce negative movement deltas."""
+        db, conn = self._system()
+        db.add_table_to_accelerator("T")
+        snapshot = db.movement_snapshot()
+        assert snapshot.total_bytes > 0
+        db.interconnect.reset()
+        delta = db.movement_since(snapshot)
+        assert delta.bytes_to_accelerator == 0
+        assert delta.bytes_from_accelerator == 0
+        assert delta.messages == 0
+        assert delta.simulated_seconds == 0.0
