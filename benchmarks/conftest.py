@@ -29,14 +29,35 @@ class ExperimentLog:
         self.rows.setdefault(experiment, []).append(line)
 
     def flush(self) -> None:
+        """Merge this session's sections into the results file.
+
+        Sections recorded this session replace their previous content;
+        everything else is preserved, so running a single benchmark
+        module does not wipe the other experiments' lines.
+        """
         RESULTS_DIR.mkdir(exist_ok=True)
         path = RESULTS_DIR / "experiments.txt"
+        merged = self._existing_sections(path)
+        merged.update(self.rows)
         with open(path, "w") as handle:
-            for experiment in sorted(self.rows):
+            for experiment in sorted(merged):
                 handle.write(f"== {experiment} ==\n")
-                for line in self.rows[experiment]:
+                for line in merged[experiment]:
                     handle.write(f"  {line}\n")
                 handle.write("\n")
+
+    @staticmethod
+    def _existing_sections(path: Path) -> dict[str, list[str]]:
+        sections: dict[str, list[str]] = {}
+        if not path.exists():
+            return sections
+        current: list[str] = []
+        for raw in path.read_text().splitlines():
+            if raw.startswith("== ") and raw.endswith(" =="):
+                current = sections.setdefault(raw[3:-3], [])
+            elif raw.strip():
+                current.append(raw.strip())
+        return sections
 
 
 @pytest.fixture(scope="session")

@@ -16,7 +16,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.accelerator.deltas import DeltaBuffer
-from repro.accelerator.executor import VectorQueryEngine
+from repro.accelerator.executor import ScanPartitions, VectorQueryEngine
 from repro.accelerator.vtable import columns_from_rows
 from repro.catalog import Catalog, TableDescriptor
 from repro.catalog.schema import TableSchema
@@ -73,6 +73,16 @@ class _SnapshotProvider:
         )
         return columns, length
 
+    def scan_partitions(
+        self,
+        name: str,
+        ranges: Optional[dict[str, tuple]] = None,
+    ) -> Optional[ScanPartitions]:
+        key = name.upper()
+        return self._engine.partition_scan(
+            key, self._epoch, ranges=ranges, delta=self._deltas.get(key)
+        )
+
 
 class AcceleratorEngine:
     """Columnar engine with epoch snapshots and AOT delta awareness."""
@@ -84,6 +94,8 @@ class AcceleratorEngine:
         chunk_rows: int = 65536,
         fault_injector=None,
         tracer=None,
+        metrics=None,
+        parallel_workers: int = 4,
     ) -> None:
         self.catalog = catalog
         self.slice_count = slice_count
@@ -95,6 +107,14 @@ class AcceleratorEngine:
         #: Optional :class:`repro.obs.trace.Tracer`; SELECTs become
         #: ``accelerator.execute`` spans under the statement trace.
         self.tracer = tracer
+        #: Optional :class:`repro.obs.metrics.MetricsRegistry` for the
+        #: partitioned-scan counters/histograms.
+        self.metrics = metrics
+        #: Scan fan-out; 0/1 disables chunk-parallel scans entirely.
+        self.parallel_workers = parallel_workers
+        #: Tables smaller than this stay sequential — thread handoff
+        #: costs more than it saves on small scans.
+        self.parallel_min_rows = 16384
         self._tables: dict[str, ColumnStoreTable] = {}
         #: Replication-apply cache: table -> {row tuple: [row ids]}.
         #: Maintained incrementally by apply_changes; any other write path
@@ -110,6 +130,9 @@ class AcceleratorEngine:
         self.rows_scanned = 0
         self.chunks_skipped = 0
         self.simulated_busy_seconds = 0.0
+        self.parallel_scans = 0
+        #: Partitioned-scan telemetry of the most recent statement.
+        self.last_parallel_scans: list[dict] = []
         self.zone_maps_enabled = True
 
     # -- storage / DDL ----------------------------------------------------------
@@ -384,6 +407,61 @@ class AcceleratorEngine:
             row_ids = np.concatenate([row_ids, delta_ids])
         return row_ids, columns, len(row_ids)
 
+    def partition_scan(
+        self,
+        name: str,
+        epoch: int,
+        ranges: Optional[dict[str, tuple]] = None,
+        delta: Optional[DeltaBuffer] = None,
+    ) -> Optional["ScanPartitions"]:
+        """Split a snapshot scan into parallel chunk-span partitions.
+
+        Returns ``None`` — sequential fallback — when the fan-out is
+        disabled, the table is too small for threads to pay off, a
+        transaction delta must be merged (delta merge is inherently a
+        single ordered pass), or fault rules are armed for the
+        accelerator (injected faults must fire deterministically on the
+        single sequential scan, not on a racing worker).
+        """
+        workers = self.parallel_workers
+        if workers < 2:
+            return None
+        if delta is not None and not delta.is_empty:
+            return None
+        if self.fault_injector is not None and self.fault_injector.rules(
+            "accelerator"
+        ):
+            return None
+        table = self.storage_for(name)
+        table.zone_maps_enabled = self.zone_maps_enabled
+        chunks = table.visible_chunks(ranges)
+        skipped = table.last_scan_chunks_skipped
+        if len(chunks) < 2:
+            return None
+        total_rows = sum(len(chunk) for chunk in chunks)
+        if total_rows < self.parallel_min_rows:
+            return None
+        spans = _partition_chunks(chunks, workers)
+
+        def make_gather(span_chunks):
+            return lambda: table.gather_chunks(span_chunks, epoch)
+
+        busy = table.row_count / (
+            SCAN_ROWS_PER_SECOND * max(1, table.slice_count)
+        )
+
+        def finish(rows_scanned: int) -> None:
+            self.rows_scanned += rows_scanned
+            self.chunks_skipped += skipped
+            self.simulated_busy_seconds += busy
+            self.parallel_scans += 1
+
+        return ScanPartitions(
+            partitions=[make_gather(span) for span in spans],
+            workers=workers,
+            finish=finish,
+        )
+
     # -- queries -------------------------------------------------------------------------
 
     def execute_select(
@@ -392,6 +470,7 @@ class AcceleratorEngine:
         params: Sequence[object] = (),
         snapshot_epoch: Optional[int] = None,
         deltas: Optional[dict[str, DeltaBuffer]] = None,
+        kernel_cache=None,
     ) -> tuple[list[str], list[tuple]]:
         epoch = self.current_epoch if snapshot_epoch is None else snapshot_epoch
         tracer = self.tracer
@@ -404,14 +483,35 @@ class AcceleratorEngine:
             scanned_before = self.rows_scanned
             self._check_fault()
             provider = _SnapshotProvider(self, epoch, deltas)
-            engine = VectorQueryEngine(provider, params)
+            engine = VectorQueryEngine(provider, params, kernel_cache=kernel_cache)
             columns, rows = engine.execute(stmt)
             self.queries_executed += 1
             span.annotate(
                 rows=len(rows),
                 rows_scanned=self.rows_scanned - scanned_before,
             )
+            # Telemetry for the most recent statement (benchmarks and
+            # tests read partition balance from here).
+            self.last_parallel_scans = engine.parallel_scans
+            if engine.parallel_scans:
+                self._record_parallel_scans(engine.parallel_scans, span)
         return columns, rows
+
+    def _record_parallel_scans(self, scans: list[dict], span) -> None:
+        """Per-worker span timings + metrics for this statement's scans."""
+        seconds = [s for scan in scans for s in scan["partition_seconds"]]
+        span.annotate(
+            parallel_scans=len(scans),
+            parallel_workers=scans[0]["workers"],
+            partition_seconds=[round(s, 6) for s in seconds],
+        )
+        if self.metrics is not None:
+            self.metrics.counter("accelerator.parallel_statements").inc()
+            histogram = self.metrics.histogram(
+                "accelerator.scan_partition_seconds"
+            )
+            for value in seconds:
+                histogram.observe(value)
 
     # -- AOT DML ------------------------------------------------------------------------------
 
@@ -597,6 +697,31 @@ class AcceleratorEngine:
             lambda table: self.storage_for(table).schema.column_names,
             lambda query: self.execute_select(query)[1],
         )
+
+
+def _partition_chunks(chunks: list, parts: int) -> list[list]:
+    """Split chunks into up to ``parts`` contiguous spans of ~equal rows.
+
+    Spans are contiguous in chunk order so that concatenating the
+    partitions' results reproduces the sequential scan's row order
+    byte-for-byte.
+    """
+    total = sum(len(chunk) for chunk in chunks)
+    spans: list[list] = []
+    current: list = []
+    accumulated = 0
+    for chunk in chunks:
+        current.append(chunk)
+        accumulated += len(chunk)
+        if (
+            len(spans) < parts - 1
+            and accumulated >= total * (len(spans) + 1) / parts
+        ):
+            spans.append(current)
+            current = []
+    if current:
+        spans.append(current)
+    return spans
 
 
 def _concat_values(a: np.ndarray, b: np.ndarray) -> np.ndarray:

@@ -12,6 +12,10 @@ pruning, zone-map skipping, batch arithmetic — is preserved.
 from __future__ import annotations
 
 import math
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
 from typing import Callable, Optional, Protocol, Sequence, Union
 
 import numpy as np
@@ -37,7 +41,55 @@ from repro.sql.planning import (
 )
 from repro.accelerator.vtable import VTable
 
-__all__ = ["VectorTableProvider", "VectorQueryEngine"]
+__all__ = [
+    "VectorTableProvider",
+    "VectorQueryEngine",
+    "ScanPartitions",
+    "ScanWorkerPool",
+]
+
+
+@dataclass(frozen=True)
+class ScanPartitions:
+    """A table scan split into independent chunk-span partitions.
+
+    ``partitions`` are thunks, each returning ``(row_ids, columns)`` for
+    one contiguous span of post-pruning chunks; concatenating their
+    results in list order reproduces the sequential scan's row order
+    exactly. ``finish`` must be called exactly once (from the
+    coordinating thread) with the total rows gathered, so the engine's
+    scan counters are updated without racing.
+    """
+
+    partitions: list
+    workers: int
+    finish: Callable[[int], None]
+
+
+class ScanWorkerPool:
+    """Process-wide thread pools for partitioned scans, keyed by size.
+
+    The gather + predicate work per partition is numpy-dominated and
+    releases the GIL, so threads give real overlap. Pools are shared
+    across all engines in the process: many short-lived systems (the
+    test suite builds thousands) must not each spawn a thread set.
+    """
+
+    _lock = threading.Lock()
+    _pools: dict[int, ThreadPoolExecutor] = {}
+
+    @classmethod
+    def run(cls, workers: int, fn: Callable, items: Sequence) -> list:
+        """Apply ``fn`` to ``items`` on the shared pool; order preserved."""
+        with cls._lock:
+            pool = cls._pools.get(workers)
+            if pool is None:
+                pool = ThreadPoolExecutor(
+                    max_workers=workers,
+                    thread_name_prefix=f"accel-scan{workers}",
+                )
+                cls._pools[workers] = pool
+        return list(pool.map(fn, items))
 
 
 class VectorTableProvider(Protocol):
@@ -61,10 +113,19 @@ class VectorQueryEngine:
         self,
         provider: VectorTableProvider,
         params: Sequence[object] = (),
+        kernel_cache=None,
     ) -> None:
         self._provider = provider
         self._params = params
+        #: Optional compiled-kernel cache (``get``/``put``) owned by the
+        #: statement's cached plan. Only subquery-free expressions are
+        #: cached: subquery kernels close over a resolver bound to this
+        #: execution's snapshot. Keys include the params tuple because
+        #: parameter values are baked into the compiled closures.
+        self._kernel_cache = kernel_cache
         self.rows_scanned = 0
+        #: One entry per partitioned scan this statement ran (telemetry).
+        self.parallel_scans: list[dict] = []
 
     # -- public API --------------------------------------------------------------
 
@@ -82,6 +143,34 @@ class VectorQueryEngine:
             lambda table: self._provider.table_schema(table).column_names,
             lambda query: self._execute_select(query)[1],
         )
+
+    def _compile_where(self, where: ast.Expression, scope: Scope) -> Callable:
+        """Compile a WHERE predicate, reusing the plan's kernel cache.
+
+        Subquery-bearing predicates are compiled fresh every time (their
+        resolver captures this execution's snapshot); everything else is
+        cached by (expression identity, scope, params). Each entry pins
+        the expression object it was compiled from and is validated by
+        identity on lookup: predicates of ephemeral ASTs (bound
+        correlated subqueries) die after execution, and without the pin a
+        later AST could be allocated at the recycled address and collide
+        on ``id`` — serving a kernel compiled for a different literal.
+        """
+        if self._kernel_cache is None or _contains_subquery(where):
+            return compile_vector(
+                where, scope, self._params, self._resolver(scope)
+            )
+        try:
+            key = (id(where), tuple(scope.entries), tuple(self._params))
+            hash(key)
+        except TypeError:
+            return compile_vector(where, scope, self._params)
+        entry = self._kernel_cache.get(key)
+        if entry is not None and entry[0] is where:
+            return entry[1]
+        fn = compile_vector(where, scope, self._params)
+        self._kernel_cache.put(key, (where, fn))
+        return fn
 
     # -- set operations -------------------------------------------------------------
 
@@ -134,19 +223,26 @@ class VectorQueryEngine:
     ) -> tuple[list[str], list[tuple]]:
         if stmt.from_item is None:
             return self._constant_select(stmt)
-        table = self._build_from(stmt.from_item, stmt.where)
+        table = None
+        direct = None
+        if isinstance(stmt.from_item, ast.TableRef):
+            outcome = self._parallel_scan_select(stmt)
+            if outcome is not None:
+                table, direct = outcome
 
-        if stmt.where is not None:
-            predicate = compile_vector(
-                stmt.where, table.scope, self._params, self._resolver(table.scope)
-            )
-            result = predicate(table.columns, table.length)
-            mask = result.values.astype(bool)
-            if result.mask is not None:
-                mask &= ~result.mask
-            table = table.filter(mask)
+        if direct is None and table is None:
+            table = self._build_from(stmt.from_item, stmt.where)
+            if stmt.where is not None:
+                predicate = self._compile_where(stmt.where, table.scope)
+                result = predicate(table.columns, table.length)
+                mask = result.values.astype(bool)
+                if result.mask is not None:
+                    mask &= ~result.mask
+                table = table.filter(mask)
 
-        if stmt.group_by or stmt.is_aggregate_query:
+        if direct is not None:
+            columns, rows, ordered = direct
+        elif stmt.group_by or stmt.is_aggregate_query:
             columns, rows, ordered = self._aggregate(stmt, table)
         else:
             if stmt.having is not None:
@@ -212,6 +308,165 @@ class VectorQueryEngine:
         self.rows_scanned += length
         ordered = [columns[c.name] for c in schema.columns]
         return VTable(scope, ordered, length)
+
+    # -- chunk-parallel scan --------------------------------------------------------
+
+    def _parallel_scan_select(
+        self, stmt: ast.SelectStatement
+    ) -> Optional[tuple]:
+        """Fan a single-table scan + WHERE across chunk partitions.
+
+        Returns ``None`` to fall back to the sequential pipeline, or
+        ``(table, None)`` — the filtered scan as a VTable (WHERE already
+        applied) — or ``(None, (columns, rows, ordered))`` when the whole
+        statement collapsed to mergeable partial aggregates.
+
+        Byte-identity with the sequential path holds by construction:
+        compiled kernels are pure and elementwise, partitions are
+        contiguous chunk spans in sequential scan order, so per-partition
+        filter + ordered concatenation equals whole-table filter; the
+        partial-aggregate path is restricted to order-independent
+        aggregates (COUNT / COUNT DISTINCT / MIN / MAX).
+        """
+        scan_partitions = getattr(self._provider, "scan_partitions", None)
+        if scan_partitions is None:
+            return None
+        ref = stmt.from_item
+        where = stmt.where
+        if where is not None and _contains_subquery(where):
+            return None
+        schema = self._provider.table_schema(ref.name)
+        scope = Scope([(ref.binding, c.name) for c in schema.columns])
+        binding_columns = {i: c.name for i, c in enumerate(schema.columns)}
+        ranges = (
+            extract_column_ranges(where, scope, binding_columns) if where else {}
+        )
+        plan = scan_partitions(ref.name, ranges or None)
+        if plan is None:
+            return None
+        predicate = (
+            self._compile_where(where, scope) if where is not None else None
+        )
+        partial_specs = self._partial_aggregate_plan(stmt, scope)
+
+        def task(gather):
+            started = time.perf_counter()
+            row_ids, columns = gather()
+            ordered = [columns[c.name] for c in schema.columns]
+            length = len(row_ids)
+            if predicate is not None and length:
+                result = predicate(ordered, length)
+                mask = result.values.astype(bool)
+                if result.mask is not None:
+                    mask &= ~result.mask
+                kept = int(mask.sum())
+                if kept != length:
+                    ordered = [
+                        VColumn(
+                            values=col.values[mask],
+                            mask=col.mask[mask]
+                            if col.mask is not None
+                            else None,
+                        )
+                        for col in ordered
+                    ]
+            else:
+                kept = length
+            partials = None
+            if partial_specs is not None:
+                partials = [
+                    _partition_partial(spec, ordered, kept)
+                    for spec in partial_specs
+                ]
+                ordered = None  # partials carry everything downstream
+            return ordered, kept, length, partials, time.perf_counter() - started
+
+        results = ScanWorkerPool.run(plan.workers, task, plan.partitions)
+        scanned = sum(r[2] for r in results)
+        plan.finish(scanned)
+        self.rows_scanned += scanned
+        self.parallel_scans.append(
+            {
+                "table": ref.name.upper(),
+                "workers": plan.workers,
+                "partitions": len(plan.partitions),
+                "rows_scanned": scanned,
+                "partition_rows": [r[2] for r in results],
+                "partition_seconds": [r[4] for r in results],
+            }
+        )
+
+        if partial_specs is not None:
+            labels = [
+                item.alias or expression_label(item.expression, i)
+                for i, item in enumerate(stmt.select_items)
+            ]
+            row = tuple(
+                _merge_partials(
+                    spec,
+                    [r[3][i] for r in results],
+                    schema.columns[spec[1]].sql_type.numpy_dtype.kind
+                    if spec[1] is not None
+                    else None,
+                )
+                for i, spec in enumerate(partial_specs)
+            )
+            return None, (labels, [row], False)
+
+        merged = _merge_partition_columns(
+            [r[0] for r in results], len(schema.columns)
+        )
+        total = sum(r[1] for r in results)
+        return VTable(scope, merged, total), None
+
+    def _partial_aggregate_plan(
+        self, stmt: ast.SelectStatement, scope: Scope
+    ) -> Optional[list[tuple[str, Optional[int]]]]:
+        """Partial-aggregate specs, or ``None`` when not safely mergeable.
+
+        Only whole-table (no GROUP BY) aggregations whose every select
+        item is COUNT(*) / COUNT(col) / COUNT(DISTINCT col) / MIN(col) /
+        MAX(col) over a plain column qualify: counts merge by addition,
+        distincts by set union, extrema by comparison — all exactly
+        order-independent. SUM/AVG/STDDEV are excluded because float
+        accumulation order would change the low bits.
+        """
+        if stmt.group_by or not stmt.is_aggregate_query:
+            return None
+        if stmt.having is not None or stmt.order_by:
+            return None
+        specs: list[tuple[str, Optional[int]]] = []
+        for item in stmt.select_items:
+            expr = item.expression
+            if not (isinstance(expr, ast.FunctionCall) and expr.is_aggregate):
+                return None
+            if (
+                expr.name == "COUNT"
+                and expr.args
+                and isinstance(expr.args[0], ast.Star)
+                and not expr.distinct
+            ):
+                specs.append(("count_star", None))
+                continue
+            if len(expr.args) != 1 or not isinstance(
+                expr.args[0], ast.ColumnRef
+            ):
+                return None
+            arg = expr.args[0]
+            try:
+                index = scope.resolve(arg.name, arg.table)
+            except ParseError:
+                return None
+            if expr.name == "COUNT":
+                specs.append(
+                    ("count_distinct" if expr.distinct else "count", index)
+                )
+            elif expr.name in ("MIN", "MAX"):
+                # DISTINCT is a no-op for extrema (mirrors _compute_aggregate).
+                specs.append((expr.name.lower(), index))
+            else:
+                return None
+        return specs
 
     def _join(self, join: ast.Join, where: Optional[ast.Expression]) -> VTable:
         if join.join_type == "RIGHT":
@@ -682,6 +937,101 @@ class VectorQueryEngine:
 # ---------------------------------------------------------------------------
 # helpers
 # ---------------------------------------------------------------------------
+
+
+def _contains_subquery(expr: ast.Expression) -> bool:
+    return any(
+        isinstance(node, ast.SubqueryExpression) for node in expr.walk()
+    )
+
+
+def _merge_partition_columns(
+    parts: list[list[VColumn]], width: int
+) -> list[VColumn]:
+    """Concatenate per-partition filtered columns in partition order."""
+    out: list[VColumn] = []
+    for i in range(width):
+        values = np.concatenate([part[i].values for part in parts])
+        masks = [part[i].mask for part in parts]
+        if any(mask is not None for mask in masks):
+            merged = np.concatenate(
+                [
+                    mask
+                    if mask is not None
+                    else np.zeros(len(part[i].values), dtype=bool)
+                    for mask, part in zip(masks, parts)
+                ]
+            )
+            mask = merged if merged.any() else None
+        else:
+            mask = None
+        out.append(VColumn(values=values, mask=mask))
+    return out
+
+
+def _partition_partial(
+    spec: tuple[str, Optional[int]], columns: list[VColumn], length: int
+):
+    """One partition's contribution to a mergeable aggregate."""
+    kind, index = spec
+    if kind == "count_star":
+        return length
+    col = columns[index]
+    live = ~col.null_mask()
+    if kind == "count":
+        return int(np.count_nonzero(live))
+    if kind == "count_distinct":
+        values = col.to_objects()
+        return {values[i] for i in np.where(live)[0]}
+    # MIN / MAX.
+    if col.values.dtype.kind in "ifb":
+        # Same float64 domain as _compute_aggregate, so the partial
+        # extremum is bitwise the value the sequential kernel would pick.
+        values = col.values.astype(np.float64)[live]
+        if not len(values):
+            return None
+        return float(values.min() if kind == "min" else values.max())
+    best = None
+    values = col.to_objects()
+    for i in np.where(live)[0]:
+        value = values[i]
+        if best is None or (value < best if kind == "min" else value > best):
+            best = value
+    return best
+
+
+def _merge_partials(
+    spec: tuple[str, Optional[int]],
+    partials: list,
+    dtype_kind: Optional[str],
+):
+    """Combine per-partition partials into the final aggregate value."""
+    kind, __ = spec
+    if kind in ("count_star", "count"):
+        return int(sum(partials))
+    if kind == "count_distinct":
+        return len(set().union(*partials))
+    merged = None
+    for partial in partials:
+        if partial is None:
+            continue
+        if merged is None:
+            merged = partial
+        elif dtype_kind in "ifb":
+            # np.minimum/np.maximum propagate NaN exactly like the
+            # sequential ufunc.at accumulation does.
+            combine = np.minimum if kind == "min" else np.maximum
+            merged = float(combine(merged, partial))
+        elif (partial < merged) if kind == "min" else (partial > merged):
+            merged = partial
+    if merged is None:
+        return None
+    if dtype_kind in ("i", "b"):
+        # Mirrors the sequential .astype(int64) truncation.
+        return int(merged)
+    if dtype_kind == "f":
+        return float(merged)
+    return merged
 
 
 def _resolvable(expr: ast.Expression, scope: Scope) -> bool:

@@ -96,6 +96,12 @@ class Catalog:
         self._views: dict[str, ViewDescriptor] = {}
         self._users: dict[str, User] = {}
         self.privileges = PrivilegeManager()
+        #: Bumped on any DDL that can change a statement's plan (create/
+        #: drop of tables or views, placement moves). Cached plans record
+        #: the generation they were compiled under and are discarded when
+        #: it no longer matches. Privilege changes do NOT bump it:
+        #: authorisation is checked on every execution, cached or not.
+        self.generation = 0
         # SYSADM always exists; it owns DDL in examples and tests.
         self.create_user("SYSADM", is_admin=True)
 
@@ -122,6 +128,7 @@ class Catalog:
             owner=owner.upper(),
         )
         self._tables[key] = descriptor
+        self.generation += 1
         return descriptor
 
     def drop_table(self, name: str) -> TableDescriptor:
@@ -129,6 +136,7 @@ class Catalog:
         descriptor = self.table(key)
         del self._tables[key]
         self.privileges.drop_object("TABLE", key)
+        self.generation += 1
         return descriptor
 
     def table(self, name: str) -> TableDescriptor:
@@ -146,6 +154,7 @@ class Catalog:
 
     def set_location(self, name: str, location: TableLocation) -> None:
         self.table(name).location = location
+        self.generation += 1
 
     # -- views ---------------------------------------------------------------
 
@@ -157,6 +166,7 @@ class Catalog:
             raise DuplicateObjectError(f"{key} already exists as a table")
         descriptor = ViewDescriptor(name=key, query=query, owner=owner.upper())
         self._views[key] = descriptor
+        self.generation += 1
         return descriptor
 
     def drop_view(self, name: str) -> "ViewDescriptor":
@@ -164,6 +174,7 @@ class Catalog:
         descriptor = self.view(key)
         del self._views[key]
         self.privileges.drop_object("TABLE", key)  # view grants share the space
+        self.generation += 1
         return descriptor
 
     def view(self, name: str) -> "ViewDescriptor":

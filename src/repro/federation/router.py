@@ -27,7 +27,9 @@ extension:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
 from enum import Enum
 from typing import Optional, Union
 
@@ -42,7 +44,15 @@ from repro.sql import ast
 from repro.sql.expressions import Scope
 from repro.sql.planning import split_conjuncts, references_only
 
-__all__ = ["AccelerationMode", "RoutingDecision", "QueryRouter"]
+__all__ = [
+    "AccelerationMode",
+    "RoutingDecision",
+    "QueryRouter",
+    "CachedPlan",
+    "KernelCache",
+    "PlanCache",
+    "normalize_sql",
+]
 
 
 class AccelerationMode(Enum):
@@ -246,3 +256,169 @@ class QueryRouter:
                 )
             return RoutingDecision("ACCELERATOR", "target is an AOT")
         return RoutingDecision("DB2", "target is DB2-resident")
+
+
+# -- statement plan cache ----------------------------------------------------------
+
+
+def normalize_sql(sql: str) -> str:
+    """Whitespace/case-insensitive cache key for a statement's text.
+
+    Collapses whitespace runs and upper-cases characters *outside*
+    single-quoted string literals only — ``'a  b'`` and ``'A  B'`` are
+    different values and must not collide. A doubled quote inside a
+    literal (``'it''s'``) toggles out and straight back in, which
+    preserves it verbatim.
+    """
+    out: list[str] = []
+    in_string = False
+    pending_space = False
+    for ch in sql:
+        if in_string:
+            out.append(ch)
+            if ch == "'":
+                in_string = False
+            continue
+        if ch.isspace():
+            pending_space = True
+            continue
+        if pending_space and out:
+            out.append(" ")
+        pending_space = False
+        out.append(ch.upper())
+        if ch == "'":
+            in_string = True
+    return "".join(out)
+
+
+class KernelCache:
+    """Compiled-predicate cache attached to one cached plan.
+
+    Maps ``(id(expr), scope entries, params)`` to ``(expr, kernel)`` so
+    repeated executions of the same statement skip ``compile_vector``.
+    Keys use ``id(expr)``, which is only sound because every entry pins
+    the expression it was compiled from: a live pin means no other
+    object can ever be allocated at that id, so an id-keyed hit is
+    guaranteed to be the same expression node. (Callers still verify
+    ``entry[0] is expr`` — predicates of ephemeral bound-subquery ASTs
+    would otherwise be able to collide with recycled addresses.)
+    Subquery-bearing expressions are never cached (their resolvers
+    capture one execution's snapshot).
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        self.capacity = capacity
+        self._entries: dict = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key):
+        fn = self._entries.get(key)
+        if fn is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return fn
+
+    def put(self, key, fn) -> None:
+        if len(self._entries) >= self.capacity:
+            self._entries.clear()
+        self._entries[key] = fn
+
+
+@dataclass
+class CachedPlan:
+    """A parsed (and, after first execution, prepared) statement.
+
+    ``statement`` is the parse result; the remaining analysis fields are
+    filled lazily by the first execution (``prepared`` flips to True) so
+    later executions skip view expansion and table classification.
+    Authorisation is deliberately NOT cached — privilege checks run on
+    every execution, which is why GRANT/REVOKE need not invalidate.
+    """
+
+    statement: object  # ast.SelectStatement | ast.SetOperation
+    generation: int
+    kernels: KernelCache = field(default_factory=KernelCache)
+    prepared: bool = False
+    monitored: frozenset = frozenset()
+    expanded: object = None  # statement after view expansion
+    view_names: tuple = ()
+    direct_tables: frozenset = frozenset()
+    tables: frozenset = frozenset()
+    executions: int = 0
+
+
+class PlanCache:
+    """LRU statement-plan cache keyed by normalised SQL text.
+
+    Entries record the catalog generation they were compiled under;
+    a lookup after any DDL (create/drop table or view, placement move)
+    sees a stale generation and discards the entry, so plans can never
+    resolve names against a catalog that has changed shape.
+    """
+
+    def __init__(self, capacity: int = 512) -> None:
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, CachedPlan]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def lookup(self, sql: str, generation: int) -> Optional[CachedPlan]:
+        # Misses are counted in store(), not here: lookup() also runs for
+        # statements that turn out to be DML/DDL (unknown before parsing),
+        # and those must not drag the query hit rate down.
+        key = normalize_sql(sql)
+        with self._lock:
+            plan = self._entries.get(key)
+            if plan is None:
+                return None
+            if plan.generation != generation:
+                del self._entries[key]
+                self.invalidations += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return plan
+
+    def store(self, sql: str, statement, generation: int) -> CachedPlan:
+        plan = CachedPlan(statement=statement, generation=generation)
+        key = normalize_sql(sql)
+        with self._lock:
+            self.misses += 1
+            self._entries[key] = plan
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+        return plan
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def snapshot(self) -> dict:
+        """Metrics-source view (see MON_PLAN_CACHE / metrics registry)."""
+        with self._lock:
+            kernel_hits = sum(p.kernels.hits for p in self._entries.values())
+            kernel_misses = sum(
+                p.kernels.misses for p in self._entries.values()
+            )
+            return {
+                "size": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "invalidations": self.invalidations,
+                "hit_rate": round(self.hit_rate, 6),
+                "kernel_hits": kernel_hits,
+                "kernel_misses": kernel_misses,
+            }

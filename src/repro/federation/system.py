@@ -44,7 +44,12 @@ from repro.federation.faults import FaultInjector
 from repro.federation.health import HealthMonitor
 from repro.federation.network import Interconnect
 from repro.federation.replication import ReplicationService
-from repro.federation.router import AccelerationMode, QueryRouter
+from repro.federation.router import (
+    AccelerationMode,
+    CachedPlan,
+    PlanCache,
+    QueryRouter,
+)
 from repro.federation.views import expand_views
 from repro.metrics.counters import MovementStats, estimate_rows_bytes
 from repro.obs.metrics import MetricsRegistry
@@ -98,6 +103,8 @@ class AcceleratedDatabase:
         cooldown_seconds: float = 0.1,
         tracing_enabled: bool = True,
         trace_retention: int = 256,
+        parallel_workers: int = 4,
+        plan_cache_capacity: int = 512,
     ) -> None:
         self.catalog = Catalog()
         self.db2 = Db2Engine(self.catalog)
@@ -121,6 +128,8 @@ class AcceleratedDatabase:
             chunk_rows=chunk_rows,
             fault_injector=self.faults,
             tracer=self.tracer,
+            metrics=self.metrics,
+            parallel_workers=parallel_workers,
         )
         self.interconnect = Interconnect(
             bandwidth_bytes_per_second=bandwidth_bytes_per_second,
@@ -143,6 +152,9 @@ class AcceleratedDatabase:
             offload_row_threshold=offload_row_threshold,
             health=self.health,
         )
+        #: Statement-plan cache: parsed/prepared SELECTs keyed by
+        #: normalised SQL, invalidated by catalog generation bumps.
+        self.plan_cache = PlanCache(capacity=plan_cache_capacity)
         #: Queries transparently re-executed on DB2 (ENABLE WITH FAILBACK).
         self.failbacks = 0
         self.procedures = ProcedureRegistry()
@@ -173,6 +185,9 @@ class AcceleratedDatabase:
         )
         self.metrics.register_source("health", self._health_metrics)
         self.metrics.register_source("accelerator", self._accelerator_metrics)
+        self.metrics.register_source(
+            "plan_cache", lambda: self.plan_cache.snapshot()
+        )
 
     def _health_metrics(self) -> dict:
         health = self.health
@@ -195,6 +210,7 @@ class AcceleratedDatabase:
             "chunks_skipped": accelerator.chunks_skipped,
             "simulated_busy_seconds": accelerator.simulated_busy_seconds,
             "current_epoch": accelerator.current_epoch,
+            "parallel_scans": accelerator.parallel_scans,
         }
 
     def _register_builtin_procedures(self) -> None:
@@ -228,7 +244,9 @@ class AcceleratedDatabase:
                 f"table {descriptor.name} is already on the accelerator"
             )
         start_lsn = self.db2.change_log.head_lsn
-        descriptor.location = TableLocation.ACCELERATED
+        # set_location (not a bare attribute write) so cached plans
+        # compiled against the old placement are invalidated.
+        self.catalog.set_location(descriptor.name, TableLocation.ACCELERATED)
         self.accelerator.create_storage(descriptor)
         storage = self.db2.storage_for(descriptor.name)
         rows = [row for _, row in storage.scan()]
@@ -266,7 +284,7 @@ class AcceleratedDatabase:
             raise UnknownObjectError(
                 f"table {descriptor.name} is not an accelerated copy"
             )
-        descriptor.location = TableLocation.DB2_ONLY
+        self.catalog.set_location(descriptor.name, TableLocation.DB2_ONLY)
         self.accelerator.drop_storage(descriptor.name)
         self.replication.unregister_table(descriptor.name)
 
@@ -414,15 +432,39 @@ class Connection:
     ) -> Result:
         tracer = self._system.tracer
         if not tracer.enabled:
-            stmt = parse_statement(sql) if isinstance(sql, str) else sql
-            return self._execute_parsed(stmt, params, NULL_SPAN)
+            stmt, plan = self._resolve_statement(sql)
+            return self._execute_parsed(stmt, params, NULL_SPAN, plan=plan)
         with tracer.span("statement", user=self.user.name) as span:
-            with tracer.span("parse"):
-                stmt = parse_statement(sql) if isinstance(sql, str) else sql
+            with tracer.span("parse") as parse_span:
+                stmt, plan = self._resolve_statement(sql)
+                if plan is not None and plan.executions:
+                    parse_span.annotate(plan_cache="hit")
             span.annotate(
                 statement=type(stmt).__name__.replace("Statement", "")
             )
-            return self._execute_parsed(stmt, params, span)
+            return self._execute_parsed(stmt, params, span, plan=plan)
+
+    def _resolve_statement(
+        self, sql: Union[str, ast.Statement]
+    ) -> tuple[ast.Statement, Optional[CachedPlan]]:
+        """Parse ``sql``, consulting the statement-plan cache for queries.
+
+        A hit returns the cached statement without re-parsing; a miss
+        parses and (for SELECT/set-operation statements only — DML and
+        DDL are not worth caching) stores a fresh plan. Pre-parsed AST
+        inputs bypass the cache entirely.
+        """
+        if not isinstance(sql, str):
+            return sql, None
+        cache = self._system.plan_cache
+        generation = self._system.catalog.generation
+        plan = cache.lookup(sql, generation)
+        if plan is not None:
+            return plan.statement, plan
+        stmt = parse_statement(sql)
+        if isinstance(stmt, (ast.SelectStatement, ast.SetOperation)):
+            plan = cache.store(sql, stmt, generation)
+        return stmt, plan
 
     def _span(self, name: str, **attributes):
         """A span under the system tracer; the shared no-op when off."""
@@ -436,6 +478,7 @@ class Connection:
         stmt: ast.Statement,
         params: Sequence[object],
         span,
+        plan: Optional[CachedPlan] = None,
     ) -> Result:
         if isinstance(stmt, ast.BeginStatement):
             self.begin()
@@ -459,7 +502,7 @@ class Connection:
         self.last_decision = None
         started = time.perf_counter()
         try:
-            result = self._dispatch(stmt, txn, params)
+            result = self._dispatch(stmt, txn, params, plan=plan)
         except Exception:
             if autocommit:
                 self._system.db2.rollback(txn)
@@ -545,10 +588,14 @@ class Connection:
     # -- dispatch --------------------------------------------------------------------------------
 
     def _dispatch(
-        self, stmt: ast.Statement, txn: Transaction, params: Sequence[object]
+        self,
+        stmt: ast.Statement,
+        txn: Transaction,
+        params: Sequence[object],
+        plan: Optional[CachedPlan] = None,
     ) -> Result:
         if isinstance(stmt, (ast.SelectStatement, ast.SetOperation)):
-            return self._execute_query(stmt, txn, params)
+            return self._execute_query(stmt, txn, params, plan=plan)
         if isinstance(stmt, ast.InsertStatement):
             return self._execute_insert(stmt, txn, params)
         if isinstance(stmt, ast.UpdateStatement):
@@ -694,6 +741,7 @@ class Connection:
         stmt: Union[ast.SelectStatement, ast.SetOperation],
         txn: Transaction,
         params: Sequence[object],
+        plan: Optional[CachedPlan] = None,
     ) -> Result:
         """Top-level SELECT: route, run, and charge the result transfer.
 
@@ -705,7 +753,7 @@ class Connection:
         """
         try:
             columns, rows, engine = self._attempt_query(
-                stmt, txn, params, self.acceleration
+                stmt, txn, params, self.acceleration, plan=plan
             )
         except (AcceleratorCrashError, LinkError) as exc:
             self._system.health.record_failure()
@@ -720,7 +768,7 @@ class Connection:
                 "failback", reason=f"{type(exc).__name__}: {exc}"[:200]
             ):
                 columns, rows, engine = self._attempt_query(
-                    stmt, txn, params, AccelerationMode.NONE
+                    stmt, txn, params, AccelerationMode.NONE, plan=plan
                 )
             self.last_decision = "failback: accelerator failed mid-statement"
             self._system.failbacks += 1
@@ -733,8 +781,11 @@ class Connection:
         txn: Transaction,
         params: Sequence[object],
         mode: AccelerationMode,
+        plan: Optional[CachedPlan] = None,
     ) -> tuple[list[str], list[tuple], str]:
-        columns, rows, engine = self._run_select(stmt, txn, params, mode)
+        columns, rows, engine = self._run_select(
+            stmt, txn, params, mode, plan=plan
+        )
         if engine == "ACCELERATOR":
             self._system.interconnect.send_to_accelerator(
                 STATEMENT_OVERHEAD_BYTES
@@ -759,14 +810,32 @@ class Connection:
         txn: Transaction,
         params: Sequence[object],
         mode: AccelerationMode,
+        plan: Optional[CachedPlan] = None,
     ) -> tuple[list[str], list[tuple], str]:
         """Authorise, route, and execute a SELECT. No movement charges —
-        callers charge according to where the rows actually go."""
-        # SYSACCEL.MON_* monitoring views never reach routing: they are
-        # served DB2-side from the live observability structures and are
-        # readable by every session (like ACCEL_GET_HEALTH).
-        monitored = monitoring_tables(stmt.referenced_tables())
+        callers charge according to where the rows actually go.
+
+        With a prepared ``plan``, view expansion and table classification
+        come from the cache; privilege checks and routing always re-run
+        (grants, the special register, health state, and row estimates
+        all change without bumping the catalog generation).
+        """
+        if plan is not None:
+            plan.executions += 1
+        if plan is not None and plan.prepared:
+            monitored = plan.monitored
+        else:
+            # SYSACCEL.MON_* monitoring views never reach routing: they
+            # are served DB2-side from the live observability structures
+            # and are readable by every session (like ACCEL_GET_HEALTH).
+            monitored = frozenset(
+                monitoring_tables(stmt.referenced_tables())
+            )
         if monitored:
+            if plan is not None and not plan.prepared:
+                plan.monitored = monitored
+                plan.expanded = stmt
+                plan.prepared = True
             with self._span(
                 "monitor.query", views=",".join(sorted(monitored))
             ):
@@ -775,23 +844,38 @@ class Connection:
                 )
             self.last_decision = "monitoring view"
             return columns, rows, "DB2"
-        # Definer-rights views: the caller needs SELECT on each view and
-        # on each base table referenced *directly* in the statement —
-        # tables reached only through a view body are covered by the
-        # view grant.
-        direct_tables = {
-            name.upper()
-            for name in stmt.referenced_tables()
-            if not self._system.catalog.has_view(name)
-        }
-        stmt, view_names = self._expand_views(stmt)
+        if plan is not None and plan.prepared:
+            direct_tables = plan.direct_tables
+            view_names = plan.view_names
+            stmt = plan.expanded
+            tables = plan.tables
+        else:
+            # Definer-rights views: the caller needs SELECT on each view
+            # and on each base table referenced *directly* in the
+            # statement — tables reached only through a view body are
+            # covered by the view grant.
+            direct_tables = frozenset(
+                name.upper()
+                for name in stmt.referenced_tables()
+                if not self._system.catalog.has_view(name)
+            )
+            stmt, view_names = self._expand_views(stmt)
+            tables = frozenset(
+                name.upper() for name in stmt.referenced_tables()
+            )
+            if plan is not None:
+                plan.monitored = monitored
+                plan.direct_tables = direct_tables
+                plan.view_names = tuple(view_names)
+                plan.expanded = stmt
+                plan.tables = tables
+                plan.prepared = True
         for view_name in view_names:
             view = self._system.catalog.view(view_name)
             if not (self.user.is_admin or view.owner == self.user.name):
                 self._system.catalog.privileges.check(
                     self.user.name, Privilege.SELECT, "TABLE", view.name
                 )
-        tables = {name.upper() for name in stmt.referenced_tables()}
         for name in direct_tables:
             self._check_table_privilege(
                 Privilege.SELECT, self._system.catalog.table(name)
@@ -814,6 +898,7 @@ class Connection:
                 params=params,
                 snapshot_epoch=epoch,
                 deltas=self.active_deltas(),
+                kernel_cache=plan.kernels if plan is not None else None,
             )
             return columns, rows, "ACCELERATOR"
         with self._span("db2.execute") as db2_span:

@@ -9,7 +9,7 @@ NULLs-high sort helper.
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Optional
+from typing import Callable, Optional, Union
 
 from repro.errors import ParseError
 from repro.sql import ast
@@ -155,15 +155,18 @@ def extract_column_ranges(
     where: Optional[ast.Expression],
     scope: Scope,
     binding_columns: dict[int, str],
-) -> dict[str, tuple[Optional[float], Optional[float]]]:
+) -> dict[str, tuple[Optional[Union[int, float]], Optional[Union[int, float]]]]:
     """Derive per-column [low, high] bounds from simple WHERE conjuncts.
 
     Used for zone-map pruning: only conjuncts of the shape
     ``col <op> numeric-literal`` (or BETWEEN literals) contribute.
     ``binding_columns`` maps scope positions to the scanned table's column
-    names, so only the scanned table's predicates are extracted.
+    names, so only the scanned table's predicates are extracted. Integer
+    literals are kept as Python ints — rounding them to float64 would
+    shift bounds at |v| >= 2**53 and let the zone maps prune chunks that
+    actually contain matching rows.
     """
-    ranges: dict[str, tuple[Optional[float], Optional[float]]] = {}
+    ranges: dict[str, tuple[Optional[Union[int, float]], Optional[Union[int, float]]]] = {}
     if where is None:
         return ranges
 
@@ -223,14 +226,18 @@ def _bound_column(
     return binding_columns.get(index)
 
 
-def _literal_number(expr: ast.Expression) -> Optional[float]:
+def _literal_number(expr: ast.Expression) -> Optional[Union[int, float]]:
+    # Integer literals stay Python ints: float64 cannot represent every
+    # int64, and a rounded bound over-prunes at the 2**53 boundary.
     if isinstance(expr, ast.Literal) and isinstance(expr.value, (int, float)):
-        return float(expr.value)
+        value = expr.value
+        return value if isinstance(value, int) else float(value)
     if (
         isinstance(expr, ast.UnaryOp)
         and expr.op == "-"
         and isinstance(expr.operand, ast.Literal)
         and isinstance(expr.operand.value, (int, float))
     ):
-        return -float(expr.operand.value)
+        value = expr.operand.value
+        return -value if isinstance(value, int) else -float(value)
     return None

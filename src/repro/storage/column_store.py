@@ -36,8 +36,19 @@ DEFAULT_CHUNK_ROWS = 65536
 
 
 def _hash_key(values: tuple) -> int:
-    """Deterministic distribution hash (Python's hash() is salted)."""
-    return zlib.crc32(repr(values).encode("utf-8"))
+    """Deterministic distribution hash (Python's hash() is salted).
+
+    Key values are normalised to plain Python scalars first: the hash is
+    over ``repr``, and ``np.int64(5)`` / ``np.str_('a')`` repr differently
+    from ``5`` / ``'a'`` even though they are the same logical key — which
+    would route replication-applied and directly loaded copies of a row to
+    different slices.
+    """
+    normalized = tuple(
+        value.item() if isinstance(value, np.generic) else value
+        for value in values
+    )
+    return zlib.crc32(repr(normalized).encode("utf-8"))
 
 
 class Chunk:
@@ -240,25 +251,22 @@ class ColumnStoreTable:
             for chunk in chunks:
                 yield slice_id, chunk
 
-    def read_visible(
+    def visible_chunks(
         self,
-        epoch: int,
-        columns: Optional[Sequence[str]] = None,
         ranges: Optional[dict[str, tuple[object, object]]] = None,
-    ) -> tuple[np.ndarray, dict[str, VColumn]]:
-        """Materialise all rows visible at ``epoch``.
+    ) -> list[Chunk]:
+        """Chunks surviving zone-map pruning, in ``iter_chunks`` order.
 
         ``ranges`` maps column name → (low, high) bounds derived from the
         query predicate; chunks whose zone maps exclude the range are
         skipped entirely (the scan still re-applies the full predicate).
-        Returns (row_ids, {column: VColumn}).
+        Resets and updates the ``last_scan_chunks_*`` counters. The order
+        is the sequential scan order, so concatenating per-chunk results
+        from any contiguous partitioning reproduces it exactly.
         """
-        wanted = list(columns) if columns is not None else self.schema.column_names
-        id_parts: list[np.ndarray] = []
-        value_parts: dict[str, list[np.ndarray]] = {name: [] for name in wanted}
-        mask_parts: dict[str, list[np.ndarray]] = {name: [] for name in wanted}
         self.last_scan_chunks_skipped = 0
         self.last_scan_chunks_total = 0
+        survivors: list[Chunk] = []
         for _, chunk in self.iter_chunks():
             self.last_scan_chunks_total += 1
             if self.zone_maps_enabled and ranges:
@@ -269,6 +277,26 @@ class ColumnStoreTable:
                 if skip:
                     self.last_scan_chunks_skipped += 1
                     continue
+            survivors.append(chunk)
+        return survivors
+
+    def gather_chunks(
+        self,
+        chunks: Sequence[Chunk],
+        epoch: int,
+        columns: Optional[Sequence[str]] = None,
+    ) -> tuple[np.ndarray, dict[str, VColumn]]:
+        """Materialise the rows of ``chunks`` visible at ``epoch``.
+
+        Pure read: touches no table-level counters, so disjoint chunk
+        spans can be gathered concurrently from worker threads. Returns
+        (row_ids, {column: VColumn}).
+        """
+        wanted = list(columns) if columns is not None else self.schema.column_names
+        id_parts: list[np.ndarray] = []
+        value_parts: dict[str, list[np.ndarray]] = {name: [] for name in wanted}
+        mask_parts: dict[str, list[np.ndarray]] = {name: [] for name in wanted}
+        for chunk in chunks:
             visible = chunk.visible_mask(epoch)
             if not visible.any():
                 continue
@@ -302,6 +330,15 @@ class ColumnStoreTable:
             mask = np.concatenate(mask_parts[name])
             out[name] = VColumn(values=values, mask=mask if mask.any() else None)
         return row_ids, out
+
+    def read_visible(
+        self,
+        epoch: int,
+        columns: Optional[Sequence[str]] = None,
+        ranges: Optional[dict[str, tuple[object, object]]] = None,
+    ) -> tuple[np.ndarray, dict[str, VColumn]]:
+        """Materialise all rows visible at ``epoch`` after zone-map pruning."""
+        return self.gather_chunks(self.visible_chunks(ranges), epoch, columns)
 
     def _empty_column(self, name: str) -> VColumn:
         dtype = self.schema.column(name).sql_type.numpy_dtype

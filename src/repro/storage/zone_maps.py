@@ -4,12 +4,18 @@ Netezza's zone maps let the FPGA skip whole extents whose value range
 cannot satisfy a predicate. The accelerator's scan asks each chunk's zone
 map whether a predicate range overlaps before touching the data; E10
 quantifies the effect.
+
+Integer chunks keep their bounds as Python ints (arbitrary precision):
+casting an int64 extreme to float64 rounds for |v| >= 2**53, and a
+rounded-down maximum can wrongly exclude a chunk whose true maximum
+matches the predicate — silently dropping rows. Python compares int and
+float exactly, so ``overlaps`` stays exact for mixed-type bounds too.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Union
 
 import numpy as np
 
@@ -18,10 +24,14 @@ __all__ = ["ZoneMap"]
 
 @dataclass(frozen=True)
 class ZoneMap:
-    """Min/max of the non-null values of one column in one chunk."""
+    """Min/max of the non-null values of one column in one chunk.
 
-    minimum: float
-    maximum: float
+    Bounds are Python ints for integer/bool chunks (exact at int64
+    extremes) and floats for float chunks (NaN/inf excluded at build).
+    """
+
+    minimum: Union[int, float]
+    maximum: Union[int, float]
 
     @staticmethod
     def build(
@@ -36,12 +46,16 @@ class ZoneMap:
             if len(finite) == 0:
                 return None
             return ZoneMap(float(finite.min()), float(finite.max()))
-        return ZoneMap(float(live.min()), float(live.max()))
+        # Integer (and bool) chunks: int() preserves all 64 bits, where
+        # float() would round beyond 2**53.
+        return ZoneMap(int(live.min()), int(live.max()))
 
     def overlaps(self, low, high) -> bool:
         """True when [low, high] intersects [min, max].
 
-        ``None`` bounds are open (e.g. ``x > 5`` has high=None).
+        ``None`` bounds are open (e.g. ``x > 5`` has high=None). Bounds
+        may be int or float; Python's cross-type comparison is exact, so
+        no precision is lost deciding the overlap.
         """
         if low is not None and self.maximum < low:
             return False

@@ -1,0 +1,487 @@
+"""Regressions for the chunk-parallel read path and the plan cache.
+
+Covers the two correctness fixes that motivated the refactor — int64
+zone-map precision and distribution-hash scalar normalisation — plus the
+new behaviour: parallel scans must be byte-identical to sequential ones,
+and cached plans must be invalidated by DDL but not by grants.
+"""
+
+import numpy as np
+import pytest
+
+from repro.accelerator import AcceleratorEngine
+from repro.accelerator.engine import _partition_chunks
+from repro.catalog import Catalog, Column, TableLocation, TableSchema
+from repro.federation.router import normalize_sql
+from repro.federation.system import AcceleratedDatabase
+from repro.sql import parse_statement
+from repro.sql.types import BIGINT, DOUBLE, INTEGER, VarcharType
+from repro.storage.column_store import ColumnStoreTable, _hash_key
+from repro.storage.zone_maps import ZoneMap
+
+INT64_MAX = 2**63 - 1
+INT64_MIN = -(2**63)
+
+
+class TestZoneMapInt64Precision:
+    def test_bounds_exact_beyond_float53(self):
+        # float64 rounds 2**53 + 1 down to 2**53; the zone map must not.
+        boundary = 2**53
+        zone = ZoneMap.build(np.array([0, boundary + 1], dtype=np.int64))
+        assert zone.maximum == boundary + 1
+        assert isinstance(zone.maximum, int)
+        assert zone.overlaps(boundary + 1, None)
+
+    def test_bounds_exact_at_int64_extremes(self):
+        zone = ZoneMap.build(
+            np.array([INT64_MIN, INT64_MAX], dtype=np.int64)
+        )
+        assert zone.minimum == INT64_MIN
+        assert zone.maximum == INT64_MAX
+        assert zone.overlaps(INT64_MAX, None)
+        assert zone.overlaps(None, INT64_MIN)
+        assert not zone.overlaps(None, INT64_MIN - 1)
+        assert not zone.overlaps(INT64_MAX + 1, None)
+
+    def test_all_null_chunk_builds_no_zone_map(self):
+        values = np.array([0, 0, 0], dtype=np.int64)
+        mask = np.array([True, True, True])
+        assert ZoneMap.build(values, mask) is None
+
+    def test_nan_only_chunk_builds_no_zone_map(self):
+        assert ZoneMap.build(np.array([np.nan, np.nan])) is None
+
+    def test_pruned_scan_keeps_boundary_rows(self):
+        # A chunk whose true max is 2**53 + 1 must survive pruning for
+        # the predicate ID >= 2**53 + 1 (a float64 bound would round the
+        # max down and wrongly discard the chunk — silently losing rows).
+        schema = TableSchema([Column("ID", BIGINT, nullable=False)])
+        table = ColumnStoreTable(schema, slice_count=1, chunk_rows=4)
+        table.append_rows([(v,) for v in range(8)], epoch=1)
+        table.append_rows([(2**53 + 1,)], epoch=1)
+        __, columns = table.read_visible(
+            epoch=1, ranges={"ID": (2**53 + 1, None)}
+        )
+        assert (2**53 + 1) in columns["ID"].values.tolist()
+        assert table.last_scan_chunks_skipped > 0
+
+    def test_engine_query_at_int64_extremes(self):
+        catalog = Catalog()
+        engine = AcceleratorEngine(catalog, slice_count=1, chunk_rows=4)
+        schema = TableSchema([Column("ID", BIGINT, nullable=False)])
+        descriptor = catalog.create_table(
+            "B", schema, location=TableLocation.ACCELERATOR_ONLY
+        )
+        engine.create_storage(descriptor)
+        engine.bulk_insert(
+            "B", [(v,) for v in range(8)] + [(INT64_MAX,), (INT64_MIN,)]
+        )
+        __, rows = engine.execute_select(
+            parse_statement(f"SELECT ID FROM B WHERE ID >= {INT64_MAX}")
+        )
+        assert rows == [(INT64_MAX,)]
+        # INT64_MIN itself cannot appear as a literal (the parser reads it
+        # as unary minus on 2**63, which overflows int64), so probe the
+        # minimum through the next representable literal.
+        __, rows = engine.execute_select(
+            parse_statement(f"SELECT ID FROM B WHERE ID <= {INT64_MIN + 1}")
+        )
+        assert rows == [(INT64_MIN,)]
+
+
+class TestSliceHashStability:
+    def test_numpy_scalars_hash_like_python_scalars(self):
+        # np.int64(5) reprs differently from 5; the distribution hash
+        # must normalise so both route a row to the same slice.
+        assert _hash_key((np.int64(5),)) == _hash_key((5,))
+        assert _hash_key((np.float64(2.5),)) == _hash_key((2.5,))
+        assert _hash_key((np.str_("k"),)) == _hash_key(("k",))
+        assert _hash_key((np.bool_(True),)) == _hash_key((True,))
+        assert _hash_key(
+            (np.int64(1), np.str_("a"))
+        ) == _hash_key((1, "a"))
+
+    def test_mixed_scalar_sources_share_slice_layout(self):
+        schema = TableSchema(
+            [Column("K", INTEGER, nullable=False), Column("V", DOUBLE)]
+        )
+        plain = ColumnStoreTable(
+            schema, slice_count=4, distribute_on=["K"]
+        )
+        numpy_sourced = ColumnStoreTable(
+            schema, slice_count=4, distribute_on=["K"]
+        )
+        plain.append_rows([(i, float(i)) for i in range(64)], epoch=1)
+        numpy_sourced.append_rows(
+            [(np.int64(i), np.float64(i)) for i in range(64)], epoch=1
+        )
+        layout_a = [[len(c) for c in chunks] for chunks in plain._slices]
+        layout_b = [
+            [len(c) for c in chunks] for chunks in numpy_sourced._slices
+        ]
+        assert layout_a == layout_b
+
+
+class TestDistinctWithNulls:
+    @pytest.fixture
+    def engine(self):
+        catalog = Catalog()
+        engine = AcceleratorEngine(catalog, slice_count=2, chunk_rows=8)
+        schema = TableSchema(
+            [
+                Column("ID", INTEGER, nullable=False),
+                Column("G", VarcharType(4)),
+                Column("V", DOUBLE),
+            ]
+        )
+        descriptor = catalog.create_table(
+            "T", schema, location=TableLocation.ACCELERATOR_ONLY
+        )
+        engine.create_storage(descriptor)
+        engine.bulk_insert(
+            "T",
+            [
+                (1, "a", 1.0),
+                (2, "a", 1.0),
+                (3, None, 1.0),
+                (4, None, 1.0),
+                (5, "a", None),
+                (6, "a", None),
+                (7, None, None),
+                (8, None, None),
+            ],
+        )
+        return engine
+
+    def run(self, engine, sql):
+        return engine.execute_select(parse_statement(sql))[1]
+
+    def test_distinct_single_nullable_column(self, engine):
+        rows = self.run(engine, "SELECT DISTINCT G FROM T ORDER BY G")
+        assert rows == [("a",), (None,)]  # NULLs sort high
+
+    def test_distinct_collapses_null_pairs(self, engine):
+        rows = self.run(
+            engine, "SELECT DISTINCT G, V FROM T ORDER BY G, V"
+        )
+        assert rows == [
+            ("a", 1.0),
+            ("a", None),
+            (None, 1.0),
+            (None, None),
+        ]
+
+    def test_count_distinct_ignores_nulls(self, engine):
+        rows = self.run(engine, "SELECT COUNT(DISTINCT G) FROM T")
+        assert rows == [(1,)]
+
+
+def _build_engines(workers, rows=40_000, chunk_rows=4096):
+    """A sequential and a parallel engine over identical data."""
+    engines = []
+    values = np.random.default_rng(11).normal(size=rows)
+    data = [
+        (
+            int(i),
+            float(values[i]) if i % 13 else None,
+            f"g{i % 7}" if i % 5 else None,
+        )
+        for i in range(rows)
+    ]
+    for count in (1, workers):
+        catalog = Catalog()
+        engine = AcceleratorEngine(
+            catalog,
+            slice_count=4,
+            chunk_rows=chunk_rows,
+            parallel_workers=count,
+        )
+        schema = TableSchema(
+            [
+                Column("ID", INTEGER, nullable=False),
+                Column("V", DOUBLE),
+                Column("G", VarcharType(8)),
+            ]
+        )
+        descriptor = catalog.create_table(
+            "T", schema, location=TableLocation.ACCELERATOR_ONLY
+        )
+        engine.create_storage(descriptor)
+        engine.bulk_insert("T", data)
+        engines.append(engine)
+    return engines
+
+
+class TestParallelScanIdentity:
+    QUERIES = [
+        "SELECT ID, V FROM T WHERE V > 0.5",
+        "SELECT COUNT(*) FROM T WHERE ID > 100 AND ID < 30000",
+        "SELECT COUNT(V), COUNT(DISTINCT G), MIN(ID), MAX(V) FROM T",
+        "SELECT G, COUNT(*) FROM T WHERE V > 0 GROUP BY G ORDER BY G",
+        "SELECT DISTINCT G FROM T WHERE ID < 20000 ORDER BY G",
+        "SELECT MIN(V), MAX(ID) FROM T WHERE ID >= 50",
+        "SELECT ID FROM T WHERE V IS NULL AND ID < 200 ORDER BY ID",
+    ]
+
+    def test_parallel_results_byte_identical(self):
+        sequential, parallel = _build_engines(workers=4)
+        for sql in self.QUERIES:
+            stmt = parse_statement(sql)
+            assert sequential.execute_select(stmt) == parallel.execute_select(
+                stmt
+            ), sql
+        assert parallel.parallel_scans > 0
+        assert sequential.parallel_scans == 0
+
+    def test_parallel_scan_counters_match_sequential(self):
+        sequential, parallel = _build_engines(workers=4)
+        stmt = parse_statement("SELECT COUNT(*) FROM T WHERE ID < 9000")
+        sequential.execute_select(stmt)
+        parallel.execute_select(stmt)
+        assert parallel.rows_scanned == sequential.rows_scanned
+        assert parallel.chunks_skipped == sequential.chunks_skipped
+
+    def test_small_tables_stay_sequential(self):
+        catalog = Catalog()
+        engine = AcceleratorEngine(
+            catalog, slice_count=2, chunk_rows=8, parallel_workers=4
+        )
+        schema = TableSchema([Column("ID", INTEGER, nullable=False)])
+        descriptor = catalog.create_table(
+            "S", schema, location=TableLocation.ACCELERATOR_ONLY
+        )
+        engine.create_storage(descriptor)
+        engine.bulk_insert("S", [(i,) for i in range(100)])
+        engine.execute_select(parse_statement("SELECT COUNT(*) FROM S"))
+        assert engine.parallel_scans == 0
+
+    def test_armed_faults_force_sequential_path(self):
+        from repro.federation.faults import FaultInjector
+
+        catalog = Catalog()
+        faults = FaultInjector(seed=1)
+        engine = AcceleratorEngine(
+            catalog,
+            slice_count=4,
+            chunk_rows=4096,
+            parallel_workers=4,
+            fault_injector=faults,
+        )
+        schema = TableSchema([Column("ID", INTEGER, nullable=False)])
+        descriptor = catalog.create_table(
+            "S", schema, location=TableLocation.ACCELERATOR_ONLY
+        )
+        engine.create_storage(descriptor)
+        engine.bulk_insert("S", [(i,) for i in range(40_000)])
+        stmt = parse_statement("SELECT COUNT(*) FROM S")
+        engine.execute_select(stmt)
+        assert engine.parallel_scans == 1
+        faults.add("accelerator", "crash", probability=0.0)
+        engine.execute_select(stmt)
+        assert engine.parallel_scans == 1  # unchanged: fell back
+
+
+class TestPartitionChunks:
+    class _FakeChunk:
+        def __init__(self, length):
+            self.length = length
+
+        def __len__(self):
+            return self.length
+
+    def chunks(self, *lengths):
+        return [self._FakeChunk(n) for n in lengths]
+
+    def test_order_preserved_and_complete(self):
+        chunks = self.chunks(10, 20, 30, 40, 50)
+        spans = _partition_chunks(chunks, 3)
+        flattened = [chunk for span in spans for chunk in span]
+        assert flattened == chunks
+        assert 1 < len(spans) <= 3
+
+    def test_never_more_spans_than_requested(self):
+        spans = _partition_chunks(self.chunks(*([5] * 17)), 4)
+        assert len(spans) <= 4
+        assert sum(len(s) for s in spans) == 17
+
+    def test_single_chunk_single_span(self):
+        chunks = self.chunks(100)
+        assert _partition_chunks(chunks, 4) == [chunks]
+
+
+class TestPlanCache:
+    @pytest.fixture
+    def db(self):
+        system = AcceleratedDatabase()
+        conn = system.connect()
+        conn.execute(
+            "CREATE TABLE T (ID INT NOT NULL PRIMARY KEY, V DOUBLE)"
+        )
+        for i in range(40):
+            conn.execute("INSERT INTO T VALUES (?, ?)", (i, float(i)))
+        system.add_table_to_accelerator("T")
+        system.replication.drain()
+        return system, conn
+
+    def test_repeated_statement_hits_cache(self, db):
+        system, conn = db
+        for __ in range(10):
+            rows = conn.query("SELECT COUNT(*) FROM T WHERE V > 5")
+        assert rows == [(34,)]
+        snapshot = system.plan_cache.snapshot()
+        assert snapshot["hits"] == 9
+        assert snapshot["hit_rate"] > 0.8
+
+    def test_whitespace_and_case_variants_share_a_plan(self, db):
+        system, conn = db
+        conn.query("SELECT COUNT(*) FROM T WHERE V > 5")
+        conn.query("select   count(*)\nfrom t   where v > 5")
+        assert system.plan_cache.hits == 1
+
+    def test_string_literals_are_not_case_folded(self):
+        assert normalize_sql("select 'a  b'") == "SELECT 'a  b'"
+        assert normalize_sql("select 'It''s  x'") == "SELECT 'It''s  x'"
+        assert normalize_sql("select 'a'") != normalize_sql("select 'A'")
+
+    def test_ddl_invalidates_cached_plans(self, db):
+        system, conn = db
+        conn.query("SELECT COUNT(*) FROM T")
+        conn.query("SELECT COUNT(*) FROM T")
+        assert system.plan_cache.hits == 1
+        conn.execute("CREATE TABLE OTHER (A INT)")
+        conn.query("SELECT COUNT(*) FROM T")
+        assert system.plan_cache.invalidations == 1
+
+    def test_accelerator_placement_change_invalidates(self, db):
+        system, conn = db
+        conn.query("SELECT COUNT(*) FROM T")
+        before = system.plan_cache.invalidations
+        system.remove_table_from_accelerator("T")
+        rows = conn.query("SELECT COUNT(*) FROM T")
+        assert rows == [(40,)]
+        assert system.plan_cache.invalidations == before + 1
+
+    def test_view_redefinition_invalidates(self, db):
+        system, conn = db
+        conn.execute("CREATE VIEW BIG AS SELECT ID FROM T WHERE V > 20")
+        assert len(conn.query("SELECT ID FROM BIG")) == 19
+        conn.execute("DROP VIEW BIG")
+        conn.execute("CREATE VIEW BIG AS SELECT ID FROM T WHERE V > 30")
+        # A stale cached expansion would still see the old predicate.
+        assert len(conn.query("SELECT ID FROM BIG")) == 9
+
+    def test_params_vary_per_execution_of_cached_plan(self, db):
+        __, conn = db
+        assert conn.query("SELECT ID FROM T WHERE ID = ?", (5,)) == [(5,)]
+        assert conn.query("SELECT ID FROM T WHERE ID = ?", (7,)) == [(7,)]
+
+    def test_grants_checked_despite_cached_plan(self, db):
+        from repro.catalog import Privilege
+        from repro.errors import AuthorizationError
+
+        system, conn = db
+        system.create_user("ANALYST")
+        system.catalog.privileges.grant(
+            "ANALYST", [Privilege.SELECT], "TABLE", "T"
+        )
+        analyst = system.connect("ANALYST")
+        assert analyst.query("SELECT COUNT(*) FROM T") == [(40,)]
+        system.catalog.privileges.revoke(
+            "ANALYST", [Privilege.SELECT], "TABLE", "T"
+        )
+        # Revocation does not bump the catalog generation; the cached
+        # plan must still be blocked by the per-execution check.
+        with pytest.raises(AuthorizationError):
+            analyst.query("SELECT COUNT(*) FROM T")
+
+    def test_metrics_source_exposes_plan_cache(self, db):
+        system, conn = db
+        conn.query("SELECT COUNT(*) FROM T")
+        conn.query("SELECT COUNT(*) FROM T")
+        collected = system.metrics.collect()
+        assert collected["plan_cache.hits"] >= 1
+        assert collected["plan_cache.size"] >= 1
+
+
+class TestKernelCacheIdentity:
+    """The kernel cache keys on id(expr); entries must pin the expr.
+
+    Correlated subqueries bind a fresh AST per distinct outer key and
+    discard it after execution. Without pinning, the next bound AST can
+    be allocated at the recycled address, collide on id, and be served
+    the kernel compiled for the previous literal — silently returning
+    another row's subquery result.
+    """
+
+    def test_correlated_scalar_subquery_stable_under_caching(self):
+        db = AcceleratedDatabase(slice_count=2, chunk_rows=32)
+        conn = db.connect()
+        conn.execute("CREATE TABLE CUST (C_ID INTEGER NOT NULL PRIMARY KEY)")
+        conn.execute(
+            "INSERT INTO CUST VALUES "
+            + ", ".join(f"({i})" for i in range(1, 22))
+        )
+        conn.execute("CREATE TABLE ORD (O_CUST INTEGER, O_AMOUNT DOUBLE)")
+        conn.execute(
+            "INSERT INTO ORD VALUES "
+            + ", ".join(f"({i}, {float(i * 10)})" for i in range(1, 21))
+        )
+        db.add_table_to_accelerator("CUST")
+        db.add_table_to_accelerator("ORD")
+        db.replication.drain()
+        conn.set_acceleration("ALL")
+        expected = [(i, float(i * 10)) for i in range(1, 21)] + [(21, None)]
+        sql = (
+            "SELECT c_id, (SELECT SUM(o_amount) FROM ord "
+            "WHERE o_cust = c_id) FROM cust ORDER BY c_id"
+        )
+        # 21 ephemeral bound ASTs per execution; any id collision with a
+        # previous bind would repeat an earlier customer's sum.
+        for __ in range(3):
+            assert conn.query(sql) == expected
+
+    def test_cache_entries_pin_their_expressions(self):
+        db = AcceleratedDatabase()
+        conn = db.connect()
+        conn.execute("CREATE TABLE T (ID INT NOT NULL PRIMARY KEY, V DOUBLE)")
+        for i in range(20):
+            conn.execute("INSERT INTO T VALUES (?, ?)", (i, float(i)))
+        db.add_table_to_accelerator("T")
+        db.replication.drain()
+        conn.query("SELECT COUNT(*) FROM T WHERE V > 5")
+        conn.query("SELECT COUNT(*) FROM T WHERE V > 5")
+        entries = [
+            item
+            for plan in db.plan_cache._entries.values()
+            for item in plan.kernels._entries.items()
+        ]
+        assert entries
+        for key, (expr, fn) in entries:
+            assert key[0] == id(expr)  # pinned: the id can never recycle
+            assert callable(fn)
+
+    def test_poisoned_identity_entry_is_recompiled(self):
+        from repro.federation.router import KernelCache
+
+        catalog = Catalog()
+        engine = AcceleratorEngine(catalog, slice_count=1, chunk_rows=64)
+        schema = TableSchema([Column("ID", INTEGER, nullable=False)])
+        descriptor = catalog.create_table(
+            "T", schema, location=TableLocation.ACCELERATOR_ONLY
+        )
+        engine.create_storage(descriptor)
+        engine.bulk_insert("T", [(i,) for i in range(100)])
+        cache = KernelCache()
+        stmt = parse_statement("SELECT COUNT(*) FROM T WHERE ID < 10")
+        __, rows = engine.execute_select(stmt, kernel_cache=cache)
+        assert rows == [(10,)]
+
+        def stale(*args, **kwargs):
+            raise AssertionError("stale kernel served for a foreign expr")
+
+        # Simulate an id collision: keep every key but repoint the entry
+        # at a foreign expression. The identity check must recompile.
+        for key in list(cache._entries):
+            cache._entries[key] = (object(), stale)
+        __, rows = engine.execute_select(stmt, kernel_cache=cache)
+        assert rows == [(10,)]
