@@ -63,24 +63,30 @@ class _SnapshotProvider:
         self,
         name: str,
         ranges: Optional[dict[str, tuple]] = None,
+        columns: Optional[Sequence[str]] = None,
     ) -> tuple[dict[str, VColumn], int]:
         key = name.upper()
         delta = self._deltas.get(key)
         # Zone-map pruning must be disabled when a delta deletes base rows?
         # No: deletions are re-applied below; pruning only skips *reads*.
-        __, columns, length = self._engine.scan_snapshot(
-            key, self._epoch, ranges=ranges, delta=delta
+        __, cols, length = self._engine.scan_snapshot(
+            key, self._epoch, ranges=ranges, delta=delta, columns=columns
         )
-        return columns, length
+        return cols, length
 
     def scan_partitions(
         self,
         name: str,
         ranges: Optional[dict[str, tuple]] = None,
+        columns: Optional[Sequence[str]] = None,
     ) -> Optional[ScanPartitions]:
         key = name.upper()
         return self._engine.partition_scan(
-            key, self._epoch, ranges=ranges, delta=self._deltas.get(key)
+            key,
+            self._epoch,
+            ranges=ranges,
+            delta=self._deltas.get(key),
+            columns=columns,
         )
 
 
@@ -357,42 +363,52 @@ class AcceleratorEngine:
         epoch: int,
         ranges: Optional[dict[str, tuple]] = None,
         delta: Optional[DeltaBuffer] = None,
+        columns: Optional[Sequence[str]] = None,
     ) -> tuple[np.ndarray, dict[str, VColumn], int]:
         """Visible columns at ``epoch`` merged with an optional own-delta.
 
         Returned row ids are base ids for base rows and ``-(index+1)`` for
         rows coming from the delta buffer (so DML can target them).
+        ``columns`` restricts materialisation to a name subset (projection
+        pruning).
         """
         table = self.storage_for(name)
         table.zone_maps_enabled = self.zone_maps_enabled
-        row_ids, columns = table.read_visible(epoch, ranges=ranges)
+        wanted = (
+            list(table.schema.columns)
+            if columns is None
+            else [c for c in table.schema.columns if c.name in set(columns)]
+        )
+        row_ids, columns_read = table.read_visible(
+            epoch, columns=[c.name for c in wanted], ranges=ranges
+        )
         self.rows_scanned += len(row_ids)
         self.chunks_skipped += table.last_scan_chunks_skipped
         self.simulated_busy_seconds += table.row_count / (
             SCAN_ROWS_PER_SECOND * max(1, table.slice_count)
         )
         if delta is None or delta.is_empty:
-            return row_ids, columns, len(row_ids)
+            return row_ids, columns_read, len(row_ids)
 
         keep = ~np.isin(row_ids, np.fromiter(
             delta.deleted_base_ids, dtype=np.int64,
             count=len(delta.deleted_base_ids),
         )) if delta.deleted_base_ids else np.ones(len(row_ids), dtype=bool)
         row_ids = row_ids[keep]
-        columns = {
+        columns_read = {
             name_: VColumn(
                 values=col.values[keep],
                 mask=col.mask[keep] if col.mask is not None else None,
             )
-            for name_, col in columns.items()
+            for name_, col in columns_read.items()
         }
         insert_indexes = delta.live_insert_indexes()
         if insert_indexes:
             inserted_rows = [delta.inserted[i] for i in insert_indexes]
             extra = columns_from_rows(table.schema, inserted_rows)
             merged: dict[str, VColumn] = {}
-            for column in table.schema.columns:
-                base_col = columns[column.name]
+            for column in wanted:
+                base_col = columns_read[column.name]
                 add_col = extra[column.name]
                 values = _concat_values(base_col.values, add_col.values)
                 mask = _concat_optional_masks(
@@ -400,12 +416,12 @@ class AcceleratorEngine:
                     len(add_col.values),
                 )
                 merged[column.name] = VColumn(values=values, mask=mask)
-            columns = merged
+            columns_read = merged
             delta_ids = np.array(
                 [-(i + 1) for i in insert_indexes], dtype=np.int64
             )
             row_ids = np.concatenate([row_ids, delta_ids])
-        return row_ids, columns, len(row_ids)
+        return row_ids, columns_read, len(row_ids)
 
     def partition_scan(
         self,
@@ -413,6 +429,7 @@ class AcceleratorEngine:
         epoch: int,
         ranges: Optional[dict[str, tuple]] = None,
         delta: Optional[DeltaBuffer] = None,
+        columns: Optional[Sequence[str]] = None,
     ) -> Optional["ScanPartitions"]:
         """Split a snapshot scan into parallel chunk-span partitions.
 
@@ -443,8 +460,10 @@ class AcceleratorEngine:
             return None
         spans = _partition_chunks(chunks, workers)
 
+        wanted = list(columns) if columns is not None else None
+
         def make_gather(span_chunks):
-            return lambda: table.gather_chunks(span_chunks, epoch)
+            return lambda: table.gather_chunks(span_chunks, epoch, wanted)
 
         busy = table.row_count / (
             SCAN_ROWS_PER_SECOND * max(1, table.slice_count)
@@ -471,6 +490,7 @@ class AcceleratorEngine:
         snapshot_epoch: Optional[int] = None,
         deltas: Optional[dict[str, DeltaBuffer]] = None,
         kernel_cache=None,
+        plan=None,
     ) -> tuple[list[str], list[tuple]]:
         epoch = self.current_epoch if snapshot_epoch is None else snapshot_epoch
         tracer = self.tracer
@@ -483,8 +503,10 @@ class AcceleratorEngine:
             scanned_before = self.rows_scanned
             self._check_fault()
             provider = _SnapshotProvider(self, epoch, deltas)
-            engine = VectorQueryEngine(provider, params, kernel_cache=kernel_cache)
-            columns, rows = engine.execute(stmt)
+            engine = VectorQueryEngine(
+                provider, params, kernel_cache=kernel_cache, tracer=tracer
+            )
+            columns, rows = engine.execute(plan if plan is not None else stmt)
             self.queries_executed += 1
             span.annotate(
                 rows=len(rows),

@@ -1,12 +1,15 @@
 """Vectorised query execution for the accelerator.
 
-Operators consume and produce :class:`~repro.accelerator.vtable.VTable`
-batches; predicates and projections run as numpy kernels compiled by
+The engine lowers the shared logical plan (:mod:`repro.sql.logical`) to
+column-batch kernels: operators consume and produce
+:class:`~repro.accelerator.vtable.VTable` batches; predicates and
+projections run as numpy kernels compiled by
 :func:`repro.sql.expressions.compile_vector`. Grouped aggregation uses
 ``bincount`` / ``ufunc.at`` kernels on group-inverse arrays. This is the
 simulation stand-in for Netezza's FPGA-accelerated streaming execution:
 the *shape* of its advantage over DB2's interpreted row pipeline — column
-pruning, zone-map skipping, batch arithmetic — is preserved.
+pruning (``Scan.columns``), zone-map skipping (``Scan.predicate``), batch
+arithmetic — is preserved.
 """
 
 from __future__ import annotations
@@ -15,14 +18,15 @@ import math
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Callable, Optional, Protocol, Sequence, Union
 
 import numpy as np
 
-from repro.catalog.schema import TableSchema
-from repro.errors import ParseError, SqlError
-from repro.sql import ast
+from repro.catalog.schema import Column, TableSchema
+from repro.errors import ParseError
+from repro.sql import ast, logical
 from repro.sql.expressions import (
     Scope,
     VColumn,
@@ -36,6 +40,7 @@ from repro.sql.planning import (
     extract_column_ranges,
     map_children,
     references_only,
+    resolve_order_position,
     sort_rows_with_keys,
     split_conjuncts,
 )
@@ -102,18 +107,25 @@ class VectorTableProvider(Protocol):
         self,
         name: str,
         ranges: Optional[dict[str, tuple]] = None,
+        columns: Optional[Sequence[str]] = None,
     ) -> tuple[dict[str, VColumn], int]:
-        """Current visible columns of a base table (plus row count)."""
+        """Current visible columns of a base table (plus row count).
+
+        ``columns`` restricts materialisation to a name subset (projection
+        pruning); providers without column projection may ignore it and
+        return every column.
+        """
 
 
 class VectorQueryEngine:
-    """Executes SELECT statements as column-batch pipelines."""
+    """Executes logical plans as column-batch pipelines."""
 
     def __init__(
         self,
         provider: VectorTableProvider,
         params: Sequence[object] = (),
         kernel_cache=None,
+        tracer=None,
     ) -> None:
         self._provider = provider
         self._params = params
@@ -123,6 +135,9 @@ class VectorQueryEngine:
         #: execution's snapshot. Keys include the params tuple because
         #: parameter values are baked into the compiled closures.
         self._kernel_cache = kernel_cache
+        #: Optional repro.obs tracer; when enabled, each plan operator
+        #: emits an ``op.*`` child span so MON_SPANS shows plan shape.
+        self.tracer = tracer
         self.rows_scanned = 0
         #: One entry per partitioned scan this statement ran (telemetry).
         self.parallel_scans: list[dict] = []
@@ -130,18 +145,28 @@ class VectorQueryEngine:
     # -- public API --------------------------------------------------------------
 
     def execute(
-        self, stmt: Union[ast.SelectStatement, ast.SetOperation]
+        self,
+        stmt: Union[ast.SelectStatement, ast.SetOperation, logical.PlanNode],
     ) -> tuple[list[str], list[tuple]]:
-        if isinstance(stmt, ast.SetOperation):
-            return self._execute_set_operation(stmt)
-        return self._execute_select(stmt)
+        """Run a statement or pre-bound logical plan; returns (columns, rows)."""
+        if isinstance(stmt, logical.PlanNode):
+            plan = stmt
+        else:
+            plan = logical.plan_statement(stmt)
+        return self._execute_plan(plan)
+
+    def _op_span(self, name: str, **attrs):
+        tracer = self.tracer
+        if tracer is None or not getattr(tracer, "enabled", False):
+            return nullcontext()
+        return tracer.span(f"op.{name}", **attrs)
 
     def _resolver(self, scope: Scope) -> SubqueryExecutor:
         """Scope-aware subquery executor (see repro.sql.correlation)."""
         return SubqueryExecutor(
             scope,
             lambda table: self._provider.table_schema(table).column_names,
-            lambda query: self._execute_select(query)[1],
+            lambda query: self.execute(query)[1],
         )
 
     def _compile_where(self, where: ast.Expression, scope: Scope) -> Callable:
@@ -172,101 +197,83 @@ class VectorQueryEngine:
         self._kernel_cache.put(key, (where, fn))
         return fn
 
-    # -- set operations -------------------------------------------------------------
+    # -- plan walker -------------------------------------------------------------
 
-    def _execute_set_operation(
-        self, stmt: ast.SetOperation
+    def _execute_plan(self, node: logical.PlanNode) -> tuple[list[str], list[tuple]]:
+        if isinstance(node, logical.Limit):
+            with self._op_span("limit"):
+                columns, rows = self._execute_plan(node.child)
+                return columns, logical.slice_rows(rows, node.offset, node.limit)
+        if isinstance(node, logical.Sort):
+            return self._execute_sorted(node.child, node.order_by)
+        if isinstance(node, logical.SetOp):
+            return self._execute_set_op(node)
+        if isinstance(node, logical.Aggregate):
+            return self._execute_aggregate(node, ())
+        if isinstance(node, logical.Project):
+            return self._execute_project(node, ())
+        raise ParseError(f"cannot execute plan node {type(node).__name__}")
+
+    def _execute_sorted(
+        self, child: logical.PlanNode, order_by: Sequence[ast.OrderItem]
     ) -> tuple[list[str], list[tuple]]:
-        left_cols, left_rows = self.execute(stmt.left)
-        right_cols, right_rows = self.execute(stmt.right)
-        if len(left_cols) != len(right_cols):
-            raise SqlError("set operation operands have different widths")
-        if stmt.op == "UNION ALL":
-            rows = left_rows + right_rows
-        elif stmt.op == "UNION":
-            rows = _dedup(left_rows + right_rows)
-        elif stmt.op == "EXCEPT":
-            right_set = set(right_rows)
-            rows = _dedup([r for r in left_rows if r not in right_set])
-        elif stmt.op == "INTERSECT":
-            right_set = set(right_rows)
-            rows = _dedup([r for r in left_rows if r in right_set])
-        else:
-            raise ParseError(f"unknown set operation {stmt.op}")
-        if stmt.order_by:
-            scope = Scope([(None, name) for name in left_cols])
-            keys, ascending = self._row_order_keys(
-                stmt.order_by, scope, left_cols, rows
+        with self._op_span("sort"):
+            # Projection and aggregation fuse their ORDER BY (keys may
+            # reference the pre-projection input scope); set operations
+            # sort over output columns.
+            if isinstance(child, logical.Aggregate):
+                return self._execute_aggregate(child, order_by)
+            if isinstance(child, logical.Project) and child.child is not None:
+                return self._execute_project(child, order_by)
+            columns, rows = self._execute_plan(child)
+            return columns, logical.order_rows_by_output(
+                columns, rows, order_by, self._params
             )
-            rows = sort_rows_with_keys(rows, keys, ascending)
-        rows = _slice(rows, stmt.offset, stmt.limit)
+
+    def _execute_set_op(self, node: logical.SetOp) -> tuple[list[str], list[tuple]]:
+        with self._op_span("setop", op=node.op):
+            left_cols, left_rows = self._execute_plan(node.left)
+            right_cols, right_rows = self._execute_plan(node.right)
+            rows = logical.combine_set_rows(
+                node.op, left_cols, left_rows, right_cols, right_rows
+            )
         return left_cols, rows
 
-    def _row_order_keys(self, order_by, scope, columns, rows):
-        fns = []
-        for order in order_by:
-            expr = order.expression
-            if isinstance(expr, ast.Literal) and isinstance(expr.value, int):
-                if not 1 <= expr.value <= len(columns):
-                    raise ParseError(
-                        f"ORDER BY position {expr.value} is out of range"
-                    )
-                expr = ast.ColumnRef(name=columns[expr.value - 1])
-            fns.append(compile_scalar(expr, scope, self._params))
-        keys = [tuple(fn(row) for fn in fns) for row in rows]
-        return keys, [o.ascending for o in order_by]
-
-    # -- select pipeline ----------------------------------------------------------------
-
-    def _execute_select(
-        self, stmt: ast.SelectStatement
+    def _execute_project(
+        self, node: logical.Project, order_by: Sequence[ast.OrderItem]
     ) -> tuple[list[str], list[tuple]]:
-        if stmt.from_item is None:
-            return self._constant_select(stmt)
-        table = None
-        direct = None
-        if isinstance(stmt.from_item, ast.TableRef):
-            outcome = self._parallel_scan_select(stmt)
-            if outcome is not None:
-                table, direct = outcome
+        if node.child is None:
+            return self._constant_select(node.select_items)
+        with self._op_span("project"):
+            table = self._build_table(node.child, allow_parallel=True)
+            columns, rows = self._project(node.select_items, order_by, table)
+        if node.distinct:
+            rows = logical.dedup_rows(rows)
+        return columns, rows
 
-        if direct is None and table is None:
-            table = self._build_from(stmt.from_item, stmt.where)
-            if stmt.where is not None:
-                predicate = self._compile_where(stmt.where, table.scope)
-                result = predicate(table.columns, table.length)
-                mask = result.values.astype(bool)
-                if result.mask is not None:
-                    mask &= ~result.mask
-                table = table.filter(mask)
-
-        if direct is not None:
-            columns, rows, ordered = direct
-        elif stmt.group_by or stmt.is_aggregate_query:
-            columns, rows, ordered = self._aggregate(stmt, table)
-        else:
-            if stmt.having is not None:
-                raise ParseError("HAVING requires GROUP BY or aggregates")
-            columns, rows, ordered = self._project(stmt, table)
-
-        if stmt.distinct:
-            rows = _dedup(rows)
-        if stmt.order_by and not ordered:
-            scope = Scope([(None, name) for name in columns])
-            keys, ascending = self._row_order_keys(
-                stmt.order_by, scope, columns, rows
-            )
-            rows = sort_rows_with_keys(rows, keys, ascending)
-        rows = _slice(rows, stmt.offset, stmt.limit)
+    def _execute_aggregate(
+        self, node: logical.Aggregate, order_by: Sequence[ast.OrderItem]
+    ) -> tuple[list[str], list[tuple]]:
+        with self._op_span("aggregate"):
+            direct = None
+            if not order_by and not node.group_by and node.having is None:
+                direct = self._partial_aggregate(node)
+            if direct is not None:
+                columns, rows = direct
+            else:
+                table = self._build_table(node.child, allow_parallel=True)
+                columns, rows = self._aggregate(node, order_by, table)
+        if node.distinct:
+            rows = logical.dedup_rows(rows)
         return columns, rows
 
     def _constant_select(
-        self, stmt: ast.SelectStatement
+        self, select_items: Sequence[ast.SelectItem]
     ) -> tuple[list[str], list[tuple]]:
         scope = Scope([])
         columns: list[str] = []
         values: list[object] = []
-        for position, item in enumerate(stmt.select_items):
+        for position, item in enumerate(select_items):
             if isinstance(item.expression, ast.Star):
                 raise ParseError("'*' requires a FROM clause")
             fn = compile_scalar(
@@ -276,16 +283,38 @@ class VectorQueryEngine:
             columns.append(item.alias or expression_label(item.expression, position))
         return columns, [tuple(values)]
 
-    # -- FROM ------------------------------------------------------------------------------
+    # -- FROM side of the plan ------------------------------------------------------
 
-    def _build_from(
-        self, item: ast.FromItem, where: Optional[ast.Expression]
+    def _build_table(
+        self,
+        node: logical.PlanNode,
+        hint: Optional[ast.Expression] = None,
+        allow_parallel: bool = False,
     ) -> VTable:
-        if isinstance(item, ast.TableRef):
-            return self._scan(item, where)
-        if isinstance(item, ast.SubquerySource):
-            columns, rows = self._execute_select(item.query)
-            scope = Scope([(item.alias, name) for name in columns])
+        """Materialise a from-subtree as a VTable.
+
+        ``hint`` is a predicate that will be applied *above* this subtree
+        (a Filter over a Join); scans use it for zone-map range extraction
+        only — chunk skipping is conservative, so pruning by a predicate
+        that is re-checked later preserves results while cutting
+        rows_scanned.
+        """
+        scan, predicates = _peel_filters(node)
+        if scan is not None:
+            return self._scan_pipeline(scan, predicates, hint, allow_parallel)
+        if isinstance(node, logical.Filter):
+            child_hint = (
+                node.predicate
+                if hint is None
+                else ast.BinaryOp(op="AND", left=hint, right=node.predicate)
+            )
+            table = self._build_table(node.child, hint=child_hint)
+            with self._op_span("filter"):
+                return self._filter_table(table, node.predicate)
+        if isinstance(node, logical.SubqueryBind):
+            with self._op_span("subquery", alias=node.alias):
+                columns, rows = self._execute_plan(node.plan)
+            scope = Scope([(node.alias, name) for name in columns])
             packed = [
                 VColumn.from_objects([row[i] for row in rows])
                 for i in range(len(columns))
@@ -293,33 +322,123 @@ class VectorQueryEngine:
             if not rows:
                 packed = [VColumn(values=np.empty(0, dtype=object))] * len(columns)
             return VTable(scope, packed, len(rows))
-        if isinstance(item, ast.Join):
-            return self._join(item, where)
-        raise ParseError(f"unsupported FROM item {type(item).__name__}")
+        if isinstance(node, logical.Join):
+            return self._join(node, hint)
+        raise ParseError(f"cannot execute plan node {type(node).__name__}")
 
-    def _scan(self, ref: ast.TableRef, where: Optional[ast.Expression]) -> VTable:
-        schema = self._provider.table_schema(ref.name)
-        scope = Scope([(ref.binding, c.name) for c in schema.columns])
-        binding_columns = {i: c.name for i, c in enumerate(schema.columns)}
-        ranges = (
-            extract_column_ranges(where, scope, binding_columns) if where else {}
+    def _filter_table(self, table: VTable, predicate: ast.Expression) -> VTable:
+        fn = self._compile_where(predicate, table.scope)
+        result = fn(table.columns, table.length)
+        mask = result.values.astype(bool)
+        if result.mask is not None:
+            mask &= ~result.mask
+        return table.filter(mask)
+
+    # -- scans (sequential and chunk-parallel) ---------------------------------------
+
+    def _scan_pipeline(
+        self,
+        scan: logical.Scan,
+        predicates: list[ast.Expression],
+        hint: Optional[ast.Expression],
+        allow_parallel: bool,
+    ) -> VTable:
+        schema = self._provider.table_schema(scan.table)
+        cols = _pruned_schema_columns(scan, schema)
+        scope = Scope([(scan.binding, c.name) for c in cols])
+        binding_columns = {i: c.name for i, c in enumerate(cols)}
+        parts = ([scan.predicate] if scan.predicate is not None else []) + list(
+            reversed(predicates)
         )
-        columns, length = self._provider.scan_columns(ref.name, ranges or None)
-        self.rows_scanned += length
-        ordered = [columns[c.name] for c in schema.columns]
-        return VTable(scope, ordered, length)
+        predicate_expr = _and_all(parts) if parts else None
+        range_parts = parts + ([hint] if hint is not None else [])
+        ranges = (
+            extract_column_ranges(_and_all(range_parts), scope, binding_columns)
+            if range_parts
+            else {}
+        )
+        column_names = (
+            [c.name for c in cols] if scan.columns is not None else None
+        )
+        if allow_parallel:
+            table = self._parallel_scan(
+                scan, cols, scope, predicate_expr, ranges, column_names
+            )
+            if table is not None:
+                return table
+        with self._op_span("scan", table=scan.table):
+            columns, length = self._scan_columns(
+                scan.table, ranges or None, column_names
+            )
+            self.rows_scanned += length
+            ordered = [columns[c.name] for c in cols]
+            table = VTable(scope, ordered, length)
+            if predicate_expr is not None:
+                table = self._filter_table(table, predicate_expr)
+        return table
 
-    # -- chunk-parallel scan --------------------------------------------------------
+    def _scan_columns(
+        self,
+        name: str,
+        ranges: Optional[dict],
+        column_names: Optional[list[str]],
+    ) -> tuple[dict[str, VColumn], int]:
+        if column_names is None:
+            return self._provider.scan_columns(name, ranges)
+        try:
+            return self._provider.scan_columns(name, ranges, columns=column_names)
+        except TypeError:
+            # Provider without column projection: scan all, subset here.
+            columns, length = self._provider.scan_columns(name, ranges)
+            return {n: columns[n] for n in column_names}, length
 
-    def _parallel_scan_select(
-        self, stmt: ast.SelectStatement
-    ) -> Optional[tuple]:
-        """Fan a single-table scan + WHERE across chunk partitions.
+    def _partition_plan(
+        self,
+        scan: logical.Scan,
+        predicate_expr: Optional[ast.Expression],
+        ranges: dict,
+        column_names: Optional[list[str]],
+    ) -> Optional[ScanPartitions]:
+        scan_partitions = getattr(self._provider, "scan_partitions", None)
+        if scan_partitions is None:
+            return None
+        if predicate_expr is not None and _contains_subquery(predicate_expr):
+            return None
+        if column_names is None:
+            return scan_partitions(scan.table, ranges or None)
+        try:
+            return scan_partitions(
+                scan.table, ranges or None, columns=column_names
+            )
+        except TypeError:
+            return scan_partitions(scan.table, ranges or None)
 
-        Returns ``None`` to fall back to the sequential pipeline, or
-        ``(table, None)`` — the filtered scan as a VTable (WHERE already
-        applied) — or ``(None, (columns, rows, ordered))`` when the whole
-        statement collapsed to mergeable partial aggregates.
+    def _run_partitions(
+        self, scan: logical.Scan, plan: ScanPartitions, task: Callable
+    ) -> list:
+        results = ScanWorkerPool.run(plan.workers, task, plan.partitions)
+        scanned = sum(r[2] for r in results)
+        plan.finish(scanned)
+        self.rows_scanned += scanned
+        self.parallel_scans.append(
+            {
+                "table": scan.table.upper(),
+                "workers": plan.workers,
+                "partitions": len(plan.partitions),
+                "rows_scanned": scanned,
+                "partition_rows": [r[2] for r in results],
+                "partition_seconds": [r[4] for r in results],
+            }
+        )
+        return results
+
+    def _partition_task(
+        self,
+        cols: list[Column],
+        predicate: Optional[Callable],
+        partial_specs: Optional[list],
+    ) -> Callable:
+        """Per-partition worker: gather a chunk span, filter, maybe fold.
 
         Byte-identity with the sequential path holds by construction:
         compiled kernels are pure and elementwise, partitions are
@@ -328,31 +447,11 @@ class VectorQueryEngine:
         partial-aggregate path is restricted to order-independent
         aggregates (COUNT / COUNT DISTINCT / MIN / MAX).
         """
-        scan_partitions = getattr(self._provider, "scan_partitions", None)
-        if scan_partitions is None:
-            return None
-        ref = stmt.from_item
-        where = stmt.where
-        if where is not None and _contains_subquery(where):
-            return None
-        schema = self._provider.table_schema(ref.name)
-        scope = Scope([(ref.binding, c.name) for c in schema.columns])
-        binding_columns = {i: c.name for i, c in enumerate(schema.columns)}
-        ranges = (
-            extract_column_ranges(where, scope, binding_columns) if where else {}
-        )
-        plan = scan_partitions(ref.name, ranges or None)
-        if plan is None:
-            return None
-        predicate = (
-            self._compile_where(where, scope) if where is not None else None
-        )
-        partial_specs = self._partial_aggregate_plan(stmt, scope)
 
         def task(gather):
             started = time.perf_counter()
             row_ids, columns = gather()
-            ordered = [columns[c.name] for c in schema.columns]
+            ordered = [columns[c.name] for c in cols]
             length = len(row_ids)
             if predicate is not None and length:
                 result = predicate(ordered, length)
@@ -381,62 +480,106 @@ class VectorQueryEngine:
                 ordered = None  # partials carry everything downstream
             return ordered, kept, length, partials, time.perf_counter() - started
 
-        results = ScanWorkerPool.run(plan.workers, task, plan.partitions)
-        scanned = sum(r[2] for r in results)
-        plan.finish(scanned)
-        self.rows_scanned += scanned
-        self.parallel_scans.append(
-            {
-                "table": ref.name.upper(),
-                "workers": plan.workers,
-                "partitions": len(plan.partitions),
-                "rows_scanned": scanned,
-                "partition_rows": [r[2] for r in results],
-                "partition_seconds": [r[4] for r in results],
-            }
-        )
+        return task
 
-        if partial_specs is not None:
-            labels = [
-                item.alias or expression_label(item.expression, i)
-                for i, item in enumerate(stmt.select_items)
-            ]
-            row = tuple(
-                _merge_partials(
-                    spec,
-                    [r[3][i] for r in results],
-                    schema.columns[spec[1]].sql_type.numpy_dtype.kind
-                    if spec[1] is not None
-                    else None,
-                )
-                for i, spec in enumerate(partial_specs)
+    def _parallel_scan(
+        self,
+        scan: logical.Scan,
+        cols: list[Column],
+        scope: Scope,
+        predicate_expr: Optional[ast.Expression],
+        ranges: dict,
+        column_names: Optional[list[str]],
+    ) -> Optional[VTable]:
+        """Fan a scan + filter across chunk partitions; None = sequential."""
+        plan = self._partition_plan(scan, predicate_expr, ranges, column_names)
+        if plan is None:
+            return None
+        predicate = (
+            self._compile_where(predicate_expr, scope)
+            if predicate_expr is not None
+            else None
+        )
+        with self._op_span("scan", table=scan.table, parallel="true"):
+            results = self._run_partitions(
+                scan, plan, self._partition_task(cols, predicate, None)
             )
-            return None, (labels, [row], False)
+            merged = _merge_partition_columns([r[0] for r in results], len(cols))
+            total = sum(r[1] for r in results)
+        return VTable(scope, merged, total)
 
-        merged = _merge_partition_columns(
-            [r[0] for r in results], len(schema.columns)
+    def _partial_aggregate(
+        self, node: logical.Aggregate
+    ) -> Optional[tuple[list[str], list[tuple]]]:
+        """Whole-statement collapse to mergeable partial aggregates.
+
+        Only fires for a whole-table (no GROUP BY / HAVING / ORDER BY)
+        aggregation over a partitionable scan whose every select item is
+        mergeable (see :meth:`_partial_aggregate_specs`).
+        """
+        scan, predicates = _peel_filters(node.child)
+        if scan is None:
+            return None
+        schema = self._provider.table_schema(scan.table)
+        cols = _pruned_schema_columns(scan, schema)
+        scope = Scope([(scan.binding, c.name) for c in cols])
+        specs = self._partial_aggregate_specs(node.select_items, scope)
+        if specs is None:
+            return None
+        binding_columns = {i: c.name for i, c in enumerate(cols)}
+        parts = ([scan.predicate] if scan.predicate is not None else []) + list(
+            reversed(predicates)
         )
-        total = sum(r[1] for r in results)
-        return VTable(scope, merged, total), None
+        predicate_expr = _and_all(parts) if parts else None
+        ranges = (
+            extract_column_ranges(_and_all(parts), scope, binding_columns)
+            if parts
+            else {}
+        )
+        column_names = (
+            [c.name for c in cols] if scan.columns is not None else None
+        )
+        plan = self._partition_plan(scan, predicate_expr, ranges, column_names)
+        if plan is None:
+            return None
+        predicate = (
+            self._compile_where(predicate_expr, scope)
+            if predicate_expr is not None
+            else None
+        )
+        with self._op_span("scan", table=scan.table, parallel="true"):
+            results = self._run_partitions(
+                scan, plan, self._partition_task(cols, predicate, specs)
+            )
+        labels = [
+            item.alias or expression_label(item.expression, i)
+            for i, item in enumerate(node.select_items)
+        ]
+        row = tuple(
+            _merge_partials(
+                spec,
+                [r[3][i] for r in results],
+                cols[spec[1]].sql_type.numpy_dtype.kind
+                if spec[1] is not None
+                else None,
+            )
+            for i, spec in enumerate(specs)
+        )
+        return labels, [row]
 
-    def _partial_aggregate_plan(
-        self, stmt: ast.SelectStatement, scope: Scope
+    def _partial_aggregate_specs(
+        self, select_items: Sequence[ast.SelectItem], scope: Scope
     ) -> Optional[list[tuple[str, Optional[int]]]]:
         """Partial-aggregate specs, or ``None`` when not safely mergeable.
 
-        Only whole-table (no GROUP BY) aggregations whose every select
-        item is COUNT(*) / COUNT(col) / COUNT(DISTINCT col) / MIN(col) /
+        Only COUNT(*) / COUNT(col) / COUNT(DISTINCT col) / MIN(col) /
         MAX(col) over a plain column qualify: counts merge by addition,
         distincts by set union, extrema by comparison — all exactly
         order-independent. SUM/AVG/STDDEV are excluded because float
         accumulation order would change the low bits.
         """
-        if stmt.group_by or not stmt.is_aggregate_query:
-            return None
-        if stmt.having is not None or stmt.order_by:
-            return None
         specs: list[tuple[str, Optional[int]]] = []
-        for item in stmt.select_items:
+        for item in select_items:
             expr = item.expression
             if not (isinstance(expr, ast.FunctionCall) and expr.is_aggregate):
                 return None
@@ -468,46 +611,60 @@ class VectorQueryEngine:
                 return None
         return specs
 
-    def _join(self, join: ast.Join, where: Optional[ast.Expression]) -> VTable:
-        if join.join_type == "RIGHT":
-            swapped = ast.Join(
-                left=join.right,
-                right=join.left,
-                join_type="LEFT",
-                condition=join.condition,
-            )
-            table = self._join(swapped, where)
-            left_width = len(table.scope) - self._width_of(join.left)
-            entries = table.scope.entries[left_width:] + table.scope.entries[:left_width]
-            columns = table.columns[left_width:] + table.columns[:left_width]
-            return VTable(Scope(entries), columns, table.length)
+    # -- joins -----------------------------------------------------------------------
 
-        left = self._build_from(join.left, where)
-        right = self._build_from(join.right, where)
+    def _join(
+        self, join: logical.Join, hint: Optional[ast.Expression]
+    ) -> VTable:
+        join_type = join.join_type
+        left_node, right_node = join.left, join.right
+        swap = join_type == "RIGHT"
+        if swap:
+            # RIGHT OUTER = LEFT OUTER with swapped inputs + column remap.
+            left_node, right_node = right_node, left_node
+            join_type = "LEFT"
+        with self._op_span("join", join_type=join.join_type):
+            left = self._build_table(left_node, hint=hint)
+            right = self._build_table(right_node, hint=hint)
+            table = self._join_tables(left, right, join_type, join.condition)
+        if not swap:
+            return table
+        cut = len(left.scope)  # width of the original right side
+        entries = table.scope.entries[cut:] + table.scope.entries[:cut]
+        columns = table.columns[cut:] + table.columns[:cut]
+        return VTable(Scope(entries), columns, table.length)
+
+    def _join_tables(
+        self,
+        left: VTable,
+        right: VTable,
+        join_type: str,
+        condition: Optional[ast.Expression],
+    ) -> VTable:
         combined_scope = Scope(left.scope.entries + right.scope.entries)
 
-        if join.join_type == "CROSS":
+        if join_type == "CROSS":
             left_idx = np.repeat(np.arange(left.length), right.length)
             right_idx = np.tile(np.arange(right.length), left.length)
             columns = left.gather(left_idx) + right.gather(right_idx)
             return VTable(combined_scope, columns, len(left_idx))
 
-        if join.condition is None:
-            raise ParseError(f"{join.join_type} JOIN requires ON")
-        if join.join_type not in ("INNER", "LEFT"):
-            raise ParseError(f"unsupported join type {join.join_type}")
+        if condition is None:
+            raise ParseError(f"{join_type} JOIN requires ON")
+        if join_type not in ("INNER", "LEFT"):
+            raise ParseError(f"unsupported join type {join_type}")
 
         left_keys, right_keys, residual = self._split_equi(
-            join.condition, left.scope, right.scope
+            condition, left.scope, right.scope
         )
         if not left_keys:
             return self._nested_join(
-                left, right, join.condition, combined_scope, join.join_type
+                left, right, condition, combined_scope, join_type
             )
 
         left_key_cols = [fn(left.columns, left.length) for fn in left_keys]
         right_key_cols = [fn(right.columns, right.length) for fn in right_keys]
-        outer = join.join_type == "LEFT"
+        outer = join_type == "LEFT"
 
         # Phase 1: matching candidate pairs only (no padding yet).
         fast = _numeric_equi_pairs(left_key_cols, right_key_cols)
@@ -564,15 +721,6 @@ class VectorQueryEngine:
         ]
         return VTable(combined_scope, merged, table.length + len(missing))
 
-    def _width_of(self, item: ast.FromItem) -> int:
-        if isinstance(item, ast.TableRef):
-            return len(self._provider.table_schema(item.name).columns)
-        if isinstance(item, ast.SubquerySource):
-            return len(item.query.select_items)
-        if isinstance(item, ast.Join):
-            return self._width_of(item.left) + self._width_of(item.right)
-        raise ParseError(f"unsupported FROM item {type(item).__name__}")
-
     def _split_equi(
         self,
         condition: ast.Expression,
@@ -604,12 +752,12 @@ class VectorQueryEngine:
             residual_parts.append(conjunct)
         residual = None
         if residual_parts:
-            predicate = residual_parts[0]
-            for part in residual_parts[1:]:
-                predicate = ast.BinaryOp(op="AND", left=predicate, right=part)
             combined = Scope(left_scope.entries + right_scope.entries)
             residual = compile_vector(
-                predicate, combined, self._params, self._resolver(combined)
+                _and_all(residual_parts),
+                combined,
+                self._params,
+                self._resolver(combined),
             )
         return left_keys, right_keys, residual
 
@@ -654,10 +802,13 @@ class VectorQueryEngine:
     # -- aggregation -----------------------------------------------------------------------
 
     def _aggregate(
-        self, stmt: ast.SelectStatement, table: VTable
-    ) -> tuple[list[str], list[tuple], bool]:
+        self,
+        node: logical.Aggregate,
+        order_by: Sequence[ast.OrderItem],
+        table: VTable,
+    ) -> tuple[list[str], list[tuple]]:
         scope = table.scope
-        group_canon = [canonicalize(g, scope) for g in stmt.group_by]
+        group_canon = [canonicalize(g, scope) for g in node.group_by]
         aggregates: list[ast.FunctionCall] = []
 
         def rewrite(expr: ast.Expression) -> ast.Expression:
@@ -680,18 +831,18 @@ class VectorQueryEngine:
             return map_children(expr, rewrite)
 
         select_rewritten: list[tuple[ast.Expression, Optional[str]]] = []
-        for item in stmt.select_items:
+        for item in node.select_items:
             if isinstance(item.expression, ast.Star):
                 raise ParseError("'*' cannot be combined with GROUP BY")
             select_rewritten.append((rewrite(item.expression), item.alias))
         having_rewritten = (
-            rewrite(stmt.having) if stmt.having is not None else None
+            rewrite(node.having) if node.having is not None else None
         )
         alias_map = {
             alias: expr for expr, alias in select_rewritten if alias is not None
         }
         order_rewritten: list[ast.OrderItem] = []
-        for order in stmt.order_by:
+        for order in order_by:
             expr = order.expression
             if (
                 isinstance(expr, ast.ColumnRef)
@@ -701,7 +852,7 @@ class VectorQueryEngine:
                 new_expr = alias_map[expr.name]
             elif isinstance(expr, ast.Literal) and isinstance(expr.value, int):
                 new_expr = select_rewritten[
-                    _check_position(expr.value, len(select_rewritten))
+                    resolve_order_position(expr.value, len(select_rewritten))
                 ][0]
             else:
                 new_expr = rewrite(expr)
@@ -714,10 +865,10 @@ class VectorQueryEngine:
             compile_vector(g, scope, self._params, self._resolver(scope))(
                 table.columns, table.length
             )
-            for g in stmt.group_by
+            for g in node.group_by
         ]
         inverse, group_count, key_rows = _group_inverse(key_columns, table.length)
-        if group_count == 0 and not stmt.group_by:
+        if group_count == 0 and not node.group_by:
             group_count = 1
             inverse = np.zeros(0, dtype=np.int64)
             key_rows = [()]
@@ -729,12 +880,12 @@ class VectorQueryEngine:
                 self._compute_aggregate(call, table, inverse, group_count)
             )
 
-        post_entries = [(None, f"__G{i}") for i in range(len(stmt.group_by))]
+        post_entries = [(None, f"__G{i}") for i in range(len(node.group_by))]
         post_entries += [(None, f"__A{j}") for j in range(len(aggregates))]
         post_scope = Scope(post_entries)
         group_out_columns = [
             VColumn.from_objects([key_rows[g][i] for g in range(group_count)])
-            for i in range(len(stmt.group_by))
+            for i in range(len(node.group_by))
         ]
         post_table = VTable(
             post_scope, group_out_columns + agg_columns, group_count
@@ -751,7 +902,7 @@ class VectorQueryEngine:
             post_table = post_table.filter(mask)
 
         columns = [
-            alias or expression_label(stmt.select_items[i].expression, i)
+            alias or expression_label(node.select_items[i].expression, i)
             for i, (_, alias) in enumerate(select_rewritten)
         ]
         projected = [
@@ -764,8 +915,7 @@ class VectorQueryEngine:
         if not projected:
             rows = [()] * post_table.length
 
-        ordered = bool(order_rewritten)
-        if ordered:
+        if order_rewritten:
             key_fns = [
                 compile_vector(
                     o.expression, post_scope, self._params, self._resolver(post_scope)
@@ -783,7 +933,7 @@ class VectorQueryEngine:
             rows = sort_rows_with_keys(
                 rows, keys, [o.ascending for o in order_rewritten]
             )
-        return columns, rows, ordered
+        return columns, rows
 
     def _compute_aggregate(
         self,
@@ -870,12 +1020,15 @@ class VectorQueryEngine:
     # -- projection --------------------------------------------------------------------------
 
     def _project(
-        self, stmt: ast.SelectStatement, table: VTable
-    ) -> tuple[list[str], list[tuple], bool]:
+        self,
+        select_items: Sequence[ast.SelectItem],
+        order_by: Sequence[ast.OrderItem],
+        table: VTable,
+    ) -> tuple[list[str], list[tuple]]:
         columns: list[str] = []
         out_cols: list[VColumn] = []
         position = 0
-        for item in stmt.select_items:
+        for item in select_items:
             if isinstance(item.expression, ast.Star):
                 for index in table.scope.star_indexes(item.expression.table):
                     columns.append(table.scope.entries[index][1])
@@ -889,49 +1042,45 @@ class VectorQueryEngine:
             columns.append(item.alias or expression_label(item.expression, position))
             position += 1
 
-        ordered = False
-        if stmt.order_by:
-            alias_map = {
-                item.alias: item.expression
-                for item in stmt.select_items
-                if item.alias is not None
-            }
-            # Keys are either projected output columns (1-based positions)
-            # or expressions over the input scope (incl. alias fallback).
-            key_cols: list[VColumn] = []
-            for order in stmt.order_by:
-                expr = order.expression
-                if isinstance(expr, ast.Literal) and isinstance(expr.value, int):
-                    if not 1 <= expr.value <= len(out_cols):
-                        raise ParseError(
-                            f"ORDER BY position {expr.value} is out of range"
-                        )
-                    key_cols.append(out_cols[expr.value - 1])
-                    continue
-                if (
-                    isinstance(expr, ast.ColumnRef)
-                    and expr.table is None
-                    and expr.name in alias_map
-                    and not _resolvable(expr, table.scope)
-                ):
-                    expr = alias_map[expr.name]
-                fn = compile_vector(
-                    expr, table.scope, self._params, self._resolver(table.scope)
+        if not order_by:
+            return columns, VTable(Scope([]), out_cols, table.length).to_rows()
+
+        alias_map = {
+            item.alias: item.expression
+            for item in select_items
+            if item.alias is not None
+        }
+        # Keys are either projected output columns (1-based positions)
+        # or expressions over the input scope (incl. alias fallback).
+        key_cols: list[VColumn] = []
+        for order in order_by:
+            expr = order.expression
+            if isinstance(expr, ast.Literal) and isinstance(expr.value, int):
+                key_cols.append(
+                    out_cols[resolve_order_position(expr.value, len(out_cols))]
                 )
-                key_cols.append(fn(table.columns, table.length))
-            rows = VTable(Scope([]), out_cols, table.length).to_rows()
-            key_lists = [col.to_objects() for col in key_cols]
-            keys = [
-                tuple(key_lists[k][i] for k in range(len(key_lists)))
-                for i in range(table.length)
-            ]
-            rows = sort_rows_with_keys(
-                rows, keys, [o.ascending for o in stmt.order_by]
+                continue
+            if (
+                isinstance(expr, ast.ColumnRef)
+                and expr.table is None
+                and expr.name in alias_map
+                and not _resolvable(expr, table.scope)
+            ):
+                expr = alias_map[expr.name]
+            fn = compile_vector(
+                expr, table.scope, self._params, self._resolver(table.scope)
             )
-            ordered = True
-        else:
-            rows = VTable(Scope([]), out_cols, table.length).to_rows()
-        return columns, rows, ordered
+            key_cols.append(fn(table.columns, table.length))
+        rows = VTable(Scope([]), out_cols, table.length).to_rows()
+        key_lists = [col.to_objects() for col in key_cols]
+        keys = [
+            tuple(key_lists[k][i] for k in range(len(key_lists)))
+            for i in range(table.length)
+        ]
+        rows = sort_rows_with_keys(
+            rows, keys, [o.ascending for o in order_by]
+        )
+        return columns, rows
 
 
 # ---------------------------------------------------------------------------
@@ -943,6 +1092,41 @@ def _contains_subquery(expr: ast.Expression) -> bool:
     return any(
         isinstance(node, ast.SubqueryExpression) for node in expr.walk()
     )
+
+
+def _and_all(conjuncts: Sequence[ast.Expression]) -> ast.Expression:
+    combined = conjuncts[0]
+    for part in conjuncts[1:]:
+        combined = ast.BinaryOp(op="AND", left=combined, right=part)
+    return combined
+
+
+def _peel_filters(
+    node: logical.PlanNode,
+) -> tuple[Optional[logical.Scan], list[ast.Expression]]:
+    """Decompose Filter*(Scan) chains; (None, []) for anything else."""
+    predicates: list[ast.Expression] = []
+    while isinstance(node, logical.Filter):
+        predicates.append(node.predicate)
+        node = node.child
+    if isinstance(node, logical.Scan):
+        return node, predicates
+    return None, []
+
+
+def _pruned_schema_columns(
+    scan: logical.Scan, schema: TableSchema
+) -> list[Column]:
+    """The schema columns this scan materialises, in schema order."""
+    if scan.columns is None:
+        return list(schema.columns)
+    wanted = set(scan.columns)
+    cols = [c for c in schema.columns if c.name in wanted]
+    if not cols:
+        # Nothing referenced (e.g. COUNT(*)-only): keep one column so the
+        # scan still carries a row count.
+        cols = [schema.columns[0]]
+    return cols
 
 
 def _merge_partition_columns(
@@ -1040,12 +1224,6 @@ def _resolvable(expr: ast.Expression, scope: Scope) -> bool:
         return True
     except ParseError:
         return False
-
-
-def _check_position(position: int, width: int) -> int:
-    if not 1 <= position <= width:
-        raise ParseError(f"ORDER BY position {position} is out of range")
-    return position - 1
 
 
 def _aggregate_key(call: ast.FunctionCall, scope: Scope):
@@ -1231,20 +1409,3 @@ def _concat_columns(a: VColumn, b: VColumn) -> VColumn:
         values = np.concatenate([a.values.astype(object), b.values.astype(object)])
     merged = np.concatenate([a.null_mask(), b.null_mask()])
     return VColumn(values=values, mask=merged if merged.any() else None)
-
-
-def _dedup(rows: list[tuple]) -> list[tuple]:
-    seen: set[tuple] = set()
-    out: list[tuple] = []
-    for row in rows:
-        if row not in seen:
-            seen.add(row)
-            out.append(row)
-    return out
-
-
-def _slice(rows, offset, limit):
-    start = offset or 0
-    if limit is None:
-        return rows[start:] if start else rows
-    return rows[start : start + limit]

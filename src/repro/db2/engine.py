@@ -354,13 +354,20 @@ class Db2Engine:
         txn: Transaction,
         stmt,
         params: Sequence[object] = (),
+        plan=None,
+        tracer=None,
     ) -> tuple[list[str], list[tuple]]:
-        """Run a SELECT (or set operation) against DB2-resident tables."""
+        """Run a SELECT (or set operation) against DB2-resident tables.
+
+        ``plan`` is an optional pre-bound :mod:`repro.sql.logical` plan
+        for ``stmt`` (from the statement plan cache); the index fast path
+        still inspects the AST, so both are passed.
+        """
         txn.require_active()
         overrides = self._point_lookup_overrides(stmt, txn, params)
         provider = _TxnTableProvider(self, txn, overrides)
-        engine = RowQueryEngine(provider, params)
-        columns, rows = engine.execute(stmt)
+        engine = RowQueryEngine(provider, params, tracer=tracer)
+        columns, rows = engine.execute(plan if plan is not None else stmt)
         self.rows_read += engine.rows_examined
         self.statements_executed += 1
         return columns, rows

@@ -1,11 +1,12 @@
 """Row-at-a-time (Volcano-style) query execution.
 
-This is the DB2 side's interpreted executor: operators are generators over
-Python tuples, evaluated one row at a time with compiled scalar
-expressions. The design is intentionally classic — sequential scans,
-hash/nested-loop joins, hash aggregation — because the performance gap
-between this model and the accelerator's vectorised executor is the
-asymmetry the paper's offload story rests on.
+This is the DB2 side's interpreted executor: it walks the shared logical
+plan (:mod:`repro.sql.logical`) with operators as generators over Python
+tuples, evaluated one row at a time with compiled scalar expressions.
+The design is intentionally classic — sequential scans, hash/nested-loop
+joins, hash aggregation — because the performance gap between this model
+and the accelerator's vectorised executor is the asymmetry the paper's
+offload story rests on.
 
 The executor is engine-agnostic: anything that can provide schemas and row
 iterators (a :class:`TableProvider`) can execute queries, which the tests
@@ -15,11 +16,12 @@ exploit directly.
 from __future__ import annotations
 
 import math
+from contextlib import nullcontext
 from typing import Callable, Iterator, Optional, Protocol, Sequence, Union
 
 from repro.catalog.schema import TableSchema
-from repro.errors import ParseError, SqlError
-from repro.sql import ast
+from repro.errors import ParseError
+from repro.sql import ast, logical
 from repro.sql.expressions import (
     Scope,
     compile_scalar,
@@ -30,6 +32,7 @@ from repro.sql.planning import (
     canonicalize,
     map_children,
     references_only,
+    resolve_order_position,
     sort_rows_with_keys as _sort_with_precomputed,
     split_conjuncts,
 )
@@ -203,88 +206,105 @@ def make_accumulator(call: ast.FunctionCall) -> _Accumulator:
 
 
 class RowQueryEngine:
-    """Executes SELECT statements against a :class:`TableProvider`."""
+    """Interprets logical plans against a :class:`TableProvider`."""
 
     def __init__(
         self,
         provider: TableProvider,
         params: Sequence[object] = (),
+        tracer=None,
     ) -> None:
         self._provider = provider
         self._params = params
+        #: Optional repro.obs tracer; when enabled, each plan operator
+        #: emits an ``op.*`` child span so MON_SPANS shows plan shape.
+        self.tracer = tracer
         self.rows_examined = 0  # exposed for cost/efficiency assertions
 
     # -- public API ----------------------------------------------------------
 
     def execute(
-        self, stmt: Union[ast.SelectStatement, ast.SetOperation]
+        self,
+        stmt: Union[ast.SelectStatement, ast.SetOperation, logical.PlanNode],
     ) -> tuple[list[str], list[tuple]]:
-        """Run the statement; returns (column names, rows)."""
-        if isinstance(stmt, ast.SetOperation):
-            return self._execute_set_operation(stmt)
-        return self._execute_select(stmt)
+        """Run a statement or pre-bound logical plan; returns (columns, rows)."""
+        if isinstance(stmt, logical.PlanNode):
+            plan = stmt
+        else:
+            plan = logical.plan_statement(stmt)
+        return self._execute_plan(plan)
 
-    # -- set operations --------------------------------------------------------
+    def _op_span(self, name: str, **attrs):
+        tracer = self.tracer
+        if tracer is None or not getattr(tracer, "enabled", False):
+            return nullcontext()
+        return tracer.span(f"op.{name}", **attrs)
 
-    def _execute_set_operation(
-        self, stmt: ast.SetOperation
+    # -- plan walker ---------------------------------------------------------
+
+    def _execute_plan(self, node: logical.PlanNode) -> tuple[list[str], list[tuple]]:
+        if isinstance(node, logical.Limit):
+            with self._op_span("limit"):
+                columns, rows = self._execute_plan(node.child)
+                return columns, logical.slice_rows(rows, node.offset, node.limit)
+        if isinstance(node, logical.Sort):
+            return self._execute_sorted(node.child, node.order_by)
+        if isinstance(node, logical.SetOp):
+            return self._execute_set_op(node)
+        if isinstance(node, logical.Aggregate):
+            return self._execute_aggregate(node, ())
+        if isinstance(node, logical.Project):
+            return self._execute_project(node, ())
+        raise ParseError(f"cannot execute plan node {type(node).__name__}")
+
+    def _execute_sorted(
+        self, child: logical.PlanNode, order_by: Sequence[ast.OrderItem]
     ) -> tuple[list[str], list[tuple]]:
-        columns, rows = self._combine_set_operation(stmt)
-        if stmt.order_by:
-            scope = Scope([(None, name) for name in columns])
-            order_fns = []
-            for order in stmt.order_by:
-                expr = order.expression
-                if isinstance(expr, ast.Literal) and isinstance(expr.value, int):
-                    if not 1 <= expr.value <= len(columns):
-                        raise ParseError(
-                            f"ORDER BY position {expr.value} is out of range"
-                        )
-                    expr = ast.ColumnRef(name=columns[expr.value - 1])
-                order_fns.append(compile_scalar(expr, scope, self._params))
-            keys = [tuple(fn(row) for fn in order_fns) for row in rows]
-            rows = _sort_with_precomputed(
-                rows, keys, [o.ascending for o in stmt.order_by]
+        with self._op_span("sort"):
+            # Projection and aggregation fuse their ORDER BY (keys may
+            # reference the pre-projection input scope); everything else
+            # (set operations) sorts over output columns.
+            if isinstance(child, logical.Aggregate):
+                return self._execute_aggregate(child, order_by)
+            if isinstance(child, logical.Project) and child.child is not None:
+                return self._execute_project(child, order_by)
+            columns, rows = self._execute_plan(child)
+            return columns, logical.order_rows_by_output(
+                columns, rows, order_by, self._params
             )
-        rows = _slice(rows, stmt.offset, stmt.limit)
-        return columns, rows
 
-    def _combine_set_operation(
-        self, stmt: ast.SetOperation
+    def _execute_set_op(self, node: logical.SetOp) -> tuple[list[str], list[tuple]]:
+        with self._op_span("setop", op=node.op):
+            left_cols, left_rows = self._execute_plan(node.left)
+            right_cols, right_rows = self._execute_plan(node.right)
+            rows = logical.combine_set_rows(
+                node.op, left_cols, left_rows, right_cols, right_rows
+            )
+        return left_cols, rows
+
+    def _execute_project(
+        self, node: logical.Project, order_by: Sequence[ast.OrderItem]
     ) -> tuple[list[str], list[tuple]]:
-        left_cols, left_rows = self.execute(stmt.left)
-        right_cols, right_rows = self.execute(stmt.right)
-        if len(left_cols) != len(right_cols):
-            raise SqlError("set operation operands have different widths")
-        if stmt.op == "UNION ALL":
-            return left_cols, left_rows + right_rows
-        if stmt.op == "UNION":
-            seen: set[tuple] = set()
-            out: list[tuple] = []
-            for row in left_rows + right_rows:
-                if row not in seen:
-                    seen.add(row)
-                    out.append(row)
-            return left_cols, out
-        if stmt.op == "EXCEPT":
-            right_set = set(right_rows)
-            seen = set()
-            out = []
-            for row in left_rows:
-                if row not in right_set and row not in seen:
-                    seen.add(row)
-                    out.append(row)
-            return left_cols, out
-        if stmt.op == "INTERSECT":
-            right_set = set(right_rows)
-            seen = set()
-            out = []
-            for row in left_rows:
-                if row in right_set and row not in seen:
-                    seen.add(row)
-                    out.append(row)
-            return left_cols, out
-        raise ParseError(f"unknown set operation {stmt.op}")
+        if node.child is None:
+            return self._constant_select(node.select_items)
+        with self._op_span("project"):
+            rows, scope = self._build_input(node.child)
+            columns, out_rows = self._project(
+                node.select_items, order_by, rows, scope
+            )
+        if node.distinct:
+            out_rows = logical.dedup_rows(out_rows)
+        return columns, out_rows
+
+    def _execute_aggregate(
+        self, node: logical.Aggregate, order_by: Sequence[ast.OrderItem]
+    ) -> tuple[list[str], list[tuple]]:
+        with self._op_span("aggregate"):
+            rows, scope = self._build_input(node.child)
+            columns, out_rows = self._aggregate(node, order_by, rows, scope)
+        if node.distinct:
+            out_rows = logical.dedup_rows(out_rows)
+        return columns, out_rows
 
     # -- select pipeline -------------------------------------------------------
 
@@ -294,44 +314,16 @@ class RowQueryEngine:
         return SubqueryExecutor(
             scope,
             lambda table: self._provider.table_schema(table).column_names,
-            lambda query: self._execute_select(query)[1],
+            lambda query: self.execute(query)[1],
         )
 
-    def _execute_select(
-        self, stmt: ast.SelectStatement
-    ) -> tuple[list[str], list[tuple]]:
-        if stmt.from_item is None:
-            return self._constant_select(stmt)
-
-        rows, scope = self._build_from(stmt.from_item)
-
-        if stmt.where is not None:
-            predicate = compile_scalar(
-                stmt.where, scope, self._params, self._resolver(scope)
-            )
-            rows = (row for row in rows if predicate(row) is True)
-
-        if stmt.group_by or stmt.is_aggregate_query:
-            columns, out_rows, ordered = self._aggregate(stmt, rows, scope)
-        else:
-            if stmt.having is not None:
-                raise ParseError("HAVING requires GROUP BY or aggregates")
-            columns, out_rows, ordered = self._project(stmt, rows, scope)
-
-        if stmt.distinct:
-            out_rows = _dedup(out_rows)
-        if stmt.order_by and not ordered:
-            out_rows = self._order(stmt, out_rows, columns)
-        out_rows = _slice(out_rows, stmt.offset, stmt.limit)
-        return columns, out_rows
-
     def _constant_select(
-        self, stmt: ast.SelectStatement
+        self, select_items: Sequence[ast.SelectItem]
     ) -> tuple[list[str], list[tuple]]:
         scope = Scope([])
         columns: list[str] = []
         values: list[object] = []
-        for position, item in enumerate(stmt.select_items):
+        for position, item in enumerate(select_items):
             if isinstance(item.expression, ast.Star):
                 raise ParseError("'*' requires a FROM clause")
             fn = compile_scalar(
@@ -341,111 +333,109 @@ class RowQueryEngine:
             columns.append(item.alias or expression_label(item.expression, position))
         return columns, [tuple(values)]
 
-    # -- FROM clause -------------------------------------------------------------
+    # -- FROM side of the plan ---------------------------------------------------
 
-    def _build_from(
-        self, item: ast.FromItem
+    def _build_input(
+        self, node: logical.PlanNode
     ) -> tuple[Iterator[tuple], Scope]:
-        if isinstance(item, ast.TableRef):
-            schema = self._provider.table_schema(item.name)
-            scope = Scope([(item.binding, c.name) for c in schema.columns])
+        if isinstance(node, logical.Scan):
+            return self._build_scan(node)
+        if isinstance(node, logical.Filter):
+            rows, scope = self._build_input(node.child)
+            with self._op_span("filter"):
+                predicate = compile_scalar(
+                    node.predicate, scope, self._params, self._resolver(scope)
+                )
+            return (row for row in rows if predicate(row) is True), scope
+        if isinstance(node, logical.SubqueryBind):
+            with self._op_span("subquery", alias=node.alias):
+                columns, rows = self._execute_plan(node.plan)
+            scope = Scope([(node.alias, name) for name in columns])
+            return iter(rows), scope
+        if isinstance(node, logical.Join):
+            return self._build_join(node)
+        raise ParseError(f"cannot execute plan node {type(node).__name__}")
 
+    def _build_scan(self, node: logical.Scan) -> tuple[Iterator[tuple], Scope]:
+        # The row store always materialises full tuples; Scan.columns is
+        # advisory for columnar backends and ignored here.
+        schema = self._provider.table_schema(node.table)
+        scope = Scope([(node.binding, c.name) for c in schema.columns])
+        with self._op_span("scan", table=node.table):
             def _scan() -> Iterator[tuple]:
-                for row in self._provider.scan_rows(item.name):
+                for row in self._provider.scan_rows(node.table):
                     self.rows_examined += 1
                     yield row
 
-            return _scan(), scope
-        if isinstance(item, ast.SubquerySource):
-            columns, rows = self._execute_select(item.query)
-            scope = Scope([(item.alias, name) for name in columns])
-            return iter(rows), scope
-        if isinstance(item, ast.Join):
-            return self._build_join(item)
-        raise ParseError(f"unsupported FROM item {type(item).__name__}")
+            rows: Iterator[tuple] = _scan()
+            if node.predicate is not None:
+                predicate = compile_scalar(
+                    node.predicate, scope, self._params, self._resolver(scope)
+                )
+                rows = (row for row in rows if predicate(row) is True)
+        return rows, scope
 
-    def _build_join(self, join: ast.Join) -> tuple[Iterator[tuple], Scope]:
-        if join.join_type == "RIGHT":
+    def _build_join(self, join: logical.Join) -> tuple[Iterator[tuple], Scope]:
+        join_type = join.join_type
+        left_node, right_node = join.left, join.right
+        swap = join_type == "RIGHT"
+        if swap:
             # RIGHT OUTER = LEFT OUTER with swapped inputs + column remap.
-            swapped = ast.Join(
-                left=join.right,
-                right=join.left,
-                join_type="LEFT",
-                condition=join.condition,
+            left_node, right_node = right_node, left_node
+            join_type = "LEFT"
+        with self._op_span("join", join_type=join.join_type):
+            left_rows, left_scope = self._build_input(left_node)
+            right_rows, right_scope = self._build_input(right_node)
+            combined = Scope(left_scope.entries + right_scope.entries)
+
+            if join_type == "CROSS":
+                right_list = list(right_rows)
+
+                def _cross() -> Iterator[tuple]:
+                    for left in left_rows:
+                        for right in right_list:
+                            yield left + right
+
+                return _cross(), combined
+
+            condition = join.condition
+            if condition is None:
+                raise ParseError(f"{join_type} JOIN requires ON")
+            if join_type not in ("INNER", "LEFT"):
+                raise ParseError(f"unsupported join type {join_type}")
+            left_keys, right_keys, residual = self._split_equi(
+                condition, left_scope, right_scope, combined
             )
-            rows, scope = self._build_join(swapped)
-            left_width = len(self._scope_of(join.left))
-            right_width = len(scope) - left_width
+            if left_keys:
+                rows = self._hash_join(
+                    left_rows,
+                    right_rows,
+                    left_keys,
+                    right_keys,
+                    residual,
+                    combined,
+                    right_scope,
+                    outer=join_type == "LEFT",
+                )
+            else:
+                rows = self._nested_loop_join(
+                    left_rows,
+                    right_rows,
+                    condition,
+                    combined,
+                    right_scope,
+                    outer=join_type == "LEFT",
+                )
+        if not swap:
+            return rows, combined
+        cut = len(left_scope)  # width of the original right side
 
-            def _remap() -> Iterator[tuple]:
-                for row in rows:
-                    yield row[right_width:] + row[:right_width]
+        def _remap() -> Iterator[tuple]:
+            for row in rows:
+                yield row[cut:] + row[:cut]
 
-            entries = scope.entries[right_width:] + scope.entries[:right_width]
-            return _remap(), Scope(entries)
-
-        left_rows, left_scope = self._build_from(join.left)
-        right_rows, right_scope = self._build_from(join.right)
-        combined = Scope(left_scope.entries + right_scope.entries)
-
-        if join.join_type == "CROSS":
-            right_list = list(right_rows)
-
-            def _cross() -> Iterator[tuple]:
-                for left in left_rows:
-                    for right in right_list:
-                        yield left + right
-
-            return _cross(), combined
-
-        condition = join.condition
-        if condition is None:
-            raise ParseError(f"{join.join_type} JOIN requires ON")
-        left_keys, right_keys, residual = self._split_equi(
-            condition, left_scope, right_scope, combined
-        )
-        if left_keys:
-            rows = self._hash_join(
-                left_rows,
-                right_rows,
-                left_keys,
-                right_keys,
-                residual,
-                combined,
-                right_scope,
-                outer=join.join_type == "LEFT",
-            )
-        else:
-            rows = self._nested_loop_join(
-                left_rows,
-                right_rows,
-                condition,
-                combined,
-                right_scope,
-                outer=join.join_type == "LEFT",
-            )
-        if join.join_type not in ("INNER", "LEFT"):
-            raise ParseError(f"unsupported join type {join.join_type}")
-        return rows, combined
-
-    def _scope_of(self, item: ast.FromItem) -> Scope:
-        """Scope shape of a FROM item without executing it (for remaps)."""
-        if isinstance(item, ast.TableRef):
-            schema = self._provider.table_schema(item.name)
-            return Scope([(item.binding, c.name) for c in schema.columns])
-        if isinstance(item, ast.SubquerySource):
-            # Width needs output column names; execute the header cheaply by
-            # compiling labels only.
-            names = [
-                sub.alias or expression_label(sub.expression, i)
-                for i, sub in enumerate(item.query.select_items)
-            ]
-            return Scope([(item.alias, name) for name in names])
-        if isinstance(item, ast.Join):
-            left = self._scope_of(item.left)
-            right = self._scope_of(item.right)
-            return Scope(left.entries + right.entries)
-        raise ParseError(f"unsupported FROM item {type(item).__name__}")
+        entries = combined.entries[cut:] + combined.entries[:cut]
+        return _remap(), Scope(entries)
 
     def _split_equi(
         self,
@@ -549,11 +539,12 @@ class RowQueryEngine:
 
     def _aggregate(
         self,
-        stmt: ast.SelectStatement,
+        node: logical.Aggregate,
+        order_by: Sequence[ast.OrderItem],
         rows: Iterator[tuple],
         scope: Scope,
-    ) -> tuple[list[str], list[tuple], bool]:
-        group_canon = [canonicalize(g, scope) for g in stmt.group_by]
+    ) -> tuple[list[str], list[tuple]]:
+        group_canon = [canonicalize(g, scope) for g in node.group_by]
         aggregates: list[ast.FunctionCall] = []
 
         def rewrite(expr: ast.Expression) -> ast.Expression:
@@ -572,16 +563,16 @@ class RowQueryEngine:
             return map_children(expr, rewrite)
 
         select_rewritten: list[tuple[ast.Expression, Optional[str]]] = []
-        for item in stmt.select_items:
+        for item in node.select_items:
             if isinstance(item.expression, ast.Star):
                 raise ParseError("'*' cannot be combined with GROUP BY")
             select_rewritten.append((rewrite(item.expression), item.alias))
-        having_rewritten = rewrite(stmt.having) if stmt.having is not None else None
+        having_rewritten = rewrite(node.having) if node.having is not None else None
         alias_map = {
             alias: expr for expr, alias in select_rewritten if alias is not None
         }
         order_rewritten = []
-        for order in stmt.order_by:
+        for order in order_by:
             expr = order.expression
             if (
                 isinstance(expr, ast.ColumnRef)
@@ -590,7 +581,9 @@ class RowQueryEngine:
             ):
                 rewritten = alias_map[expr.name]
             elif isinstance(expr, ast.Literal) and isinstance(expr.value, int):
-                rewritten = _positional(select_rewritten, expr.value)
+                rewritten = select_rewritten[
+                    resolve_order_position(expr.value, len(select_rewritten))
+                ][0]
             else:
                 rewritten = rewrite(expr)
             order_rewritten.append(
@@ -600,7 +593,7 @@ class RowQueryEngine:
         input_resolver = self._resolver(scope)
         group_fns = [
             compile_scalar(g, scope, self._params, input_resolver)
-            for g in stmt.group_by
+            for g in node.group_by
         ]
         agg_arg_fns: list[Optional[Callable]] = []
         for call in aggregates:
@@ -623,11 +616,11 @@ class RowQueryEngine:
             for accumulator, arg_fn in zip(accumulators, agg_arg_fns):
                 accumulator.add(arg_fn(row) if arg_fn is not None else 1)
 
-        if not groups and not stmt.group_by:
+        if not groups and not node.group_by:
             # Aggregate over an empty input still yields one row.
             groups[()] = [make_accumulator(c) for c in aggregates]
 
-        post_entries = [(None, f"__G{i}") for i in range(len(stmt.group_by))]
+        post_entries = [(None, f"__G{i}") for i in range(len(node.group_by))]
         post_entries += [(None, f"__A{j}") for j in range(len(aggregates))]
         post_scope = Scope(post_entries)
 
@@ -645,7 +638,7 @@ class RowQueryEngine:
         )
 
         columns = [
-            alias or expression_label(stmt.select_items[i].expression, i)
+            alias or expression_label(node.select_items[i].expression, i)
             for i, (_, alias) in enumerate(select_rewritten)
         ]
         out_rows: list[tuple] = []
@@ -662,25 +655,25 @@ class RowQueryEngine:
             if order_fns:
                 order_values.append(tuple(fn(post_row) for fn in order_fns))
 
-        ordered = bool(order_fns)
         if order_fns:
             out_rows = _sort_with_precomputed(
-                out_rows, order_values, [o.ascending for o in stmt.order_by]
+                out_rows, order_values, [o.ascending for o in order_by]
             )
-        return columns, out_rows, ordered
+        return columns, out_rows
 
     # -- projection / ordering ----------------------------------------------------
 
     def _project(
         self,
-        stmt: ast.SelectStatement,
+        select_items: Sequence[ast.SelectItem],
+        order_by: Sequence[ast.OrderItem],
         rows: Iterator[tuple],
         scope: Scope,
-    ) -> tuple[list[str], list[tuple], bool]:
+    ) -> tuple[list[str], list[tuple]]:
         columns: list[str] = []
         fns: list[Callable] = []
         position = 0
-        for item in stmt.select_items:
+        for item in select_items:
             if isinstance(item.expression, ast.Star):
                 for index in scope.star_indexes(item.expression.table):
                     columns.append(scope.entries[index][1])
@@ -697,26 +690,24 @@ class RowQueryEngine:
             )
             position += 1
 
-        if not stmt.order_by:
-            return columns, [tuple(fn(row) for fn in fns) for row in rows], False
+        if not order_by:
+            return columns, [tuple(fn(row) for fn in fns) for row in rows]
 
         # ORDER BY may reference input columns not in the select list
         # (pre-projection keys), select aliases, or 1-based output
         # positions (post-projection keys).
         alias_map = {
             item.alias: item.expression
-            for item in stmt.select_items
+            for item in select_items
             if item.alias is not None
         }
         key_plans: list[tuple[str, object]] = []  # ('out', idx)|('in', fn)
-        for order in stmt.order_by:
+        for order in order_by:
             expr = order.expression
             if isinstance(expr, ast.Literal) and isinstance(expr.value, int):
-                if not 1 <= expr.value <= len(columns):
-                    raise ParseError(
-                        f"ORDER BY position {expr.value} is out of range"
-                    )
-                key_plans.append(("out", expr.value - 1))
+                key_plans.append(
+                    ("out", resolve_order_position(expr.value, len(columns)))
+                )
                 continue
             try:
                 fn = compile_scalar(
@@ -747,44 +738,9 @@ class RowQueryEngine:
             for i, row in enumerate(materialised)
         ]
         out = _sort_with_precomputed(
-            out, order_values, [o.ascending for o in stmt.order_by]
+            out, order_values, [o.ascending for o in order_by]
         )
-        return columns, out, True
-
-    def _order(
-        self,
-        stmt: ast.SelectStatement,
-        rows: list[tuple],
-        columns: list[str],
-    ) -> list[tuple]:
-        if not stmt.order_by:
-            return rows
-        # At this point ordering keys must be output columns, by name or
-        # 1-based position (defensive path; projection normally orders).
-        scope = Scope([(None, name) for name in columns])
-        order_fns = []
-        for order in stmt.order_by:
-            expr = order.expression
-            if isinstance(expr, ast.Literal) and isinstance(expr.value, int):
-                if not 1 <= expr.value <= len(columns):
-                    raise ParseError(
-                        f"ORDER BY position {expr.value} is out of range"
-                    )
-                expr = ast.ColumnRef(name=columns[expr.value - 1])
-            order_fns.append(compile_scalar(expr, scope, self._params))
-        order_values = [tuple(fn(row) for fn in order_fns) for row in rows]
-        return _sort_with_precomputed(
-            rows, order_values, [o.ascending for o in stmt.order_by]
-        )
-
-
-def _positional(
-    select_items: list[tuple[ast.Expression, Optional[str]]], position: int
-) -> ast.Expression:
-    """ORDER BY <n>: the n-th (1-based) select-list expression."""
-    if not 1 <= position <= len(select_items):
-        raise ParseError(f"ORDER BY position {position} is out of range")
-    return select_items[position - 1][0]
+        return columns, out
 
 
 def _resolvable(expr: ast.Expression, scope: Scope) -> bool:
@@ -807,24 +763,3 @@ def _canonicalize_aggregate(call: ast.FunctionCall, scope: Scope):
 
 def _make_picker(index: int) -> Callable[[tuple], object]:
     return lambda row: row[index]
-
-
-def _dedup(rows: list[tuple]) -> list[tuple]:
-    seen: set[tuple] = set()
-    out: list[tuple] = []
-    for row in rows:
-        if row not in seen:
-            seen.add(row)
-            out.append(row)
-    return out
-
-
-def _slice(
-    rows: list[tuple], offset: Optional[int], limit: Optional[int]
-) -> list[tuple]:
-    start = offset or 0
-    if limit is None:
-        return rows[start:] if start else rows
-    return rows[start : start + limit]
-
-

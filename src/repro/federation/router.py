@@ -333,6 +333,11 @@ class CachedPlan:
     ``statement`` is the parse result; the remaining analysis fields are
     filled lazily by the first execution (``prepared`` flips to True) so
     later executions skip view expansion and table classification.
+    ``logical`` holds the bound-and-rewritten :mod:`repro.sql.logical`
+    plan of the expanded statement — built once, then handed to whichever
+    engine the router picks (both executors lower the same plan). Caching
+    the plan also pins its expression nodes, which is what makes the
+    id-keyed :class:`KernelCache` sound across executions.
     Authorisation is deliberately NOT cached — privilege checks run on
     every execution, which is why GRANT/REVOKE need not invalidate.
     """
@@ -343,6 +348,7 @@ class CachedPlan:
     prepared: bool = False
     monitored: frozenset = frozenset()
     expanded: object = None  # statement after view expansion
+    logical: object = None  # bound logical plan (repro.sql.logical.PlanNode)
     view_names: tuple = ()
     direct_tables: frozenset = frozenset()
     tables: frozenset = frozenset()

@@ -57,6 +57,7 @@ from repro.obs.monitor import execute_monitoring_query, monitoring_tables
 from repro.obs.trace import NULL_SPAN, Tracer
 from repro.result import Result
 from repro.sql import ast, parse_statement
+from repro.sql.logical import plan_statement
 
 __all__ = ["AcceleratedDatabase", "Connection"]
 
@@ -815,10 +816,11 @@ class Connection:
         """Authorise, route, and execute a SELECT. No movement charges —
         callers charge according to where the rows actually go.
 
-        With a prepared ``plan``, view expansion and table classification
-        come from the cache; privilege checks and routing always re-run
-        (grants, the special register, health state, and row estimates
-        all change without bumping the catalog generation).
+        With a prepared ``plan``, view expansion, table classification,
+        and the bound logical plan come from the cache; privilege checks
+        and routing always re-run (grants, the special register, health
+        state, and row estimates all change without bumping the catalog
+        generation).
         """
         if plan is not None:
             plan.executions += 1
@@ -891,6 +893,14 @@ class Connection:
         if decision.reason.startswith("failback"):
             self._system.failbacks += 1
             self._system.metrics.counter("statement.failbacks").inc()
+        # Bind-and-rewrite once per cached plan: both engines lower the
+        # same logical plan, so a statement that fails back to DB2 after
+        # running on the accelerator reuses the identical plan object.
+        logical = None
+        if plan is not None:
+            if plan.logical is None:
+                plan.logical = plan_statement(stmt)
+            logical = plan.logical
         if decision.engine == "ACCELERATOR":
             epoch = self.snapshot_epoch_for_statement()
             columns, rows = self._system.accelerator.execute_select(
@@ -899,10 +909,13 @@ class Connection:
                 snapshot_epoch=epoch,
                 deltas=self.active_deltas(),
                 kernel_cache=plan.kernels if plan is not None else None,
+                plan=logical,
             )
             return columns, rows, "ACCELERATOR"
         with self._span("db2.execute") as db2_span:
-            columns, rows = self._system.db2.execute_select(txn, stmt, params)
+            columns, rows = self._system.db2.execute_select(
+                txn, stmt, params, plan=logical, tracer=self._system.tracer
+            )
             db2_span.annotate(rows=len(rows))
         return columns, rows, "DB2"
 

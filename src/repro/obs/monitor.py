@@ -188,7 +188,10 @@ class _MonitoringProvider:
     def table_schema(self, name: str) -> TableSchema:
         return _SCHEMAS[name.upper()]
 
-    def scan_columns(self, name: str, ranges=None):
+    def scan_columns(self, name: str, ranges=None, columns=None):
+        # ``columns`` (projection pruning) is accepted but ignored:
+        # monitoring rows are built in memory, so there is nothing to
+        # save by materialising a subset.
         key = name.upper()
         rows = self._rows.get(key)
         if rows is None:

@@ -355,11 +355,52 @@ class Parser:
             right = self._table_source()
             condition: Optional[ast.Expression] = None
             if join_type != "CROSS":
-                self._expect_keyword("ON")
-                condition = self._expression()
+                if self._accept_keyword("USING"):
+                    condition = self._using_condition(item, right)
+                else:
+                    self._expect_keyword("ON")
+                    condition = self._expression()
             item = ast.Join(
                 left=item, right=right, join_type=join_type, condition=condition
             )
+
+    def _using_condition(
+        self, left: ast.FromItem, right: ast.FromItem
+    ) -> ast.Expression:
+        """Desugar ``USING (c, ...)`` into AND-ed ``left.c = right.c``.
+
+        Refs are qualified with a side's binding when that side exposes
+        exactly one; a multi-table side keeps the ref unqualified and it
+        resolves against that side's scope during join compilation. Our
+        dialect keeps both columns in the output (no coalescing).
+        """
+        self._expect_punct("(")
+        names = [self._expect_identifier()]
+        while self._accept_punct(","):
+            names.append(self._expect_identifier())
+        self._expect_punct(")")
+        left_binding = self._sole_binding(left)
+        right_binding = self._sole_binding(right)
+        condition: Optional[ast.Expression] = None
+        for name in names:
+            equal = ast.BinaryOp(
+                op="=",
+                left=ast.ColumnRef(name=name, table=left_binding),
+                right=ast.ColumnRef(name=name, table=right_binding),
+            )
+            condition = (
+                equal
+                if condition is None
+                else ast.BinaryOp(op="AND", left=condition, right=equal)
+            )
+        assert condition is not None
+        return condition
+
+    @staticmethod
+    def _sole_binding(item: ast.FromItem) -> Optional[str]:
+        if isinstance(item, (ast.TableRef, ast.SubquerySource)):
+            return item.binding
+        return None
 
     def _maybe_join_type(self) -> Optional[str]:
         if self._accept_keyword("CROSS"):

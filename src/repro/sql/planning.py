@@ -21,6 +21,7 @@ __all__ = [
     "split_conjuncts",
     "references_only",
     "positional_order_expression",
+    "resolve_order_position",
     "NullsHighKey",
     "sort_rows_with_keys",
     "extract_column_ranges",
@@ -108,13 +109,22 @@ def references_only(expr: ast.Expression, scope: Scope) -> bool:
     return True
 
 
+def resolve_order_position(position: int, width: int) -> int:
+    """Validate ORDER BY <n> against ``width`` outputs; returns 0-based.
+
+    The single source of the range error so both engines report it
+    identically.
+    """
+    if not 1 <= position <= width:
+        raise ParseError(f"ORDER BY position {position} is out of range")
+    return position - 1
+
+
 def positional_order_expression(
     select_items: list[ast.SelectItem], position: int
 ) -> ast.Expression:
     """ORDER BY <n>: the n-th (1-based) select-list expression."""
-    if not 1 <= position <= len(select_items):
-        raise ParseError(f"ORDER BY position {position} is out of range")
-    return select_items[position - 1].expression
+    return select_items[resolve_order_position(position, len(select_items))].expression
 
 
 class NullsHighKey:

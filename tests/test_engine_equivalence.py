@@ -139,6 +139,22 @@ QUERIES = [
     "AND o_amount IS NOT NULL",
     "SELECT o_region, AVG(o_amount) FROM orders GROUP BY o_region "
     "ORDER BY 2 DESC",
+    # USING joins (the parser desugars USING into ON equality).
+    "SELECT COUNT(*) FROM cust a JOIN cust b USING (c_id) "
+    "WHERE a.c_tier = 'GOLD'",
+    "SELECT a.c_id FROM cust a LEFT JOIN cust b USING (c_id, c_tier) "
+    "ORDER BY a.c_id LIMIT 6",
+    # Derived tables: predicate-pushdown targets.
+    "SELECT s.o_id FROM (SELECT o_id, o_amount FROM orders) AS s "
+    "WHERE s.o_amount > 450 ORDER BY s.o_id",
+    "SELECT s.r, s.n FROM (SELECT o_region AS r, COUNT(*) AS n FROM orders "
+    "GROUP BY o_region) AS s WHERE s.n > 50 ORDER BY s.r",
+    # Correlated subqueries.
+    "SELECT c_id FROM cust WHERE EXISTS (SELECT 1 FROM orders "
+    "WHERE o_cust = c_id AND o_amount > 480) ORDER BY c_id",
+    "SELECT o_id FROM orders o WHERE o_amount > (SELECT AVG(i.o_amount) "
+    "FROM orders i WHERE i.o_region = o.o_region) AND o_amount > 490 "
+    "ORDER BY o_id",
 ]
 
 
@@ -178,3 +194,46 @@ def test_same_answer_on_both_engines(engines, sql):
 
 def _normalise_row(row):
     return tuple(_normalise(value) for value in row)
+
+
+# ---------------------------------------------------------------------------
+# Shared logical plan: one bound plan, two executors, identical bytes
+# ---------------------------------------------------------------------------
+
+# Ordered queries without floating-point aggregation, so results must be
+# byte-identical (same values, same Python types, same order) — not just
+# equal after normalisation.
+SHARED_PLAN_QUERIES = [
+    "SELECT o_id, o_cust, o_region FROM orders WHERE o_amount > 300 "
+    "ORDER BY o_id",
+    "SELECT o_region, COUNT(*) FROM orders GROUP BY o_region ORDER BY 1",
+    "SELECT c.c_name, COUNT(*) FROM cust c JOIN orders o "
+    "ON c.c_id = o.o_cust GROUP BY c.c_name ORDER BY 1 LIMIT 10",
+    "SELECT s.o_id FROM (SELECT o_id, o_amount FROM orders) AS s "
+    "WHERE s.o_amount > 450 ORDER BY 1",
+    "SELECT o_region FROM orders WHERE o_amount > 480 UNION "
+    "SELECT c_tier FROM cust WHERE c_tier = 'GOLD' ORDER BY 1",
+    "SELECT a.c_id, b.c_tier FROM cust a JOIN cust b USING (c_id) "
+    "ORDER BY 1 LIMIT 12",
+]
+
+
+@pytest.mark.parametrize("sql", SHARED_PLAN_QUERIES, ids=lambda q: q[:60])
+def test_shared_logical_plan_byte_identical(engines, sql):
+    """Both executors lower the SAME bound plan to identical output."""
+    from repro.sql.logical import plan_statement
+
+    db2, accelerator = engines
+    plan = plan_statement(parse_statement(sql))
+    txn = db2.txn_manager.begin()
+    try:
+        db2_cols, db2_rows = db2.execute_select(
+            txn, parse_statement(sql), plan=plan
+        )
+    finally:
+        db2.commit(txn)
+    acc_cols, acc_rows = accelerator.execute_select(
+        parse_statement(sql), plan=plan
+    )
+    assert acc_cols == db2_cols
+    assert repr(acc_rows) == repr(db2_rows)

@@ -10,9 +10,10 @@ semantics, join behaviour, aggregation, or ordering shows up here.
 from __future__ import annotations
 
 import math
+import os
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, seed, settings, strategies as st
 
 from repro.accelerator import AcceleratorEngine
 from repro.catalog import Catalog, Column, TableLocation, TableSchema
@@ -73,6 +74,16 @@ def _build_engines():
 
 _DB2, _ACCEL = _build_engines()
 
+# Differential-testing knobs: CI's differential job sweeps several seeds
+# at elevated volume (FUZZ_SEED=n FUZZ_EXAMPLES=m); local runs default to
+# hypothesis' own randomness at a quick 150 examples.
+FUZZ_EXAMPLES = int(os.environ.get("FUZZ_EXAMPLES", "150"))
+_FUZZ_SEED = os.environ.get("FUZZ_SEED")
+
+
+def _maybe_seed(fn):
+    return seed(int(_FUZZ_SEED))(fn) if _FUZZ_SEED else fn
+
 # ---------------------------------------------------------------------------
 # Random query generator
 # ---------------------------------------------------------------------------
@@ -124,9 +135,39 @@ _PROJECTIONS = st.sampled_from(
 
 @st.composite
 def random_query(draw) -> str:
-    shape = draw(st.sampled_from(["plain", "agg", "group", "join"]))
+    shape = draw(
+        st.sampled_from(
+            ["plain", "agg", "group", "join", "using", "derived"]
+        )
+    )
     where = draw(_PREDICATES)
     where_sql = f" WHERE {where}" if where else ""
+    if shape == "using":
+        join_type = draw(st.sampled_from(["JOIN", "LEFT JOIN"]))
+        using_where = draw(
+            st.sampled_from(
+                ["", " WHERE m.V > 0", " WHERE d.NAME LIKE 'name%'"]
+            )
+        )
+        return (
+            f"SELECT m.ID, d.NAME FROM main m {join_type} dim d USING (k)"
+            f"{using_where} ORDER BY m.ID LIMIT 15"
+        )
+    if shape == "derived":
+        outer = draw(
+            st.sampled_from(
+                [
+                    "sub.V > 0",
+                    "sub.V IS NULL",
+                    "sub.ID % 2 = 0",
+                    "sub.W > 10",
+                ]
+            )
+        )
+        return (
+            "SELECT sub.ID, sub.W FROM (SELECT ID, V, V * 2 AS W "
+            f"FROM main{where_sql}) AS sub WHERE {outer} ORDER BY sub.ID"
+        )
     if shape == "plain":
         projection = draw(_PROJECTIONS)
         order = " ORDER BY ID" if projection != "*" else " ORDER BY 1"
@@ -201,7 +242,8 @@ def _run_db2(sql):
     return rows
 
 
-@settings(max_examples=150, deadline=None)
+@_maybe_seed
+@settings(max_examples=FUZZ_EXAMPLES, deadline=None)
 @given(sql=random_query())
 def test_random_queries_agree(sql):
     stmt = parse_statement(sql)
@@ -218,7 +260,8 @@ def test_random_queries_agree(sql):
         ), sql
 
 
-@settings(max_examples=40, deadline=None)
+@_maybe_seed
+@settings(max_examples=max(20, FUZZ_EXAMPLES // 4), deadline=None)
 @given(
     sql=random_query(),
     limit=st.integers(min_value=0, max_value=10),
@@ -230,3 +273,41 @@ def test_limit_is_prefix_of_full_result(sql, limit):
     full = _run_db2(sql)
     limited = _run_db2(sql + f" LIMIT {limit}")
     assert limited == full[:limit], sql
+
+
+@_maybe_seed
+@settings(max_examples=max(25, FUZZ_EXAMPLES // 3), deadline=None)
+@given(sql=random_query())
+def test_rewrites_preserve_results(sql):
+    """The logical rewriter (fold/pushdown/prune) never changes answers.
+
+    Each generated query runs on both engines twice — once from the raw
+    bound plan, once from the rewritten plan — and all four row sets must
+    agree.
+    """
+    from repro.sql.logical import plan_statement
+
+    stmt = parse_statement(sql)
+    plan_off = plan_statement(stmt, rewrite=False)
+    plan_on = plan_statement(stmt, rewrite=True)
+
+    def run(plan):
+        txn = _DB2.txn_manager.begin()
+        try:
+            __, db2_rows = _DB2.execute_select(txn, stmt, plan=plan)
+        finally:
+            _DB2.commit(txn)
+        __, accel_rows = _ACCEL.execute_select(stmt, plan=plan)
+        norm = lambda rows: [  # noqa: E731
+            tuple(_normalise(v) for v in row) for row in rows
+        ]
+        return norm(db2_rows), norm(accel_rows)
+
+    db2_off, accel_off = run(plan_off)
+    db2_on, accel_on = run(plan_on)
+    if getattr(stmt, "order_by", None):
+        assert db2_on == db2_off == accel_on == accel_off, sql
+    else:
+        expected = sorted(map(repr, db2_off))
+        for rows in (db2_on, accel_off, accel_on):
+            assert sorted(map(repr, rows)) == expected, sql
