@@ -1,0 +1,129 @@
+"""Governing a mixed workload with the workload manager — the DBA view.
+
+A DB2 WLM setup maps sessions to service classes and lets admission
+control decide who runs, who waits, and who is turned away when the
+accelerator saturates. This walk-through drives the same interface:
+enable the WLM through ``SYSPROC.ACCEL_SET_WLM``, tag statements with
+service classes, watch a statement budget expire mid-flight and roll
+back cleanly, see a full queue shed fast with a retryable error, and
+read it all back from ``SYSACCEL.MON_WLM``.
+
+Run:  python examples/workload_management.py
+"""
+
+from repro import AcceleratedDatabase
+from repro.errors import StatementShedError, StatementTimeoutError
+
+
+def show_call(conn, sql: str) -> None:
+    result = conn.execute(sql)
+    print(f"$ {sql}")
+    for (line,) in result.rows:
+        print(f"    {line}")
+
+
+def main() -> None:
+    db = AcceleratedDatabase(slice_count=2, chunk_rows=4096)
+    conn = db.connect()
+
+    conn.execute("CREATE TABLE SALES (ID INTEGER, REGION INTEGER, AMOUNT DOUBLE) IN ACCELERATOR")
+    for base in range(0, 20_000, 1000):
+        rows = ", ".join(
+            f"({i}, {i % 7}, {float(i % 250)})"
+            for i in range(base, base + 1000)
+        )
+        conn.execute(f"INSERT INTO SALES VALUES {rows}")
+
+    # 1. The WLM ships disabled — statements pay nothing for it.
+    print("== The workload manager is off by default ==")
+    show_call(conn, "CALL SYSPROC.ACCEL_GET_WLM('')")
+
+    # 2. Enable it and shape the policy: a small accelerator gate and a
+    # reporting class with a tight default budget.
+    print()
+    print("== Enable and configure ==")
+    show_call(conn, "CALL SYSPROC.ACCEL_SET_WLM('enabled=on')")
+    show_call(
+        conn,
+        "CALL SYSPROC.ACCEL_SET_WLM('engine=ACCELERATOR, slots=2')",
+    )
+    show_call(
+        conn,
+        "CALL SYSPROC.ACCEL_SET_WLM("
+        "'class=REPORTING, priority=1, class_slots=2, queue_depth=4, "
+        "timeout=30')",
+    )
+
+    # 3. Statements carry a service class (per statement here; a
+    # session default works too, via Connection.set_service_class).
+    print()
+    print("== Classified execution ==")
+    total = conn.execute(
+        "SELECT SUM(AMOUNT) FROM SALES",
+        service_class="REPORTING",
+    ).scalar()
+    print(f"REPORTING aggregate ran: SUM(AMOUNT) = {total:.0f}")
+
+    # 4. Statement budgets: a deadline expires mid-execution, the
+    # statement unwinds atomically, and the session stays healthy.
+    print()
+    print("== A statement budget expires ==")
+    conn.execute("CREATE TABLE SALES_COPY (ID INTEGER, REGION INTEGER, AMOUNT DOUBLE) IN ACCELERATOR")
+    try:
+        conn.execute(
+            "INSERT INTO SALES_COPY SELECT ID, REGION, AMOUNT FROM SALES",
+            timeout_seconds=0.000001,
+        )
+    except StatementTimeoutError as error:
+        print(f"timed out as configured: {error}")
+    leftover = conn.execute("SELECT COUNT(*) FROM SALES_COPY").scalar()
+    print(f"rolled back atomically: SALES_COPY has {leftover} rows")
+
+    # 5. Load shedding: while the gate is fully occupied, a class with
+    # no queue allowance is rejected fast — with a retryable error —
+    # instead of piling up behind the running work.
+    print()
+    print("== A saturated gate sheds fast ==")
+    show_call(
+        conn,
+        "CALL SYSPROC.ACCEL_SET_WLM('class=ANALYTICS, queue_depth=0')",
+    )
+    busy = [
+        db.wlm.admit("ACCELERATOR", "SYSDEFAULT"),  # simulate running work
+        db.wlm.admit("ACCELERATOR", "SYSDEFAULT"),
+    ]
+    try:
+        conn.execute(
+            "SELECT REGION, SUM(AMOUNT) FROM SALES GROUP BY REGION",
+            service_class="ANALYTICS",
+        )
+    except StatementShedError as error:
+        print(f"shed (retryable={error.retryable}): {error}")
+    finally:
+        for ticket in busy:
+            db.wlm.release(ticket)
+    # The same statement is admitted once the gate frees up.
+    rows = conn.execute(
+        "SELECT REGION, SUM(AMOUNT) FROM SALES GROUP BY REGION",
+        service_class="ANALYTICS",
+    ).rows
+    print(f"retry succeeded: {len(rows)} regions")
+
+    # 6. Everything above is observable: per-(engine, class) live
+    # state in SYSACCEL.MON_WLM, plus the procedure-level summary.
+    print()
+    print("== Monitoring ==")
+    result = conn.execute(
+        "SELECT ENGINE, SERVICE_CLASS, ADMITTED, BYPASSED, SHED "
+        "FROM SYSACCEL.MON_WLM "
+        "WHERE ADMITTED > 0 OR BYPASSED > 0 OR SHED > 0"
+    )
+    print(" | ".join(result.columns))
+    for row in result.rows:
+        print(" | ".join(str(v) for v in row))
+    print()
+    show_call(conn, "CALL SYSPROC.ACCEL_GET_WLM('')")
+
+
+if __name__ == "__main__":
+    main()

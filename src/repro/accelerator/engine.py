@@ -27,6 +27,7 @@ from repro.sql import ast
 from repro.sql.expressions import Scope, VColumn, compile_vector
 from repro.sql.planning import extract_column_ranges
 from repro.storage.column_store import ColumnStoreTable
+from repro.wlm.budget import current_budget
 
 __all__ = ["AcceleratorEngine", "GroomStats"]
 
@@ -565,6 +566,11 @@ class AcceleratorEngine:
         delta: Optional[DeltaBuffer] = None,
     ) -> int:
         name = stmt.table.upper()
+        budget = current_budget()
+        if budget is not None:
+            # Deadline checkpoint before target selection: the statement
+            # stops here rather than after a (fully atomic) apply.
+            budget.check()
         if delta is not None:
             base_ids, own_indexes = self._target_rows(
                 name, stmt.where, params, snapshot_epoch, delta
@@ -595,8 +601,9 @@ class AcceleratorEngine:
         delta: Optional[DeltaBuffer] = None,
     ) -> int:
         name = stmt.table.upper()
-        table = self.storage_for(name)
-        schema = table.schema
+        budget = current_budget()
+        if budget is not None:
+            budget.check()
         if delta is None:
             # Direct apply is an atomic read-modify-write (see delete).
             with self._write_lock:

@@ -35,6 +35,7 @@ from repro.sql.expressions import (
     expression_label,
 )
 from repro.sql.correlation import SubqueryExecutor
+from repro.wlm.budget import current_budget
 from repro.sql.planning import (
     canonicalize,
     extract_column_ranges,
@@ -138,6 +139,11 @@ class VectorQueryEngine:
         #: Optional repro.obs tracer; when enabled, each plan operator
         #: emits an ``op.*`` child span so MON_SPANS shows plan shape.
         self.tracer = tracer
+        #: The statement's work budget, captured once at engine
+        #: construction (one engine per statement). Captured eagerly
+        #: because contextvars do not propagate into the shared
+        #: ScanWorkerPool threads — partition tasks close over it.
+        self._budget = current_budget()
         self.rows_scanned = 0
         #: One entry per partitioned scan this statement ran (telemetry).
         self.parallel_scans: list[dict] = []
@@ -154,6 +160,11 @@ class VectorQueryEngine:
         else:
             plan = logical.plan_statement(stmt)
         return self._execute_plan(plan)
+
+    def _checkpoint(self) -> None:
+        """Cooperative cancellation point (operator/chunk boundaries)."""
+        if self._budget is not None:
+            self._budget.check()
 
     def _op_span(self, name: str, **attrs):
         tracer = self.tracer
@@ -200,6 +211,7 @@ class VectorQueryEngine:
     # -- plan walker -------------------------------------------------------------
 
     def _execute_plan(self, node: logical.PlanNode) -> tuple[list[str], list[tuple]]:
+        self._checkpoint()
         if isinstance(node, logical.Limit):
             with self._op_span("limit"):
                 columns, rows = self._execute_plan(node.child)
@@ -343,6 +355,7 @@ class VectorQueryEngine:
         hint: Optional[ast.Expression],
         allow_parallel: bool,
     ) -> VTable:
+        self._checkpoint()
         schema = self._provider.table_schema(scan.table)
         cols = _pruned_schema_columns(scan, schema)
         scope = Scope([(scan.binding, c.name) for c in cols])
@@ -446,9 +459,17 @@ class VectorQueryEngine:
         filter + ordered concatenation equals whole-table filter; the
         partial-aggregate path is restricted to order-independent
         aggregates (COUNT / COUNT DISTINCT / MIN / MAX).
+
+        The statement budget is baked into the closure (contextvars do
+        not cross into the shared pool's threads): every worker checks
+        it before gathering its span, so one statement's timeout or
+        cancellation stops all of its queued partitions.
         """
+        budget = self._budget
 
         def task(gather):
+            if budget is not None:
+                budget.check()
             started = time.perf_counter()
             row_ids, columns = gather()
             ordered = [columns[c.name] for c in cols]

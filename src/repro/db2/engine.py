@@ -35,6 +35,7 @@ from repro.errors import (
 from repro.sql import ast
 from repro.sql.expressions import Scope, compile_scalar
 from repro.storage.row_store import RowId, RowStoreTable
+from repro.wlm.budget import current_budget
 
 __all__ = ["Db2Engine"]
 
@@ -248,11 +249,21 @@ class Db2Engine:
                 return [(row_id, row)]
             return []
         self.rows_read += storage.row_count
-        return [
-            (row_id, row)
-            for row_id, row in storage.scan()
-            if predicate is None or predicate(row) is True
-        ]
+        budget = current_budget()
+        targets: list[tuple[RowId, tuple]] = []
+        pending = 0
+        for row_id, row in storage.scan():
+            # Same cooperative-cancellation cadence as the row executor's
+            # scans: a statement deadline stops the DML during target
+            # selection, before any row has been modified.
+            if budget is not None:
+                pending += 1
+                if pending >= 1024:
+                    pending = 0
+                    budget.check()
+            if predicate is None or predicate(row) is True:
+                targets.append((row_id, row))
+        return targets
 
     def update_where(
         self,

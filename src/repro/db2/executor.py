@@ -36,8 +36,14 @@ from repro.sql.planning import (
     sort_rows_with_keys as _sort_with_precomputed,
     split_conjuncts,
 )
+from repro.wlm.budget import current_budget
 
 __all__ = ["TableProvider", "RowQueryEngine", "canonicalize"]
+
+#: Rows between cooperative budget checks in the row-at-a-time scan.
+#: Small enough that a timed-out statement stops within microseconds,
+#: large enough that the per-row cost is one integer test.
+_BUDGET_CHECK_ROWS = 1024
 
 
 class TableProvider(Protocol):
@@ -219,6 +225,9 @@ class RowQueryEngine:
         #: Optional repro.obs tracer; when enabled, each plan operator
         #: emits an ``op.*`` child span so MON_SPANS shows plan shape.
         self.tracer = tracer
+        #: The statement's work budget (None when nothing bounds it),
+        #: checked every _BUDGET_CHECK_ROWS rows inside scans.
+        self._budget = current_budget()
         self.rows_examined = 0  # exposed for cost/efficiency assertions
 
     # -- public API ----------------------------------------------------------
@@ -362,8 +371,16 @@ class RowQueryEngine:
         schema = self._provider.table_schema(node.table)
         scope = Scope([(node.binding, c.name) for c in schema.columns])
         with self._op_span("scan", table=node.table):
+            budget = self._budget
+
             def _scan() -> Iterator[tuple]:
+                pending = _BUDGET_CHECK_ROWS
                 for row in self._provider.scan_rows(node.table):
+                    if budget is not None:
+                        pending -= 1
+                        if pending <= 0:
+                            budget.check()
+                            pending = _BUDGET_CHECK_ROWS
                     self.rows_examined += 1
                     yield row
 

@@ -27,6 +27,7 @@ from enum import Enum
 from typing import Callable, Optional, TYPE_CHECKING
 
 from repro.errors import LockTimeoutError, TransactionStateError
+from repro.wlm.budget import WorkBudget, current_budget
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.accelerator.deltas import DeltaBuffer
@@ -59,17 +60,31 @@ class _TableLock:
         self.exclusive_owner: Optional[int] = None
         self.exclusive_count = 0
 
-    def acquire(self, txn_id: int, mode: LockMode, timeout: float) -> None:
+    def acquire(
+        self,
+        txn_id: int,
+        mode: LockMode,
+        timeout: float,
+        budget: Optional[WorkBudget] = None,
+    ) -> None:
         deadline = time.monotonic() + timeout
         with self.condition:
             while not self._grantable(txn_id, mode):
+                if budget is not None:
+                    # A timed-out/cancelled statement must not keep
+                    # waiting for a lock it will never use; nothing is
+                    # held yet, so raising here releases nothing.
+                    budget.check()
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
                     raise LockTimeoutError(
                         f"transaction {txn_id} timed out waiting for "
                         f"{mode.value} lock"
                     )
-                self.condition.wait(remaining)
+                # With a budget attached, wake periodically to notice
+                # cancellation even when no lock holder signals us.
+                wait_for = remaining if budget is None else min(remaining, 0.05)
+                self.condition.wait(wait_for)
             if mode is LockMode.SHARED:
                 if self.exclusive_owner == txn_id:
                     # X already held: S is implied, count it against X.
@@ -135,7 +150,7 @@ class LockManager:
 
     def acquire(self, txn: "Transaction", table: str, mode: LockMode) -> None:
         lock = self._lock_for(table)
-        lock.acquire(txn.txn_id, mode, self.timeout)
+        lock.acquire(txn.txn_id, mode, self.timeout, budget=current_budget())
         txn.note_lock(table, mode)
 
     def release_statement_locks(self, txn: "Transaction") -> None:

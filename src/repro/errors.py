@@ -110,6 +110,54 @@ class AcceleratorUnavailableError(ReproError):
     """
 
 
+class WorkloadManagementError(ReproError):
+    """Base class for workload-management (admission/budget) errors.
+
+    ``retryable`` tells applications whether resubmitting the statement
+    later is a sensible reaction: shed statements were rejected *because
+    of load*, so they are; a timeout of the statement's own budget is
+    not (resubmitting the same work gets the same budget).
+    """
+
+    retryable = False
+
+
+class StatementTimeoutError(WorkloadManagementError):
+    """Raised when a statement exceeds its deadline.
+
+    The deadline comes from the session's service class (or an explicit
+    statement attribute); executors observe it cooperatively at
+    chunk/row-batch boundaries, so the statement unwinds through the
+    normal error path — releasing locks, admission slots, and rolling
+    back statement-level work.
+    """
+
+
+class StatementCancelledError(WorkloadManagementError):
+    """Raised when a statement's budget was cancelled by the application.
+
+    Like a timeout, cancellation is cooperative: the next budget
+    checkpoint raises, and the statement's transactional work is undone
+    atomically.
+    """
+
+
+class StatementShedError(WorkloadManagementError):
+    """Raised when admission control rejects a statement under load.
+
+    Shedding is a fast, local decision — queue above its high-water
+    mark, or the accelerator circuit open for sheddable work — so the
+    error is *retryable*: the same statement is expected to succeed
+    once pressure clears.
+    """
+
+    retryable = True
+
+
+class AdmissionQueueFullError(StatementShedError):
+    """Raised when a service class's admission queue is at capacity."""
+
+
 class LoaderError(ReproError):
     """Raised by the external-source loader."""
 

@@ -21,7 +21,14 @@ the simulation is managed the same way:
 * ``SYSPROC.ACCEL_GET_TRACE('trace=T000042')`` — retained statement
   traces rendered as indented span trees;
 * ``SYSPROC.ACCEL_GET_METRICS('prefix=statement.')`` — the metrics
-  registry flattened to ``name = value`` lines.
+  registry flattened to ``name = value`` lines;
+* ``SYSPROC.ACCEL_SET_WLM('enabled=on')`` — workload-manager runtime
+  configuration: enable/disable, gate slot counts, queue wait bound,
+  and service-class policy (priority/slots/queue depth/timeout/
+  sheddability);
+* ``SYSPROC.ACCEL_GET_WLM('')`` — the live WLM state: gates with
+  slots-in-use and queue lengths, per-class admission counters, and
+  statement-outcome totals (read-only, like ACCEL_GET_HEALTH).
 
 All of them require administrator authority (SYSADM), mirroring the
 production requirement that accelerator administration is a privileged
@@ -32,6 +39,7 @@ from __future__ import annotations
 
 from repro.analytics.framework import Procedure, ProcedureContext, ProcedureRegistry
 from repro.errors import AuthorizationError, ProcedureError
+from repro.wlm import ServiceClass
 
 __all__ = ["register_admin_procedures"]
 
@@ -221,6 +229,164 @@ def _accel_get_metrics(ctx: ProcedureContext) -> str:
     return f"ACCEL_GET_METRICS: {matched} metrics"
 
 
+_FLAGS_TRUE = ("on", "true", "1", "y", "yes")
+_FLAGS_FALSE = ("off", "false", "0", "n", "no")
+
+
+def _parse_flag(value: str, param: str) -> bool:
+    flag = value.strip().lower()
+    if flag in _FLAGS_TRUE:
+        return True
+    if flag in _FLAGS_FALSE:
+        return False
+    raise ProcedureError(f"parameter '{param}' must be on or off, got {value!r}")
+
+
+def _accel_set_wlm(ctx: ProcedureContext) -> str:
+    """Reconfigure the workload manager at runtime (SYSADM only).
+
+    Accepted parameters (combine freely, class and engine changes are
+    independent):
+
+    * ``enabled=on|off`` — master switch;
+    * ``engine=DB2|ACCELERATOR, slots=N`` — resize that gate's slot pool
+      (queued waiters are re-examined immediately);
+    * ``max_wait=SECONDS`` — bound on admission queueing for both gates;
+    * ``class=NAME`` plus any of ``priority=``, ``class_slots=``,
+      ``queue_depth=``, ``timeout=`` (seconds, ``none`` clears),
+      ``sheddable=on|off`` — update (or, with enough fields, define)
+      a service class.
+    """
+    _require_admin(ctx)
+    wlm = ctx.system.wlm
+    changed: list[str] = []
+
+    enabled = ctx.get("enabled")
+    if enabled is not None:
+        wlm.set_enabled(_parse_flag(enabled, "enabled"))
+        changed.append(f"enabled={'on' if wlm.enabled else 'off'}")
+
+    engine = ctx.get("engine")
+    if engine is not None:
+        slots = ctx.get_int("slots")
+        if slots is None:
+            raise ProcedureError("'engine=' requires 'slots='")
+        try:
+            wlm.resize_gate(engine, slots)
+        except KeyError:
+            raise ProcedureError(
+                f"unknown engine {engine!r} (expected DB2 or ACCELERATOR)"
+            ) from None
+        except ValueError as exc:
+            raise ProcedureError(str(exc)) from None
+        changed.append(f"{engine.upper()} gate slots={slots}")
+
+    max_wait = ctx.get_float("max_wait")
+    if max_wait is not None:
+        if max_wait <= 0:
+            raise ProcedureError("'max_wait' must be positive seconds")
+        for gate in wlm.gates.values():
+            gate.max_wait_seconds = max_wait
+        changed.append(f"max_wait={max_wait:g}s")
+
+    class_name = ctx.get("class")
+    if class_name is not None:
+        changes: dict = {}
+        if ctx.get("priority") is not None:
+            changes["priority"] = ctx.get_int("priority")
+        if ctx.get("class_slots") is not None:
+            changes["concurrency_slots"] = ctx.get_int("class_slots")
+        if ctx.get("queue_depth") is not None:
+            changes["queue_depth"] = ctx.get_int("queue_depth")
+        timeout = ctx.get("timeout")
+        if timeout is not None:
+            if timeout.strip().lower() in ("none", "null", "0"):
+                changes["default_timeout_seconds"] = None
+            else:
+                changes["default_timeout_seconds"] = ctx.get_float("timeout")
+        sheddable = ctx.get("sheddable")
+        if sheddable is not None:
+            changes["sheddable"] = _parse_flag(sheddable, "sheddable")
+        if not changes:
+            raise ProcedureError(
+                "'class=' requires at least one of priority/class_slots/"
+                "queue_depth/timeout/sheddable"
+            )
+        try:
+            if wlm.classes.has(class_name):
+                cls = wlm.classes.update(class_name, **changes)
+            else:
+                cls = wlm.classes.define(
+                    ServiceClass(
+                        name=class_name,
+                        priority=changes.get("priority", 9),
+                        concurrency_slots=changes.get("concurrency_slots", 2),
+                        queue_depth=changes.get("queue_depth", 16),
+                        default_timeout_seconds=changes.get(
+                            "default_timeout_seconds"
+                        ),
+                        sheddable=changes.get("sheddable", False),
+                    )
+                )
+        except ValueError as exc:
+            raise ProcedureError(str(exc)) from None
+        changed.append(
+            f"class {cls.name}: priority={cls.priority} "
+            f"slots={cls.concurrency_slots} queue_depth={cls.queue_depth} "
+            f"timeout={cls.default_timeout_seconds} "
+            f"sheddable={'Y' if cls.sheddable else 'N'}"
+        )
+
+    if not changed:
+        raise ProcedureError(
+            "nothing to change: pass enabled=, engine=+slots=, max_wait=, "
+            "or class=..."
+        )
+    for entry in changed:
+        ctx.log(entry)
+    return f"ACCEL_SET_WLM ok: {len(changed)} changes"
+
+
+def _accel_get_wlm(ctx: ProcedureContext) -> str:
+    """Live workload-manager state. Read-only: monitoring must work for
+    non-admin sessions even while their own statements are being shed.
+    """
+    wlm = ctx.system.wlm
+    ctx.log(
+        f"wlm: enabled={'on' if wlm.enabled else 'off'} "
+        f"cheap_rows={wlm.cheap_rows} heavy_rows={wlm.heavy_rows} "
+        f"timed_out={wlm.statements_timed_out} "
+        f"cancelled={wlm.statements_cancelled} shed={wlm.statements_shed}"
+    )
+    for engine, gate in sorted(wlm.gates.items()):
+        snap = gate.snapshot()
+        ctx.log(
+            f"{engine}: slots={snap['slots_in_use']}/{snap['slots_total']} "
+            f"queued={snap['queued']} admitted={snap['admitted']} "
+            f"bypassed={snap['bypassed']} shed={snap['shed']} "
+            f"queue_timeouts={snap['queue_timeouts']} "
+            f"max_wait={gate.max_wait_seconds:g}s"
+        )
+        stats_by_class = gate.class_stats()
+        for cls in wlm.classes:
+            stats = stats_by_class.get(cls.name)
+            if stats is None:
+                continue
+            ctx.log(
+                f"{engine}.{cls.name}: running={stats.running} "
+                f"queued={stats.queued} admitted={stats.admitted} "
+                f"bypassed={stats.bypassed} shed={stats.shed} "
+                f"wait_ms={stats.wait_seconds_total * 1000:.1f}"
+            )
+    shed = wlm.shedder.snapshot()
+    ctx.log(
+        f"shedder: queue_pressure={shed['shed_queue_pressure']} "
+        f"circuit_open={shed['shed_circuit_open']} "
+        f"high_water={wlm.shedder.queue_high_water:g}x"
+    )
+    return f"ACCEL_GET_WLM: enabled={'on' if wlm.enabled else 'off'}"
+
+
 def _accel_get_query_history(ctx: ProcedureContext) -> str:
     limit = ctx.get_int("limit", 20)
     history = list(ctx.system.statement_history)[-limit:]
@@ -255,6 +421,10 @@ def register_admin_procedures(registry: ProcedureRegistry) -> None:
          "render retained statement traces as span trees"),
         ("SYSPROC.ACCEL_GET_METRICS", _accel_get_metrics,
          "dump the metrics registry (counters/gauges/histograms/sources)"),
+        ("SYSPROC.ACCEL_SET_WLM", _accel_set_wlm,
+         "configure the workload manager (enable, slots, service classes)"),
+        ("SYSPROC.ACCEL_GET_WLM", _accel_get_wlm,
+         "live workload-manager gates, classes, and shed counters"),
     ):
         registry.register(
             Procedure(

@@ -15,6 +15,7 @@ inflates the simulated transfer time of an otherwise successful send.
 
 from __future__ import annotations
 
+import threading
 from typing import Optional
 
 from repro.federation.faults import FaultInjector
@@ -51,21 +52,27 @@ class Interconnect:
         #: not part of ``snapshot()`` because a failed send moved nothing).
         self.injected_latency_seconds = 0.0
         self.sends_failed = 0
+        # Parallel scan workers and concurrent sessions account transfers
+        # from many threads; the ``+=`` accumulation and snapshot/diff
+        # reads need one lock so movement totals stay exact.
+        self._lock = threading.Lock()
 
     def send_to_accelerator(self, nbytes: int, messages: int = 1) -> None:
         """Account for data shipped DB2 → accelerator."""
         with self._trace_send("to_accelerator", nbytes, messages):
             extra = self._check_fault()
-            self.bytes_to_accelerator += int(nbytes)
-            self._account(nbytes, messages, extra)
+            with self._lock:
+                self.bytes_to_accelerator += int(nbytes)
+                self._account(nbytes, messages, extra)
 
     def send_to_db2(self, nbytes: int, messages: int = 1) -> None:
         """Account for data shipped accelerator → DB2 (query results,
         legacy stage materialisation)."""
         with self._trace_send("to_db2", nbytes, messages):
             extra = self._check_fault()
-            self.bytes_from_accelerator += int(nbytes)
-            self._account(nbytes, messages, extra)
+            with self._lock:
+                self.bytes_from_accelerator += int(nbytes)
+                self._account(nbytes, messages, extra)
 
     def _trace_send(self, direction: str, nbytes: int, messages: int):
         """Span for one transfer; the shared no-op when tracing is off.
@@ -95,6 +102,7 @@ class Interconnect:
             raise
 
     def _account(self, nbytes: int, messages: int, extra_latency: float) -> None:
+        # Caller holds ``self._lock``.
         self.messages += messages
         self.simulated_seconds += messages * self.latency
         self.simulated_seconds += nbytes / self.bandwidth
@@ -103,20 +111,22 @@ class Interconnect:
             self.injected_latency_seconds += extra_latency
 
     def snapshot(self) -> MovementStats:
-        return MovementStats(
-            bytes_to_accelerator=self.bytes_to_accelerator,
-            bytes_from_accelerator=self.bytes_from_accelerator,
-            messages=self.messages,
-            simulated_seconds=self.simulated_seconds,
-        )
+        with self._lock:
+            return MovementStats(
+                bytes_to_accelerator=self.bytes_to_accelerator,
+                bytes_from_accelerator=self.bytes_from_accelerator,
+                messages=self.messages,
+                simulated_seconds=self.simulated_seconds,
+            )
 
     def since(self, snapshot: MovementStats) -> MovementStats:
         return self.snapshot() - snapshot
 
     def reset(self) -> None:
-        self.bytes_to_accelerator = 0
-        self.bytes_from_accelerator = 0
-        self.messages = 0
-        self.simulated_seconds = 0.0
-        self.injected_latency_seconds = 0.0
-        self.sends_failed = 0
+        with self._lock:
+            self.bytes_to_accelerator = 0
+            self.bytes_from_accelerator = 0
+            self.messages = 0
+            self.simulated_seconds = 0.0
+            self.injected_latency_seconds = 0.0
+            self.sends_failed = 0

@@ -242,6 +242,22 @@ class QueryRouter:
                     break
         return all(column in bound for column in pk)
 
+    def is_cheap_statement(
+        self, stmt: Union[ast.SelectStatement, ast.SetOperation]
+    ) -> bool:
+        """WLM bypass hint: should this query skip admission queueing?
+
+        A primary-key point lookup finishes in microseconds on either
+        engine; parking it behind queued analytics would invert the
+        latency goal, so the admission controller lets it through
+        without consuming a slot. (Tiny scans are bypassed separately,
+        by the workload manager's row-estimate threshold.)
+        """
+        try:
+            return self._is_point_lookup(stmt)
+        except UnknownObjectError:
+            return False
+
     # -- DML -----------------------------------------------------------------------
 
     def route_dml(self, table: str) -> RoutingDecision:

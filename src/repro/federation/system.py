@@ -37,6 +37,8 @@ from repro.errors import (
     DuplicateObjectError,
     LinkError,
     SqlError,
+    StatementCancelledError,
+    StatementTimeoutError,
     TransactionStateError,
     UnknownObjectError,
 )
@@ -58,6 +60,7 @@ from repro.obs.trace import NULL_SPAN, Tracer
 from repro.result import Result
 from repro.sql import ast, parse_statement
 from repro.sql.logical import plan_statement
+from repro.wlm import AdmissionTicket, WorkBudget, WorkloadManager, active_budget
 
 __all__ = ["AcceleratedDatabase", "Connection"]
 
@@ -106,6 +109,10 @@ class AcceleratedDatabase:
         trace_retention: int = 256,
         parallel_workers: int = 4,
         plan_cache_capacity: int = 512,
+        wlm_enabled: bool = False,
+        wlm_db2_slots: int = 8,
+        wlm_accelerator_slots: int = 4,
+        wlm_max_queue_seconds: float = 5.0,
     ) -> None:
         self.catalog = Catalog()
         self.db2 = Db2Engine(self.catalog)
@@ -156,6 +163,16 @@ class AcceleratedDatabase:
         #: Statement-plan cache: parsed/prepared SELECTs keyed by
         #: normalised SQL, invalidated by catalog generation bumps.
         self.plan_cache = PlanCache(capacity=plan_cache_capacity)
+        #: Workload manager: service classes, per-engine admission gates,
+        #: statement budgets, load shedding. Ships disabled (zero-cost
+        #: fast path); SYSPROC.ACCEL_SET_WLM enables it at runtime.
+        self.wlm = WorkloadManager(
+            enabled=wlm_enabled,
+            health=self.health,
+            db2_slots=wlm_db2_slots,
+            accelerator_slots=wlm_accelerator_slots,
+            max_queue_seconds=wlm_max_queue_seconds,
+        )
         #: Queries transparently re-executed on DB2 (ENABLE WITH FAILBACK).
         self.failbacks = 0
         self.procedures = ProcedureRegistry()
@@ -189,6 +206,7 @@ class AcceleratedDatabase:
         self.metrics.register_source(
             "plan_cache", lambda: self.plan_cache.snapshot()
         )
+        self.metrics.register_source("wlm", lambda: self.wlm.snapshot())
 
     def _health_metrics(self) -> dict:
         health = self.health
@@ -344,6 +362,17 @@ class Connection:
         self._explicit = False
         self.acceleration = AccelerationMode.ENABLE
         self.last_decision: Optional[str] = None
+        #: CURRENT SERVICE CLASS — which WLM tier this session's
+        #: statements are admitted under.
+        self.service_class = "SYSDEFAULT"
+        #: CURRENT STATEMENT TIMEOUT in seconds (None = the service
+        #: class default, which may itself be unbounded).
+        self.statement_timeout: Optional[float] = None
+        #: The in-flight statement's budget (read by :meth:`cancel`,
+        #: which may run on another thread) and admission ticket.
+        self._budget: Optional[WorkBudget] = None
+        self._ticket: Optional[AdmissionTicket] = None
+        self._statement_class = self.service_class
 
     @property
     def system(self) -> AcceleratedDatabase:
@@ -355,6 +384,35 @@ class Connection:
     def set_acceleration(self, mode: str) -> None:
         """Set CURRENT QUERY ACCELERATION (NONE / ENABLE / ALL)."""
         self.acceleration = AccelerationMode.from_name(mode)
+
+    def set_service_class(self, name: str) -> None:
+        """Set CURRENT SERVICE CLASS (validated against the registry)."""
+        self.service_class = self._system.wlm.classes.get(name).name
+
+    def set_statement_timeout(self, value: Union[str, float, None]) -> None:
+        """Set CURRENT STATEMENT TIMEOUT (seconds; NONE/0 clears it)."""
+        if value is None or (
+            isinstance(value, str) and value.upper() in ("NONE", "NULL")
+        ):
+            self.statement_timeout = None
+            return
+        seconds = float(value)
+        self.statement_timeout = seconds if seconds > 0 else None
+
+    def cancel(self, reason: str = "cancelled by application") -> bool:
+        """Cooperatively cancel the in-flight statement (thread-safe).
+
+        Returns whether a cancellable statement was in flight. The
+        statement notices at its next budget checkpoint (queue wakeup,
+        chunk/row-batch boundary, lock wait) and aborts with
+        :class:`~repro.errors.StatementCancelledError`, rolling back as
+        any other statement failure would.
+        """
+        budget = self._budget
+        if budget is None:
+            return False
+        budget.cancel(reason)
+        return True
 
     # -- transaction control ---------------------------------------------------------
 
@@ -430,6 +488,45 @@ class Connection:
         self,
         sql: Union[str, ast.Statement],
         params: Sequence[object] = (),
+        service_class: Optional[str] = None,
+        timeout_seconds: Optional[float] = None,
+    ) -> Result:
+        """Execute one statement.
+
+        ``service_class`` / ``timeout_seconds`` are per-statement
+        attribute overrides of the session's CURRENT SERVICE CLASS and
+        CURRENT STATEMENT TIMEOUT registers.
+        """
+        wlm = self._system.wlm
+        self._statement_class = (
+            service_class.upper() if service_class else self.service_class
+        )
+        override = (
+            timeout_seconds
+            if timeout_seconds is not None
+            else self.statement_timeout
+        )
+        # Disabled WLM with no timeout set: budget stays None and the
+        # statement path pays nothing beyond these two checks.
+        budget = (
+            wlm.budget_for(self._statement_class, override)
+            if (wlm.enabled or override is not None)
+            else None
+        )
+        self._budget = budget
+        try:
+            with active_budget(budget):
+                return self._execute_budgeted(sql, params)
+        except (StatementTimeoutError, StatementCancelledError) as exc:
+            wlm.record_outcome(exc)
+            raise
+        finally:
+            self._budget = None
+
+    def _execute_budgeted(
+        self,
+        sql: Union[str, ast.Statement],
+        params: Sequence[object],
     ) -> Result:
         tracer = self._system.tracer
         if not tracer.enabled:
@@ -503,24 +600,33 @@ class Connection:
         self.last_decision = None
         started = time.perf_counter()
         try:
-            result = self._dispatch(stmt, txn, params, plan=plan)
-        except Exception:
-            if autocommit:
-                self._system.db2.rollback(txn)
-                self._txn = None
-            else:
-                self._restore_savepoint(txn, savepoint)
-            raise
-        finally:
-            if self._txn is not None:
-                self._system.db2.txn_manager.end_statement(self._txn)
-        if autocommit:
-            self._explicit = True  # reuse commit() for the implicit txn
             try:
-                with self._span("commit"):
-                    self.commit()
+                result = self._dispatch(stmt, txn, params, plan=plan)
+            except Exception:
+                if autocommit:
+                    self._system.db2.rollback(txn)
+                    self._txn = None
+                else:
+                    self._restore_savepoint(txn, savepoint)
+                raise
             finally:
-                self._explicit = False
+                if self._txn is not None:
+                    self._system.db2.txn_manager.end_statement(self._txn)
+            if autocommit:
+                self._explicit = True  # reuse commit() for the implicit txn
+                try:
+                    with self._span("commit"):
+                        self.commit()
+                finally:
+                    self._explicit = False
+        finally:
+            # The admission ticket covers the whole statement including
+            # its commit; releasing in a finally (and release() being
+            # idempotent) means no path — timeout, cancel, fault,
+            # rollback — can leak a slot.
+            ticket, self._ticket = self._ticket, None
+            if ticket is not None:
+                self._system.wlm.release(ticket)
         elapsed = time.perf_counter() - started
         span.annotate(engine=result.engine, rows=result.rowcount)
         self._record_statement(stmt, result, elapsed, span)
@@ -638,6 +744,29 @@ class Connection:
                 f"{self.acceleration.value}",
                 engine="DB2",
             )
+        if register == "CURRENT SERVICE CLASS":
+            self.set_service_class(stmt.value)
+            return Result(
+                message=f"CURRENT SERVICE CLASS = {self.service_class}",
+                engine="DB2",
+            )
+        if register == "CURRENT STATEMENT TIMEOUT":
+            try:
+                self.set_statement_timeout(stmt.value)
+            except ValueError:
+                raise SqlError(
+                    f"invalid CURRENT STATEMENT TIMEOUT value "
+                    f"{stmt.value!r} (seconds or NONE)"
+                ) from None
+            rendered = (
+                "NONE"
+                if self.statement_timeout is None
+                else f"{self.statement_timeout:g}"
+            )
+            return Result(
+                message=f"CURRENT STATEMENT TIMEOUT = {rendered}",
+                engine="DB2",
+            )
         raise SqlError(f"unknown special register {stmt.register}")
 
     def explain(self, sql: Union[str, ast.Statement]) -> dict:
@@ -711,6 +840,43 @@ class Connection:
             "reason": "DDL and control statements run on DB2",
             "tables": {},
         }
+
+    # -- workload management -------------------------------------------------------------
+
+    def _admit(
+        self,
+        engine: str,
+        stmt=None,
+        estimated_rows: Optional[int] = None,
+    ) -> None:
+        """Pass the current statement through ``engine``'s admission gate.
+
+        One ticket per statement: a nested select (INSERT ... SELECT,
+        CTAS) reuses the ticket its statement already holds, so no
+        statement ever waits on a second gate while holding slots on a
+        first — admission cannot deadlock across engines. No-op while
+        the WLM is disabled.
+        """
+        system = self._system
+        wlm = system.wlm
+        if not wlm.enabled or self._ticket is not None:
+            return
+        cheap = stmt is not None and system.router.is_cheap_statement(stmt)
+        with self._span(
+            "wlm.admit", engine=engine, service_class=self._statement_class
+        ) as span:
+            ticket = wlm.admit(
+                engine,
+                self._statement_class,
+                estimated_rows=estimated_rows,
+                cheap=cheap,
+                budget=self._budget,
+            )
+            span.annotate(
+                bypassed=ticket.bypassed,
+                queued_ms=round(ticket.queued_seconds * 1000.0, 3),
+            )
+        self._ticket = ticket
 
     def _reject_view_target(self, name: str) -> None:
         if self._system.catalog.has_view(name):
@@ -882,9 +1048,10 @@ class Connection:
             self._check_table_privilege(
                 Privilege.SELECT, self._system.catalog.table(name)
             )
+        estimated_rows = self._estimate_rows(tables)
         with self._span("route", mode=mode.value) as route_span:
             decision = self._system.router.route_query(
-                stmt, mode, estimated_rows=self._estimate_rows(tables)
+                stmt, mode, estimated_rows=estimated_rows
             )
             route_span.annotate(
                 engine=decision.engine, reason=decision.reason
@@ -893,6 +1060,9 @@ class Connection:
         if decision.reason.startswith("failback"):
             self._system.failbacks += 1
             self._system.metrics.counter("statement.failbacks").inc()
+        # Admission happens after routing: the gate is per-engine and
+        # the cost weight comes from the routing row estimate.
+        self._admit(decision.engine, stmt, estimated_rows)
         # Bind-and-rewrite once per cached plan: both engines lower the
         # same logical plan, so a statement that fails back to DB2 after
         # running on the accelerator reuses the identical plan object.
@@ -953,6 +1123,10 @@ class Connection:
         if stmt.values is not None:
             rows = self._evaluate_value_rows(stmt, descriptor, params)
             source_engine = "DB2"
+            self._admit(
+                "ACCELERATOR" if descriptor.is_aot else "DB2",
+                estimated_rows=len(rows),
+            )
         else:
             assert stmt.select is not None
             # An AOT target forces the sub-select onto the accelerator
@@ -1041,6 +1215,10 @@ class Connection:
         self._reject_view_target(stmt.table)
         descriptor = self._system.catalog.table(stmt.table)
         self._check_table_privilege(Privilege.UPDATE, descriptor)
+        self._admit(
+            "ACCELERATOR" if descriptor.is_aot else "DB2",
+            estimated_rows=self._estimate_rows({descriptor.name}),
+        )
         if descriptor.is_aot:
             self._require_accelerator_for_dml(descriptor.name)
             self._system.interconnect.send_to_accelerator(
@@ -1064,6 +1242,10 @@ class Connection:
         self._reject_view_target(stmt.table)
         descriptor = self._system.catalog.table(stmt.table)
         self._check_table_privilege(Privilege.DELETE, descriptor)
+        self._admit(
+            "ACCELERATOR" if descriptor.is_aot else "DB2",
+            estimated_rows=self._estimate_rows({descriptor.name}),
+        )
         if descriptor.is_aot:
             self._require_accelerator_for_dml(descriptor.name)
             self._system.interconnect.send_to_accelerator(

@@ -27,17 +27,24 @@ __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
 
 
 class Counter:
-    """Monotonic named counter."""
+    """Monotonic named counter.
 
-    __slots__ = ("name", "value")
+    ``inc`` is a read-modify-write, so it takes a per-instrument lock:
+    concurrent statements (and the WLM admission path) increment shared
+    counters from many threads, and unsynchronized ``+=`` loses updates.
+    """
+
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: int = 1) -> int:
-        self.value += amount
-        return self.value
+        with self._lock:
+            self.value += amount
+            return self.value
 
 
 class Gauge:
@@ -56,7 +63,7 @@ class Gauge:
 class Histogram:
     """Streaming distribution: exact totals + windowed percentiles."""
 
-    __slots__ = ("name", "count", "total", "min", "max", "_window")
+    __slots__ = ("name", "count", "total", "min", "max", "_window", "_lock")
 
     def __init__(self, name: str, window: int = 1024) -> None:
         self.name = name
@@ -65,16 +72,21 @@ class Histogram:
         self.min: Optional[float] = None
         self.max: Optional[float] = None
         self._window: deque[float] = deque(maxlen=window)
+        # count/total/min/max must move together, and sorting the window
+        # while another thread appends raises "deque mutated during
+        # iteration" — one lock covers both hazards.
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         value = float(value)
-        self.count += 1
-        self.total += value
-        if self.min is None or value < self.min:
-            self.min = value
-        if self.max is None or value > self.max:
-            self.max = value
-        self._window.append(value)
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
+            self._window.append(value)
 
     @property
     def mean(self) -> float:
@@ -82,7 +94,8 @@ class Histogram:
 
     def percentile(self, q: float) -> float:
         """q-th percentile (0..100) of the retained window."""
-        window = sorted(self._window)
+        with self._lock:
+            window = sorted(self._window)
         if not window:
             return 0.0
         rank = (len(window) - 1) * (q / 100.0)
@@ -92,15 +105,31 @@ class Histogram:
         return window[low] * (1.0 - fraction) + window[high] * fraction
 
     def summary(self) -> dict[str, float]:
+        with self._lock:
+            count = self.count
+            total = self.total
+            minimum = self.min
+            maximum = self.max
+            window = sorted(self._window)
+
+        def pct(q: float) -> float:
+            if not window:
+                return 0.0
+            rank = (len(window) - 1) * (q / 100.0)
+            low = int(rank)
+            high = min(low + 1, len(window) - 1)
+            fraction = rank - low
+            return window[low] * (1.0 - fraction) + window[high] * fraction
+
         return {
-            "count": self.count,
-            "total": self.total,
-            "mean": self.mean,
-            "min": self.min if self.min is not None else 0.0,
-            "max": self.max if self.max is not None else 0.0,
-            "p50": self.percentile(50),
-            "p95": self.percentile(95),
-            "p99": self.percentile(99),
+            "count": count,
+            "total": total,
+            "mean": total / count if count else 0.0,
+            "min": minimum if minimum is not None else 0.0,
+            "max": maximum if maximum is not None else 0.0,
+            "p50": pct(50),
+            "p95": pct(95),
+            "p99": pct(99),
         }
 
 
@@ -157,11 +186,17 @@ class MetricsRegistry:
     def collect(self) -> dict[str, object]:
         """One flat ``name -> value`` mapping across all metrics."""
         out: dict[str, object] = {}
-        for name, counter in sorted(self._counters.items()):
+        with self._lock:
+            # Freeze the instrument maps so concurrent get-or-create
+            # registration cannot mutate a dict mid-iteration.
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        for name, counter in sorted(counters.items()):
             out[name] = counter.value
-        for name, gauge in sorted(self._gauges.items()):
+        for name, gauge in sorted(gauges.items()):
             out[name] = gauge.value
-        for name, histogram in sorted(self._histograms.items()):
+        for name, histogram in sorted(histograms.items()):
             for key, value in histogram.summary().items():
                 out[f"{name}.{key}"] = value
         for source_name, snapshot in sorted(self._sources.items()):

@@ -9,7 +9,10 @@ equivalents as *virtual tables* under the ``SYSACCEL`` schema:
 * ``SYSACCEL.MON_SPANS`` — the flattened span trees of every retained
   trace (phase name, depth, timings, bytes/rows, status, attributes);
 * ``SYSACCEL.MON_REPLICATION`` — one row per replication drain with its
-  outcome, batch counts, backlog movement, and retry totals.
+  outcome, batch counts, backlog movement, and retry totals;
+* ``SYSACCEL.MON_WLM`` — one row per (engine gate, service class) with
+  the class policy and live admission state: running/queued statements,
+  admitted/bypassed/shed counters, queue timeouts, accumulated wait.
 
 They hold no storage: each query materialises rows from the live
 observability structures and runs the full SELECT pipeline (WHERE,
@@ -79,6 +82,25 @@ _SCHEMAS: dict[str, TableSchema] = {
             Column("RETRIES", BIGINT),
             Column("ABANDONED", BIGINT),
             Column("REASON", _TEXT),
+        ]
+    ),
+    "SYSACCEL.MON_WLM": TableSchema(
+        [
+            Column("ENGINE", VarcharType(16)),
+            Column("SERVICE_CLASS", _NAME),
+            Column("PRIORITY", INTEGER),
+            Column("CLASS_SLOTS", INTEGER),
+            Column("QUEUE_DEPTH", INTEGER),
+            Column("GATE_SLOTS", INTEGER),
+            Column("RUNNING", INTEGER),
+            Column("QUEUED", INTEGER),
+            Column("ADMITTED", BIGINT),
+            Column("BYPASSED", BIGINT),
+            Column("SHED", BIGINT),
+            Column("QUEUE_TIMEOUTS", BIGINT),
+            Column("WAIT_MS_TOTAL", DOUBLE),
+            Column("DEFAULT_TIMEOUT_S", DOUBLE),
+            Column("SHEDDABLE", VarcharType(1)),
         ]
     ),
 }
@@ -162,10 +184,15 @@ def _replication_rows(system: "AcceleratedDatabase") -> list[tuple]:
     ]
 
 
+def _wlm_rows(system: "AcceleratedDatabase") -> list[tuple]:
+    return system.wlm.monitor_rows()
+
+
 _ROW_BUILDERS: dict[str, Callable] = {
     "SYSACCEL.MON_STATEMENTS": _statements_rows,
     "SYSACCEL.MON_SPANS": _spans_rows,
     "SYSACCEL.MON_REPLICATION": _replication_rows,
+    "SYSACCEL.MON_WLM": _wlm_rows,
 }
 
 

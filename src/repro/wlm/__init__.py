@@ -1,0 +1,27 @@
+"""Workload management for the federation (``repro.wlm``).
+
+Admission control, priority service classes, statement budgets
+(timeouts + cooperative cancellation), and load shedding — the
+resource-governance layer every statement passes through before either
+engine executes it. See :mod:`repro.wlm.manager` for the façade.
+"""
+
+from repro.wlm.admission import AdmissionGate, AdmissionTicket
+from repro.wlm.budget import WorkBudget, active_budget, current_budget
+from repro.wlm.classes import BUILTIN_CLASSES, ServiceClass, ServiceClassRegistry
+from repro.wlm.manager import ENGINES, WorkloadManager
+from repro.wlm.shedding import LoadShedder
+
+__all__ = [
+    "AdmissionGate",
+    "AdmissionTicket",
+    "BUILTIN_CLASSES",
+    "ENGINES",
+    "LoadShedder",
+    "ServiceClass",
+    "ServiceClassRegistry",
+    "WorkBudget",
+    "WorkloadManager",
+    "active_budget",
+    "current_budget",
+]

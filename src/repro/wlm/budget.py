@@ -1,0 +1,158 @@
+"""Statement work budgets: deadlines and cooperative cancellation.
+
+A :class:`WorkBudget` travels with one statement execution. Executors
+and lock waits call :meth:`WorkBudget.check` at natural batch
+boundaries (chunk spans on the accelerator, row batches on DB2, each
+lock-wait wakeup); when the deadline has passed or the application
+cancelled the statement, the checkpoint raises and the statement
+unwinds through the ordinary error path — statement-level rollback,
+lock release, admission-slot release.
+
+The *current* budget is carried in a :mod:`contextvars` context
+variable so deeply nested execution code does not need the budget
+threaded through every signature. Parallel scan workers do not inherit
+the context (they run on a shared pool), so the executor captures the
+budget once per statement and bakes it into each partition task.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import time
+from typing import Callable, Iterator, Optional
+
+from repro.errors import StatementCancelledError, StatementTimeoutError
+
+__all__ = [
+    "WorkBudget",
+    "active_budget",
+    "current_budget",
+]
+
+
+class WorkBudget:
+    """Deadline + cancellation flag for one statement execution."""
+
+    __slots__ = (
+        "clock",
+        "started",
+        "timeout_seconds",
+        "deadline",
+        "cancel_reason",
+        "checks",
+        "_cancelled",
+        "_wakers",
+    )
+
+    def __init__(
+        self,
+        timeout_seconds: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if timeout_seconds is not None and timeout_seconds <= 0:
+            raise ValueError("timeout_seconds must be positive")
+        self.clock = clock
+        self.started = clock()
+        self.timeout_seconds = timeout_seconds
+        self.deadline = (
+            None if timeout_seconds is None else self.started + timeout_seconds
+        )
+        self.cancel_reason = ""
+        #: Checkpoints observed (telemetry; approximate under threads).
+        self.checks = 0
+        self._cancelled = False
+        # Wake callables for queues this statement is blocked in;
+        # cancel() pokes them so queued statements unwind immediately
+        # instead of at the next poll slice.
+        self._wakers: list = []
+
+    # -- state -------------------------------------------------------------
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    @property
+    def expired(self) -> bool:
+        return self.deadline is not None and self.clock() >= self.deadline
+
+    def remaining(self) -> Optional[float]:
+        """Seconds left before the deadline (None = unbounded)."""
+        if self.deadline is None:
+            return None
+        return self.deadline - self.clock()
+
+    # -- control -----------------------------------------------------------
+
+    def cancel(self, reason: str = "cancelled by application") -> None:
+        """Request cooperative cancellation; the next check() raises.
+
+        Any wait queue the statement is currently parked in is poked
+        awake, so cancellation takes effect at the next wakeup rather
+        than after a poll interval.
+        """
+        self.cancel_reason = reason
+        self._cancelled = True
+        # Snapshot: a registered waiter may be unregistering
+        # concurrently; list() is atomic under the GIL and a stale
+        # extra poke is harmless (wakers must tolerate spurious calls).
+        for waker in list(self._wakers):
+            waker()
+
+    def register_waker(self, waker: Callable[[], None]) -> None:
+        """Ask :meth:`cancel` to call ``waker`` while this is registered.
+
+        Queue waits register the poke that wakes their parked thread
+        (e.g. an ``Event.set``); the waker may be called spuriously and
+        from any thread.
+        """
+        self._wakers.append(waker)
+
+    def unregister_waker(self, waker: Callable[[], None]) -> None:
+        try:
+            self._wakers.remove(waker)
+        except ValueError:
+            pass
+
+    def check(self) -> None:
+        """Raise if the statement must stop; called at batch boundaries."""
+        self.checks += 1
+        if self._cancelled:
+            raise StatementCancelledError(
+                f"statement cancelled: {self.cancel_reason}"
+            )
+        if self.deadline is not None and self.clock() >= self.deadline:
+            raise StatementTimeoutError(
+                f"statement exceeded its {self.timeout_seconds:g}s budget"
+            )
+
+
+#: The budget of the statement currently executing on this thread (or
+#: None outside WLM-governed execution). ContextVar, not thread-local:
+#: budgets must not leak between statements interleaved on one thread.
+_CURRENT: contextvars.ContextVar[Optional[WorkBudget]] = (
+    contextvars.ContextVar("repro_wlm_budget", default=None)
+)
+
+
+def current_budget() -> Optional[WorkBudget]:
+    """The active statement's budget, if any."""
+    return _CURRENT.get()
+
+
+@contextlib.contextmanager
+def active_budget(budget: Optional[WorkBudget]) -> Iterator[Optional[WorkBudget]]:
+    """Install ``budget`` as the current budget for the ``with`` body.
+
+    ``None`` is accepted (and is a no-op) so callers on the disabled
+    path pay nothing but the context-manager entry.
+    """
+    if budget is None:
+        yield None
+        return
+    token = _CURRENT.set(budget)
+    try:
+        yield budget
+    finally:
+        _CURRENT.reset(token)

@@ -1,0 +1,141 @@
+"""Service classes: the WLM's unit of policy.
+
+Every session (or individual statement, via statement attributes) maps
+to one service class; the class carries the knobs the admission
+controller enforces:
+
+* ``priority`` — strict admission ordering, lower = more important;
+* ``concurrency_slots`` — how many statements of this class may run
+  concurrently on one engine gate;
+* ``queue_depth`` — how many may wait; beyond this the statement is
+  shed with a retryable error instead of piling up;
+* ``default_timeout_seconds`` — the statement budget applied when the
+  session sets none explicitly (None = unbounded);
+* ``sheddable`` — whether the load shedder may reject this class fast
+  when the engine is overloaded or the accelerator circuit is open.
+
+The built-in classes mirror the tiers a DB2 WLM setup distinguishes:
+``INTERACTIVE`` (dashboards, point lookups), ``SYSDEFAULT`` (everything
+unclassified), ``ANALYTICS`` (offloaded OLAP), ``BATCH`` (ELT stages
+and background maintenance).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, replace
+from typing import Iterator, Optional
+
+from repro.errors import UnknownObjectError
+
+__all__ = ["ServiceClass", "ServiceClassRegistry", "BUILTIN_CLASSES"]
+
+
+@dataclass(frozen=True)
+class ServiceClass:
+    """Immutable policy record; reconfiguration swaps the registry entry."""
+
+    name: str
+    #: Strict admission priority — lower values are granted first.
+    priority: int
+    #: Concurrent statements of this class per engine gate.
+    concurrency_slots: int
+    #: Waiting statements of this class per engine gate before shedding.
+    queue_depth: int
+    #: Statement budget when the session sets none (None = unbounded).
+    default_timeout_seconds: Optional[float] = None
+    #: May the load shedder reject this class fast under pressure?
+    sheddable: bool = False
+
+    def __post_init__(self) -> None:
+        if self.priority < 0:
+            raise ValueError("priority must be >= 0")
+        if self.concurrency_slots < 1:
+            raise ValueError("concurrency_slots must be >= 1")
+        if self.queue_depth < 0:
+            raise ValueError("queue_depth must be >= 0")
+        if (
+            self.default_timeout_seconds is not None
+            and self.default_timeout_seconds <= 0
+        ):
+            raise ValueError("default_timeout_seconds must be positive")
+
+
+BUILTIN_CLASSES: tuple[ServiceClass, ...] = (
+    ServiceClass(
+        name="INTERACTIVE",
+        priority=0,
+        concurrency_slots=8,
+        queue_depth=32,
+        default_timeout_seconds=5.0,
+    ),
+    ServiceClass(
+        name="SYSDEFAULT",
+        priority=1,
+        concurrency_slots=8,
+        queue_depth=64,
+    ),
+    ServiceClass(
+        name="ANALYTICS",
+        priority=2,
+        concurrency_slots=4,
+        queue_depth=32,
+        default_timeout_seconds=60.0,
+        sheddable=True,
+    ),
+    ServiceClass(
+        name="BATCH",
+        priority=3,
+        concurrency_slots=2,
+        queue_depth=64,
+        sheddable=True,
+    ),
+)
+
+
+class ServiceClassRegistry:
+    """Name → :class:`ServiceClass`, seeded with the built-in tiers."""
+
+    def __init__(self) -> None:
+        self._classes: dict[str, ServiceClass] = {
+            cls.name: cls for cls in BUILTIN_CLASSES
+        }
+        self._lock = threading.Lock()
+
+    def get(self, name: str) -> ServiceClass:
+        cls = self._classes.get(name.upper())
+        if cls is None:
+            raise UnknownObjectError(f"unknown service class {name.upper()}")
+        return cls
+
+    def has(self, name: str) -> bool:
+        return name.upper() in self._classes
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._classes)
+
+    def __iter__(self) -> Iterator[ServiceClass]:
+        with self._lock:
+            classes = list(self._classes.values())
+        return iter(sorted(classes, key=lambda c: (c.priority, c.name)))
+
+    def define(self, cls: ServiceClass) -> ServiceClass:
+        """Create or replace a class (runtime reconfiguration)."""
+        key = cls.name.upper()
+        cls = replace(cls, name=key)
+        with self._lock:
+            self._classes[key] = cls
+        return cls
+
+    def update(self, name: str, **changes) -> ServiceClass:
+        """Replace selected fields of an existing class."""
+        with self._lock:
+            current = self._classes.get(name.upper())
+            if current is None:
+                raise UnknownObjectError(
+                    f"unknown service class {name.upper()}"
+                )
+            updated = replace(current, **changes)
+            self._classes[name.upper()] = updated
+        return updated

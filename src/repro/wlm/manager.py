@@ -1,0 +1,216 @@
+"""The workload manager: one façade over classes, gates, and shedding.
+
+:class:`WorkloadManager` is what the federation talks to. It owns the
+service-class registry, one admission gate per engine, the load
+shedder, and the statement-outcome counters; the session layer asks it
+for a statement budget, then for admission once the router has picked
+an engine, and reports terminal WLM outcomes (timeout / cancel) back.
+
+The manager ships **disabled by default**: ``admit`` returns ``None``
+and ``budget_for`` only builds a budget for an *explicit* timeout, so
+the single-session fast path pays one attribute check (benchmark E15
+puts the disabled overhead under 5%). ``SYSPROC.ACCEL_SET_WLM``
+enables and reconfigures it at runtime.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+from repro.errors import (
+    StatementCancelledError,
+    StatementShedError,
+    StatementTimeoutError,
+)
+from repro.wlm.admission import AdmissionGate, AdmissionTicket
+from repro.wlm.budget import WorkBudget
+from repro.wlm.classes import ServiceClassRegistry
+from repro.wlm.shedding import LoadShedder
+
+__all__ = ["WorkloadManager", "ENGINES"]
+
+ENGINES = ("DB2", "ACCELERATOR")
+
+
+class WorkloadManager:
+    """Admission, budgets, and shedding for every statement."""
+
+    def __init__(
+        self,
+        enabled: bool = False,
+        health=None,
+        db2_slots: int = 8,
+        accelerator_slots: int = 4,
+        max_queue_seconds: float = 5.0,
+        cheap_rows: int = 512,
+        heavy_rows: int = 100_000,
+        queue_high_water: float = 2.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.enabled = enabled
+        self.clock = clock
+        self.classes = ServiceClassRegistry()
+        self.gates: dict[str, AdmissionGate] = {
+            "DB2": AdmissionGate(
+                "DB2", slots=db2_slots,
+                max_wait_seconds=max_queue_seconds, clock=clock,
+            ),
+            "ACCELERATOR": AdmissionGate(
+                "ACCELERATOR", slots=accelerator_slots,
+                max_wait_seconds=max_queue_seconds, clock=clock,
+            ),
+        }
+        self.shedder = LoadShedder(
+            health=health, queue_high_water=queue_high_water
+        )
+        #: Estimated input rows below which a statement bypasses the
+        #: queue entirely (cost-aware admission; fed by zone maps /
+        #: catalog stats through the router's estimate).
+        self.cheap_rows = cheap_rows
+        #: Estimated input rows above which a statement weighs 2 slots.
+        self.heavy_rows = heavy_rows
+        # Statement-outcome counters (lifetime).
+        self.statements_timed_out = 0
+        self.statements_cancelled = 0
+        self.statements_shed = 0
+
+    # -- budgets ------------------------------------------------------------
+
+    def budget_for(
+        self,
+        class_name: str,
+        timeout_override: Optional[float] = None,
+    ) -> Optional[WorkBudget]:
+        """A budget for one statement, or None when nothing bounds it.
+
+        Explicit timeouts (statement attribute / session register) are
+        honoured even while the WLM is disabled; service-class default
+        timeouts apply only when it is enabled. With the WLM enabled
+        every statement gets a budget — possibly unbounded — so
+        :meth:`Connection.cancel` always has something to cancel.
+        """
+        if timeout_override is not None:
+            return WorkBudget(timeout_override, clock=self.clock)
+        if not self.enabled:
+            return None
+        return WorkBudget(
+            self.classes.get(class_name).default_timeout_seconds,
+            clock=self.clock,
+        )
+
+    # -- admission ----------------------------------------------------------
+
+    def weight_for(self, estimated_rows: Optional[int]) -> int:
+        """Cost-aware slot weight: heavy scans reserve two slots."""
+        if estimated_rows is not None and estimated_rows >= self.heavy_rows:
+            return 2
+        return 1
+
+    def is_cheap(self, estimated_rows: Optional[int]) -> bool:
+        return estimated_rows is not None and estimated_rows < self.cheap_rows
+
+    def admit(
+        self,
+        engine: str,
+        class_name: str,
+        estimated_rows: Optional[int] = None,
+        cheap: bool = False,
+        budget: Optional[WorkBudget] = None,
+    ) -> Optional[AdmissionTicket]:
+        """Pass one statement through the engine's gate (None = WLM off).
+
+        ``cheap`` forces the queue bypass when the caller knows better
+        than the row estimate (the router's point-lookup classification).
+        """
+        if not self.enabled:
+            return None
+        gate = self.gates[engine]
+        service_class = self.classes.get(class_name)
+        bypass = cheap or self.is_cheap(estimated_rows)
+        shed_reason = (
+            None if bypass else self.shedder.shed_reason(gate, service_class)
+        )
+        try:
+            return gate.admit(
+                service_class,
+                weight=self.weight_for(estimated_rows),
+                bypass=bypass,
+                budget=budget,
+                shed_reason=shed_reason,
+            )
+        except StatementShedError:
+            self.statements_shed += 1
+            raise
+
+    def release(self, ticket: Optional[AdmissionTicket]) -> None:
+        if ticket is not None:
+            self.gates[ticket.engine].release(ticket)
+
+    # -- outcome reporting ---------------------------------------------------
+
+    def record_outcome(self, error: BaseException) -> None:
+        """Count terminal WLM outcomes (called from the session layer)."""
+        if isinstance(error, StatementTimeoutError):
+            self.statements_timed_out += 1
+        elif isinstance(error, StatementCancelledError):
+            self.statements_cancelled += 1
+
+    # -- reconfiguration (SYSPROC.ACCEL_SET_WLM) ------------------------------
+
+    def set_enabled(self, enabled: bool) -> None:
+        self.enabled = enabled
+
+    def resize_gate(self, engine: str, slots: int) -> None:
+        gate = self.gates.get(engine.upper())
+        if gate is None:
+            raise KeyError(f"unknown engine {engine!r}")
+        gate.resize(slots)
+
+    # -- observability --------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Flat mapping for the metrics registry's ``wlm.*`` source."""
+        out: dict[str, object] = {
+            "enabled": int(self.enabled),
+            "statements_timed_out": self.statements_timed_out,
+            "statements_cancelled": self.statements_cancelled,
+            "statements_shed": self.statements_shed,
+        }
+        for engine, gate in self.gates.items():
+            for key, value in gate.snapshot().items():
+                out[f"{engine.lower()}.{key}"] = value
+        for key, value in self.shedder.snapshot().items():
+            out[key] = value
+        return out
+
+    def monitor_rows(self) -> list[tuple]:
+        """SYSACCEL.MON_WLM rows: one per (engine gate, service class)."""
+        rows: list[tuple] = []
+        for engine in ENGINES:
+            gate = self.gates[engine]
+            stats_by_class = gate.class_stats()
+            for cls in self.classes:
+                stats = stats_by_class.get(cls.name)
+                rows.append(
+                    (
+                        engine,
+                        cls.name,
+                        cls.priority,
+                        cls.concurrency_slots,
+                        cls.queue_depth,
+                        gate.slots_total,
+                        stats.running if stats else 0,
+                        stats.queued if stats else 0,
+                        stats.admitted if stats else 0,
+                        stats.bypassed if stats else 0,
+                        stats.shed if stats else 0,
+                        stats.queue_timeouts if stats else 0,
+                        round(stats.wait_seconds_total * 1000.0, 3)
+                        if stats
+                        else 0.0,
+                        cls.default_timeout_seconds,
+                        "Y" if cls.sheddable else "N",
+                    )
+                )
+        return rows

@@ -1,0 +1,73 @@
+"""Load shedding: reject sheddable work fast instead of queueing it.
+
+The shedder is consulted *before* a statement is queued. It rejects —
+with a retryable :class:`~repro.errors.StatementShedError` — when
+letting the statement wait would only deepen an existing overload:
+
+* the target engine's wait queue has crossed its high-water mark
+  (a fraction of the gate's configured slot count); queued work beyond
+  that point cannot run for several statement-lifetimes anyway;
+* the statement targets the accelerator while the PR-1 health
+  monitor's circuit is open (OFFLINE): every queued statement would
+  either fail or wait out the whole cooldown, so sheddable classes are
+  bounced immediately while failback-capable traffic proceeds to the
+  router's own handling.
+
+Only classes marked ``sheddable`` (BATCH, ANALYTICS by default) are
+ever shed; INTERACTIVE and SYSDEFAULT work is always allowed to queue.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.wlm.admission import AdmissionGate
+from repro.wlm.classes import ServiceClass
+
+__all__ = ["LoadShedder"]
+
+
+class LoadShedder:
+    """Fast local overload verdicts for the admission gates."""
+
+    def __init__(
+        self,
+        health=None,
+        queue_high_water: float = 2.0,
+    ) -> None:
+        #: Optional :class:`repro.federation.health.HealthMonitor`.
+        self.health = health
+        #: Queue length at which shedding starts, as a multiple of the
+        #: gate's slot count (2.0 -> shed when waiters > 2x slots).
+        self.queue_high_water = queue_high_water
+        # Lifetime verdict counters (surfaced via WLM metrics).
+        self.shed_queue_pressure = 0
+        self.shed_circuit_open = 0
+
+    def shed_reason(
+        self, gate: AdmissionGate, service_class: ServiceClass
+    ) -> Optional[str]:
+        """Why this statement should be rejected now (None = admit)."""
+        if not service_class.sheddable:
+            return None
+        if (
+            gate.engine == "ACCELERATOR"
+            and self.health is not None
+            and not self.health.available
+        ):
+            self.shed_circuit_open += 1
+            return "accelerator circuit is open"
+        high_water = int(gate.slots_total * self.queue_high_water)
+        if gate.queue_length >= max(1, high_water):
+            self.shed_queue_pressure += 1
+            return (
+                f"queue high-water mark reached "
+                f"({gate.queue_length} waiting >= {max(1, high_water)})"
+            )
+        return None
+
+    def snapshot(self) -> dict:
+        return {
+            "shed_queue_pressure": self.shed_queue_pressure,
+            "shed_circuit_open": self.shed_circuit_open,
+        }

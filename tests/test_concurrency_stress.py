@@ -2,17 +2,21 @@
 
 One connection per thread (connections are not thread-safe; the engines
 are). Invariants checked after the storm: no lost updates, counts add
-up, snapshots never tore.
+up, snapshots never tore, WLM admission slots never leak.
+
+Volume is environment-tunable so CI can run an elevated pass:
+``STRESS_THREADS`` / ``STRESS_ROUNDS`` override the defaults.
 """
 
+import os
 import threading
 
 import pytest
 
 from repro import AcceleratedDatabase
 
-THREADS = 4
-ROUNDS = 25
+THREADS = int(os.environ.get("STRESS_THREADS", "4"))
+ROUNDS = int(os.environ.get("STRESS_ROUNDS", "25"))
 
 
 @pytest.fixture
@@ -134,3 +138,133 @@ class TestAotConcurrency:
         event_total = admin.execute("SELECT COUNT(*) FROM events").scalar()
         assert ledger_total == THREADS * ROUNDS
         assert event_total == THREADS * ROUNDS
+
+
+SERVICE_CLASSES = ("INTERACTIVE", "SYSDEFAULT", "ANALYTICS", "BATCH")
+
+
+def _assert_gates_quiesced(db):
+    """No lost slots: every admission path returned what it took."""
+    for gate in db.wlm.gates.values():
+        snapshot = gate.snapshot()
+        assert snapshot["slots_in_use"] == 0
+        assert snapshot["queued"] == 0
+        assert snapshot["admitted"] + snapshot["bypassed"] == (
+            snapshot["releases"]
+        )
+        for name, stats in gate.class_stats().items():
+            assert stats.running == 0, (gate.engine, name)
+            assert stats.queued == 0, (gate.engine, name)
+
+
+class TestWlmStorm:
+    """Mixed-priority admission storms through tiny gates."""
+
+    @pytest.fixture
+    def wdb(self):
+        db = AcceleratedDatabase(
+            slice_count=2,
+            chunk_rows=128,
+            wlm_enabled=True,
+            wlm_db2_slots=2,
+            wlm_accelerator_slots=2,
+            wlm_max_queue_seconds=30.0,
+        )
+        db.wlm.cheap_rows = 0  # force real admission for every statement
+        return db
+
+    def test_mixed_priority_storm_is_starvation_free(self, wdb):
+        """Every class — including lowest-priority BATCH behind a
+        2-slot gate — finishes its full workload; shed statements are
+        retryable and eventually admitted; no slot leaks."""
+        from repro.errors import StatementShedError
+
+        admin = wdb.connect()
+        admin.execute(
+            "CREATE TABLE STORM (W INTEGER, N INTEGER) IN ACCELERATOR"
+        )
+
+        def worker(worker_id):
+            service_class = SERVICE_CLASSES[worker_id % len(SERVICE_CLASSES)]
+
+            def work():
+                conn = wdb.connect()
+                done = 0
+                attempts = 0
+                while done < ROUNDS:
+                    attempts += 1
+                    assert attempts < ROUNDS * 2000, (
+                        f"{service_class} starved after {attempts} attempts"
+                    )
+                    try:
+                        conn.execute(
+                            f"INSERT INTO STORM VALUES ({worker_id}, {done})",
+                            service_class=service_class,
+                        )
+                    except StatementShedError as error:
+                        assert error.retryable
+                        continue
+                    done += 1
+
+            return work
+
+        run_threads([worker(i) for i in range(THREADS)])
+        counts = admin.execute(
+            "SELECT W, COUNT(*) FROM STORM GROUP BY W ORDER BY W"
+        ).rows
+        assert counts == [(i, ROUNDS) for i in range(THREADS)]
+        _assert_gates_quiesced(wdb)
+
+    def test_timeouts_under_contention_never_corrupt_state(self, wdb):
+        """Whole-table updates racing tiny statement budgets: each
+        statement either applies completely or not at all, so the sum
+        stays a multiple of the row count."""
+        from repro.errors import StatementShedError, StatementTimeoutError
+
+        table_rows = 1500  # above the 1024-row DML checkpoint cadence
+        admin = wdb.connect()
+        admin.execute("CREATE TABLE TMO (ID INTEGER, V DOUBLE)")
+        for base in range(0, table_rows, 500):
+            rows = ", ".join(f"({i}, 0.0)" for i in range(base, base + 500))
+            admin.execute(f"INSERT INTO TMO VALUES {rows}")
+
+        outcomes = {"ok": 0, "timed_out": 0}
+        outcomes_lock = threading.Lock()
+
+        def worker(worker_id):
+            service_class = SERVICE_CLASSES[worker_id % len(SERVICE_CLASSES)]
+
+            def work():
+                conn = wdb.connect()
+                done = 0
+                while done < ROUNDS:
+                    # Tight budgets on some rounds: the statement may
+                    # expire during target selection or a lock wait.
+                    timeout = 0.002 if done % 2 else None
+                    try:
+                        conn.execute(
+                            "UPDATE TMO SET V = V + 1",
+                            service_class=service_class,
+                            timeout_seconds=timeout,
+                        )
+                        with outcomes_lock:
+                            outcomes["ok"] += 1
+                    except StatementTimeoutError:
+                        with outcomes_lock:
+                            outcomes["timed_out"] += 1
+                    except StatementShedError:
+                        continue
+                    done += 1
+
+            return work
+
+        run_threads([worker(i) for i in range(THREADS)])
+        total = admin.execute("SELECT SUM(V) FROM TMO").scalar()
+        count = admin.execute("SELECT COUNT(*) FROM TMO").scalar()
+        assert count == table_rows
+        # Atomicity: the total is exactly (successful updates) x rows —
+        # a timed-out statement contributed nothing.
+        assert total == outcomes["ok"] * table_rows
+        assert outcomes["ok"] + outcomes["timed_out"] == THREADS * ROUNDS
+        assert wdb.wlm.statements_timed_out == outcomes["timed_out"]
+        _assert_gates_quiesced(wdb)

@@ -165,3 +165,134 @@ class TestSystemMovement:
         assert delta.bytes_from_accelerator == 0
         assert delta.messages == 0
         assert delta.simulated_seconds == 0.0
+
+
+class TestThreadSafety:
+    """Concurrent accumulation must be exact (no lost updates).
+
+    ``sys.setswitchinterval`` is lowered so the interpreter preempts
+    threads mid-bytecode-sequence often enough to expose unsynchronized
+    read-modify-write races deterministically-ish.
+    """
+
+    def _hammer(self, fn, threads=8, rounds=2000):
+        import sys
+        import threading
+
+        old = sys.getswitchinterval()
+        sys.setswitchinterval(1e-6)
+        try:
+            barrier = threading.Barrier(threads)
+
+            def work():
+                barrier.wait()
+                for _ in range(rounds):
+                    fn()
+
+            workers = [threading.Thread(target=work) for _ in range(threads)]
+            for worker in workers:
+                worker.start()
+            for worker in workers:
+                worker.join()
+        finally:
+            sys.setswitchinterval(old)
+        return threads * rounds
+
+    def test_interconnect_concurrent_sends_lose_nothing(self):
+        link = Interconnect(
+            bandwidth_bytes_per_second=1e9, message_latency_seconds=0.001
+        )
+
+        def send():
+            link.send_to_accelerator(100)
+            link.send_to_db2(50)
+
+        expected = self._hammer(send)
+        stats = link.snapshot()
+        assert stats.bytes_to_accelerator == expected * 100
+        assert stats.bytes_from_accelerator == expected * 50
+        assert stats.messages == expected * 2
+        assert stats.simulated_seconds == pytest.approx(
+            expected * 2 * 0.001 + (expected * 150) / 1e9
+        )
+
+    def test_metrics_counter_concurrent_inc_is_exact(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        counter = registry.counter("stress.hits")
+        expected = self._hammer(lambda: counter.inc())
+        assert counter.value == expected
+
+    def test_histogram_concurrent_observe_and_summary(self):
+        """Writers and a summary() reader may interleave freely; totals
+        stay exact and percentile reads never crash on a mutating
+        window."""
+        import threading
+
+        from repro.obs.metrics import Histogram
+
+        histogram = Histogram("stress.latency", window=256)
+        stop = threading.Event()
+        errors = []
+
+        def read_loop():
+            while not stop.is_set():
+                try:
+                    summary = histogram.summary()
+                    assert summary["count"] >= 0
+                except Exception as exc:  # pragma: no cover - the bug
+                    errors.append(exc)
+                    return
+
+        reader = threading.Thread(target=read_loop)
+        reader.start()
+        try:
+            expected = self._hammer(lambda: histogram.observe(1.5))
+        finally:
+            stop.set()
+            reader.join()
+        assert not errors
+        summary = histogram.summary()
+        assert summary["count"] == expected
+        assert summary["total"] == pytest.approx(expected * 1.5)
+        assert summary["min"] == 1.5
+        assert summary["max"] == 1.5
+
+    def test_registry_collect_during_registration(self):
+        """collect() must not blow up while other threads get-or-create
+        new instruments."""
+        import threading
+
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        stop = threading.Event()
+        errors = []
+
+        def collect_loop():
+            while not stop.is_set():
+                try:
+                    registry.collect()
+                except Exception as exc:  # pragma: no cover - the bug
+                    errors.append(exc)
+                    return
+
+        reader = threading.Thread(target=collect_loop)
+        reader.start()
+        counter = [0]
+
+        def register():
+            counter[0] += 1
+            registry.counter(f"c{counter[0]}").inc()
+            registry.gauge(f"g{counter[0]}").set(1.0)
+            registry.histogram(f"h{counter[0]}").observe(1.0)
+
+        try:
+            self._hammer(register, threads=4, rounds=250)
+        finally:
+            stop.set()
+            reader.join()
+        assert not errors
+        collected = registry.collect()
+        assert collected  # every registered instrument is visible
