@@ -1,0 +1,232 @@
+"""E16 — Crash-consistent recovery: checkpoint cost and resync win.
+
+Three questions about ``repro.recovery``:
+
+* what does a **checkpoint cost**? One accelerated fact table at
+  benchmark scale, checkpointed to an on-disk store; we time the
+  atomic frame write and record the serialized size. This is the price
+  of the durability the rest of the experiment cashes in.
+* how much does **incremental resync** save over a full reload? The
+  same crash is recovered twice: once with a recent checkpoint (restore
+  the image, replay only the changelog suffix — a handful of records)
+  and once without (ship every row back over the interconnect). The
+  headline observable is **interconnect cost** — bytes moved and the
+  bandwidth/latency-derived simulated transfer seconds — because that
+  is what the simulation models (see "Simulation boundaries" in
+  docs/architecture.md): a local image restore costs host CPU but no
+  network, while a full reload reships the table. Wall time is
+  reported but not asserted; on a simulated interconnect it reflects
+  Python deserialization cost, not the transfer the paper's setup
+  would pay.
+* does recovery actually **converge after a crash at every injection
+  point**? The differential crash matrix from
+  ``repro.recovery.harness`` runs the workload, killing the accelerator
+  at each of the five named crash points, and asserts the recovered
+  state is byte-identical to an uncrashed run.
+
+Results land in ``benchmarks/results/e16_crash_recovery.json``.
+Set ``E16_SMOKE=1`` (the CI recovery-matrix job does) for a fast
+correctness-only pass.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro import AcceleratedDatabase
+from repro.recovery.harness import CrashRestartDriver, run_crash_matrix
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+SMOKE = os.environ.get("E16_SMOKE", "") not in ("", "0")
+
+#: Fact-table rows checkpointed and recovered.
+FACT_ROWS = 5_000 if SMOKE else 50_000
+#: Rows touched between the checkpoint and the crash — the changelog
+#: suffix incremental resync replays instead of reloading everything.
+SUFFIX_UPDATES = 100 if SMOKE else 500
+
+_RESULTS: dict[str, object] = {}
+
+
+def _make_system(checkpoint_dir=None):
+    db = AcceleratedDatabase(
+        slice_count=4,
+        chunk_rows=4096,
+        tracing_enabled=False,
+        cooldown_seconds=0.0,
+        checkpoint_dir=checkpoint_dir,
+    )
+    conn = db.connect()
+    conn.execute(
+        "CREATE TABLE FACT (ID INTEGER NOT NULL PRIMARY KEY, "
+        "G INTEGER, V DOUBLE)"
+    )
+    for base in range(0, FACT_ROWS, 1000):
+        rows = ", ".join(
+            f"({i}, {i % 23}, {float(i % 97)})"
+            for i in range(base, base + 1000)
+        )
+        conn.execute(f"INSERT INTO FACT VALUES {rows}")
+    db.add_table_to_accelerator("FACT")
+    return db, conn
+
+
+def _mutate_suffix(conn):
+    conn.execute(
+        f"UPDATE fact SET v = v + 1 WHERE id < {SUFFIX_UPDATES}"
+    )
+
+
+def _fact_sum(conn) -> float:
+    conn.set_acceleration("ALL")
+    value = conn.execute("SELECT SUM(v) FROM fact").scalar()
+    conn.set_acceleration("ENABLE")
+    return value
+
+
+def test_e16_checkpoint_cost(record, tmp_path):
+    """Price of durability: serialize + fsync one fact-table image."""
+    db, conn = _make_system(checkpoint_dir=str(tmp_path))
+    start = time.perf_counter()
+    result = db.recovery.checkpoint()
+    elapsed = time.perf_counter() - start
+    record(
+        "E16 crash recovery",
+        f"checkpoint: rows={result.rows} "
+        f"bytes={result.bytes_written} "
+        f"elapsed={elapsed * 1000:.1f}ms",
+    )
+    _RESULTS["checkpoint"] = {
+        "rows": result.rows,
+        "bytes_written": result.bytes_written,
+        "elapsed_ms": round(elapsed * 1000, 2),
+    }
+    assert result.rows == FACT_ROWS
+    assert result.bytes_written > 0
+    # The frame really landed on disk.
+    assert any(
+        name.endswith(".ckpt") for name in os.listdir(str(tmp_path))
+    )
+
+
+def test_e16_incremental_vs_full_resync(record, tmp_path):
+    """The headline: replay a suffix vs. reship the whole table."""
+    # -- with a checkpoint: restore image + replay the suffix ---------
+    db, conn = _make_system(checkpoint_dir=str(tmp_path))
+    db.recovery.checkpoint()
+    _mutate_suffix(conn)
+    expected = _fact_sum(conn)
+    driver = CrashRestartDriver(db)
+    driver.kill()
+    inc_before = db.interconnect.snapshot()
+    start = time.perf_counter()
+    incremental = driver.restart()
+    incremental_seconds = time.perf_counter() - start
+    inc_moved = db.interconnect.since(inc_before)
+    assert _fact_sum(conn) == expected
+    assert incremental.full_reloads == 0
+    assert incremental.records_replayed == SUFFIX_UPDATES
+    assert incremental.resync_bytes_saved > 0
+
+    # -- without a checkpoint: full reload over the interconnect ------
+    db2, conn2 = _make_system()
+    _mutate_suffix(conn2)
+    expected2 = _fact_sum(conn2)
+    driver2 = CrashRestartDriver(db2)
+    driver2.kill()
+    full_before = db2.interconnect.snapshot()
+    start = time.perf_counter()
+    full = driver2.restart()
+    full_seconds = time.perf_counter() - start
+    full_moved = db2.interconnect.since(full_before)
+    assert _fact_sum(conn2) == expected2
+    assert full.full_reloads == 1
+    assert full.resync_bytes_saved == 0
+
+    bytes_ratio = full_moved.bytes_to_accelerator / max(
+        inc_moved.bytes_to_accelerator, 1
+    )
+    transfer_ratio = full_moved.simulated_seconds / max(
+        inc_moved.simulated_seconds, 1e-9
+    )
+    record(
+        "E16 crash recovery",
+        f"resync: incremental bytes={inc_moved.bytes_to_accelerator} "
+        f"transfer={inc_moved.simulated_seconds * 1000:.1f}ms "
+        f"(replayed={incremental.records_replayed}) vs full reload "
+        f"bytes={full_moved.bytes_to_accelerator} "
+        f"transfer={full_moved.simulated_seconds * 1000:.1f}ms "
+        f"-> {bytes_ratio:.1f}x fewer bytes, "
+        f"{transfer_ratio:.1f}x less transfer time "
+        f"(wall: {incremental_seconds * 1000:.0f}ms vs "
+        f"{full_seconds * 1000:.0f}ms)",
+    )
+    _RESULTS["resync"] = {
+        "rows": FACT_ROWS,
+        "suffix_updates": SUFFIX_UPDATES,
+        "incremental_bytes_shipped": inc_moved.bytes_to_accelerator,
+        "incremental_transfer_ms": round(
+            inc_moved.simulated_seconds * 1000, 3
+        ),
+        "incremental_records_replayed": incremental.records_replayed,
+        "incremental_bytes_saved": incremental.resync_bytes_saved,
+        "incremental_wall_ms": round(incremental_seconds * 1000, 2),
+        "full_reload_bytes_shipped": full_moved.bytes_to_accelerator,
+        "full_reload_transfer_ms": round(
+            full_moved.simulated_seconds * 1000, 3
+        ),
+        "full_reload_wall_ms": round(full_seconds * 1000, 2),
+        "bytes_ratio": round(bytes_ratio, 2),
+        "transfer_ratio": round(transfer_ratio, 2),
+    }
+    # The suffix is 1% of the table: the checkpoint must avoid nearly
+    # the whole reship. bytes_saved is exactly what the reload moved.
+    assert incremental.resync_bytes_saved == full_moved.bytes_to_accelerator
+    if not SMOKE:
+        assert bytes_ratio > 10, "incremental resync barely saved bytes"
+        assert transfer_ratio > 1.0
+
+
+def test_e16_crash_matrix(record, tmp_path):
+    """Differential harness: every crash point recovers byte-identical."""
+    start = time.perf_counter()
+    report = run_crash_matrix(checkpoint_dir=str(tmp_path))
+    elapsed = time.perf_counter() - start
+    assert report.all_matched, report.summary()
+    incremental = sum(
+        1
+        for o in report.outcomes
+        if o.recovery is not None and o.recovery.tables_restored > 0
+    )
+    record(
+        "E16 crash recovery",
+        f"crash matrix: scenarios={len(report.outcomes)} "
+        f"all_matched={report.all_matched} "
+        f"incremental_recoveries={incremental} "
+        f"elapsed={elapsed:.2f}s",
+    )
+    _RESULTS["crash_matrix"] = {
+        "scenarios": len(report.outcomes),
+        "all_matched": report.all_matched,
+        "incremental_recoveries": incremental,
+        "elapsed_seconds": round(elapsed, 2),
+    }
+
+
+def test_e16_export_results():
+    """Write the collected numbers for EXPERIMENTS.md to quote."""
+    assert "resync" in _RESULTS
+    payload = {
+        "experiment": "E16",
+        "smoke": SMOKE,
+        "fact_rows": FACT_ROWS,
+        "cores": os.cpu_count(),
+        **_RESULTS,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    target = RESULTS_DIR / "e16_crash_recovery.json"
+    target.write_text(json.dumps(payload, indent=2) + "\n")
+    written = json.loads(target.read_text())
+    assert written["experiment"] == "E16"

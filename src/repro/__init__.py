@@ -27,11 +27,15 @@ from repro.errors import (
     AnalyticsError,
     AuthorizationError,
     CatalogError,
+    ChangelogTruncatedError,
+    CorruptCheckpointError,
+    InjectedCrashError,
     LinkError,
     LoaderError,
     LockTimeoutError,
     ParseError,
     ProcedureError,
+    RecoveryError,
     ReplicationError,
     ReproError,
     RoutingError,
@@ -77,6 +81,10 @@ __all__ = [
     "LockTimeoutError",
     "RoutingError",
     "ReplicationError",
+    "ChangelogTruncatedError",
+    "RecoveryError",
+    "CorruptCheckpointError",
+    "InjectedCrashError",
     "LinkError",
     "AcceleratorCrashError",
     "AcceleratorUnavailableError",

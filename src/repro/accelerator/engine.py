@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 import numpy as np
 
@@ -132,8 +132,22 @@ class AcceleratorEngine:
         #: epoch (MVCC), so only writers contend here.
         self._write_lock = threading.Lock()
         self.current_epoch = 0
+        #: Per-table high-water mark of applied change-record LSNs.
+        #: ``apply_changes`` skips records at or below it, which makes
+        #: replication apply idempotent under redelivery — a retried
+        #: batch, or a changelog replay from a recovery checkpoint.
+        self._applied_lsn: dict[str, int] = {}
+        #: Per-table lineage epoch, bumped on every content-changing
+        #: write. The recovery manager mirrors it (via ``write_listener``)
+        #: into a DB2-side journal so a restart can tell which AOTs the
+        #: crash made stale or lost entirely.
+        self._lineage: dict[str, int] = {}
+        #: Called as ``listener(table_key, lineage_epoch)`` after each
+        #: content-changing write, while the write lock is held.
+        self.write_listener: Optional[Callable[[str, int], None]] = None
         # Instrumentation.
         self.queries_executed = 0
+        self.records_deduplicated = 0
         self.rows_scanned = 0
         self.chunks_skipped = 0
         self.simulated_busy_seconds = 0.0
@@ -186,6 +200,19 @@ class AcceleratorEngine:
     def _publish_epoch(self, epoch: int) -> None:
         self.current_epoch = epoch
 
+    def _note_write_locked(self, key: str) -> None:
+        """Bump ``key``'s lineage epoch and notify the write listener.
+
+        Called with the write lock held, after the batch's epoch is
+        published — the listener (the recovery manager's DB2-side lineage
+        journal) therefore only ever sees durably-visible writes.
+        """
+        epoch = self._lineage.get(key, 0) + 1
+        self._lineage[key] = epoch
+        listener = self.write_listener
+        if listener is not None:
+            listener(key, epoch)
+
     # -- write paths -----------------------------------------------------------------
 
     def bulk_insert(self, name: str, rows: Sequence[tuple]) -> int:
@@ -197,6 +224,7 @@ class AcceleratorEngine:
             epoch = self._staged_epoch()
             table.append_rows(list(rows), epoch)
             self._publish_epoch(epoch)
+            self._note_write_locked(name.upper())
         return len(rows)
 
     def apply_changes(self, name: str, records: Sequence[ChangeRecord]) -> int:
@@ -204,21 +232,49 @@ class AcceleratorEngine:
 
         Rows are located by before-image equality, which is how a
         replication target without shared rowids has to do it.
+
+        Idempotence: stamped records (LSN > 0) at or below the table's
+        applied-LSN watermark are skipped — a redelivered batch (retry
+        after a crash, checkpoint replay over-read) is a no-op rather
+        than a double apply. An empty or fully-duplicate batch returns 0
+        without bumping the snapshot epoch. Stamped records must arrive
+        in strictly ascending LSN order within a batch; anything else is
+        an out-of-order delivery and is rejected. Unstamped records
+        (LSN <= 0, direct engine use) bypass the watermark entirely.
         """
         self._check_fault()
         key = name.upper()
         table = self.storage_for(key)
-        self._write_lock.acquire()
-        try:
-            return self._apply_changes_locked(key, table, records)
-        except Exception:
-            # The lookup cache is mutated in place while the batch is
-            # processed; a failed batch leaves it inconsistent, so the
-            # next drain must rebuild it from storage.
-            self._lookup_cache.pop(key, None)
-            raise
-        finally:
-            self._write_lock.release()
+        with self._write_lock:
+            watermark = self._applied_lsn.get(key, 0)
+            fresh = []
+            last_lsn = None
+            for record in records:
+                if record.lsn > 0:
+                    if last_lsn is not None and record.lsn <= last_lsn:
+                        raise ReplicationError(
+                            f"out-of-order change records for {key}: "
+                            f"LSN {record.lsn} after LSN {last_lsn}"
+                        )
+                    last_lsn = record.lsn
+                    if record.lsn <= watermark:
+                        self.records_deduplicated += 1
+                        continue
+                fresh.append(record)
+            if not fresh:
+                return 0
+            try:
+                applied = self._apply_changes_locked(key, table, fresh)
+            except Exception:
+                # The lookup cache is mutated in place while the batch is
+                # processed; a failed batch leaves it inconsistent, so the
+                # next drain must rebuild it from storage.
+                self._lookup_cache.pop(key, None)
+                raise
+            if last_lsn is not None:
+                self._applied_lsn[key] = max(watermark, last_lsn)
+            self._note_write_locked(key)
+            return applied
 
     def _apply_changes_locked(
         self, key: str, table: ColumnStoreTable, records
@@ -311,6 +367,8 @@ class AcceleratorEngine:
                 table.append_rows(live, epoch)
                 changed += len(live)
             self._publish_epoch(epoch)
+            if changed:
+                self._note_write_locked(delta.table.upper())
         return changed
 
     def groom(self, name: str) -> GroomStats:
@@ -355,6 +413,106 @@ class AcceleratorEngine:
             chunks_before=chunks_before,
             chunks_after=fresh.total_chunk_count,
         )
+
+    # -- recovery support ---------------------------------------------------------------
+
+    def applied_lsn(self, name: str) -> int:
+        """Highest change-record LSN applied to ``name`` (0 = none)."""
+        return self._applied_lsn.get(name.upper(), 0)
+
+    def applied_lsns(self) -> dict[str, int]:
+        return dict(self._applied_lsn)
+
+    def lineage_epoch(self, name: str) -> int:
+        """Current lineage epoch of ``name`` (0 = never written)."""
+        return self._lineage.get(name.upper(), 0)
+
+    def lineage_epochs(self) -> dict[str, int]:
+        return dict(self._lineage)
+
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+    def _live_rows_locked(self, table: ColumnStoreTable) -> list[tuple]:
+        row_ids, columns = table.read_visible(self.current_epoch)
+        ordered = [columns[c.name] for c in table.schema.columns]
+        object_columns = [col.to_objects() for col in ordered]
+        return [
+            tuple(values[i] for values in object_columns)
+            for i in range(len(row_ids))
+        ]
+
+    def capture_state(self) -> dict:
+        """Consistent image of every table + watermarks, one lock hold.
+
+        Used by checkpointing. Because the write lock blocks every write
+        path, the row images, applied-LSN watermarks, and lineage epochs
+        are mutually consistent — no batch can land between a table's
+        rows and its watermark being captured.
+        """
+        with self._write_lock:
+            tables = {
+                key: self._live_rows_locked(table)
+                for key, table in sorted(self._tables.items())
+            }
+            return {
+                "tables": tables,
+                "applied_lsn": dict(self._applied_lsn),
+                "lineage": dict(self._lineage),
+            }
+
+    def snapshot_rows(self, name: str) -> list[tuple]:
+        """Live rows of one table at the current epoch (write-blocked)."""
+        table = self.storage_for(name)
+        with self._write_lock:
+            return self._live_rows_locked(table)
+
+    def wipe(self) -> None:
+        """Simulate a crash: every piece of volatile state is lost.
+
+        Tables, lookup caches, LSN watermarks, lineage epochs, and the
+        snapshot epoch all go — exactly what an appliance restart loses.
+        Recovery rebuilds them from the last checkpoint plus the
+        changelog suffix.
+        """
+        with self._write_lock:
+            self._tables.clear()
+            self._lookup_cache.clear()
+            self._applied_lsn.clear()
+            self._lineage.clear()
+            self.current_epoch = 0
+            self.last_parallel_scans = []
+
+    def restore_table(
+        self,
+        descriptor: TableDescriptor,
+        rows: Sequence[tuple],
+        applied_lsn: int = 0,
+        lineage_epoch: int = 0,
+    ) -> int:
+        """Load a checkpointed table image during restart recovery.
+
+        Rows land at epoch 0 — visible to every snapshot — and the write
+        listener is deliberately *not* fired: a restore is not new work,
+        so lineage epochs come from the checkpoint, not from the load.
+        """
+        key = descriptor.name
+        with self._write_lock:
+            self._lookup_cache.pop(key, None)
+            table = ColumnStoreTable(
+                descriptor.schema,
+                slice_count=self.slice_count,
+                distribute_on=descriptor.distribute_on,
+                chunk_rows=self.chunk_rows,
+            )
+            if rows:
+                table.append_rows([tuple(r) for r in rows], epoch=0)
+            self._tables[key] = table
+            if applied_lsn:
+                self._applied_lsn[key] = applied_lsn
+            if lineage_epoch:
+                self._lineage[key] = lineage_epoch
+        return len(rows)
 
     # -- snapshot reads -----------------------------------------------------------------
 
@@ -555,6 +713,10 @@ class AcceleratorEngine:
         if delta is not None:
             delta.insert(coerced)
         else:
+            # Crash point: an accelerator-only populate (CTAS / direct
+            # INSERT ... SELECT) dies before any row became durable.
+            if self.fault_injector is not None:
+                self.fault_injector.crash_point("aot.mid_build")
             self.bulk_insert(name, coerced)
         return len(coerced)
 
@@ -591,6 +753,7 @@ class AcceleratorEngine:
             epoch = self._staged_epoch()
             deleted = table.mark_deleted(base_ids, epoch)
             self._publish_epoch(epoch)
+            self._note_write_locked(name)
             return deleted
 
     def update_where(
@@ -669,6 +832,7 @@ class AcceleratorEngine:
             table.mark_deleted(base_ids, epoch)
         table.append_rows(new_rows, epoch)
         self._publish_epoch(epoch)
+        self._note_write_locked(name)
         return len(new_rows)
 
     def _target_rows(

@@ -83,6 +83,27 @@ class ReplicationError(ReproError):
     """Raised by the change-capture / apply pipeline."""
 
 
+class ChangelogTruncatedError(ReplicationError):
+    """Raised when a reader asks for LSNs the change log no longer holds.
+
+    Retention trimming (``ChangeLog.trim``) drops the oldest records; a
+    reader whose cursor fell behind the trim point cannot catch up
+    incrementally and must fall back to a full table reload.
+    """
+
+
+class RecoveryError(ReproError):
+    """Base class for checkpoint/restart-recovery errors."""
+
+
+class CorruptCheckpointError(RecoveryError):
+    """A checkpoint file failed validation (torn write, bad checksum).
+
+    Restore treats a corrupt checkpoint as absent and falls back to the
+    previous one (or a full reload) rather than loading damaged state.
+    """
+
+
 class LinkError(ReproError):
     """Raised when the DB2 ↔ accelerator interconnect drops a transfer.
 
@@ -98,6 +119,16 @@ class AcceleratorCrashError(ReproError):
     Injected by the fault framework to simulate an appliance crash or
     restart; callers treat it like a link error but it usually persists
     until the simulated outage ends.
+    """
+
+
+class InjectedCrashError(AcceleratorCrashError):
+    """An armed *crash point* fired (kill/restart testing).
+
+    Subclasses :class:`AcceleratorCrashError` so every existing failure
+    path (retry, circuit breaker, failback) treats it like a real crash;
+    the crash-recovery harness additionally uses it as the signal to kill
+    the accelerator and drive a restart + resync.
     """
 
 

@@ -28,7 +28,12 @@ the simulation is managed the same way:
   sheddability);
 * ``SYSPROC.ACCEL_GET_WLM('')`` — the live WLM state: gates with
   slots-in-use and queue lengths, per-class admission counters, and
-  statement-outcome totals (read-only, like ACCEL_GET_HEALTH).
+  statement-outcome totals (read-only, like ACCEL_GET_HEALTH);
+* ``SYSPROC.ACCEL_CHECKPOINT('')`` — write a durable replication
+  checkpoint (cursor, table images, watermarks, lineage epochs);
+* ``SYSPROC.ACCEL_RECOVER('')`` — restart resync: restore the newest
+  valid checkpoint, replay the changelog suffix, full-reload what the
+  checkpoint cannot cover, rebuild stale AOTs.
 
 All of them require administrator authority (SYSADM), mirroring the
 production requirement that accelerator administration is a privileged
@@ -128,6 +133,11 @@ def _accel_control(ctx: ProcedureContext) -> str:
     if action == "replicate":
         applied = ctx.system.replication.drain()
         return f"ACCEL_CONTROL_ACCELERATOR ok: {applied} changes applied"
+    if action == "trim":
+        dropped = ctx.system.recovery.trim_changelog()
+        oldest = ctx.system.db2.change_log.oldest_lsn
+        ctx.log(f"changelog trimmed: {dropped} records, oldest_lsn={oldest}")
+        return f"ACCEL_CONTROL_ACCELERATOR ok: {dropped} records trimmed"
     if action == "status":
         backlog = ctx.system.replication.backlog
         stats = ctx.system.movement_snapshot()
@@ -138,7 +148,7 @@ def _accel_control(ctx: ProcedureContext) -> str:
         )
         return "ACCEL_CONTROL_ACCELERATOR ok: status reported"
     raise ProcedureError(
-        f"unknown action {action!r} (expected replicate or status)"
+        f"unknown action {action!r} (expected replicate, trim, or status)"
     )
 
 
@@ -170,6 +180,19 @@ def _accel_get_health(ctx: ProcedureContext) -> str:
         f"abandoned={stats.batches_abandoned} "
         f"skipped_drains={stats.drains_skipped_offline} "
         f"backoff={stats.simulated_backoff_seconds * 1000:.1f}ms"
+    )
+    recovery = system.recovery
+    age = recovery.last_checkpoint_age_seconds()
+    ctx.log(
+        "recovery: last_checkpoint="
+        + (
+            f"#{recovery.last_checkpoint_id} age={age:.1f}s"
+            if recovery.last_checkpoint_id is not None
+            else "none"
+        )
+        + f" retained={len(recovery.checkpoint_ids())}"
+        + f" replay_lag={recovery.replay_lag_records()} records"
+        + f" recoveries={recovery.recoveries}"
     )
     ctx.log(
         f"failbacks={system.failbacks} "
@@ -387,6 +410,44 @@ def _accel_get_wlm(ctx: ProcedureContext) -> str:
     return f"ACCEL_GET_WLM: enabled={'on' if wlm.enabled else 'off'}"
 
 
+def _accel_checkpoint(ctx: ProcedureContext) -> str:
+    """Write a durable replication checkpoint (SYSADM only)."""
+    _require_admin(ctx)
+    result = ctx.system.recovery.checkpoint()
+    ctx.log(
+        f"checkpoint #{result.checkpoint_id}: cursor_lsn={result.cursor_lsn} "
+        f"tables={result.tables} rows={result.rows} "
+        f"bytes={result.bytes_written}"
+    )
+    return f"ACCEL_CHECKPOINT ok: #{result.checkpoint_id}"
+
+
+def _accel_recover(ctx: ProcedureContext) -> str:
+    """Restart resync from the newest valid checkpoint (SYSADM only).
+
+    Meant for a freshly restarted (empty) accelerator; running it against
+    a healthy one is wasteful but safe — restores are idempotent and the
+    replay is deduplicated by the applied-LSN watermarks.
+    """
+    _require_admin(ctx)
+    result = ctx.system.recovery.recover()
+    source = (
+        f"checkpoint #{result.checkpoint_id}"
+        if result.checkpoint_id is not None
+        else "no checkpoint (full reloads)"
+    )
+    ctx.log(
+        f"recovered from {source}: tables_restored={result.tables_restored} "
+        f"rows_restored={result.rows_restored} "
+        f"records_replayed={result.records_replayed} "
+        f"full_reloads={result.full_reloads} "
+        f"aots_rebuilt={result.aots_rebuilt} aots_lost={result.aots_lost} "
+        f"resync_bytes_saved={result.resync_bytes_saved} "
+        f"corrupt_skipped={result.corrupt_skipped}"
+    )
+    return f"ACCEL_RECOVER ok: {source}"
+
+
 def _accel_get_query_history(ctx: ProcedureContext) -> str:
     limit = ctx.get_int("limit", 20)
     history = list(ctx.system.statement_history)[-limit:]
@@ -425,6 +486,10 @@ def register_admin_procedures(registry: ProcedureRegistry) -> None:
          "configure the workload manager (enable, slots, service classes)"),
         ("SYSPROC.ACCEL_GET_WLM", _accel_get_wlm,
          "live workload-manager gates, classes, and shed counters"),
+        ("SYSPROC.ACCEL_CHECKPOINT", _accel_checkpoint,
+         "write a durable replication checkpoint"),
+        ("SYSPROC.ACCEL_RECOVER", _accel_recover,
+         "restart resync from the newest valid checkpoint"),
     ):
         registry.register(
             Procedure(

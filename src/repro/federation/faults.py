@@ -19,6 +19,16 @@ Three fault kinds exist: ``error`` raises :class:`~repro.errors.LinkError`
 :class:`~repro.errors.AcceleratorCrashError` (the appliance is gone until
 the rule is cleared), and ``latency`` silently inflates the simulated
 transfer time instead of raising.
+
+**Crash points** (recovery testing) are named code locations that the
+federation consults via :meth:`FaultInjector.crash_point` at the moments
+where a real appliance crash would be most damaging: mid replication
+batch, mid checkpoint write, mid DDL, mid AOT build, and after a commit
+but before the client is acked. Arming one
+(:meth:`FaultInjector.arm_crash_point`) installs a ``crash`` rule at the
+site ``crashpoint.<name>`` that raises
+:class:`~repro.errors.InjectedCrashError`; the recovery harness uses the
+raise as its cue to kill and restart the accelerator.
 """
 
 from __future__ import annotations
@@ -29,11 +39,36 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, Optional
 
-from repro.errors import AcceleratorCrashError, LinkError
+from repro.errors import AcceleratorCrashError, InjectedCrashError, LinkError
 
-__all__ = ["FaultInjector", "FaultRule", "FAULT_KINDS"]
+__all__ = [
+    "FaultInjector",
+    "FaultRule",
+    "FAULT_KINDS",
+    "CRASH_POINTS",
+]
 
 FAULT_KINDS = ("error", "crash", "latency")
+
+#: Named crash points consulted by the federation's recovery-critical
+#: code paths. Each maps to fault site ``crashpoint.<name>``.
+CRASH_POINTS = (
+    # Between shipping a table sub-batch over the interconnect and
+    # acknowledging it — the classic partially-applied-batch crash.
+    "replication.mid_batch",
+    # While the checkpoint frame is being written — exercises torn-write
+    # detection on restore.
+    "checkpoint.mid_write",
+    # During ADD TABLE TO ACCELERATOR, after accelerator storage exists
+    # but before the initial copy finished.
+    "ddl.mid_accelerate",
+    # During an accelerator-only CTAS populate — the AOT is lost and must
+    # be rebuilt from its registered source query.
+    "aot.mid_build",
+    # After DB2 committed but before the commit-time auto-drain ran: DB2
+    # is ahead of the accelerator by exactly one transaction.
+    "commit.post_commit_pre_ack",
+)
 
 _DEFAULT_ERRORS: dict[str, Callable[[str], Exception]] = {
     "error": lambda site: LinkError(f"injected link error at {site}"),
@@ -148,6 +183,61 @@ class FaultInjector:
         if site is None:
             return list(self._rules)
         return [r for r in self._rules if r.site == site]
+
+    # -- crash points ------------------------------------------------------------
+
+    @staticmethod
+    def crash_site(name: str) -> str:
+        if name not in CRASH_POINTS:
+            raise ValueError(
+                f"unknown crash point {name!r} (expected one of "
+                f"{', '.join(CRASH_POINTS)})"
+            )
+        return f"crashpoint.{name}"
+
+    def arm_crash_point(
+        self,
+        name: str,
+        schedule: Optional[Iterator[int]] = None,
+        count: Optional[int] = None,
+    ) -> FaultRule:
+        """Arm a named crash point; the rule raises ``InjectedCrashError``.
+
+        By default the rule stays armed (every hit crashes) until cleared
+        by :meth:`clear_crash_points` — matching a dead appliance, which
+        keeps failing retries until it is restarted. ``schedule``/``count``
+        narrow the firing window for precise scenarios.
+        """
+        return self.add(
+            self.crash_site(name),
+            kind="crash",
+            schedule=schedule,
+            count=count,
+            error_factory=lambda site: InjectedCrashError(
+                f"injected crash at {site}"
+            ),
+        )
+
+    def crash_point(self, name: str) -> None:
+        """Consult a named crash point (no-op unless armed)."""
+        self.check(self.crash_site(name))
+
+    def clear_crash_points(self) -> None:
+        """Disarm every crash-point rule (the kill step of kill/restart)."""
+        prefix = "crashpoint."
+        self._rules = [
+            r for r in self._rules if not r.site.startswith(prefix)
+        ]
+
+    def armed_crash_points(self) -> list[str]:
+        prefix = "crashpoint."
+        return sorted(
+            {
+                r.site[len(prefix):]
+                for r in self._rules
+                if r.active and r.site.startswith(prefix)
+            }
+        )
 
     # -- evaluation --------------------------------------------------------------
 

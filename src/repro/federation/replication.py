@@ -94,6 +94,7 @@ class ReplicationService:
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
         drain_history_limit: int = 256,
+        faults=None,
     ) -> None:
         if batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
@@ -109,6 +110,10 @@ class ReplicationService:
         self.backoff_cap_seconds = backoff_cap_seconds
         self._retry_rng = random.Random(retry_seed)
         self._health = health
+        #: Optional fault injector; the apply path consults the
+        #: ``replication.mid_batch`` crash point between shipping a table
+        #: sub-batch and applying it (recovery testing).
+        self._faults = faults
         #: Called with each backoff delay; None keeps backoff simulated
         #: (accounted in ``simulated_backoff_seconds``) without real sleeps.
         self._sleep = sleep
@@ -139,6 +144,24 @@ class ReplicationService:
 
     def unregister_table(self, name: str) -> None:
         self._table_start.pop(name.upper(), None)
+
+    def table_starts(self) -> dict[str, int]:
+        """Per-table replication start LSNs (checkpointed for restart)."""
+        return dict(self._table_start)
+
+    def reset(self) -> None:
+        """Crash simulation: registrations, cursor and partial-batch
+        progress are accelerator-side state and die with the appliance.
+
+        Lifetime counters survive (they are DB2-side monitoring)."""
+        self._table_start.clear()
+        self._partial = None
+        self._cursor = self._change_log.head_lsn
+
+    def restore_cursor(self, lsn: int) -> None:
+        """Restart replication from a checkpointed cursor position."""
+        self._partial = None
+        self._cursor = lsn
 
     @property
     def backlog(self) -> int:
@@ -357,10 +380,18 @@ class ReplicationService:
             schema = self._catalog.table(table).schema
             nbytes = sum(r.byte_size(schema) for r in table_records)
             self._interconnect.send_to_accelerator(nbytes)
-            self._accelerator.apply_changes(table, table_records)
+            # Crash point: the sub-batch is on the wire but not applied —
+            # the canonical partially-delivered-batch crash. The engine's
+            # applied-LSN watermark makes the post-restart redelivery a
+            # no-op for anything that did land.
+            if self._faults is not None:
+                self._faults.crash_point("replication.mid_batch")
+            applied_now = self._accelerator.apply_changes(
+                table, table_records
+            )
             applied_tables.add(table)
-            applied += len(table_records)
-            self.records_applied += len(table_records)
+            applied += applied_now
+            self.records_applied += applied_now
         if applied:
             self.batches_applied += 1
         return applied

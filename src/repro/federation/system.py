@@ -56,6 +56,7 @@ from repro.federation.views import expand_views
 from repro.metrics.counters import MovementStats, estimate_rows_bytes
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.monitor import execute_monitoring_query, monitoring_tables
+from repro.recovery.manager import RecoveryManager
 from repro.obs.trace import NULL_SPAN, Tracer
 from repro.result import Result
 from repro.sql import ast, parse_statement
@@ -113,6 +114,8 @@ class AcceleratedDatabase:
         wlm_db2_slots: int = 8,
         wlm_accelerator_slots: int = 4,
         wlm_max_queue_seconds: float = 5.0,
+        checkpoint_dir: Optional[str] = None,
+        checkpoint_retain: int = 3,
     ) -> None:
         self.catalog = Catalog()
         self.db2 = Db2Engine(self.catalog)
@@ -154,6 +157,14 @@ class AcceleratedDatabase:
             health=self.health,
             tracer=self.tracer,
             metrics=self.metrics,
+            faults=self.faults,
+        )
+        # The replication cursor is itself a retention guard: a trim may
+        # never drop records the single log reader has not consumed.
+        # (The recovery manager registers a second guard for the oldest
+        # retained checkpoint's watermark.)
+        self.db2.change_log.add_retention_guard(
+            lambda: self.replication.cursor_lsn
         )
         self.router = QueryRouter(
             self.catalog,
@@ -172,6 +183,15 @@ class AcceleratedDatabase:
             db2_slots=wlm_db2_slots,
             accelerator_slots=wlm_accelerator_slots,
             max_queue_seconds=wlm_max_queue_seconds,
+        )
+        #: Durable checkpointing + restart resync (DB2-side machinery: it
+        #: survives an accelerator crash and drives the rebuild). With no
+        #: ``checkpoint_dir`` the checkpoints live in memory — same frame
+        #: format, no files.
+        self.recovery = RecoveryManager(
+            self,
+            checkpoint_dir=checkpoint_dir,
+            retain=checkpoint_retain,
         )
         #: Queries transparently re-executed on DB2 (ENABLE WITH FAILBACK).
         self.failbacks = 0
@@ -207,6 +227,9 @@ class AcceleratedDatabase:
             "plan_cache", lambda: self.plan_cache.snapshot()
         )
         self.metrics.register_source("wlm", lambda: self.wlm.snapshot())
+        self.metrics.register_source(
+            "recovery", lambda: self.recovery.status()
+        )
 
     def _health_metrics(self) -> dict:
         health = self.health
@@ -267,6 +290,10 @@ class AcceleratedDatabase:
         # compiled against the old placement are invalidated.
         self.catalog.set_location(descriptor.name, TableLocation.ACCELERATED)
         self.accelerator.create_storage(descriptor)
+        # Crash point: the placement moved and storage exists, but the
+        # initial copy has not landed and replication is not registered —
+        # recovery must finish the DDL's intent with a full reload.
+        self.faults.crash_point("ddl.mid_accelerate")
         storage = self.db2.storage_for(descriptor.name)
         rows = [row for _, row in storage.scan()]
         self.interconnect.send_to_accelerator(storage.byte_count)
@@ -441,6 +468,10 @@ class Connection:
         self._system.db2.commit(txn)
         self._txn = None
         self._explicit = False
+        # Crash point: DB2 committed (changelog published) but the client
+        # was not acked and the commit-time drain has not run — DB2 is
+        # ahead of the accelerator by exactly this transaction.
+        self._system.faults.crash_point("commit.post_commit_pre_ack")
         if self._system.auto_replicate:
             self._system.replication.drain()
 

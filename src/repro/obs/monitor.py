@@ -12,7 +12,11 @@ equivalents as *virtual tables* under the ``SYSACCEL`` schema:
   outcome, batch counts, backlog movement, and retry totals;
 * ``SYSACCEL.MON_WLM`` — one row per (engine gate, service class) with
   the class policy and live admission state: running/queued statements,
-  admitted/bypassed/shed counters, queue timeouts, accumulated wait.
+  admitted/bypassed/shed counters, queue timeouts, accumulated wait;
+* ``SYSACCEL.MON_RECOVERY`` — one row per recovery event (checkpoint
+  taken, checkpoint failed, restart resync, retention trim) with cursor
+  position, rows/tables covered, replayed record counts, full-reload and
+  AOT-rebuild counts, and interconnect bytes the checkpoint saved.
 
 They hold no storage: each query materialises rows from the live
 observability structures and runs the full SELECT pipeline (WHERE,
@@ -82,6 +86,21 @@ _SCHEMAS: dict[str, TableSchema] = {
             Column("RETRIES", BIGINT),
             Column("ABANDONED", BIGINT),
             Column("REASON", _TEXT),
+        ]
+    ),
+    "SYSACCEL.MON_RECOVERY": TableSchema(
+        [
+            Column("EVENT_ID", BIGINT),
+            Column("KIND", VarcharType(20)),
+            Column("CHECKPOINT_ID", BIGINT),
+            Column("CURSOR_LSN", BIGINT),
+            Column("TABLES", INTEGER),
+            Column("ROW_COUNT", BIGINT),
+            Column("RECORDS_REPLAYED", BIGINT),
+            Column("FULL_RELOADS", INTEGER),
+            Column("AOTS_REBUILT", INTEGER),
+            Column("BYTES_SAVED", BIGINT),
+            Column("DETAIL", _TEXT),
         ]
     ),
     "SYSACCEL.MON_WLM": TableSchema(
@@ -188,10 +207,30 @@ def _wlm_rows(system: "AcceleratedDatabase") -> list[tuple]:
     return system.wlm.monitor_rows()
 
 
+def _recovery_rows(system: "AcceleratedDatabase") -> list[tuple]:
+    return [
+        (
+            event.event_id,
+            event.kind,
+            event.checkpoint_id,
+            event.cursor_lsn,
+            event.tables,
+            event.rows,
+            event.records_replayed,
+            event.full_reloads,
+            event.aots_rebuilt,
+            event.bytes_saved,
+            _clip(event.detail) or None,
+        )
+        for event in system.recovery.events
+    ]
+
+
 _ROW_BUILDERS: dict[str, Callable] = {
     "SYSACCEL.MON_STATEMENTS": _statements_rows,
     "SYSACCEL.MON_SPANS": _spans_rows,
     "SYSACCEL.MON_REPLICATION": _replication_rows,
+    "SYSACCEL.MON_RECOVERY": _recovery_rows,
     "SYSACCEL.MON_WLM": _wlm_rows,
 }
 

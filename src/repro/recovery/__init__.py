@@ -1,0 +1,43 @@
+"""Crash-consistent recovery: durable checkpoints and restart resync.
+
+The accelerator is a *replica* — DB2 is the source of truth — so crash
+safety means being able to lose every byte of accelerator state and come
+back correct. This package provides the three pieces:
+
+* :mod:`repro.recovery.checkpoint` — the durable checkpoint format
+  (tagged-JSON payload inside a checksummed frame) and the file/memory
+  stores that write it atomically;
+* :mod:`repro.recovery.manager` — :class:`RecoveryManager`, which takes
+  checkpoints (replication cursor, per-table row images + applied-LSN
+  watermarks, AOT lineage epochs, catalog generation) and drives restart
+  resync: restore the latest valid checkpoint, replay only the changelog
+  suffix, full-reload only when the log was truncated, and rebuild stale
+  AOTs as BATCH-class work;
+* :mod:`repro.recovery.harness` — the crash-point differential harness:
+  kill the accelerator at every named crash point and assert the
+  recovered system answers byte-identically to an uncrashed run.
+"""
+
+from repro.recovery.checkpoint import (
+    Checkpoint,
+    CheckpointTable,
+    FileCheckpointStore,
+    MemoryCheckpointStore,
+)
+from repro.recovery.manager import (
+    CheckpointResult,
+    RecoveryEvent,
+    RecoveryManager,
+    RecoveryResult,
+)
+
+__all__ = [
+    "Checkpoint",
+    "CheckpointTable",
+    "FileCheckpointStore",
+    "MemoryCheckpointStore",
+    "CheckpointResult",
+    "RecoveryEvent",
+    "RecoveryManager",
+    "RecoveryResult",
+]

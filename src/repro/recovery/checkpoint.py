@@ -1,0 +1,259 @@
+"""Checkpoint format and stores.
+
+A checkpoint is the accelerator's durable restart state: the replication
+cursor, the catalog generation, and per-table row images with their
+applied-LSN watermarks and lineage epochs. It is serialised as
+*tagged JSON* — SQL values that JSON cannot represent natively (DATE,
+TIMESTAMP, DECIMAL) ride as ``{"$": tag, "v": text}`` objects so the
+round trip is exact — and wrapped in the checksummed frame from
+:mod:`repro.storage.durable`.
+
+Two stores exist. :class:`FileCheckpointStore` writes each checkpoint as
+``checkpoint-<id>.ckpt`` via temp-file + fsync + rename, so a crash mid
+write can never publish a torn frame — except through
+:meth:`~FileCheckpointStore.write_torn`, which the crash-point harness
+uses to simulate non-atomic media and prove that restore's checksum
+validation catches the damage. :class:`MemoryCheckpointStore` keeps the
+same framed bytes in memory for tests and for systems constructed
+without a checkpoint directory.
+"""
+
+from __future__ import annotations
+
+import datetime
+import decimal
+import json
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import CorruptCheckpointError
+from repro.storage.durable import pack_frame, read_frame, unpack_frame, write_frame_atomic
+
+__all__ = [
+    "Checkpoint",
+    "CheckpointTable",
+    "FileCheckpointStore",
+    "MemoryCheckpointStore",
+]
+
+PAYLOAD_VERSION = 1
+
+_FILE_PATTERN = re.compile(r"^checkpoint-(\d{8})\.ckpt$")
+
+
+# ---------------------------------------------------------------------------
+# Tagged-JSON value encoding
+# ---------------------------------------------------------------------------
+
+
+def _encode_value(value):
+    if isinstance(value, datetime.datetime):
+        return {"$": "ts", "v": value.isoformat()}
+    if isinstance(value, datetime.date):
+        return {"$": "d", "v": value.isoformat()}
+    if isinstance(value, decimal.Decimal):
+        return {"$": "dec", "v": str(value)}
+    return value
+
+
+def _decode_value(value):
+    if isinstance(value, dict) and "$" in value:
+        tag, text = value["$"], value["v"]
+        if tag == "ts":
+            return datetime.datetime.fromisoformat(text)
+        if tag == "d":
+            return datetime.date.fromisoformat(text)
+        if tag == "dec":
+            return decimal.Decimal(text)
+        raise CorruptCheckpointError(f"unknown value tag {tag!r}")
+    return value
+
+
+def _encode_row(row: tuple) -> list:
+    return [_encode_value(v) for v in row]
+
+
+def _decode_row(row: list) -> tuple:
+    return tuple(_decode_value(v) for v in row)
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint model
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CheckpointTable:
+    """One table's image inside a checkpoint."""
+
+    rows: list[tuple]
+    #: Highest change-record LSN applied to this copy (0 for AOTs).
+    applied_lsn: int
+    #: Lineage epoch of the image (stale-AOT detection on restart).
+    lineage_epoch: int
+
+
+@dataclass
+class Checkpoint:
+    """A consistent accelerator restart point."""
+
+    checkpoint_id: int
+    created_at: float
+    catalog_generation: int
+    #: Replication cursor at capture time; replay resumes here. Read
+    #: *before* the row images are captured, so it can only lag them —
+    #: the over-read on replay is deduplicated by the applied-LSN
+    #: watermarks.
+    cursor_lsn: int
+    #: Per-table replication start LSNs (re-registration on restart).
+    table_starts: dict[str, int] = field(default_factory=dict)
+    tables: dict[str, CheckpointTable] = field(default_factory=dict)
+
+    def to_payload(self) -> bytes:
+        document = {
+            "version": PAYLOAD_VERSION,
+            "checkpoint_id": self.checkpoint_id,
+            "created_at": self.created_at,
+            "catalog_generation": self.catalog_generation,
+            "cursor_lsn": self.cursor_lsn,
+            "table_starts": self.table_starts,
+            "tables": {
+                name: {
+                    "applied_lsn": entry.applied_lsn,
+                    "lineage_epoch": entry.lineage_epoch,
+                    "rows": [_encode_row(row) for row in entry.rows],
+                }
+                for name, entry in sorted(self.tables.items())
+            },
+        }
+        return json.dumps(document, separators=(",", ":")).encode("utf-8")
+
+    @classmethod
+    def from_payload(cls, payload: bytes) -> "Checkpoint":
+        try:
+            document = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise CorruptCheckpointError(
+                f"checkpoint payload is not valid JSON: {exc}"
+            ) from exc
+        version = document.get("version")
+        if version != PAYLOAD_VERSION:
+            raise CorruptCheckpointError(
+                f"unsupported checkpoint payload version {version!r}"
+            )
+        try:
+            return cls(
+                checkpoint_id=int(document["checkpoint_id"]),
+                created_at=float(document["created_at"]),
+                catalog_generation=int(document["catalog_generation"]),
+                cursor_lsn=int(document["cursor_lsn"]),
+                table_starts={
+                    name: int(lsn)
+                    for name, lsn in document.get("table_starts", {}).items()
+                },
+                tables={
+                    name: CheckpointTable(
+                        rows=[_decode_row(row) for row in entry["rows"]],
+                        applied_lsn=int(entry["applied_lsn"]),
+                        lineage_epoch=int(entry["lineage_epoch"]),
+                    )
+                    for name, entry in document.get("tables", {}).items()
+                },
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CorruptCheckpointError(
+                f"malformed checkpoint payload: {exc}"
+            ) from exc
+
+
+# ---------------------------------------------------------------------------
+# Stores
+# ---------------------------------------------------------------------------
+
+
+class MemoryCheckpointStore:
+    """Framed checkpoints in memory (tests; no checkpoint directory).
+
+    The frames are packed/unpacked exactly like the file store's, so
+    corruption handling is exercised identically.
+    """
+
+    def __init__(self) -> None:
+        self._frames: dict[int, bytes] = {}
+
+    def ids(self) -> list[int]:
+        return sorted(self._frames)
+
+    def write(self, checkpoint_id: int, payload: bytes) -> int:
+        frame = pack_frame(payload)
+        self._frames[checkpoint_id] = frame
+        return len(frame)
+
+    def write_torn(self, checkpoint_id: int, payload: bytes) -> None:
+        """Publish a half-written frame (crash-mid-write simulation)."""
+        frame = pack_frame(payload)
+        self._frames[checkpoint_id] = frame[: max(1, len(frame) // 2)]
+
+    def read(self, checkpoint_id: int) -> bytes:
+        frame = self._frames.get(checkpoint_id)
+        if frame is None:
+            raise CorruptCheckpointError(
+                f"no checkpoint {checkpoint_id} in store"
+            )
+        return unpack_frame(frame)
+
+    def delete(self, checkpoint_id: int) -> None:
+        self._frames.pop(checkpoint_id, None)
+
+
+class FileCheckpointStore:
+    """One frame file per checkpoint under a directory, written atomically."""
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+
+    def path_for(self, checkpoint_id: int) -> str:
+        return os.path.join(
+            self.directory, f"checkpoint-{checkpoint_id:08d}.ckpt"
+        )
+
+    def ids(self) -> list[int]:
+        found = []
+        for name in os.listdir(self.directory):
+            match = _FILE_PATTERN.match(name)
+            if match:
+                found.append(int(match.group(1)))
+        return sorted(found)
+
+    def write(self, checkpoint_id: int, payload: bytes) -> int:
+        return write_frame_atomic(self.path_for(checkpoint_id), payload)
+
+    def write_torn(self, checkpoint_id: int, payload: bytes) -> None:
+        """Publish a half frame under the *final* name.
+
+        Deliberately bypasses the temp-file + rename protocol: this is
+        the harness's stand-in for media that tore the write, so restore
+        must reject the file via its checksum, not via the filename.
+        """
+        frame = pack_frame(payload)
+        with open(self.path_for(checkpoint_id), "wb") as handle:
+            handle.write(frame[: max(1, len(frame) // 2)])
+
+    def read(self, checkpoint_id: int) -> bytes:
+        return read_frame(self.path_for(checkpoint_id))
+
+    def delete(self, checkpoint_id: int) -> None:
+        try:
+            os.unlink(self.path_for(checkpoint_id))
+        except OSError:
+            pass
+
+
+def open_store(checkpoint_dir: Optional[str]):
+    """File store when a directory is configured, memory store otherwise."""
+    if checkpoint_dir:
+        return FileCheckpointStore(checkpoint_dir)
+    return MemoryCheckpointStore()

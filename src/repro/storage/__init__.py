@@ -3,6 +3,22 @@ columnar store with zone maps (accelerator side)."""
 
 from repro.storage.row_store import RowStoreTable, RowId
 from repro.storage.column_store import ColumnStoreTable, Chunk
+from repro.storage.durable import (
+    pack_frame,
+    read_frame,
+    unpack_frame,
+    write_frame_atomic,
+)
 from repro.storage.zone_maps import ZoneMap
 
-__all__ = ["RowStoreTable", "RowId", "ColumnStoreTable", "Chunk", "ZoneMap"]
+__all__ = [
+    "RowStoreTable",
+    "RowId",
+    "ColumnStoreTable",
+    "Chunk",
+    "ZoneMap",
+    "pack_frame",
+    "unpack_frame",
+    "write_frame_atomic",
+    "read_frame",
+]

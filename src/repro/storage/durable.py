@@ -1,0 +1,110 @@
+"""Durable, checksummed, atomically-replaced checkpoint frames.
+
+The recovery subsystem persists accelerator state as *frames*: a small
+binary envelope around a payload that makes torn writes and bit rot
+detectable on read. The envelope is::
+
+    MAGIC (8 bytes) | VERSION (u32 BE) | LENGTH (u64 BE)
+    | SHA-256(payload) (32 bytes) | payload (LENGTH bytes)
+
+``write_frame_atomic`` writes the frame to a temp file in the target
+directory, fsyncs it, and ``os.replace``-renames it over the final name —
+so a crash mid-write leaves either the previous frame or none, never a
+half frame under the published name. ``read_frame`` validates the magic,
+version, declared length, and checksum, raising
+:class:`~repro.errors.CorruptCheckpointError` on any mismatch so callers
+treat damaged frames as absent instead of loading garbage.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import struct
+
+from repro.errors import CorruptCheckpointError
+
+__all__ = [
+    "FRAME_MAGIC",
+    "FRAME_VERSION",
+    "pack_frame",
+    "unpack_frame",
+    "write_frame_atomic",
+    "read_frame",
+]
+
+FRAME_MAGIC = b"RPROCKPT"
+FRAME_VERSION = 1
+_HEADER = struct.Struct(">8sIQ32s")  # magic, version, length, sha256
+
+
+def pack_frame(payload: bytes) -> bytes:
+    """Wrap ``payload`` in a checksummed frame."""
+    digest = hashlib.sha256(payload).digest()
+    return (
+        _HEADER.pack(FRAME_MAGIC, FRAME_VERSION, len(payload), digest)
+        + payload
+    )
+
+
+def unpack_frame(data: bytes) -> bytes:
+    """Validate a frame and return its payload.
+
+    Raises :class:`CorruptCheckpointError` on a short read, bad magic,
+    unknown version, truncated payload (torn write), trailing bytes, or
+    checksum mismatch.
+    """
+    if len(data) < _HEADER.size:
+        raise CorruptCheckpointError(
+            f"frame too short: {len(data)} bytes < {_HEADER.size}-byte header"
+        )
+    magic, version, length, digest = _HEADER.unpack_from(data)
+    if magic != FRAME_MAGIC:
+        raise CorruptCheckpointError(f"bad frame magic {magic!r}")
+    if version != FRAME_VERSION:
+        raise CorruptCheckpointError(f"unsupported frame version {version}")
+    payload = data[_HEADER.size:]
+    if len(payload) != length:
+        raise CorruptCheckpointError(
+            f"torn frame: header declares {length} payload bytes, "
+            f"found {len(payload)}"
+        )
+    if hashlib.sha256(payload).digest() != digest:
+        raise CorruptCheckpointError("frame checksum mismatch")
+    return payload
+
+
+def write_frame_atomic(path: str, payload: bytes) -> int:
+    """Write ``payload`` as a frame at ``path`` atomically; returns bytes.
+
+    Temp file in the same directory + fsync + ``os.replace``: readers see
+    the old frame or the new frame, never a torn one.
+    """
+    frame = pack_frame(payload)
+    directory = os.path.dirname(path) or "."
+    tmp_path = os.path.join(
+        directory, f".{os.path.basename(path)}.tmp.{os.getpid()}"
+    )
+    try:
+        with open(tmp_path, "wb") as handle:
+            handle.write(frame)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+    return len(frame)
+
+
+def read_frame(path: str) -> bytes:
+    """Read and validate the frame at ``path``; returns the payload."""
+    try:
+        with open(path, "rb") as handle:
+            data = handle.read()
+    except OSError as exc:
+        raise CorruptCheckpointError(f"cannot read frame {path}: {exc}")
+    return unpack_frame(data)

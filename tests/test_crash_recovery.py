@@ -1,0 +1,588 @@
+"""Crash-consistent recovery: checkpoints, restart resync, crash matrix.
+
+Covers the E16 recovery subsystem bottom-up: the checksummed frame
+format and atomic file store, the tagged-JSON checkpoint payload,
+changelog retention guards, the recovery manager's restore/replay/
+reload/rebuild decision tree, the SYSPROC procedures and MON_RECOVERY
+view, and finally the full crash-point differential matrix — every named
+crash point must leave the system byte-identical to an uncrashed run.
+"""
+
+import datetime
+import decimal
+import os
+
+import pytest
+
+from repro import AcceleratedDatabase
+from repro.errors import (
+    ChangelogTruncatedError,
+    CorruptCheckpointError,
+    InjectedCrashError,
+)
+from repro.recovery.checkpoint import (
+    Checkpoint,
+    CheckpointTable,
+    FileCheckpointStore,
+    MemoryCheckpointStore,
+)
+from repro.recovery.harness import (
+    CrashRestartDriver,
+    build_workload,
+    crash_scenarios,
+    default_system,
+    fingerprint,
+    run_crash_matrix,
+    run_crash_scenario,
+    run_uncrashed,
+)
+from repro.storage.durable import (
+    pack_frame,
+    read_frame,
+    unpack_frame,
+    write_frame_atomic,
+)
+
+
+# ---------------------------------------------------------------------------
+# Frame format + durable writes
+# ---------------------------------------------------------------------------
+
+
+class TestFrameFormat:
+    def test_roundtrip(self):
+        payload = b'{"hello": "world"}'
+        assert unpack_frame(pack_frame(payload)) == payload
+
+    def test_empty_payload_roundtrip(self):
+        assert unpack_frame(pack_frame(b"")) == b""
+
+    def test_torn_frame_detected(self):
+        frame = pack_frame(b"x" * 1000)
+        for cut in (0, 1, len(frame) // 2, len(frame) - 1):
+            with pytest.raises(CorruptCheckpointError):
+                unpack_frame(frame[:cut])
+
+    def test_bad_magic_detected(self):
+        frame = bytearray(pack_frame(b"payload"))
+        frame[0] ^= 0xFF
+        with pytest.raises(CorruptCheckpointError, match="magic"):
+            unpack_frame(bytes(frame))
+
+    def test_bad_version_detected(self):
+        frame = bytearray(pack_frame(b"payload"))
+        frame[8:12] = (99).to_bytes(4, "big")
+        with pytest.raises(CorruptCheckpointError, match="version"):
+            unpack_frame(bytes(frame))
+
+    def test_flipped_payload_bit_detected(self):
+        frame = bytearray(pack_frame(b"payload-bytes"))
+        frame[-1] ^= 0x01
+        with pytest.raises(CorruptCheckpointError, match="checksum"):
+            unpack_frame(bytes(frame))
+
+    def test_atomic_write_and_read(self, tmp_path):
+        path = str(tmp_path / "a.ckpt")
+        nbytes = write_frame_atomic(path, b"data")
+        assert os.path.getsize(path) == nbytes
+        assert read_frame(path) == b"data"
+        # No temp residue in the directory.
+        assert os.listdir(str(tmp_path)) == ["a.ckpt"]
+
+    def test_missing_file_is_corrupt(self, tmp_path):
+        with pytest.raises(CorruptCheckpointError):
+            read_frame(str(tmp_path / "missing.ckpt"))
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint payload
+# ---------------------------------------------------------------------------
+
+
+class TestCheckpointPayload:
+    def _sample(self):
+        return Checkpoint(
+            checkpoint_id=7,
+            created_at=1234.5,
+            catalog_generation=42,
+            cursor_lsn=300,
+            table_starts={"T": 12},
+            tables={
+                "T": CheckpointTable(
+                    rows=[
+                        (
+                            1,
+                            None,
+                            2.5,
+                            "text",
+                            datetime.date(2024, 2, 29),
+                            datetime.datetime(2024, 2, 29, 12, 30, 15),
+                            decimal.Decimal("10.25"),
+                        )
+                    ],
+                    applied_lsn=299,
+                    lineage_epoch=3,
+                )
+            },
+        )
+
+    def test_roundtrip_preserves_types(self):
+        restored = Checkpoint.from_payload(self._sample().to_payload())
+        assert restored.checkpoint_id == 7
+        assert restored.cursor_lsn == 300
+        assert restored.table_starts == {"T": 12}
+        entry = restored.tables["T"]
+        assert entry.applied_lsn == 299
+        assert entry.lineage_epoch == 3
+        row = entry.rows[0]
+        assert row == self._sample().tables["T"].rows[0]
+        assert isinstance(row[4], datetime.date)
+        assert not isinstance(row[4], datetime.datetime)
+        assert isinstance(row[5], datetime.datetime)
+        assert isinstance(row[6], decimal.Decimal)
+
+    def test_garbage_payload_rejected(self):
+        with pytest.raises(CorruptCheckpointError):
+            Checkpoint.from_payload(b"\xff\xfenot json")
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(CorruptCheckpointError, match="version"):
+            Checkpoint.from_payload(b'{"version": 99}')
+
+
+class TestStores:
+    @pytest.mark.parametrize("kind", ["memory", "file"])
+    def test_write_read_delete(self, kind, tmp_path):
+        store = (
+            MemoryCheckpointStore()
+            if kind == "memory"
+            else FileCheckpointStore(str(tmp_path))
+        )
+        store.write(1, b"one")
+        store.write(2, b"two")
+        assert store.ids() == [1, 2]
+        assert store.read(2) == b"two"
+        store.delete(1)
+        assert store.ids() == [2]
+
+    @pytest.mark.parametrize("kind", ["memory", "file"])
+    def test_torn_write_detected_on_read(self, kind, tmp_path):
+        store = (
+            MemoryCheckpointStore()
+            if kind == "memory"
+            else FileCheckpointStore(str(tmp_path))
+        )
+        store.write_torn(3, b"payload that never fully landed")
+        assert store.ids() == [3]  # the file exists...
+        with pytest.raises(CorruptCheckpointError):
+            store.read(3)  # ...but restore rejects it
+
+
+# ---------------------------------------------------------------------------
+# Changelog retention
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def db():
+    return AcceleratedDatabase(
+        slice_count=2, chunk_rows=64, cooldown_seconds=0.0
+    )
+
+
+@pytest.fixture
+def conn(db):
+    connection = db.connect()
+    connection.execute(
+        "CREATE TABLE T (ID INTEGER NOT NULL PRIMARY KEY, V DOUBLE)"
+    )
+    rows = ", ".join(f"({i}, {float(i)})" for i in range(30))
+    connection.execute(f"INSERT INTO T VALUES {rows}")
+    db.add_table_to_accelerator("T")
+    return connection
+
+
+class TestChangelogRetention:
+    def test_trim_never_passes_replication_cursor(self, db, conn):
+        db.auto_replicate = False
+        conn.execute("UPDATE t SET v = v + 1 WHERE id < 5")
+        log = db.db2.change_log
+        cursor = db.replication.cursor_lsn
+        assert log.backlog(cursor) == 5
+        log.trim()  # unconsumed suffix must survive
+        assert log.oldest_lsn <= cursor
+        assert db.replication.drain() == 5  # replay still possible
+
+    def test_trim_never_passes_checkpoint_watermark(self, db, conn):
+        result = db.recovery.checkpoint()
+        conn.execute("UPDATE t SET v = 0 WHERE id < 7")  # auto-drained
+        assert db.replication.backlog == 0
+        dropped = db.recovery.trim_changelog()
+        # The cursor is past these records, but the retained checkpoint
+        # still needs them for a post-restart replay.
+        assert db.db2.change_log.oldest_lsn <= result.cursor_lsn
+        assert dropped == max(0, result.cursor_lsn - 1)
+
+    def test_read_below_retained_window_raises(self, db, conn):
+        conn.execute("UPDATE t SET v = 0 WHERE id < 3")
+        log = db.db2.change_log
+        log.trim()  # cursor is at head; everything can go
+        assert log.oldest_lsn == db.replication.cursor_lsn
+        with pytest.raises(ChangelogTruncatedError):
+            log.read_from(1)
+
+    def test_trim_counters(self, db, conn):
+        conn.execute("UPDATE t SET v = 0 WHERE id < 4")
+        log = db.db2.change_log
+        dropped = log.trim()
+        assert dropped > 0
+        assert log.records_trimmed == dropped
+        assert log.trims == 1
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint + recover through the system
+# ---------------------------------------------------------------------------
+
+
+class TestCheckpointRecover:
+    def test_incremental_resync_after_crash(self, db, conn):
+        db.recovery.checkpoint()
+        conn.execute("UPDATE t SET v = v + 100 WHERE id < 10")
+        driver = CrashRestartDriver(db)
+        driver.kill()
+        result = driver.restart()
+        # The checkpoint image avoided a full reload; only the changelog
+        # suffix (the 10 updates, already drained pre-crash but past the
+        # checkpointed cursor) was replayed.
+        assert result.checkpoint_id is not None
+        assert result.tables_restored == 1
+        assert result.full_reloads == 0
+        assert result.records_replayed == 10
+        assert result.resync_bytes_saved > 0
+        conn.set_acceleration("ALL")
+        assert (
+            conn.execute("SELECT SUM(v) FROM t").scalar()
+            == sum(range(30)) + 10 * 100
+        )
+
+    def test_no_checkpoint_falls_back_to_full_reload(self, db, conn):
+        driver = CrashRestartDriver(db)
+        driver.kill()
+        result = driver.restart()
+        assert result.checkpoint_id is None
+        assert result.full_reloads == 1
+        assert result.resync_bytes_saved == 0
+        conn.set_acceleration("ALL")
+        assert conn.execute("SELECT COUNT(*) FROM t").scalar() == 30
+
+    def test_truncated_changelog_forces_full_reload(self, db, conn):
+        db.recovery.checkpoint()
+        conn.execute("UPDATE t SET v = 0 WHERE id < 5")
+        # Drop the retained checkpoint's replay window behind its back —
+        # simulating retention that out-lived every checkpoint copy.
+        log = db.db2.change_log
+        db.recovery._checkpoint_cursors.clear()
+        log.trim()
+        db.recovery._checkpoint_cursors[1] = 1
+        driver = CrashRestartDriver(db)
+        driver.kill()
+        result = driver.restart()
+        assert result.full_reloads == 1
+        assert result.resync_bytes_saved == 0  # honesty: reload shipped all
+        conn.set_acceleration("ALL")
+        assert (
+            conn.execute("SELECT COUNT(*) FROM t WHERE v = 0").scalar() == 5
+        )
+
+    def test_corrupt_newest_checkpoint_falls_back_to_previous(
+        self, db, conn
+    ):
+        db.recovery.checkpoint()
+        conn.execute("UPDATE t SET v = v + 1 WHERE id = 0")
+        second = db.recovery.checkpoint()
+        # Tear the newest frame in place.
+        db.recovery.store.write_torn(second.checkpoint_id, b"different")
+        driver = CrashRestartDriver(db)
+        driver.kill()
+        result = driver.restart()
+        assert result.checkpoint_id == second.checkpoint_id - 1
+        assert result.corrupt_skipped == 1
+        assert db.recovery.corrupt_checkpoints_skipped == 1
+        conn.set_acceleration("ALL")
+        assert (
+            conn.execute("SELECT SUM(v) FROM t").scalar()
+            == sum(range(30)) + 1
+        )
+
+    def test_retention_prunes_old_checkpoints(self, db, conn):
+        for _ in range(5):
+            db.recovery.checkpoint()
+        assert db.recovery.checkpoint_ids() == [3, 4, 5]
+
+    def test_tables_accelerated_after_checkpoint_fully_reload(
+        self, db, conn
+    ):
+        db.recovery.checkpoint()
+        conn.execute("CREATE TABLE LATE (ID INTEGER NOT NULL PRIMARY KEY)")
+        conn.execute("INSERT INTO LATE VALUES (1), (2), (3)")
+        db.add_table_to_accelerator("LATE")
+        driver = CrashRestartDriver(db)
+        driver.kill()
+        result = driver.restart()
+        assert result.tables_restored == 1  # T from the checkpoint
+        assert result.full_reloads == 1  # LATE, unknown to the checkpoint
+        conn.set_acceleration("ALL")
+        assert conn.execute("SELECT COUNT(*) FROM late").scalar() == 3
+
+    def test_checkpoint_age_and_replay_lag(self, db, conn):
+        assert db.recovery.last_checkpoint_age_seconds() == -1.0
+        db.recovery.checkpoint()
+        assert db.recovery.last_checkpoint_age_seconds() >= 0.0
+        db.auto_replicate = False
+        conn.execute("UPDATE t SET v = 0 WHERE id < 8")
+        assert db.recovery.replay_lag_records() == 8
+
+    def test_recovery_metrics_registered(self, db, conn):
+        db.recovery.checkpoint()
+        metrics = db.metrics.collect()
+        assert metrics["recovery.checkpoints_taken"] == 1
+        assert metrics["recovery.retained_checkpoints"] == 1
+        assert metrics["recovery.last_checkpoint_bytes"] > 0
+        assert metrics["recovery.recoveries"] == 0
+
+
+class TestAotRecovery:
+    @pytest.fixture
+    def aot_db(self, db, conn):
+        conn.execute(
+            "CREATE TABLE SUMMARY AS (SELECT ID, V FROM T WHERE ID < 10) "
+            "IN ACCELERATOR"
+        )
+        db.recovery.register_aot_source(
+            "SUMMARY", "SELECT ID, V FROM T WHERE ID < 10"
+        )
+        return db
+
+    def test_lost_aot_rebuilt_from_source(self, aot_db, conn):
+        driver = CrashRestartDriver(aot_db)
+        driver.kill()
+        result = driver.restart()
+        assert result.aots_rebuilt == 1
+        assert result.aots_lost == 0
+        conn.set_acceleration("ALL")
+        assert conn.execute("SELECT COUNT(*) FROM summary").scalar() == 10
+
+    def test_checkpointed_aot_restored_without_rebuild(self, aot_db, conn):
+        aot_db.recovery.checkpoint()
+        driver = CrashRestartDriver(aot_db)
+        driver.kill()
+        result = driver.restart()
+        # The checkpoint image is current per the lineage journal: no
+        # rebuild work was queued.
+        assert result.aots_rebuilt == 0
+        conn.set_acceleration("ALL")
+        assert conn.execute("SELECT COUNT(*) FROM summary").scalar() == 10
+
+    def test_stale_checkpointed_aot_rebuilt(self, aot_db, conn):
+        aot_db.recovery.checkpoint()
+        # Writes after the checkpoint advance the DB2-side journal past
+        # the image's lineage epoch.
+        conn.execute("INSERT INTO SUMMARY VALUES (100, 1.0)")
+        driver = CrashRestartDriver(aot_db)
+        driver.kill()
+        result = driver.restart()
+        assert result.aots_rebuilt == 1
+        conn.set_acceleration("ALL")
+        # Rebuild = the source query's current answer (the paper's AOTs
+        # are derived state; the post-checkpoint insert is regenerable
+        # only through its defining query).
+        assert conn.execute("SELECT COUNT(*) FROM summary").scalar() == 10
+
+    def test_lost_aot_without_source_counted(self, db, conn):
+        conn.execute(
+            "CREATE TABLE ORPHAN AS (SELECT ID FROM T WHERE ID < 5) "
+            "IN ACCELERATOR"
+        )
+        driver = CrashRestartDriver(db)
+        driver.kill()
+        result = driver.restart()
+        assert result.aots_lost == 1
+        conn.set_acceleration("ALL")
+        assert conn.execute("SELECT COUNT(*) FROM orphan").scalar() == 0
+
+    def test_rebuild_runs_as_batch_class_under_wlm(self, aot_db, conn):
+        aot_db.wlm.set_enabled(True)
+        driver = CrashRestartDriver(aot_db)
+        driver.kill()
+        result = driver.restart()
+        assert result.aots_rebuilt == 1
+        stats = {}
+        for gate in aot_db.wlm.gates.values():
+            for name, cls_stats in gate.class_stats().items():
+                stats[name] = (
+                    stats.get(name, 0)
+                    + cls_stats.admitted
+                    + cls_stats.bypassed
+                )
+        # Rebuild DML passed through the gates as BATCH work (small
+        # statements take the cheap bypass, still accounted to BATCH).
+        assert stats.get("BATCH", 0) > 0
+
+
+# ---------------------------------------------------------------------------
+# Procedures + monitoring
+# ---------------------------------------------------------------------------
+
+
+class TestProceduresAndMonitoring:
+    def test_accel_checkpoint_procedure(self, db, conn):
+        result = conn.execute("CALL SYSPROC.ACCEL_CHECKPOINT('')")
+        assert "ACCEL_CHECKPOINT ok" in result.message
+        assert db.recovery.checkpoints_taken == 1
+
+    def test_accel_recover_procedure(self, db, conn):
+        conn.execute("CALL SYSPROC.ACCEL_CHECKPOINT('')")
+        CrashRestartDriver(db).kill()
+        db.health.reset()
+        result = conn.execute("CALL SYSPROC.ACCEL_RECOVER('')")
+        assert "ACCEL_RECOVER ok" in result.message
+        assert any("tables_restored=1" in row[0] for row in result.rows)
+
+    def test_procedures_require_admin(self, db, conn):
+        from repro.errors import AuthorizationError
+
+        db.create_user("PLEB")
+        pleb = db.connect("PLEB")
+        for call in (
+            "CALL SYSPROC.ACCEL_CHECKPOINT('')",
+            "CALL SYSPROC.ACCEL_RECOVER('')",
+        ):
+            with pytest.raises(AuthorizationError):
+                pleb.execute(call)
+
+    def test_health_reports_checkpoint_age_and_lag(self, db, conn):
+        result = conn.execute("CALL SYSPROC.ACCEL_GET_HEALTH('')")
+        assert any(
+            "last_checkpoint=none" in row[0] for row in result.rows
+        )
+        conn.execute("CALL SYSPROC.ACCEL_CHECKPOINT('')")
+        result = conn.execute("CALL SYSPROC.ACCEL_GET_HEALTH('')")
+        line = next(
+            row[0] for row in result.rows if "last_checkpoint=#" in row[0]
+        )
+        assert "age=" in line and "replay_lag=" in line
+
+    def test_control_trim_action(self, db, conn):
+        conn.execute("UPDATE t SET v = 0 WHERE id < 5")
+        result = conn.execute(
+            "CALL SYSPROC.ACCEL_CONTROL_ACCELERATOR('action=trim')"
+        )
+        assert "records trimmed" in result.message
+
+    def test_mon_recovery_view(self, db, conn):
+        conn.execute("CALL SYSPROC.ACCEL_CHECKPOINT('')")
+        CrashRestartDriver(db).kill()
+        db.health.reset()
+        db.recovery.recover()
+        rows = conn.execute(
+            "SELECT KIND, CHECKPOINT_ID, TABLES FROM "
+            "SYSACCEL.MON_RECOVERY ORDER BY EVENT_ID"
+        ).rows
+        kinds = [row[0] for row in rows]
+        assert kinds == ["checkpoint", "recover"]
+        assert rows[0][1] == rows[1][1] == 1  # same checkpoint id
+        count = conn.execute(
+            "SELECT COUNT(*) FROM SYSACCEL.MON_RECOVERY "
+            "WHERE KIND = 'recover'"
+        ).scalar()
+        assert count == 1
+
+
+# ---------------------------------------------------------------------------
+# The crash-point differential matrix (the tentpole's acceptance test)
+# ---------------------------------------------------------------------------
+
+
+class TestCrashMatrix:
+    def test_every_crash_point_recovers_byte_identical(self):
+        report = run_crash_matrix()
+        assert report.all_matched, report.summary()
+        # Every named crash point is exercised at least once.
+        points = {o.crash_point for o in report.outcomes}
+        assert points == {
+            "replication.mid_batch",
+            "checkpoint.mid_write",
+            "ddl.mid_accelerate",
+            "aot.mid_build",
+            "commit.post_commit_pre_ack",
+        }
+        # Scenarios crashing after a checkpoint existed must show the
+        # incremental win: bytes saved vs. a full reload.
+        saved = [
+            o.recovery.resync_bytes_saved
+            for o in report.outcomes
+            if o.recovery is not None and o.recovery.tables_restored > 0
+        ]
+        assert saved and all(s > 0 for s in saved)
+
+    def test_matrix_with_file_store(self, tmp_path):
+        report = run_crash_matrix(checkpoint_dir=str(tmp_path))
+        assert report.all_matched, report.summary()
+        # Checkpoints really hit disk, one subdirectory per run.
+        subdirs = sorted(os.listdir(str(tmp_path)))
+        assert "baseline" in subdirs
+        files = [
+            name
+            for sub in subdirs
+            for name in os.listdir(str(tmp_path / sub))
+        ]
+        assert any(name.endswith(".ckpt") for name in files)
+
+    def test_single_scenario_runs_standalone(self):
+        __, baseline = run_uncrashed()
+        index, step = crash_scenarios()[0]
+        outcome = run_crash_scenario(index, baseline)
+        assert outcome.matched
+        assert outcome.fired > 0
+        assert outcome.kills == 1
+
+    def test_armed_crash_point_actually_fires(self):
+        # Guards against the harness silently testing nothing: a crash
+        # point armed at a step that never consults it is an error.
+        system = default_system()
+        rule = system.faults.arm_crash_point("replication.mid_batch")
+        conn = system.connect()
+        conn.execute("CREATE TABLE X (ID INTEGER NOT NULL PRIMARY KEY)")
+        conn.execute("INSERT INTO X VALUES (1)")
+        system.add_table_to_accelerator("X")
+        conn.execute("INSERT INTO X VALUES (2)")  # commit-drain crashes
+        assert rule.fired > 0
+        assert system.replication.backlog > 0  # the batch never landed
+
+    def test_workload_covers_every_crash_class(self):
+        steps = build_workload()
+        assert len(crash_scenarios(steps)) >= 5
+        assert any(s.on_crash == "retry" for s in steps)
+        assert any(s.on_crash == "continue" for s in steps)
+
+
+class TestInjectedCrashSemantics:
+    def test_injected_crash_is_an_accelerator_crash(self):
+        from repro.errors import AcceleratorCrashError
+
+        assert issubclass(InjectedCrashError, AcceleratorCrashError)
+
+    def test_crash_point_noop_when_unarmed(self, db, conn):
+        db.faults.crash_point("replication.mid_batch")  # must not raise
+
+    def test_unknown_crash_point_rejected(self, db):
+        with pytest.raises(ValueError):
+            db.faults.arm_crash_point("no.such.point")
+
+    def test_clear_crash_points_disarms(self, db):
+        db.faults.arm_crash_point("checkpoint.mid_write")
+        assert db.faults.armed_crash_points() == ["checkpoint.mid_write"]
+        db.faults.clear_crash_points()
+        assert db.faults.armed_crash_points() == []
+        db.recovery.checkpoint()  # no raise

@@ -120,6 +120,129 @@ class TestAutoReplication:
         assert conn.execute("SELECT SUM(v) FROM a").scalar() == 12.0
 
 
+class TestRedeliveryEdgeCases:
+    """Crash-recovery batch semantics: empty, duplicate, out-of-order.
+
+    After a restart the replication service replays the changelog suffix
+    past the checkpointed cursor, so the engine must treat redelivered
+    batches as no-ops (applied-LSN watermark), reject reordered records
+    inside a batch, and not burn an MVCC epoch on an empty batch.
+    """
+
+    def test_empty_batch_is_noop(self, db, conn):
+        epoch_before = db.accelerator.current_epoch
+        assert db.accelerator.apply_changes("ITEMS", []) == 0
+        assert db.accelerator.current_epoch == epoch_before
+
+    def test_duplicate_batch_redelivery_is_idempotent(self, db, conn):
+        from repro.db2.changelog import ChangeRecord
+
+        batch = [
+            ChangeRecord(501, 1, "ITEMS", "INSERT", after=(1000, 0.5)),
+            ChangeRecord(502, 1, "ITEMS", "INSERT", after=(1001, 0.5)),
+        ]
+        assert db.accelerator.apply_changes("ITEMS", batch) == 2
+        deduped_before = db.accelerator.records_deduplicated
+        epoch_before = db.accelerator.current_epoch
+        # Redelivery of the identical batch (crash between apply and
+        # cursor advance): every record is at/below the watermark.
+        assert db.accelerator.apply_changes("ITEMS", batch) == 0
+        assert db.accelerator.records_deduplicated == deduped_before + 2
+        assert db.accelerator.current_epoch == epoch_before  # no new epoch
+        conn.set_acceleration("ALL")
+        assert (
+            conn.execute("SELECT COUNT(*) FROM items").scalar() == 102
+        )
+
+    def test_overlapping_batch_applies_only_the_new_suffix(self, db, conn):
+        from repro.db2.changelog import ChangeRecord
+
+        first = [
+            ChangeRecord(601, 1, "ITEMS", "INSERT", after=(2000, 1.0)),
+            ChangeRecord(602, 1, "ITEMS", "INSERT", after=(2001, 1.0)),
+        ]
+        assert db.accelerator.apply_changes("ITEMS", first) == 2
+        # A batch re-read at a wider extent after a partial crash overlaps
+        # the applied prefix; only the unseen suffix may land.
+        overlap = first + [
+            ChangeRecord(603, 2, "ITEMS", "INSERT", after=(2002, 1.0))
+        ]
+        assert db.accelerator.apply_changes("ITEMS", overlap) == 1
+        assert db.accelerator.applied_lsn("ITEMS") == 603
+        conn.set_acceleration("ALL")
+        assert (
+            conn.execute(
+                "SELECT COUNT(*) FROM items WHERE id >= 2000"
+            ).scalar()
+            == 3
+        )
+
+    def test_out_of_order_records_within_batch_rejected(self, db, conn):
+        from repro.db2.changelog import ChangeRecord
+        from repro.errors import ReplicationError
+
+        scrambled = [
+            ChangeRecord(702, 1, "ITEMS", "INSERT", after=(3001, 1.0)),
+            ChangeRecord(701, 1, "ITEMS", "INSERT", after=(3000, 1.0)),
+        ]
+        with pytest.raises(ReplicationError):
+            db.accelerator.apply_changes("ITEMS", scrambled)
+        # Nothing applied, watermark unmoved.
+        assert db.accelerator.applied_lsn("ITEMS") == 0
+        conn.set_acceleration("ALL")
+        assert (
+            conn.execute(
+                "SELECT COUNT(*) FROM items WHERE id >= 3000"
+            ).scalar()
+            == 0
+        )
+
+    def test_stale_batch_arriving_late_is_dropped(self, db, conn):
+        from repro.db2.changelog import ChangeRecord
+
+        assert (
+            db.accelerator.apply_changes(
+                "ITEMS",
+                [ChangeRecord(810, 1, "ITEMS", "INSERT", after=(4000, 1.0))],
+            )
+            == 1
+        )
+        # A whole batch older than the watermark (late arrival after the
+        # records were already replayed) must be dropped wholesale.
+        assert (
+            db.accelerator.apply_changes(
+                "ITEMS",
+                [ChangeRecord(805, 1, "ITEMS", "INSERT", after=(4000, 1.0))],
+            )
+            == 0
+        )
+        conn.set_acceleration("ALL")
+        assert (
+            conn.execute(
+                "SELECT COUNT(*) FROM items WHERE id = 4000"
+            ).scalar()
+            == 1
+        )
+
+    def test_unstamped_records_bypass_the_watermark(self, db, conn):
+        from repro.db2.changelog import ChangeRecord
+
+        db.accelerator.apply_changes(
+            "ITEMS",
+            [ChangeRecord(900, 1, "ITEMS", "INSERT", after=(5000, 1.0))],
+        )
+        # LSN 0 marks records that never went through the changelog
+        # (direct applies); the watermark must not suppress them.
+        assert (
+            db.accelerator.apply_changes(
+                "ITEMS",
+                [ChangeRecord(0, 1, "ITEMS", "INSERT", after=(5001, 1.0))],
+            )
+            == 1
+        )
+        assert db.accelerator.applied_lsn("ITEMS") == 900
+
+
 class TestTransactionalCapture:
     def test_uncommitted_changes_not_replicated(self, db, conn):
         conn.execute("BEGIN")
