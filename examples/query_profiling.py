@@ -1,0 +1,91 @@
+"""EXPLAIN ANALYZE and the cardinality-feedback store — the tuner's view.
+
+Runs a reporting workload over the star schema, then inspects it the
+way a DBA would chase a slow query:
+
+* ``EXPLAIN`` shows the routing decision plus the logical plan tree;
+* ``EXPLAIN ANALYZE`` executes the statement and annotates every
+  operator with actual vs. estimated rows, Q-error, and wall time —
+  including both sections when the accelerator fails mid-query and the
+  statement fails back to DB2;
+* ``SYSACCEL.MON_QERROR`` / ``ACCEL_GET_PROFILE('worst=...')`` rank the
+  operators the planner mis-estimates worst — the feedback a cost-based
+  optimizer would consume;
+* the slow-query log captures the full annotated plan of offenders.
+
+Run:  python examples/query_profiling.py
+"""
+
+from repro import AcceleratedDatabase
+from repro.workloads import create_star_schema
+
+STAR_QUERY = (
+    "SELECT C.C_REGION, COUNT(*) AS ORDERS, SUM(T.T_AMOUNT) AS REVENUE "
+    "FROM TRANSACTIONS T JOIN CUSTOMERS C ON T.T_CUSTOMER = C.C_ID "
+    "WHERE T.T_AMOUNT > 100 "
+    "GROUP BY C.C_REGION ORDER BY REVENUE DESC"
+)
+
+
+def show(conn, sql: str) -> None:
+    result = conn.execute(sql)
+    print(f"$ {sql}")
+    widths = [max(len(str(row[i])) for row in result.rows + [result.columns])
+              for i in range(len(result.columns))] if result.rows else []
+    if widths:
+        print("    " + "  ".join(
+            name.ljust(w) for name, w in zip(result.columns, widths)))
+        for row in result.rows:
+            print("    " + "  ".join(
+                str(v).ljust(w) for v, w in zip(row, widths)))
+    else:
+        for row in result.rows:
+            print("    " + "  ".join(str(v) for v in row))
+    print()
+
+
+def main() -> None:
+    db = AcceleratedDatabase(slow_query_threshold_seconds=0.0)
+    conn = db.connect()
+    create_star_schema(conn, customers=400, products=60, transactions=8000)
+    conn.set_acceleration("ENABLE WITH FAILBACK")
+
+    # 1. Routing plan + logical plan tree, without executing.
+    show(conn, f"EXPLAIN {STAR_QUERY}")
+
+    # 2. Execute with per-operator instrumentation.
+    show(conn, f"EXPLAIN ANALYZE {STAR_QUERY}")
+
+    # 3. A mid-query accelerator crash produces two sections: the failed
+    #    accelerator attempt and the transparent DB2 re-execution.
+    with db.faults.forced("accelerator", kind="crash"):
+        show(conn, f"EXPLAIN ANALYZE {STAR_QUERY}")
+
+    # 4. Run a few more shapes so the feedback store has material.
+    for sql in (
+        "SELECT COUNT(*) FROM TRANSACTIONS WHERE T_AMOUNT > 999999",
+        "SELECT C_SEGMENT, AVG(C_INCOME) FROM CUSTOMERS GROUP BY C_SEGMENT",
+        STAR_QUERY,
+    ):
+        conn.execute(sql)
+
+    # 5. The worst mis-estimated operators, two ways: SQL view and proc.
+    show(conn, (
+        "SELECT OPERATOR, DETAIL, ENGINE, EXECUTIONS, MEAN_Q_ERROR "
+        "FROM SYSACCEL.MON_QERROR "
+        "WHERE MEAN_Q_ERROR > 1.5 ORDER BY MEAN_Q_ERROR DESC"
+    ))
+    show(conn, "CALL SYSPROC.ACCEL_GET_PROFILE('worst=3')")
+
+    # 6. The slow-query log (threshold 0 here: every statement counts)
+    #    retains the full annotated plan of each offender.
+    record = db.profiler.slow_log.records()[-1]
+    print(f"slow-query log: {len(db.profiler.slow_log.records())} records, "
+          f"newest {record.profile_id} "
+          f"({record.elapsed_seconds * 1000:.2f}ms):")
+    for line in record.plan_lines:
+        print(f"    {line}")
+
+
+if __name__ == "__main__":
+    main()

@@ -75,6 +75,11 @@ class _SnapshotProvider:
         )
         return cols, length
 
+    def chunks_skipped_total(self) -> int:
+        """Engine-wide zone-map pruning counter; the profiler reads the
+        delta around each scan to attribute skipped chunks per operator."""
+        return self._engine.chunks_skipped
+
     def scan_partitions(
         self,
         name: str,
@@ -650,6 +655,7 @@ class AcceleratorEngine:
         deltas: Optional[dict[str, DeltaBuffer]] = None,
         kernel_cache=None,
         plan=None,
+        profile=None,
     ) -> tuple[list[str], list[tuple]]:
         epoch = self.current_epoch if snapshot_epoch is None else snapshot_epoch
         tracer = self.tracer
@@ -663,7 +669,11 @@ class AcceleratorEngine:
             self._check_fault()
             provider = _SnapshotProvider(self, epoch, deltas)
             engine = VectorQueryEngine(
-                provider, params, kernel_cache=kernel_cache, tracer=tracer
+                provider,
+                params,
+                kernel_cache=kernel_cache,
+                tracer=tracer,
+                profile=profile,
             )
             columns, rows = engine.execute(plan if plan is not None else stmt)
             self.queries_executed += 1

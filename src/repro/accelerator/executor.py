@@ -127,9 +127,14 @@ class VectorQueryEngine:
         params: Sequence[object] = (),
         kernel_cache=None,
         tracer=None,
+        profile=None,
     ) -> None:
         self._provider = provider
         self._params = params
+        #: Optional StatementProfile (repro.obs.profile); when set, each
+        #: plan operator reports rows/wall-time/chunks-pruned into it.
+        #: Disabled cost: one ``is None`` check per operator.
+        self._profile = profile
         #: Optional compiled-kernel cache (``get``/``put``) owned by the
         #: statement's cached plan. Only subquery-free expressions are
         #: cached: subquery kernels close over a resolver bound to this
@@ -171,6 +176,13 @@ class VectorQueryEngine:
         if tracer is None or not getattr(tracer, "enabled", False):
             return nullcontext()
         return tracer.span(f"op.{name}", **attrs)
+
+    def _stats(self, node: logical.PlanNode):
+        """This node's OperatorStats, or None when profiling is off."""
+        profile = self._profile
+        if profile is None:
+            return None
+        return profile.stats_for(node)
 
     def _resolver(self, scope: Scope) -> SubqueryExecutor:
         """Scope-aware subquery executor (see repro.sql.correlation)."""
@@ -214,10 +226,21 @@ class VectorQueryEngine:
         self._checkpoint()
         if isinstance(node, logical.Limit):
             with self._op_span("limit"):
+                stats = self._stats(node)
+                started = time.perf_counter() if stats is not None else 0.0
                 columns, rows = self._execute_plan(node.child)
-                return columns, logical.slice_rows(rows, node.offset, node.limit)
+                out = logical.slice_rows(rows, node.offset, node.limit)
+                if stats is not None:
+                    stats.observe(len(out), time.perf_counter() - started)
+                return columns, out
         if isinstance(node, logical.Sort):
-            return self._execute_sorted(node.child, node.order_by)
+            stats = self._stats(node)
+            if stats is None:
+                return self._execute_sorted(node.child, node.order_by)
+            started = time.perf_counter()
+            columns, rows = self._execute_sorted(node.child, node.order_by)
+            stats.observe(len(rows), time.perf_counter() - started)
+            return columns, rows
         if isinstance(node, logical.SetOp):
             return self._execute_set_op(node)
         if isinstance(node, logical.Aggregate):
@@ -243,29 +266,42 @@ class VectorQueryEngine:
             )
 
     def _execute_set_op(self, node: logical.SetOp) -> tuple[list[str], list[tuple]]:
+        stats = self._stats(node)
+        started = time.perf_counter() if stats is not None else 0.0
         with self._op_span("setop", op=node.op):
             left_cols, left_rows = self._execute_plan(node.left)
             right_cols, right_rows = self._execute_plan(node.right)
             rows = logical.combine_set_rows(
                 node.op, left_cols, left_rows, right_cols, right_rows
             )
+        if stats is not None:
+            stats.observe(len(rows), time.perf_counter() - started)
         return left_cols, rows
 
     def _execute_project(
         self, node: logical.Project, order_by: Sequence[ast.OrderItem]
     ) -> tuple[list[str], list[tuple]]:
+        stats = self._stats(node)
         if node.child is None:
-            return self._constant_select(node.select_items)
+            columns, rows = self._constant_select(node.select_items)
+            if stats is not None:
+                stats.observe(len(rows), 0.0)
+            return columns, rows
+        started = time.perf_counter() if stats is not None else 0.0
         with self._op_span("project"):
             table = self._build_table(node.child, allow_parallel=True)
             columns, rows = self._project(node.select_items, order_by, table)
         if node.distinct:
             rows = logical.dedup_rows(rows)
+        if stats is not None:
+            stats.observe(len(rows), time.perf_counter() - started)
         return columns, rows
 
     def _execute_aggregate(
         self, node: logical.Aggregate, order_by: Sequence[ast.OrderItem]
     ) -> tuple[list[str], list[tuple]]:
+        stats = self._stats(node)
+        started = time.perf_counter() if stats is not None else 0.0
         with self._op_span("aggregate"):
             direct = None
             if not order_by and not node.group_by and node.having is None:
@@ -277,6 +313,8 @@ class VectorQueryEngine:
                 columns, rows = self._aggregate(node, order_by, table)
         if node.distinct:
             rows = logical.dedup_rows(rows)
+        if stats is not None:
+            stats.observe(len(rows), time.perf_counter() - started)
         return columns, rows
 
     def _constant_select(
@@ -313,7 +351,12 @@ class VectorQueryEngine:
         """
         scan, predicates = _peel_filters(node)
         if scan is not None:
-            return self._scan_pipeline(scan, predicates, hint, allow_parallel)
+            table = self._scan_pipeline(scan, predicates, hint, allow_parallel)
+            if self._profile is not None and node is not scan:
+                # Filters collapsed into the scan pipeline report the
+                # pipeline's output as their own (marked fused).
+                self._profile.mark_fused_filters(node, table.length)
+            return table
         if isinstance(node, logical.Filter):
             child_hint = (
                 node.predicate
@@ -322,8 +365,19 @@ class VectorQueryEngine:
             )
             table = self._build_table(node.child, hint=child_hint)
             with self._op_span("filter"):
-                return self._filter_table(table, node.predicate)
+                stats = self._stats(node)
+                started = time.perf_counter() if stats is not None else 0.0
+                result = self._filter_table(table, node.predicate)
+                if stats is not None:
+                    stats.observe(
+                        result.length,
+                        time.perf_counter() - started,
+                        rows_in=table.length,
+                    )
+                return result
         if isinstance(node, logical.SubqueryBind):
+            stats = self._stats(node)
+            started = time.perf_counter() if stats is not None else 0.0
             with self._op_span("subquery", alias=node.alias):
                 columns, rows = self._execute_plan(node.plan)
             scope = Scope([(node.alias, name) for name in columns])
@@ -333,9 +387,17 @@ class VectorQueryEngine:
             ]
             if not rows:
                 packed = [VColumn(values=np.empty(0, dtype=object))] * len(columns)
+            if stats is not None:
+                stats.observe(len(rows), time.perf_counter() - started)
             return VTable(scope, packed, len(rows))
         if isinstance(node, logical.Join):
-            return self._join(node, hint)
+            stats = self._stats(node)
+            if stats is None:
+                return self._join(node, hint)
+            started = time.perf_counter()
+            table = self._join(node, hint)
+            stats.observe(table.length, time.perf_counter() - started)
+            return table
         raise ParseError(f"cannot execute plan node {type(node).__name__}")
 
     def _filter_table(self, table: VTable, predicate: ast.Expression) -> VTable:
@@ -349,6 +411,32 @@ class VectorQueryEngine:
     # -- scans (sequential and chunk-parallel) ---------------------------------------
 
     def _scan_pipeline(
+        self,
+        scan: logical.Scan,
+        predicates: list[ast.Expression],
+        hint: Optional[ast.Expression],
+        allow_parallel: bool,
+    ) -> VTable:
+        stats = self._stats(scan)
+        if stats is None:
+            return self._scan_pipeline_impl(
+                scan, predicates, hint, allow_parallel
+            )
+        chunks_fn = getattr(self._provider, "chunks_skipped_total", None)
+        chunks_before = chunks_fn() if chunks_fn is not None else 0
+        scanned_before = self.rows_scanned
+        started = time.perf_counter()
+        table = self._scan_pipeline_impl(scan, predicates, hint, allow_parallel)
+        stats.observe(
+            table.length,
+            time.perf_counter() - started,
+            rows_in=self.rows_scanned - scanned_before,
+        )
+        if chunks_fn is not None:
+            stats.chunks_skipped += chunks_fn() - chunks_before
+        return table
+
+    def _scan_pipeline_impl(
         self,
         scan: logical.Scan,
         predicates: list[ast.Expression],
@@ -433,6 +521,13 @@ class VectorQueryEngine:
         scanned = sum(r[2] for r in results)
         plan.finish(scanned)
         self.rows_scanned += scanned
+        if self._profile is not None:
+            stats = self._profile.stats_for(scan)
+            if stats is not None:
+                # The caller's observe() adds the final batch; with the
+                # partitions this totals one batch per partition.
+                stats.parallel = True
+                stats.batches += len(plan.partitions) - 1
         self.parallel_scans.append(
             {
                 "table": scan.table.upper(),
@@ -568,10 +663,31 @@ class VectorQueryEngine:
             if predicate_expr is not None
             else None
         )
+        stats = self._stats(scan)
+        chunks_fn = (
+            getattr(self._provider, "chunks_skipped_total", None)
+            if stats is not None
+            else None
+        )
+        chunks_before = chunks_fn() if chunks_fn is not None else 0
+        scanned_before = self.rows_scanned
+        started = time.perf_counter() if stats is not None else 0.0
         with self._op_span("scan", table=scan.table, parallel="true"):
             results = self._run_partitions(
                 scan, plan, self._partition_task(cols, predicate, specs)
             )
+        if stats is not None:
+            kept = sum(r[1] for r in results)
+            stats.observe(
+                kept,
+                time.perf_counter() - started,
+                rows_in=self.rows_scanned - scanned_before,
+            )
+            if chunks_fn is not None:
+                stats.chunks_skipped += chunks_fn() - chunks_before
+            # Filters between the Aggregate and the Scan were folded into
+            # the partition predicate.
+            self._profile.mark_fused_filters(node.child, kept)
         labels = [
             item.alias or expression_label(item.expression, i)
             for i, item in enumerate(node.select_items)

@@ -367,17 +367,20 @@ class Db2Engine:
         params: Sequence[object] = (),
         plan=None,
         tracer=None,
+        profile=None,
     ) -> tuple[list[str], list[tuple]]:
         """Run a SELECT (or set operation) against DB2-resident tables.
 
         ``plan`` is an optional pre-bound :mod:`repro.sql.logical` plan
         for ``stmt`` (from the statement plan cache); the index fast path
-        still inspects the AST, so both are passed.
+        still inspects the AST, so both are passed. ``profile`` is an
+        optional :class:`repro.obs.profile.StatementProfile` the plan
+        walker fills with per-operator runtime stats.
         """
         txn.require_active()
         overrides = self._point_lookup_overrides(stmt, txn, params)
         provider = _TxnTableProvider(self, txn, overrides)
-        engine = RowQueryEngine(provider, params, tracer=tracer)
+        engine = RowQueryEngine(provider, params, tracer=tracer, profile=profile)
         columns, rows = engine.execute(plan if plan is not None else stmt)
         self.rows_read += engine.rows_examined
         self.statements_executed += 1

@@ -16,11 +16,13 @@ exploit directly.
 from __future__ import annotations
 
 import math
+import time
 from contextlib import nullcontext
 from typing import Callable, Iterator, Optional, Protocol, Sequence, Union
 
 from repro.catalog.schema import TableSchema
 from repro.errors import ParseError
+from repro.obs.profile import counted_rows, counted_source
 from repro.sql import ast, logical
 from repro.sql.expressions import (
     Scope,
@@ -219,12 +221,18 @@ class RowQueryEngine:
         provider: TableProvider,
         params: Sequence[object] = (),
         tracer=None,
+        profile=None,
     ) -> None:
         self._provider = provider
         self._params = params
         #: Optional repro.obs tracer; when enabled, each plan operator
         #: emits an ``op.*`` child span so MON_SPANS shows plan shape.
         self.tracer = tracer
+        #: Optional StatementProfile (repro.obs.profile); when set, each
+        #: plan operator reports rows/wall-time into it. Streaming
+        #: operators are wrapped in counting generators, so the disabled
+        #: cost is one ``is None`` check per operator, not per row.
+        self._profile = profile
         #: The statement's work budget (None when nothing bounds it),
         #: checked every _BUDGET_CHECK_ROWS rows inside scans.
         self._budget = current_budget()
@@ -249,15 +257,33 @@ class RowQueryEngine:
             return nullcontext()
         return tracer.span(f"op.{name}", **attrs)
 
+    def _stats(self, node: logical.PlanNode):
+        """This node's OperatorStats, or None when profiling is off."""
+        profile = self._profile
+        if profile is None:
+            return None
+        return profile.stats_for(node)
+
     # -- plan walker ---------------------------------------------------------
 
     def _execute_plan(self, node: logical.PlanNode) -> tuple[list[str], list[tuple]]:
         if isinstance(node, logical.Limit):
             with self._op_span("limit"):
+                stats = self._stats(node)
+                started = time.perf_counter() if stats is not None else 0.0
                 columns, rows = self._execute_plan(node.child)
-                return columns, logical.slice_rows(rows, node.offset, node.limit)
+                out = logical.slice_rows(rows, node.offset, node.limit)
+                if stats is not None:
+                    stats.observe(len(out), time.perf_counter() - started)
+                return columns, out
         if isinstance(node, logical.Sort):
-            return self._execute_sorted(node.child, node.order_by)
+            stats = self._stats(node)
+            if stats is None:
+                return self._execute_sorted(node.child, node.order_by)
+            started = time.perf_counter()
+            columns, rows = self._execute_sorted(node.child, node.order_by)
+            stats.observe(len(rows), time.perf_counter() - started)
+            return columns, rows
         if isinstance(node, logical.SetOp):
             return self._execute_set_op(node)
         if isinstance(node, logical.Aggregate):
@@ -283,19 +309,28 @@ class RowQueryEngine:
             )
 
     def _execute_set_op(self, node: logical.SetOp) -> tuple[list[str], list[tuple]]:
+        stats = self._stats(node)
+        started = time.perf_counter() if stats is not None else 0.0
         with self._op_span("setop", op=node.op):
             left_cols, left_rows = self._execute_plan(node.left)
             right_cols, right_rows = self._execute_plan(node.right)
             rows = logical.combine_set_rows(
                 node.op, left_cols, left_rows, right_cols, right_rows
             )
+        if stats is not None:
+            stats.observe(len(rows), time.perf_counter() - started)
         return left_cols, rows
 
     def _execute_project(
         self, node: logical.Project, order_by: Sequence[ast.OrderItem]
     ) -> tuple[list[str], list[tuple]]:
+        stats = self._stats(node)
         if node.child is None:
-            return self._constant_select(node.select_items)
+            columns, out_rows = self._constant_select(node.select_items)
+            if stats is not None:
+                stats.observe(len(out_rows), 0.0)
+            return columns, out_rows
+        started = time.perf_counter() if stats is not None else 0.0
         with self._op_span("project"):
             rows, scope = self._build_input(node.child)
             columns, out_rows = self._project(
@@ -303,16 +338,22 @@ class RowQueryEngine:
             )
         if node.distinct:
             out_rows = logical.dedup_rows(out_rows)
+        if stats is not None:
+            stats.observe(len(out_rows), time.perf_counter() - started)
         return columns, out_rows
 
     def _execute_aggregate(
         self, node: logical.Aggregate, order_by: Sequence[ast.OrderItem]
     ) -> tuple[list[str], list[tuple]]:
+        stats = self._stats(node)
+        started = time.perf_counter() if stats is not None else 0.0
         with self._op_span("aggregate"):
             rows, scope = self._build_input(node.child)
             columns, out_rows = self._aggregate(node, order_by, rows, scope)
         if node.distinct:
             out_rows = logical.dedup_rows(out_rows)
+        if stats is not None:
+            stats.observe(len(out_rows), time.perf_counter() - started)
         return columns, out_rows
 
     # -- select pipeline -------------------------------------------------------
@@ -355,14 +396,28 @@ class RowQueryEngine:
                 predicate = compile_scalar(
                     node.predicate, scope, self._params, self._resolver(scope)
                 )
-            return (row for row in rows if predicate(row) is True), scope
+            filtered: Iterator[tuple] = (
+                row for row in rows if predicate(row) is True
+            )
+            stats = self._stats(node)
+            if stats is not None:
+                filtered = counted_rows(stats, filtered)
+            return filtered, scope
         if isinstance(node, logical.SubqueryBind):
+            stats = self._stats(node)
+            started = time.perf_counter() if stats is not None else 0.0
             with self._op_span("subquery", alias=node.alias):
                 columns, rows = self._execute_plan(node.plan)
+            if stats is not None:
+                stats.observe(len(rows), time.perf_counter() - started)
             scope = Scope([(node.alias, name) for name in columns])
             return iter(rows), scope
         if isinstance(node, logical.Join):
-            return self._build_join(node)
+            rows, scope = self._build_join(node)
+            stats = self._stats(node)
+            if stats is not None:
+                rows = counted_rows(stats, rows)
+            return rows, scope
         raise ParseError(f"cannot execute plan node {type(node).__name__}")
 
     def _build_scan(self, node: logical.Scan) -> tuple[Iterator[tuple], Scope]:
@@ -385,11 +440,18 @@ class RowQueryEngine:
                     yield row
 
             rows: Iterator[tuple] = _scan()
+            stats = self._stats(node)
+            if stats is not None:
+                # Two-layer wrap: rows_in counts what the scan read,
+                # actual_rows what survived the pushed predicate.
+                rows = counted_source(stats, rows)
             if node.predicate is not None:
                 predicate = compile_scalar(
                     node.predicate, scope, self._params, self._resolver(scope)
                 )
                 rows = (row for row in rows if predicate(row) is True)
+            if stats is not None:
+                rows = counted_rows(stats, rows)
         return rows, scope
 
     def _build_join(self, join: logical.Join) -> tuple[Iterator[tuple], Scope]:

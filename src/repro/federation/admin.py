@@ -15,11 +15,16 @@ the simulation is managed the same way:
 * ``SYSPROC.ACCEL_GROOM_TABLES('tables=T1')`` — reclaim deleted rows in
   accelerator storage (Netezza GROOM);
 * ``SYSPROC.ACCEL_CONTROL_ACCELERATOR('action=replicate')`` — drain the
-  replication backlog on demand;
+  replication backlog on demand; ``action=configure`` reconfigures the
+  observability stack at runtime (trace retention, profiler on/off and
+  retention, slow-query log threshold/capacity);
 * ``SYSPROC.ACCEL_GET_HEALTH('')`` — accelerator health state, circuit
   breaker counters, replication backlog/staleness and retry totals;
 * ``SYSPROC.ACCEL_GET_TRACE('trace=T000042')`` — retained statement
   traces rendered as indented span trees;
+* ``SYSPROC.ACCEL_GET_PROFILE('profile=P000042')`` — retained
+  per-operator execution profiles (``worst=N`` renders the worst
+  mis-estimated operators from the cardinality-feedback store);
 * ``SYSPROC.ACCEL_GET_METRICS('prefix=statement.')`` — the metrics
   registry flattened to ``name = value`` lines;
 * ``SYSPROC.ACCEL_SET_WLM('enabled=on')`` — workload-manager runtime
@@ -127,6 +132,70 @@ def _accel_groom_tables(ctx: ProcedureContext) -> str:
     return f"ACCEL_GROOM_TABLES ok: {reclaimed} rows reclaimed"
 
 
+def _accel_control_configure(ctx: ProcedureContext) -> str:
+    """``action=configure`` — observability runtime configuration.
+
+    Accepted parameters (combine freely):
+
+    * ``trace_retention=N`` — resize the trace ring buffer (>= 1);
+    * ``profiling=on|off`` — enable/disable the per-operator profiler;
+    * ``profile_retention=N`` — resize the retained-profile ring (>= 1);
+    * ``slow_threshold=SECONDS`` — slow-query log threshold (>= 0;
+      0 captures every statement);
+    * ``slow_capacity=N`` — slow-query log ring size (>= 1).
+    """
+    system = ctx.system
+    changed: list[str] = []
+
+    trace_retention = ctx.get_int("trace_retention")
+    if trace_retention is not None:
+        try:
+            system.tracer.set_retention(trace_retention)
+        except ValueError as exc:
+            raise ProcedureError(str(exc)) from None
+        changed.append(f"trace_retention={trace_retention}")
+
+    profiling = ctx.get("profiling")
+    if profiling is not None:
+        system.profiler.enabled = _parse_flag(profiling, "profiling")
+        changed.append(
+            f"profiling={'on' if system.profiler.enabled else 'off'}"
+        )
+
+    profile_retention = ctx.get_int("profile_retention")
+    if profile_retention is not None:
+        try:
+            system.profiler.set_retention(profile_retention)
+        except ValueError as exc:
+            raise ProcedureError(str(exc)) from None
+        changed.append(f"profile_retention={profile_retention}")
+
+    slow_threshold = ctx.get_float("slow_threshold")
+    if slow_threshold is not None:
+        try:
+            system.profiler.slow_log.set_threshold(slow_threshold)
+        except ValueError as exc:
+            raise ProcedureError(str(exc)) from None
+        changed.append(f"slow_threshold={slow_threshold:g}s")
+
+    slow_capacity = ctx.get_int("slow_capacity")
+    if slow_capacity is not None:
+        try:
+            system.profiler.slow_log.set_capacity(slow_capacity)
+        except ValueError as exc:
+            raise ProcedureError(str(exc)) from None
+        changed.append(f"slow_capacity={slow_capacity}")
+
+    if not changed:
+        raise ProcedureError(
+            "action=configure requires at least one of trace_retention=, "
+            "profiling=, profile_retention=, slow_threshold=, slow_capacity="
+        )
+    for entry in changed:
+        ctx.log(entry)
+    return f"ACCEL_CONTROL_ACCELERATOR ok: {len(changed)} settings changed"
+
+
 def _accel_control(ctx: ProcedureContext) -> str:
     _require_admin(ctx)
     action = (ctx.get("action") or "").lower()
@@ -147,8 +216,11 @@ def _accel_control(ctx: ProcedureContext) -> str:
             f"{stats.bytes_from_accelerator} bytes back"
         )
         return "ACCEL_CONTROL_ACCELERATOR ok: status reported"
+    if action == "configure":
+        return _accel_control_configure(ctx)
     raise ProcedureError(
-        f"unknown action {action!r} (expected replicate, trim, or status)"
+        f"unknown action {action!r} "
+        "(expected replicate, trim, status, or configure)"
     )
 
 
@@ -230,6 +302,46 @@ def _accel_get_trace(ctx: ProcedureContext) -> str:
         for line in trace.render():
             ctx.log(f"  {line}")
     return f"ACCEL_GET_TRACE: {len(traces)} traces"
+
+
+def _accel_get_profile(ctx: ProcedureContext) -> str:
+    """Render retained per-operator execution profiles.
+
+    ``profile=P000042`` selects one profile by id; ``worst=N`` instead
+    renders the N worst mis-estimated operators from the
+    cardinality-feedback store; otherwise the newest ``limit`` (default
+    5) profiles are rendered. Read-only, like ACCEL_GET_TRACE.
+    """
+    profiler = ctx.system.profiler
+    if not profiler.enabled:
+        ctx.log("profiling is disabled")
+    worst = ctx.get_int("worst")
+    if worst is not None:
+        if worst < 1:
+            raise ProcedureError("'worst' must be >= 1")
+        entries = profiler.feedback.worst(worst)
+        for entry in entries:
+            ctx.log(
+                f"{entry.operator} [{entry.detail}] path={entry.path} "
+                f"engine={entry.engine} mean_q={entry.mean_q_error:.2f} "
+                f"max_q={entry.q_error_max:.2f} "
+                f"executions={entry.executions} "
+                f"last est={entry.last_estimated} act={entry.last_actual}"
+            )
+        return f"ACCEL_GET_PROFILE: {len(entries)} feedback entries"
+    profile_id = ctx.get("profile")
+    if profile_id:
+        profile = profiler.find(profile_id)
+        if profile is None:
+            raise ProcedureError(f"no retained profile {profile_id!r}")
+        profiles = [profile]
+    else:
+        limit = ctx.get_int("limit", 5)
+        profiles = profiler.profiles()[-limit:]
+    for profile in profiles:
+        for line in profile.render():
+            ctx.log(line)
+    return f"ACCEL_GET_PROFILE: {len(profiles)} profiles"
 
 
 def _accel_get_metrics(ctx: ProcedureContext) -> str:
@@ -480,6 +592,8 @@ def register_admin_procedures(registry: ProcedureRegistry) -> None:
          "recent statements with engine and latency"),
         ("SYSPROC.ACCEL_GET_TRACE", _accel_get_trace,
          "render retained statement traces as span trees"),
+        ("SYSPROC.ACCEL_GET_PROFILE", _accel_get_profile,
+         "render retained per-operator execution profiles"),
         ("SYSPROC.ACCEL_GET_METRICS", _accel_get_metrics,
          "dump the metrics registry (counters/gauges/histograms/sources)"),
         ("SYSPROC.ACCEL_SET_WLM", _accel_set_wlm,

@@ -360,6 +360,10 @@ class CachedPlan:
 
     statement: object  # ast.SelectStatement | ast.SetOperation
     generation: int
+    #: The normalised-SQL cache key — doubles (with ``generation``) as
+    #: the profiler's plan fingerprint for the cardinality-feedback
+    #: store, so feedback survives plan-cache eviction and re-parse.
+    key: str = ""
     kernels: KernelCache = field(default_factory=KernelCache)
     prepared: bool = False
     monitored: frozenset = frozenset()
@@ -406,8 +410,8 @@ class PlanCache:
             return plan
 
     def store(self, sql: str, statement, generation: int) -> CachedPlan:
-        plan = CachedPlan(statement=statement, generation=generation)
         key = normalize_sql(sql)
+        plan = CachedPlan(statement=statement, generation=generation, key=key)
         with self._lock:
             self.misses += 1
             self._entries[key] = plan

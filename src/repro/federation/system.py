@@ -57,6 +57,7 @@ from repro.metrics.counters import MovementStats, estimate_rows_bytes
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.monitor import execute_monitoring_query, monitoring_tables
 from repro.recovery.manager import RecoveryManager
+from repro.obs.profile import QueryProfiler, plan_tree_lines
 from repro.obs.trace import NULL_SPAN, Tracer
 from repro.result import Result
 from repro.sql import ast, parse_statement
@@ -108,6 +109,10 @@ class AcceleratedDatabase:
         cooldown_seconds: float = 0.1,
         tracing_enabled: bool = True,
         trace_retention: int = 256,
+        profiling_enabled: bool = True,
+        profile_retention: int = 128,
+        slow_query_threshold_seconds: float = 1.0,
+        slow_query_capacity: int = 64,
         parallel_workers: int = 4,
         plan_cache_capacity: int = 512,
         wlm_enabled: bool = False,
@@ -125,6 +130,16 @@ class AcceleratedDatabase:
         )
         #: Shared metrics registry (owned instruments + snapshot sources).
         self.metrics = MetricsRegistry()
+        #: Per-operator execution profiler: EXPLAIN ANALYZE, the
+        #: cardinality-feedback store (SYSACCEL.MON_QERROR), and the
+        #: slow-query log. EXPLAIN ANALYZE forces a profile for its own
+        #: statement even while disabled.
+        self.profiler = QueryProfiler(
+            enabled=profiling_enabled,
+            retention=profile_retention,
+            slow_threshold_seconds=slow_query_threshold_seconds,
+            slow_capacity=slow_query_capacity,
+        )
         #: Deterministic fault injector consulted by the interconnect and
         #: the accelerator engine (see repro.federation.faults).
         self.faults = FaultInjector(seed=fault_seed)
@@ -227,6 +242,9 @@ class AcceleratedDatabase:
             "plan_cache", lambda: self.plan_cache.snapshot()
         )
         self.metrics.register_source("wlm", lambda: self.wlm.snapshot())
+        self.metrics.register_source(
+            "profiler", lambda: self.profiler.snapshot()
+        )
         self.metrics.register_source(
             "recovery", lambda: self.recovery.status()
         )
@@ -400,6 +418,12 @@ class Connection:
         self._budget: Optional[WorkBudget] = None
         self._ticket: Optional[AdmissionTicket] = None
         self._statement_class = self.service_class
+        #: EXPLAIN ANALYZE forces profiling for its inner statement even
+        #: when the system profiler is disabled.
+        self._profile_force = False
+        #: Profiles produced by the current top-level query (two entries
+        #: when a mid-statement failure re-executed the plan on DB2).
+        self._last_profiles: list = []
 
     @property
     def system(self) -> AcceleratedDatabase:
@@ -751,11 +775,17 @@ class Connection:
         if isinstance(stmt, (ast.GrantStatement, ast.RevokeStatement)):
             return self._execute_grant_revoke(stmt)
         if isinstance(stmt, ast.ExplainStatement):
-            plan = self.explain(stmt.statement)
-            rows = [
-                (key.upper(), _render_plan_value(value))
-                for key, value in plan.items()
-            ]
+            if stmt.analyze:
+                return self._explain_analyze(stmt.statement, txn, params)
+            info = self.explain(stmt.statement)
+            rows = []
+            for key, value in info.items():
+                if isinstance(value, (list, tuple)):
+                    # The rendered logical-plan tree: one row per line so
+                    # the indentation survives the ITEM/VALUE grid.
+                    rows.extend((key.upper(), str(line)) for line in value)
+                else:
+                    rows.append((key.upper(), _render_plan_value(value)))
             return Result(columns=["ITEM", "VALUE"], rows=rows, engine="DB2")
         if isinstance(stmt, ast.SetStatement):
             return self._execute_set(stmt)
@@ -822,6 +852,7 @@ class Connection:
                     "tables": {
                         name: "MONITORING VIEW" for name in sorted(monitored)
                     },
+                    "plan": plan_tree_lines(plan_statement(stmt)),
                 }
             stmt, __views = self._expand_views(stmt)
             tables = {name.upper() for name in stmt.referenced_tables()}
@@ -840,6 +871,9 @@ class Connection:
                     name: catalog.table(name).location.value
                     for name in sorted(tables)
                 },
+                # Rendered through the same formatter EXPLAIN ANALYZE
+                # uses for its annotated OPERATOR column.
+                "plan": plan_tree_lines(plan_statement(stmt)),
             }
         if isinstance(
             stmt, (ast.InsertStatement, ast.UpdateStatement, ast.DeleteStatement)
@@ -871,6 +905,102 @@ class Connection:
             "reason": "DDL and control statements run on DB2",
             "tables": {},
         }
+
+    #: Columns of the EXPLAIN ANALYZE grid.
+    EXPLAIN_ANALYZE_COLUMNS = [
+        "OPERATOR",
+        "ENGINE",
+        "ACTUAL_ROWS",
+        "ESTIMATED_ROWS",
+        "Q_ERROR",
+        "WALL_MS",
+        "DETAIL",
+    ]
+
+    def _explain_analyze(
+        self,
+        stmt: ast.Statement,
+        txn: Transaction,
+        params: Sequence[object],
+    ) -> Result:
+        """Execute the statement with profiling forced on and render the
+        annotated plan tree: per-operator actual vs. estimated rows,
+        Q-error, and wall time. A mid-statement accelerator failure under
+        FAILBACK yields two sections — the failed accelerator attempt and
+        the DB2 re-execution."""
+        if not isinstance(stmt, (ast.SelectStatement, ast.SetOperation)):
+            raise SqlError(
+                "EXPLAIN ANALYZE supports queries only "
+                f"(got {type(stmt).__name__})"
+            )
+        self._profile_force = True
+        try:
+            result = self._execute_query(stmt, txn, params)
+        finally:
+            self._profile_force = False
+        rows: list[tuple] = []
+        for profile in self._last_profiles:
+            header = (
+                f"execution [{profile.profile_id}] engine={profile.engine}"
+            )
+            if profile.failback:
+                header += " (failback re-execution)"
+            if profile.error is not None:
+                header += f" error={profile.error}"
+            rows.append(
+                (
+                    header,
+                    profile.engine,
+                    None,
+                    None,
+                    None,
+                    round(profile.elapsed_seconds * 1000.0, 3),
+                    profile.fingerprint[:120],
+                )
+            )
+            for op in profile.operators:
+                flags = []
+                if op.parallel:
+                    flags.append("parallel")
+                if op.fused:
+                    flags.append("fused")
+                if not op.executed:
+                    flags.append("not-executed")
+                if op.chunks_skipped:
+                    flags.append(f"chunks_skipped={op.chunks_skipped}")
+                if op.batches > 1:
+                    flags.append(f"batches={op.batches}")
+                if op.rows_in:
+                    flags.append(f"rows_in={op.rows_in}")
+                rows.append(
+                    (
+                        op.describe(),
+                        op.engine,
+                        op.actual_rows,
+                        op.estimated_rows,
+                        round(op.q_error, 4),
+                        round(op.wall_seconds * 1000.0, 3),
+                        " ".join(flags),
+                    )
+                )
+        if not rows:
+            rows.append(
+                (
+                    "(not profiled: monitoring views are served directly "
+                    "from the observability structures)",
+                    result.engine,
+                    None,
+                    None,
+                    None,
+                    None,
+                    "",
+                )
+            )
+        return Result(
+            columns=list(self.EXPLAIN_ANALYZE_COLUMNS),
+            rows=rows,
+            engine=result.engine,
+        )
 
     # -- workload management -------------------------------------------------------------
 
@@ -949,6 +1079,7 @@ class Connection:
         is maintained from DB2's own change log), otherwise the failure
         surfaces as :class:`AcceleratorUnavailableError`.
         """
+        self._last_profiles = []
         try:
             columns, rows, engine = self._attempt_query(
                 stmt, txn, params, self.acceleration, plan=plan
@@ -968,6 +1099,8 @@ class Connection:
                 columns, rows, engine = self._attempt_query(
                     stmt, txn, params, AccelerationMode.NONE, plan=plan
                 )
+            if self._last_profiles:
+                self._last_profiles[-1].failback = True
             self.last_decision = "failback: accelerator failed mid-statement"
             self._system.failbacks += 1
             self._system.metrics.counter("statement.failbacks").inc()
@@ -1102,21 +1235,54 @@ class Connection:
             if plan.logical is None:
                 plan.logical = plan_statement(stmt)
             logical = plan.logical
+        profiler = self._system.profiler
+        profile = None
+        if profiler.enabled or self._profile_force:
+            if logical is None:
+                # Pre-parsed AST inputs bypass the plan cache; bind here
+                # so the walker and the profile share plan-node
+                # identities (executors skip planning when handed one).
+                logical = plan_statement(stmt)
+            profile = profiler.begin(
+                logical,
+                self._table_row_count,
+                engine=decision.engine,
+                fingerprint=plan.key if plan is not None else None,
+                generation=self._system.catalog.generation,
+            )
         if decision.engine == "ACCELERATOR":
             epoch = self.snapshot_epoch_for_statement()
-            columns, rows = self._system.accelerator.execute_select(
-                stmt,
-                params=params,
-                snapshot_epoch=epoch,
-                deltas=self.active_deltas(),
-                kernel_cache=plan.kernels if plan is not None else None,
-                plan=logical,
-            )
+            started = time.perf_counter()
+            try:
+                columns, rows = self._system.accelerator.execute_select(
+                    stmt,
+                    params=params,
+                    snapshot_epoch=epoch,
+                    deltas=self.active_deltas(),
+                    kernel_cache=plan.kernels if plan is not None else None,
+                    plan=logical,
+                    profile=profile,
+                )
+            except Exception as exc:
+                self._profile_done(profile, started, error=exc)
+                raise
+            self._profile_done(profile, started)
             return columns, rows, "ACCELERATOR"
         with self._span("db2.execute") as db2_span:
-            columns, rows = self._system.db2.execute_select(
-                txn, stmt, params, plan=logical, tracer=self._system.tracer
-            )
+            started = time.perf_counter()
+            try:
+                columns, rows = self._system.db2.execute_select(
+                    txn,
+                    stmt,
+                    params,
+                    plan=logical,
+                    tracer=self._system.tracer,
+                    profile=profile,
+                )
+            except Exception as exc:
+                self._profile_done(profile, started, error=exc)
+                raise
+            self._profile_done(profile, started)
             db2_span.annotate(rows=len(rows))
         return columns, rows, "DB2"
 
@@ -1129,6 +1295,26 @@ class Connection:
             return None
 
         return expand_views(stmt, lookup)
+
+    def _profile_done(self, profile, started: float, error=None) -> None:
+        """Finish an in-flight profile (errored executions are retained
+        for EXPLAIN ANALYZE but never feed the cardinality store)."""
+        if profile is None:
+            return
+        if error is not None:
+            profile.error = f"{type(error).__name__}: {error}"[:200]
+        self._system.profiler.finish(profile, time.perf_counter() - started)
+        self._last_profiles.append(profile)
+
+    def _table_row_count(self, name: str) -> int:
+        """Base-table cardinality for the profiler's estimator."""
+        system = self._system
+        name = name.upper()
+        if system.db2.has_storage(name):
+            return system.db2.storage_for(name).row_count
+        if system.accelerator.has_storage(name):
+            return system.accelerator.storage_for(name).row_count
+        return 0
 
     def _estimate_rows(self, tables: set[str]) -> int:
         total = 0

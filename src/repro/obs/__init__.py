@@ -4,21 +4,42 @@
 reports into: :class:`Tracer` builds a hierarchical span tree per
 statement, :class:`MetricsRegistry` holds named counters/gauges/
 histograms (with the pre-existing stats dataclasses registered as
-snapshot sources), :mod:`repro.obs.monitor` surfaces both through
-SQL-queryable ``SYSACCEL.MON_*`` views, and :mod:`repro.obs.export`
-turns them into the JSON breakdowns the benchmarks persist.
+snapshot sources), :class:`QueryProfiler` collects per-operator runtime
+stats (rows, wall time, Q-error against the planner's estimates) and
+feeds the :class:`CardinalityFeedback` store, :mod:`repro.obs.monitor`
+surfaces all of it through SQL-queryable ``SYSACCEL.MON_*`` views, and
+:mod:`repro.obs.export` turns them into the JSON breakdowns the
+benchmarks persist.
 """
 
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.profile import (
+    CardinalityFeedback,
+    FeedbackEntry,
+    OperatorStats,
+    QueryProfiler,
+    SlowQueryLog,
+    SlowQueryRecord,
+    StatementProfile,
+    q_error,
+)
 from repro.obs.trace import NULL_SPAN, Trace, TraceSpan, Tracer
 
 __all__ = [
+    "CardinalityFeedback",
     "Counter",
+    "FeedbackEntry",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "NULL_SPAN",
+    "OperatorStats",
+    "QueryProfiler",
+    "SlowQueryLog",
+    "SlowQueryRecord",
+    "StatementProfile",
     "Trace",
     "TraceSpan",
     "Tracer",
+    "q_error",
 ]

@@ -14,11 +14,15 @@ from typing import TYPE_CHECKING, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.federation.system import AcceleratedDatabase
+    from repro.obs.profile import StatementProfile
     from repro.obs.trace import Trace
 
 __all__ = [
     "collect_metrics",
     "export_json",
+    "profile_to_dict",
+    "profiles_payload",
+    "qerror_summary",
     "statement_breakdown",
     "trace_phase_breakdown",
     "trace_to_dict",
@@ -86,6 +90,84 @@ def statement_breakdown(
             entry["total_ms"] / entry["count"] if entry["count"] else 0.0
         )
     return merged
+
+
+def profile_to_dict(profile: "StatementProfile") -> dict:
+    """One statement profile as a JSON-ready mapping.
+
+    Every float is finite and rounded: ``q_error`` clamps its inputs to
+    >= 1, so zero-row operators export as plain numbers, never NaN/inf
+    (``json.dumps(..., allow_nan=False)`` must succeed on the result).
+    """
+    return {
+        "profile_id": profile.profile_id,
+        "fingerprint": profile.fingerprint,
+        "generation": profile.generation,
+        "engine": profile.engine,
+        "elapsed_ms": round(profile.elapsed_seconds * 1000.0, 6),
+        "failback": profile.failback,
+        "error": profile.error,
+        "operators": [
+            {
+                "path": op.path,
+                "depth": op.depth,
+                "operator": op.operator,
+                "detail": op.detail,
+                "engine": op.engine,
+                "estimated_rows": op.estimated_rows,
+                "actual_rows": op.actual_rows,
+                "q_error": round(op.q_error, 6),
+                "rows_in": op.rows_in,
+                "batches": op.batches,
+                "wall_ms": round(op.wall_seconds * 1000.0, 6),
+                "chunks_skipped": op.chunks_skipped,
+                "parallel": op.parallel,
+                "fused": op.fused,
+                "executed": op.executed,
+            }
+            for op in profile.operators
+        ],
+    }
+
+
+def profiles_payload(
+    system: "AcceleratedDatabase", limit: Optional[int] = None
+) -> dict:
+    """Retained profiles plus the profiler/feedback snapshot, JSON-ready."""
+    profiles = system.profiler.profiles()
+    if limit is not None:
+        profiles = profiles[-limit:]
+    return {
+        "profiler": system.profiler.snapshot(),
+        "profiles": [profile_to_dict(profile) for profile in profiles],
+        "qerror": qerror_summary(system),
+    }
+
+
+def qerror_summary(
+    system: "AcceleratedDatabase", worst: int = 10
+) -> dict:
+    """Cardinality-feedback store rollup with the worst offenders listed."""
+    feedback = system.profiler.feedback
+    return {
+        **feedback.snapshot(),
+        "worst": [
+            {
+                "fingerprint": entry.fingerprint,
+                "generation": entry.generation,
+                "path": entry.path,
+                "operator": entry.operator,
+                "detail": entry.detail,
+                "engine": entry.engine,
+                "executions": entry.executions,
+                "estimated_total": entry.estimated_total,
+                "actual_total": entry.actual_total,
+                "mean_q_error": round(entry.mean_q_error, 6),
+                "max_q_error": round(entry.q_error_max, 6),
+            }
+            for entry in feedback.worst(worst)
+        ],
+    }
 
 
 def collect_metrics(system: "AcceleratedDatabase") -> dict[str, object]:

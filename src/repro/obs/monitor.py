@@ -16,7 +16,14 @@ equivalents as *virtual tables* under the ``SYSACCEL`` schema:
 * ``SYSACCEL.MON_RECOVERY`` — one row per recovery event (checkpoint
   taken, checkpoint failed, restart resync, retention trim) with cursor
   position, rows/tables covered, replayed record counts, full-reload and
-  AOT-rebuild counts, and interconnect bytes the checkpoint saved.
+  AOT-rebuild counts, and interconnect bytes the checkpoint saved;
+* ``SYSACCEL.MON_OPERATORS`` — one row per plan operator of every
+  retained statement profile (EXPLAIN ANALYZE data at rest): actual vs.
+  estimated rows, Q-error, wall time, batches, chunks pruned, and the
+  parallel/fused/executed markers;
+* ``SYSACCEL.MON_QERROR`` — the cardinality-feedback store: accumulated
+  estimate/actual pairs per plan-node fingerprint with mean/max Q-error
+  (the standing E17 benchmark surface the cost model trains against).
 
 They hold no storage: each query materialises rows from the live
 observability structures and runs the full SELECT pipeline (WHERE,
@@ -101,6 +108,44 @@ _SCHEMAS: dict[str, TableSchema] = {
             Column("AOTS_REBUILT", INTEGER),
             Column("BYTES_SAVED", BIGINT),
             Column("DETAIL", _TEXT),
+        ]
+    ),
+    "SYSACCEL.MON_OPERATORS": TableSchema(
+        [
+            Column("PROFILE_ID", _ID),
+            Column("ENGINE", VarcharType(16)),
+            Column("PATH", _ID),
+            Column("DEPTH", INTEGER),
+            Column("OPERATOR", VarcharType(16)),
+            Column("DETAIL", _TEXT),
+            Column("ACTUAL_ROWS", BIGINT),
+            Column("ESTIMATED_ROWS", BIGINT),
+            Column("Q_ERROR", DOUBLE),
+            Column("ROWS_IN", BIGINT),
+            Column("BATCHES", INTEGER),
+            Column("WALL_MS", DOUBLE),
+            Column("CHUNKS_SKIPPED", BIGINT),
+            Column("PARALLEL", VarcharType(1)),
+            Column("FUSED", VarcharType(1)),
+            Column("EXECUTED", VarcharType(1)),
+            Column("FAILBACK", VarcharType(1)),
+        ]
+    ),
+    "SYSACCEL.MON_QERROR": TableSchema(
+        [
+            Column("FINGERPRINT", _TEXT),
+            Column("GENERATION", INTEGER),
+            Column("PATH", _ID),
+            Column("OPERATOR", VarcharType(16)),
+            Column("DETAIL", _TEXT),
+            Column("ENGINE", VarcharType(16)),
+            Column("EXECUTIONS", BIGINT),
+            Column("ESTIMATED_TOTAL", BIGINT),
+            Column("ACTUAL_TOTAL", BIGINT),
+            Column("LAST_ESTIMATED", BIGINT),
+            Column("LAST_ACTUAL", BIGINT),
+            Column("MEAN_Q_ERROR", DOUBLE),
+            Column("MAX_Q_ERROR", DOUBLE),
         ]
     ),
     "SYSACCEL.MON_WLM": TableSchema(
@@ -226,12 +271,67 @@ def _recovery_rows(system: "AcceleratedDatabase") -> list[tuple]:
     ]
 
 
+def _flag(value) -> str:
+    return "Y" if value else "N"
+
+
+def _operators_rows(system: "AcceleratedDatabase") -> list[tuple]:
+    rows: list[tuple] = []
+    for profile in system.profiler.profiles():
+        for op in profile.operators:
+            rows.append(
+                (
+                    profile.profile_id,
+                    op.engine,
+                    op.path,
+                    op.depth,
+                    op.operator,
+                    _clip(op.detail),
+                    op.actual_rows,
+                    op.estimated_rows,
+                    round(op.q_error, 6),
+                    op.rows_in,
+                    op.batches,
+                    op.wall_seconds * 1000.0,
+                    op.chunks_skipped,
+                    _flag(op.parallel),
+                    _flag(op.fused),
+                    _flag(op.executed),
+                    _flag(profile.failback),
+                )
+            )
+    return rows
+
+
+def _qerror_rows(system: "AcceleratedDatabase") -> list[tuple]:
+    return [
+        (
+            _clip(entry.fingerprint),
+            entry.generation,
+            entry.path,
+            entry.operator,
+            _clip(entry.detail),
+            entry.engine,
+            entry.executions,
+            entry.estimated_total,
+            entry.actual_total,
+            entry.last_estimated,
+            entry.last_actual,
+            round(entry.mean_q_error, 6),
+            round(entry.q_error_max, 6),
+        )
+        for entry in system.profiler.feedback.entries()
+    ]
+
+
 _ROW_BUILDERS: dict[str, Callable] = {
     "SYSACCEL.MON_STATEMENTS": _statements_rows,
     "SYSACCEL.MON_SPANS": _spans_rows,
     "SYSACCEL.MON_REPLICATION": _replication_rows,
     "SYSACCEL.MON_RECOVERY": _recovery_rows,
     "SYSACCEL.MON_WLM": _wlm_rows,
+    "SYSACCEL.MON_OPERATORS": _operators_rows,
+    "SYSACCEL.MON_QERROR": _qerror_rows,
 }
 
 

@@ -247,3 +247,15 @@ class Tracer:
     def clear(self) -> None:
         with self._lock:
             self._traces.clear()
+
+    def set_retention(self, max_traces: int) -> None:
+        """Resize the retained-trace ring buffer at runtime.
+
+        A ``deque`` cannot change ``maxlen`` in place, so the buffer is
+        rebuilt; when shrinking, the oldest traces are discarded.
+        """
+        if max_traces < 1:
+            raise ValueError("trace retention must be >= 1")
+        with self._lock:
+            self.max_traces = max_traces
+            self._traces = deque(self._traces, maxlen=max_traces)

@@ -481,9 +481,12 @@ class CallStatement(Statement):
 
 @dataclass
 class ExplainStatement(Statement):
-    """``EXPLAIN <statement>`` — routing plan without execution."""
+    """``EXPLAIN [ANALYZE] <statement>`` — routing + logical plan; with
+    ANALYZE the statement executes and the annotated per-operator plan
+    (actual vs. estimated rows, Q-error, wall time) is returned."""
 
     statement: Statement
+    analyze: bool = False
 
 
 @dataclass

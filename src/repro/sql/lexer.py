@@ -36,7 +36,7 @@ KEYWORDS = frozenset(
     SET DELETE CREATE TABLE DROP IF PRIMARY KEY NOT UNIQUE DEFAULT
     ACCELERATOR GRANT REVOKE TO CALL COMMIT ROLLBACK BEGIN TRANSACTION
     WORK TRUE FALSE COUNT SUM AVG MIN MAX DISTRIBUTE RANDOM
-    EXECUTE PROCEDURE VIEW REPLACE WITH EXPLAIN
+    EXECUTE PROCEDURE VIEW REPLACE WITH EXPLAIN ANALYZE
     """.split()
 )
 

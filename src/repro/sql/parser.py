@@ -176,7 +176,10 @@ class Parser:
             return self._set_register()
         if token.matches_keyword("EXPLAIN"):
             self._advance()
-            return ast.ExplainStatement(statement=self._statement())
+            analyze = self._accept_keyword("ANALYZE")
+            return ast.ExplainStatement(
+                statement=self._statement(), analyze=analyze
+            )
         if token.matches_keyword("COMMIT"):
             self._advance()
             self._accept_keyword("WORK")
