@@ -656,6 +656,7 @@ class AcceleratorEngine:
         kernel_cache=None,
         plan=None,
         profile=None,
+        estimates=None,
     ) -> tuple[list[str], list[tuple]]:
         epoch = self.current_epoch if snapshot_epoch is None else snapshot_epoch
         tracer = self.tracer
@@ -674,6 +675,7 @@ class AcceleratorEngine:
                 kernel_cache=kernel_cache,
                 tracer=tracer,
                 profile=profile,
+                estimates=estimates,
             )
             columns, rows = engine.execute(plan if plan is not None else stmt)
             self.queries_executed += 1

@@ -45,7 +45,11 @@ from repro.sql.planning import (
     sort_rows_with_keys,
     split_conjuncts,
 )
+from repro.sql.stats import CostModel
 from repro.accelerator.vtable import VTable
+
+#: Shared strategy thresholds for the estimate-driven join choice.
+_COST_MODEL = CostModel()
 
 __all__ = [
     "VectorTableProvider",
@@ -128,9 +132,15 @@ class VectorQueryEngine:
         kernel_cache=None,
         tracer=None,
         profile=None,
+        estimates=None,
     ) -> None:
         self._provider = provider
         self._params = params
+        #: Optional cardinality estimates keyed by id(plan node); when
+        #: present, INNER equi-joins pick their hash build side (and tiny
+        #: products take the vectorised cross-filter path) from them.
+        #: All strategies are byte-identical.
+        self._estimates = estimates if estimates is not None else {}
         #: Optional StatementProfile (repro.obs.profile); when set, each
         #: plan operator reports rows/wall-time/chunks-pruned into it.
         #: Disabled cost: one ``is None`` check per operator.
@@ -763,7 +773,14 @@ class VectorQueryEngine:
         with self._op_span("join", join_type=join.join_type):
             left = self._build_table(left_node, hint=hint)
             right = self._build_table(right_node, hint=hint)
-            table = self._join_tables(left, right, join_type, join.condition)
+            estimates = (
+                (self._estimates.get(id(left_node)), self._estimates.get(id(right_node)))
+                if self._estimates
+                else (None, None)
+            )
+            table = self._join_tables(
+                left, right, join_type, join.condition, estimates=estimates
+            )
         if not swap:
             return table
         cut = len(left.scope)  # width of the original right side
@@ -777,6 +794,7 @@ class VectorQueryEngine:
         right: VTable,
         join_type: str,
         condition: Optional[ast.Expression],
+        estimates: tuple[Optional[int], Optional[int]] = (None, None),
     ) -> VTable:
         combined_scope = Scope(left.scope.entries + right.scope.entries)
 
@@ -790,6 +808,15 @@ class VectorQueryEngine:
             raise ParseError(f"{join_type} JOIN requires ON")
         if join_type not in ("INNER", "LEFT"):
             raise ParseError(f"unsupported join type {join_type}")
+
+        est_left, est_right = estimates
+        if join_type == "INNER" and _COST_MODEL.prefer_nested_loop(est_left, est_right):
+            # Tiny product: one vectorised cross-filter beats building a
+            # hash table. Candidate pairs come out in the same
+            # (left, right) lexicographic order as the equi paths.
+            return self._nested_join(
+                left, right, condition, combined_scope, join_type
+            )
 
         left_keys, right_keys, residual = self._split_equi(
             condition, left.scope, right.scope
@@ -807,6 +834,33 @@ class VectorQueryEngine:
         fast = _numeric_equi_pairs(left_key_cols, right_key_cols)
         if fast is not None:
             left_indexes, right_indexes = fast
+        elif join_type == "INNER" and _COST_MODEL.prefer_build_left(
+            est_left, est_right
+        ):
+            # Build on the (estimated smaller) left input, probe with the
+            # right, then lexsort the pairs back into the (left, right)
+            # order the build-right path produces — byte-identical output.
+            build_l: dict[tuple, list[int]] = {}
+            left_tuples = _key_tuples(left_key_cols, left.length)
+            for index, key in enumerate(left_tuples):
+                if key is None:
+                    continue
+                build_l.setdefault(key, []).append(index)
+            right_tuples = _key_tuples(right_key_cols, right.length)
+            left_idx: list[int] = []
+            right_idx: list[int] = []
+            for index, key in enumerate(right_tuples):
+                matches = build_l.get(key) if key is not None else None
+                if matches:
+                    for match in matches:
+                        left_idx.append(match)
+                        right_idx.append(index)
+            left_indexes = np.array(left_idx, dtype=np.int64)
+            right_indexes = np.array(right_idx, dtype=np.int64)
+            if len(left_indexes):
+                order = np.lexsort((right_indexes, left_indexes))
+                left_indexes = left_indexes[order]
+                right_indexes = right_indexes[order]
         else:
             build: dict[tuple, list[int]] = {}
             right_tuples = _key_tuples(right_key_cols, right.length)
@@ -815,8 +869,8 @@ class VectorQueryEngine:
                     continue
                 build.setdefault(key, []).append(index)
             left_tuples = _key_tuples(left_key_cols, left.length)
-            left_idx: list[int] = []
-            right_idx: list[int] = []
+            left_idx = []
+            right_idx = []
             for index, key in enumerate(left_tuples):
                 matches = build.get(key) if key is not None else None
                 if matches:

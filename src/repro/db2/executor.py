@@ -38,9 +38,13 @@ from repro.sql.planning import (
     sort_rows_with_keys as _sort_with_precomputed,
     split_conjuncts,
 )
+from repro.sql.stats import CostModel
 from repro.wlm.budget import current_budget
 
 __all__ = ["TableProvider", "RowQueryEngine", "canonicalize"]
+
+#: Shared strategy thresholds for the estimate-driven join choice.
+_COST_MODEL = CostModel()
 
 #: Rows between cooperative budget checks in the row-at-a-time scan.
 #: Small enough that a timed-out statement stops within microseconds,
@@ -222,9 +226,14 @@ class RowQueryEngine:
         params: Sequence[object] = (),
         tracer=None,
         profile=None,
+        estimates=None,
     ) -> None:
         self._provider = provider
         self._params = params
+        #: Optional cardinality estimates keyed by id(plan node); when
+        #: present, INNER joins pick nested-loop vs hash and the hash
+        #: build side from them. All strategies are byte-identical.
+        self._estimates = estimates if estimates is not None else {}
         #: Optional repro.obs tracer; when enabled, each plan operator
         #: emits an ``op.*`` child span so MON_SPANS shows plan shape.
         self.tracer = tracer
@@ -485,17 +494,36 @@ class RowQueryEngine:
             left_keys, right_keys, residual = self._split_equi(
                 condition, left_scope, right_scope, combined
             )
-            if left_keys:
-                rows = self._hash_join(
-                    left_rows,
-                    right_rows,
-                    left_keys,
-                    right_keys,
-                    residual,
-                    combined,
-                    right_scope,
-                    outer=join_type == "LEFT",
-                )
+            # Cost-based physical strategy (INNER only; outer joins keep
+            # the legacy build-right shape so null extension stays
+            # streaming). Every choice yields rows in the same
+            # lexicographic left-major order, so results are
+            # byte-identical regardless of estimate quality.
+            force_nested = False
+            build_left = False
+            if join_type == "INNER" and self._estimates:
+                est_left = self._estimates.get(id(left_node))
+                est_right = self._estimates.get(id(right_node))
+                if _COST_MODEL.prefer_nested_loop(est_left, est_right):
+                    force_nested = True
+                elif left_keys and _COST_MODEL.prefer_build_left(est_left, est_right):
+                    build_left = True
+            if left_keys and not force_nested:
+                if build_left:
+                    rows = self._hash_join_build_left(
+                        left_rows, right_rows, left_keys, right_keys, residual
+                    )
+                else:
+                    rows = self._hash_join(
+                        left_rows,
+                        right_rows,
+                        left_keys,
+                        right_keys,
+                        residual,
+                        combined,
+                        right_scope,
+                        outer=join_type == "LEFT",
+                    )
             else:
                 rows = self._nested_loop_join(
                     left_rows,
@@ -589,6 +617,40 @@ class RowQueryEngine:
                         yield candidate
             if outer and not matched:
                 yield left + null_extension
+
+    def _hash_join_build_left(
+        self,
+        left_rows: Iterator[tuple],
+        right_rows: Iterator[tuple],
+        left_keys: list[Callable],
+        right_keys: list[Callable],
+        residual: Optional[Callable],
+    ) -> Iterator[tuple]:
+        """INNER hash join building on the (smaller) left input.
+
+        The legacy build-right join emits rows ordered by (left arrival,
+        right arrival); probing with the right side produces them in
+        (right arrival, left arrival) order instead, so matches are
+        buffered and re-sorted to keep the output byte-identical.
+        """
+        table: dict[tuple, list[tuple[int, tuple]]] = {}
+        for index, left in enumerate(left_rows):
+            key = tuple(fn(left) for fn in left_keys)
+            if any(part is None for part in key):
+                continue  # NULL keys never match
+            table.setdefault(key, []).append((index, left))
+        matches: list[tuple[int, int, tuple]] = []
+        for seq, right in enumerate(right_rows):
+            key = tuple(fn(right) for fn in right_keys)
+            if any(part is None for part in key):
+                continue
+            for index, left in table.get(key, ()):
+                candidate = left + right
+                if residual is None or residual(candidate) is True:
+                    matches.append((index, seq, candidate))
+        matches.sort(key=lambda item: (item[0], item[1]))
+        for _, _, candidate in matches:
+            yield candidate
 
     def _nested_loop_join(
         self,

@@ -48,7 +48,8 @@ operation.
 from __future__ import annotations
 
 from repro.analytics.framework import Procedure, ProcedureContext, ProcedureRegistry
-from repro.errors import AuthorizationError, ProcedureError
+from repro.errors import AuthorizationError, ProcedureError, UnknownObjectError
+from repro.sql.stats import DEFAULT_HISTOGRAM_BINS
 from repro.wlm import ServiceClass
 
 __all__ = ["register_admin_procedures"]
@@ -130,6 +131,27 @@ def _accel_groom_tables(ctx: ProcedureContext) -> str:
         )
         reclaimed += stats.rows_reclaimed
     return f"ACCEL_GROOM_TABLES ok: {reclaimed} rows reclaimed"
+
+
+def _accel_runstats(ctx: ProcedureContext) -> str:
+    """RUNSTATS analogue: full-scan statistics for the cost-based
+    optimizer. ``tables=`` limits collection (default: every stored
+    table); ``bins=`` sets the equi-width histogram resolution."""
+    _require_admin(ctx)
+    tables = ctx.column_list("tables")
+    bins = ctx.get_int("bins", DEFAULT_HISTOGRAM_BINS)
+    if bins < 1:
+        raise ProcedureError("'bins' must be >= 1")
+    try:
+        collected = ctx.system.run_statistics(tables, bins=bins)
+    except UnknownObjectError as exc:
+        raise ProcedureError(str(exc)) from None
+    for name in collected:
+        stats = ctx.system.stats.table(name)
+        columns = len(stats.columns) if stats is not None else 0
+        rows = stats.row_count if stats is not None else 0
+        ctx.log(f"{name}: {rows} rows, {columns} columns profiled")
+    return f"ACCEL_RUNSTATS ok: {len(collected)} tables"
 
 
 def _accel_control_configure(ctx: ProcedureContext) -> str:
@@ -584,6 +606,8 @@ def register_admin_procedures(registry: ProcedureRegistry) -> None:
          "list table placement and sizes"),
         ("SYSPROC.ACCEL_GROOM_TABLES", _accel_groom_tables,
          "reclaim deleted rows in accelerator storage"),
+        ("SYSPROC.ACCEL_RUNSTATS", _accel_runstats,
+         "collect table/column statistics for the cost-based optimizer"),
         ("SYSPROC.ACCEL_CONTROL_ACCELERATOR", _accel_control,
          "replication drain / status"),
         ("SYSPROC.ACCEL_GET_HEALTH", _accel_get_health,

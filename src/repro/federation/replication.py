@@ -137,6 +137,12 @@ class ReplicationService:
             maxlen=drain_history_limit
         )
         self._drain_seq = 0
+        #: Optional hook called with (table, records) after a table
+        #: sub-batch is successfully applied to the accelerator — the
+        #: statistics manager folds the change feed incrementally.
+        self.change_listener: Optional[
+            Callable[[str, list[ChangeRecord]], None]
+        ] = None
 
     def register_table(self, name: str, start_lsn: int) -> None:
         """Start replicating ``name`` for records with LSN >= start_lsn."""
@@ -392,6 +398,12 @@ class ReplicationService:
             applied_tables.add(table)
             applied += applied_now
             self.records_applied += applied_now
+            if self.change_listener is not None and applied_now:
+                # Incremental statistics maintenance: the change feed is
+                # the same stream the accelerator just applied, so the
+                # optimizer's row counts / min-max / histograms track
+                # replicated DML without rescanning.
+                self.change_listener(table, table_records)
         if applied:
             self.batches_applied += 1
         return applied

@@ -106,8 +106,17 @@ class QueryRouter:
         stmt: Union[ast.SelectStatement, ast.SetOperation],
         mode: AccelerationMode,
         estimated_rows: Optional[int] = None,
+        cost_advice=None,
     ) -> RoutingDecision:
-        decision, has_aot = self._nominal_route(stmt, mode, estimated_rows)
+        """Route a query; ``cost_advice`` is an optional
+        :class:`repro.sql.stats.PlanCost` from the cost-based optimizer.
+        When present it replaces the ENABLE-mode row-threshold heuristic;
+        AOT constraints, mode semantics, point lookups, and health
+        failback always take precedence over it.
+        """
+        decision, has_aot = self._nominal_route(
+            stmt, mode, estimated_rows, cost_advice
+        )
         if decision.engine != "ACCELERATOR" or self.health is None:
             return decision
         if self.health.allow_request():
@@ -139,6 +148,7 @@ class QueryRouter:
         stmt: Union[ast.SelectStatement, ast.SetOperation],
         mode: AccelerationMode,
         estimated_rows: Optional[int] = None,
+        cost_advice=None,
     ) -> tuple[RoutingDecision, bool]:
         """Health-blind routing; returns (decision, references-an-AOT)."""
         tables = [name.upper() for name in stmt.referenced_tables()]
@@ -179,9 +189,15 @@ class QueryRouter:
         if mode is AccelerationMode.ALL:
             return RoutingDecision("ACCELERATOR", "acceleration mode ALL"), False
 
-        # ENABLE (with or without FAILBACK): heuristic offload.
+        # ENABLE (with or without FAILBACK): cost-based offload when the
+        # optimizer produced advice, heuristic offload otherwise.
         if self._is_point_lookup(stmt):
             return RoutingDecision("DB2", "primary-key point lookup"), False
+        if cost_advice is not None:
+            return (
+                RoutingDecision(cost_advice.engine, cost_advice.describe()),
+                False,
+            )
         if self._is_analytical(stmt):
             return (
                 RoutingDecision("ACCELERATOR", "analytical query shape"),
@@ -214,7 +230,16 @@ class QueryRouter:
             return False
         if stmt.group_by or stmt.is_aggregate_query:
             return False
-        descriptor = self.catalog.table(stmt.from_item.name)
+        try:
+            descriptor = self.catalog.table(stmt.from_item.name)
+        except UnknownObjectError as exc:
+            # A name that resolves to nothing (or to a view that should
+            # have been expanded before routing) must surface as a clean
+            # routing failure, not an internal catalog error mid-route.
+            raise RoutingError(
+                f"cannot route query: {stmt.from_item.name} is not a "
+                f"routable table ({exc})"
+            ) from exc
         pk = descriptor.schema.primary_key_columns
         if not pk:
             return False
@@ -255,7 +280,7 @@ class QueryRouter:
         """
         try:
             return self._is_point_lookup(stmt)
-        except UnknownObjectError:
+        except (RoutingError, UnknownObjectError):
             return False
 
     # -- DML -----------------------------------------------------------------------

@@ -57,11 +57,16 @@ from repro.metrics.counters import MovementStats, estimate_rows_bytes
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.monitor import execute_monitoring_query, monitoring_tables
 from repro.recovery.manager import RecoveryManager
-from repro.obs.profile import QueryProfiler, plan_tree_lines
+from repro.obs.profile import QueryProfiler, estimate_plan, plan_tree_lines
 from repro.obs.trace import NULL_SPAN, Tracer
 from repro.result import Result
 from repro.sql import ast, parse_statement
 from repro.sql.logical import plan_statement
+from repro.sql.stats import (
+    DEFAULT_HISTOGRAM_BINS,
+    CostModel,
+    StatisticsManager,
+)
 from repro.wlm import AdmissionTicket, WorkBudget, WorkloadManager, active_budget
 
 __all__ = ["AcceleratedDatabase", "Connection"]
@@ -208,6 +213,27 @@ class AcceleratedDatabase:
             checkpoint_dir=checkpoint_dir,
             retain=checkpoint_retain,
         )
+        #: Per-table/per-column optimizer statistics: seeded from zone
+        #: maps at accelerate time, upgraded by RUNSTATS full scans,
+        #: maintained incrementally from the replication change feed.
+        self.stats = StatisticsManager(row_probe=self._live_row_count)
+        #: Cost model shared by engine routing, WLM weighting, and the
+        #: executors' join-strategy choice.
+        self.cost_model = CostModel()
+        # Statistics maintenance hooks. Direct accelerator writes (AOT
+        # DML, procedure output) mark the table's statistics dirty; the
+        # write listener chains behind the recovery manager's lineage
+        # journal, which claimed the slot above. Replicated change
+        # batches fold into the statistics incrementally.
+        recovery_listener = self.accelerator.write_listener
+
+        def _stats_write_listener(table: str, epoch: int) -> None:
+            if recovery_listener is not None:
+                recovery_listener(table, epoch)
+            self.stats.note_write(table)
+
+        self.accelerator.write_listener = _stats_write_listener
+        self.replication.change_listener = self.stats.apply_changes
         #: Queries transparently re-executed on DB2 (ENABLE WITH FAILBACK).
         self.failbacks = 0
         self.procedures = ProcedureRegistry()
@@ -248,6 +274,7 @@ class AcceleratedDatabase:
         self.metrics.register_source(
             "recovery", lambda: self.recovery.status()
         )
+        self.metrics.register_source("stats", lambda: self.stats.snapshot())
 
     def _health_metrics(self) -> dict:
         health = self.health
@@ -282,6 +309,54 @@ class AcceleratedDatabase:
         register_admin_procedures(self.procedures)
 
     # -- sessions -----------------------------------------------------------------
+
+    def _live_row_count(self, name: str) -> Optional[int]:
+        """Current row count of a base table, or None when unknown.
+
+        Used by the statistics manager to rescale stale histograms and
+        by the optimizer as the base-cardinality source of truth.
+        """
+        key = name.upper()
+        if self.accelerator.has_storage(key):
+            return self.accelerator.storage_for(key).row_count
+        if self.db2.has_storage(key):
+            return self.db2.storage_for(key).row_count
+        return None
+
+    def run_statistics(
+        self,
+        tables: Optional[Sequence[str]] = None,
+        bins: int = DEFAULT_HISTOGRAM_BINS,
+    ) -> list[str]:
+        """RUNSTATS analogue: full-scan statistics collection.
+
+        Scans each named table (default: every catalogued base table
+        with storage) and records row counts, per-column NDVs, null
+        counts, min/max, and equi-width histograms. Returns the tables
+        collected, in collection order.
+        """
+        if tables:
+            descriptors = [self.catalog.table(name) for name in tables]
+        else:
+            descriptors = self.catalog.tables()
+        collected: list[str] = []
+        for descriptor in descriptors:
+            name = descriptor.name
+            if self.accelerator.has_storage(name):
+                rows = self.accelerator.snapshot_rows(name)
+            elif self.db2.has_storage(name):
+                rows = [row for _, row in self.db2.storage_for(name).scan()]
+            else:
+                continue
+            self.stats.collect_from_rows(
+                name,
+                descriptor.schema.column_names,
+                rows,
+                generation=self.catalog.generation,
+                bins=bins,
+            )
+            collected.append(name)
+        return collected
 
     def connect(self, user: str = "SYSADM") -> "Connection":
         return Connection(self, self.catalog.user(user))
@@ -318,6 +393,14 @@ class AcceleratedDatabase:
         if rows:
             self.accelerator.bulk_insert(descriptor.name, rows)
         self.replication.register_table(descriptor.name, start_lsn)
+        # Seed optimizer statistics from the freshly built zone maps —
+        # row count + per-column min/max for free; RUNSTATS upgrades
+        # them to NDVs and histograms on demand.
+        self.stats.seed_from_column_store(
+            descriptor.name,
+            self.accelerator.storage_for(descriptor.name),
+            generation=self.catalog.generation,
+        )
         return len(rows)
 
     def reload_accelerated_table(self, name: str) -> int:
@@ -340,6 +423,11 @@ class AcceleratedDatabase:
         if rows:
             self.accelerator.bulk_insert(descriptor.name, rows)
         self.replication.register_table(descriptor.name, start_lsn)
+        self.stats.seed_from_column_store(
+            descriptor.name,
+            self.accelerator.storage_for(descriptor.name),
+            generation=self.catalog.generation,
+        )
         return len(rows)
 
     def remove_table_from_accelerator(self, name: str) -> None:
@@ -351,6 +439,9 @@ class AcceleratedDatabase:
         self.catalog.set_location(descriptor.name, TableLocation.DB2_ONLY)
         self.accelerator.drop_storage(descriptor.name)
         self.replication.unregister_table(descriptor.name)
+        # The zone-map-seeded statistics described the accelerated copy;
+        # DDL invalidates them (a later RUNSTATS re-collects DB2-side).
+        self.stats.invalidate(descriptor.name)
 
     # -- movement metrics ---------------------------------------------------------------
 
@@ -855,25 +946,39 @@ class Connection:
                     "plan": plan_tree_lines(plan_statement(stmt)),
                 }
             stmt, __views = self._expand_views(stmt)
-            tables = {name.upper() for name in stmt.referenced_tables()}
+            tables = frozenset(
+                name.upper() for name in stmt.referenced_tables()
+            )
+            logical = plan_statement(
+                stmt, table_rows=self._optimizer_table_rows
+            )
+            __, estimated_rows, cost_advice = self._estimate_rows(
+                logical, tables, None, self._system.catalog.generation
+            )
             decision = self._system.router.route_query(
                 stmt,
                 self.acceleration,
-                estimated_rows=self._estimate_rows(tables),
+                estimated_rows=estimated_rows,
+                cost_advice=cost_advice,
             )
             return {
                 "statement": "QUERY",
                 "engine": decision.engine,
                 "reason": decision.reason,
                 "acceleration": self.acceleration.value,
-                "estimated_rows": self._estimate_rows(tables),
+                "estimated_rows": (
+                    0 if estimated_rows is None else estimated_rows
+                ),
+                "cost": (
+                    None if cost_advice is None else cost_advice.describe()
+                ),
                 "tables": {
                     name: catalog.table(name).location.value
                     for name in sorted(tables)
                 },
                 # Rendered through the same formatter EXPLAIN ANALYZE
                 # uses for its annotated OPERATOR column.
-                "plan": plan_tree_lines(plan_statement(stmt)),
+                "plan": plan_tree_lines(logical),
             }
         if isinstance(
             stmt, (ast.InsertStatement, ast.UpdateStatement, ast.DeleteStatement)
@@ -1009,6 +1114,7 @@ class Connection:
         engine: str,
         stmt=None,
         estimated_rows: Optional[int] = None,
+        estimated_cost: Optional[float] = None,
     ) -> None:
         """Pass the current statement through ``engine``'s admission gate.
 
@@ -1030,6 +1136,7 @@ class Connection:
                 engine,
                 self._statement_class,
                 estimated_rows=estimated_rows,
+                estimated_cost=estimated_cost,
                 cheap=cheap,
                 budget=self._budget,
             )
@@ -1212,10 +1319,32 @@ class Connection:
             self._check_table_privilege(
                 Privilege.SELECT, self._system.catalog.table(name)
             )
-        estimated_rows = self._estimate_rows(tables)
+        # Bind-and-rewrite once per cached plan — before routing, because
+        # the cost-based route needs per-operator estimates over the
+        # bound plan. Both engines lower the same logical plan, so a
+        # statement that fails back to DB2 after running on the
+        # accelerator reuses the identical plan object.
+        if plan is not None:
+            if plan.logical is None:
+                plan.logical = plan_statement(
+                    stmt, table_rows=self._optimizer_table_rows
+                )
+            logical = plan.logical
+        else:
+            logical = plan_statement(
+                stmt, table_rows=self._optimizer_table_rows
+            )
+        fingerprint = plan.key if plan is not None else None
+        generation = self._system.catalog.generation
+        estimates, estimated_rows, cost_advice = self._estimate_rows(
+            logical, tables, fingerprint, generation
+        )
         with self._span("route", mode=mode.value) as route_span:
             decision = self._system.router.route_query(
-                stmt, mode, estimated_rows=estimated_rows
+                stmt,
+                mode,
+                estimated_rows=estimated_rows,
+                cost_advice=cost_advice,
             )
             route_span.annotate(
                 engine=decision.engine, reason=decision.reason
@@ -1225,30 +1354,26 @@ class Connection:
             self._system.failbacks += 1
             self._system.metrics.counter("statement.failbacks").inc()
         # Admission happens after routing: the gate is per-engine and
-        # the cost weight comes from the routing row estimate.
-        self._admit(decision.engine, stmt, estimated_rows)
-        # Bind-and-rewrite once per cached plan: both engines lower the
-        # same logical plan, so a statement that fails back to DB2 after
-        # running on the accelerator reuses the identical plan object.
-        logical = None
-        if plan is not None:
-            if plan.logical is None:
-                plan.logical = plan_statement(stmt)
-            logical = plan.logical
+        # the cost weight comes from the plan's root estimate plus the
+        # cost model's per-engine work estimate.
+        estimated_cost = None
+        if cost_advice is not None:
+            estimated_cost = (
+                cost_advice.accelerator
+                if decision.engine == "ACCELERATOR"
+                else cost_advice.db2
+            )
+        self._admit(decision.engine, stmt, estimated_rows, estimated_cost)
         profiler = self._system.profiler
         profile = None
         if profiler.enabled or self._profile_force:
-            if logical is None:
-                # Pre-parsed AST inputs bypass the plan cache; bind here
-                # so the walker and the profile share plan-node
-                # identities (executors skip planning when handed one).
-                logical = plan_statement(stmt)
             profile = profiler.begin(
                 logical,
                 self._table_row_count,
                 engine=decision.engine,
-                fingerprint=plan.key if plan is not None else None,
-                generation=self._system.catalog.generation,
+                fingerprint=fingerprint,
+                generation=generation,
+                estimates=estimates,
             )
         if decision.engine == "ACCELERATOR":
             epoch = self.snapshot_epoch_for_statement()
@@ -1262,6 +1387,7 @@ class Connection:
                     kernel_cache=plan.kernels if plan is not None else None,
                     plan=logical,
                     profile=profile,
+                    estimates=estimates,
                 )
             except Exception as exc:
                 self._profile_done(profile, started, error=exc)
@@ -1278,6 +1404,7 @@ class Connection:
                     plan=logical,
                     tracer=self._system.tracer,
                     profile=profile,
+                    estimates=estimates,
                 )
             except Exception as exc:
                 self._profile_done(profile, started, error=exc)
@@ -1316,14 +1443,55 @@ class Connection:
             return system.accelerator.storage_for(name).row_count
         return 0
 
-    def _estimate_rows(self, tables: set[str]) -> int:
-        total = 0
-        for name in tables:
-            if self._system.db2.has_storage(name):
-                total += self._system.db2.storage_for(name).row_count
-            elif self._system.accelerator.has_storage(name):
-                total += self._system.accelerator.storage_for(name).row_count
-        return total
+    def _optimizer_table_rows(self, name: str) -> Optional[int]:
+        """Base-table cardinality with unknown tables surfaced as None
+        (never a silent 0) — used by join reordering and the cost model."""
+        system = self._system
+        rows = system._live_row_count(name)
+        if rows is not None:
+            return rows
+        return system.stats.row_count(name)
+
+    def _estimate_rows(
+        self,
+        logical,
+        tables: frozenset,
+        fingerprint: Optional[str],
+        generation: int,
+    ) -> tuple[Optional[dict], Optional[int], Optional[object]]:
+        """(per-node estimates, root row estimate, PlanCost advice).
+
+        The row estimate is the logical plan's *root* estimate — a
+        ``LIMIT 5`` probe on a million-row table estimates 5 rows, not
+        the sum of every referenced table's cardinality (which made the
+        WLM admit such probes as heavy and the router offload them).
+        When any referenced table is unknown to both engines and the
+        statistics store, everything degrades to None so routing falls
+        back to the shape heuristic instead of trusting a silent 0.
+        """
+        system = self._system
+        if any(
+            self._optimizer_table_rows(name) is None for name in tables
+        ):
+            return None, None, None
+        feedback = None
+        if fingerprint is not None:
+            store = system.profiler.feedback
+
+            def feedback(path, _fp=fingerprint, _gen=generation):
+                return store.lookup(_fp, _gen, path)
+
+        estimates = estimate_plan(
+            logical,
+            self._table_row_count,
+            stats=system.stats,
+            feedback=feedback,
+        )
+        estimated_rows = estimates.get(id(logical))
+        cost_advice = system.cost_model.plan_costs(
+            logical, estimates, base_rows=self._optimizer_table_rows
+        )
+        return estimates, estimated_rows, cost_advice
 
     # -- DML ------------------------------------------------------------------------------------
 
@@ -1434,7 +1602,7 @@ class Connection:
         self._check_table_privilege(Privilege.UPDATE, descriptor)
         self._admit(
             "ACCELERATOR" if descriptor.is_aot else "DB2",
-            estimated_rows=self._estimate_rows({descriptor.name}),
+            estimated_rows=self._table_row_count(descriptor.name),
         )
         if descriptor.is_aot:
             self._require_accelerator_for_dml(descriptor.name)
@@ -1461,7 +1629,7 @@ class Connection:
         self._check_table_privilege(Privilege.DELETE, descriptor)
         self._admit(
             "ACCELERATOR" if descriptor.is_aot else "DB2",
-            estimated_rows=self._estimate_rows({descriptor.name}),
+            estimated_rows=self._table_row_count(descriptor.name),
         )
         if descriptor.is_aot:
             self._require_accelerator_for_dml(descriptor.name)
@@ -1590,6 +1758,7 @@ class Connection:
         self._system.db2.drop_storage(descriptor.name)
         self._system.accelerator.drop_storage(descriptor.name)
         self._system.replication.unregister_table(descriptor.name)
+        self._system.stats.invalidate(descriptor.name)
         return Result(message=f"TABLE {descriptor.name} DROPPED", engine="DB2")
 
     def _execute_create_view(self, stmt: ast.CreateViewStatement) -> Result:

@@ -23,7 +23,12 @@ equivalents as *virtual tables* under the ``SYSACCEL`` schema:
   parallel/fused/executed markers;
 * ``SYSACCEL.MON_QERROR`` — the cardinality-feedback store: accumulated
   estimate/actual pairs per plan-node fingerprint with mean/max Q-error
-  (the standing E17 benchmark surface the cost model trains against).
+  (the standing E17 benchmark surface the cost model trains against);
+* ``SYSACCEL.MON_STATISTICS`` — the cost-based optimizer's statistics
+  store: one table-level row (``COLUMN_NAME = ''``) per table plus one
+  row per column with NDV, null count, min/max, histogram bin count,
+  the collection source (runstats / zone maps / change feed), catalog
+  generation, and the number of replication records folded in.
 
 They hold no storage: each query materialises rows from the live
 observability structures and runs the full SELECT pipeline (WHERE,
@@ -148,6 +153,21 @@ _SCHEMAS: dict[str, TableSchema] = {
             Column("MAX_Q_ERROR", DOUBLE),
         ]
     ),
+    "SYSACCEL.MON_STATISTICS": TableSchema(
+        [
+            Column("TABLE_NAME", _NAME),
+            Column("COLUMN_NAME", _NAME),
+            Column("ROW_COUNT", BIGINT),
+            Column("NDV", BIGINT),
+            Column("NULL_COUNT", BIGINT),
+            Column("MIN_VALUE", _TEXT),
+            Column("MAX_VALUE", _TEXT),
+            Column("HISTOGRAM_BINS", INTEGER),
+            Column("SOURCE", VarcharType(16)),
+            Column("GENERATION", INTEGER),
+            Column("FEED_RECORDS", BIGINT),
+        ]
+    ),
     "SYSACCEL.MON_WLM": TableSchema(
         [
             Column("ENGINE", VarcharType(16)),
@@ -252,6 +272,10 @@ def _wlm_rows(system: "AcceleratedDatabase") -> list[tuple]:
     return system.wlm.monitor_rows()
 
 
+def _statistics_rows(system: "AcceleratedDatabase") -> list[tuple]:
+    return system.stats.monitor_rows()
+
+
 def _recovery_rows(system: "AcceleratedDatabase") -> list[tuple]:
     return [
         (
@@ -332,6 +356,7 @@ _ROW_BUILDERS: dict[str, Callable] = {
     "SYSACCEL.MON_WLM": _wlm_rows,
     "SYSACCEL.MON_OPERATORS": _operators_rows,
     "SYSACCEL.MON_QERROR": _qerror_rows,
+    "SYSACCEL.MON_STATISTICS": _statistics_rows,
 }
 
 

@@ -40,7 +40,8 @@ from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, Optional
 
-from repro.sql import logical
+from repro.sql import ast, logical
+from repro.sql.planning import split_conjuncts
 
 __all__ = [
     "CardinalityFeedback",
@@ -163,58 +164,197 @@ def plan_tree_lines(plan: logical.PlanNode) -> list[str]:
 # ---------------------------------------------------------------------------
 
 
+def _scaled_rows(rows: int, selectivity: float) -> int:
+    """Apply a fractional selectivity: empty inputs stay 0, and a
+    nonzero input with nonzero selectivity never rounds below 1."""
+    if rows <= 0:
+        return 0
+    if selectivity <= 0.0:
+        return 0
+    return max(1, int(round(rows * selectivity)))
+
+
+def _column_binding_stats(
+    expr: "ast.Expression", binding_stats: dict[str, object]
+):
+    """Resolve a column ref to its table's statistics via the plan's
+    binding map; unqualified refs resolve only when exactly one scanned
+    table exposes the column."""
+    if not isinstance(expr, ast.ColumnRef):
+        return None
+    if expr.table is not None:
+        stats = binding_stats.get(expr.table.upper())
+        return stats if stats is not None else None
+    matches = [
+        stats
+        for stats in binding_stats.values()
+        if stats.column(expr.name) is not None
+    ]
+    return matches[0] if len(matches) == 1 else None
+
+
 def estimate_plan(
-    plan: logical.PlanNode, table_rows: Callable[[str], int]
+    plan: logical.PlanNode,
+    table_rows: Callable[[str], int],
+    stats=None,
+    feedback: Optional[Callable[[str], Optional[int]]] = None,
 ) -> dict[int, int]:
     """Estimated output rows per node, keyed by ``id(node)``.
 
-    Deliberately simple (base-table counts plus fixed selectivities):
-    this is the estimator whose error the feedback store quantifies, and
-    the baseline ROADMAP item 1's statistics-driven estimator must beat
-    on the E17 Q-error benchmark.
+    Without ``stats``, the legacy model applies: base-table counts plus
+    fixed selectivities — the estimator whose error the feedback store
+    quantifies, and the E17/E18 comparison baseline.
+
+    ``stats`` (a duck-typed :class:`repro.sql.stats.StatisticsManager`)
+    upgrades the model: scan predicates use per-column histograms and
+    NDVs, equi-joins use ``|L|*|R| / max(ndv)``, and GROUP BY uses the
+    product of group-column NDVs. ``feedback`` (path -> last observed
+    actual rows, from the PR-7 cardinality-feedback store) overrides the
+    model wherever an earlier execution of the same plan fingerprint
+    recorded ground truth; corrections propagate upward through the
+    plan. Empty inputs always estimate 0 — never the old ``max(1, ...)``
+    floor, which charged every empty-table scan a phantom row.
     """
     estimates: dict[int, int] = {}
+    binding_stats: dict[str, object] = {}
+    if stats is not None:
 
-    def visit(node: logical.PlanNode) -> int:
+        def map_bindings(node: logical.PlanNode) -> None:
+            if isinstance(node, logical.Scan):
+                table_stats = stats.table(node.table)
+                if table_stats is not None:
+                    binding_stats[node.binding.upper()] = table_stats
+            for child in _node_children(node):
+                map_bindings(child)
+
+        map_bindings(plan)
+
+    def conjunct_selectivity(conjunct) -> float:
+        """Selectivity of one (possibly multi-table) filter conjunct."""
+        if not binding_stats:
+            return 1.0 / _FILTER_SELECTIVITY
+        for expr in (
+            getattr(conjunct, "left", None),
+            getattr(conjunct, "operand", None),
+        ):
+            owner = _column_binding_stats(expr, binding_stats)
+            if owner is not None:
+                return owner.predicate_selectivity(conjunct)
+        return 1.0 / _FILTER_SELECTIVITY
+
+    def equi_join_selectivity(condition) -> Optional[float]:
+        """``1 / max(ndv_left, ndv_right)`` over the equi conjuncts, or
+        None when no NDV is known for any key pair."""
+        selectivity: Optional[float] = None
+        for conjunct in split_conjuncts(condition):
+            if not (
+                isinstance(conjunct, ast.BinaryOp) and conjunct.op == "="
+            ):
+                continue
+            ndvs = []
+            for side in (conjunct.left, conjunct.right):
+                owner = _column_binding_stats(side, binding_stats)
+                if owner is not None and isinstance(side, ast.ColumnRef):
+                    ndv = owner.distinct_count(side.name)
+                    if ndv is not None:
+                        ndvs.append(ndv)
+            if ndvs:
+                factor = 1.0 / max(ndvs)
+                selectivity = (
+                    factor if selectivity is None else selectivity * factor
+                )
+        return selectivity
+
+    def group_count(node: logical.Aggregate, child_rows: int) -> int:
+        if binding_stats:
+            product = 1
+            known = False
+            for expr in node.group_by:
+                owner = _column_binding_stats(expr, binding_stats)
+                if owner is not None and isinstance(expr, ast.ColumnRef):
+                    ndv = owner.distinct_count(expr.name)
+                    if ndv is not None:
+                        product *= ndv
+                        known = True
+                        continue
+                product *= _GROUP_FANIN
+            if known:
+                return min(child_rows, max(1, product))
+        return min(child_rows, max(1, child_rows // _GROUP_FANIN))
+
+    def visit(node: logical.PlanNode, path: str) -> int:
         if isinstance(node, logical.Scan):
-            rows = max(0, int(table_rows(node.table)))
+            table_stats = (
+                binding_stats.get(node.binding.upper())
+                if binding_stats
+                else None
+            )
+            if table_stats is not None:
+                rows = max(0, int(table_stats.row_count))
+            else:
+                rows = max(0, int(table_rows(node.table)))
             if node.predicate is not None:
-                rows = max(1, rows // _FILTER_SELECTIVITY)
+                if table_stats is not None:
+                    rows = _scaled_rows(
+                        rows, table_stats.predicate_selectivity(node.predicate)
+                    )
+                else:
+                    rows = max(1, rows // _FILTER_SELECTIVITY) if rows else 0
         elif isinstance(node, logical.Filter):
-            rows = max(1, visit(node.child) // _FILTER_SELECTIVITY)
+            child = visit(node.child, f"{path}.1")
+            if binding_stats:
+                selectivity = 1.0
+                for conjunct in split_conjuncts(node.predicate):
+                    selectivity *= conjunct_selectivity(conjunct)
+                rows = _scaled_rows(child, selectivity)
+            else:
+                rows = (
+                    max(1, child // _FILTER_SELECTIVITY) if child else 0
+                )
         elif isinstance(node, logical.SubqueryBind):
-            rows = visit(node.plan)
+            rows = visit(node.plan, f"{path}.1")
         elif isinstance(node, logical.Join):
-            left, right = visit(node.left), visit(node.right)
+            left = visit(node.left, f"{path}.1")
+            right = visit(node.right, f"{path}.2")
             if node.join_type == "CROSS" or node.condition is None:
                 rows = left * right
             else:
-                # Equi-ish join guess: the larger input survives; outer
-                # joins keep at least their preserved side.
-                rows = max(left, right)
+                selectivity = (
+                    equi_join_selectivity(node.condition)
+                    if binding_stats
+                    else None
+                )
+                if selectivity is not None:
+                    rows = _scaled_rows(left * right, selectivity)
+                else:
+                    # Equi-ish join guess: the larger input survives.
+                    rows = max(left, right)
+                # Outer joins keep at least their preserved side.
                 if node.join_type == "LEFT":
                     rows = max(rows, left)
                 elif node.join_type == "RIGHT":
                     rows = max(rows, right)
         elif isinstance(node, logical.Project):
-            rows = visit(node.child) if node.child is not None else 1
+            rows = visit(node.child, f"{path}.1") if node.child is not None else 1
         elif isinstance(node, logical.Aggregate):
-            child = visit(node.child)
-            rows = (
-                min(child, max(1, child // _GROUP_FANIN))
-                if node.group_by
-                else 1
-            )
+            child = visit(node.child, f"{path}.1")
+            if not node.group_by:
+                rows = 1
+            elif child == 0:
+                rows = 0
+            else:
+                rows = group_count(node, child)
         elif isinstance(node, logical.Sort):
-            rows = visit(node.child)
+            rows = visit(node.child, f"{path}.1")
         elif isinstance(node, logical.Limit):
-            rows = visit(node.child)
+            rows = visit(node.child, f"{path}.1")
             if node.offset is not None:
                 rows = max(0, rows - node.offset)
             if node.limit is not None:
                 rows = min(rows, node.limit)
         elif isinstance(node, logical.SetOp):
-            left, right = visit(node.left), visit(node.right)
+            left = visit(node.left, f"{path}.1")
+            right = visit(node.right, f"{path}.2")
             if node.op == "INTERSECT":
                 rows = min(left, right)
             elif node.op == "EXCEPT":
@@ -223,10 +363,14 @@ def estimate_plan(
                 rows = left + right
         else:  # pragma: no cover - future node kinds
             rows = 1
+        if feedback is not None:
+            observed = feedback(path)
+            if observed is not None:
+                rows = max(0, int(observed))
         estimates[id(node)] = rows
         return rows
 
-    visit(plan)
+    visit(plan, "1")
     return estimates
 
 
@@ -363,13 +507,18 @@ class StatementProfile:
         self,
         plan: logical.PlanNode,
         table_rows: Callable[[str], int],
+        estimates: Optional[dict[int, int]] = None,
     ) -> None:
         """Index the plan: one stats record per node, with estimates.
+
+        ``estimates`` (``id(node)`` keyed) reuses cardinalities already
+        computed for routing/costing; otherwise the legacy model runs.
 
         Pins ``plan`` for the profile's lifetime — the ``id()``-keyed
         node index is only sound while the nodes cannot be collected.
         """
-        estimates = estimate_plan(plan, table_rows)
+        if estimates is None:
+            estimates = estimate_plan(plan, table_rows)
         for path, depth, node in walk_plan(plan):
             stats = OperatorStats(
                 path=path,
@@ -505,6 +654,16 @@ class CardinalityFeedback:
                 self.observations += 1
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
+
+    def lookup(
+        self, fingerprint: str, generation: int, path: str
+    ) -> Optional[int]:
+        """Last observed actual row count for one plan-node fingerprint,
+        or None. Keys carry the catalog generation, so DDL invalidates
+        feedback the same way it invalidates cached plans."""
+        with self._lock:
+            entry = self._entries.get((fingerprint, generation, path))
+            return entry.last_actual if entry is not None else None
 
     def entries(self) -> list[FeedbackEntry]:
         with self._lock:
@@ -667,8 +826,15 @@ class QueryProfiler:
         engine: str,
         fingerprint: Optional[str] = None,
         generation: int = 0,
+        estimates: Optional[dict[int, int]] = None,
     ) -> StatementProfile:
-        """Start (and index) a profile for one execution of ``plan``."""
+        """Start (and index) a profile for one execution of ``plan``.
+
+        ``estimates`` reuses the cardinalities the system already
+        computed for routing (statistics- and feedback-driven when
+        available) so the profile's Q-error grades the estimator that
+        actually made the decisions.
+        """
         with self._lock:
             self._seq += 1
             profile_id = f"P{self._seq:06d}"
@@ -678,7 +844,7 @@ class QueryProfiler:
             generation=generation,
             engine=engine,
         )
-        profile.attach_plan(plan, table_rows)
+        profile.attach_plan(plan, table_rows, estimates=estimates)
         return profile
 
     def finish(

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Optional, Sequence, Union
+from typing import Callable, Optional, Sequence, Union
 
 from repro.errors import ParseError, SqlError
 from repro.sql import ast
@@ -54,6 +54,7 @@ __all__ = [
     "Limit",
     "SetOp",
     "REWRITES_ENABLED",
+    "JOIN_REORDER_ENABLED",
     "bind",
     "rewrite_plan",
     "plan_statement",
@@ -67,6 +68,12 @@ __all__ = [
 #: Default for :func:`plan_statement`'s ``rewrite`` argument. Tests flip
 #: this (or pass ``rewrite=False``) to compare rewritten vs. raw plans.
 REWRITES_ENABLED = True
+
+#: Master switch for the cost-based join re-association stage. Even when
+#: True the stage only runs if the caller supplies a ``table_rows``
+#: estimator to :func:`plan_statement` / :func:`rewrite_plan` — without
+#: cardinalities there is nothing to cost.
+JOIN_REORDER_ENABLED = True
 
 
 # ---------------------------------------------------------------------------
@@ -222,18 +229,34 @@ def _bind_from(item: ast.FromItem) -> PlanNode:
     raise ParseError(f"unsupported FROM item {type(item).__name__}")
 
 
-def plan_statement(stmt: Statement, rewrite: Optional[bool] = None) -> PlanNode:
-    """Bind ``stmt`` and (by default) run the rewrite pipeline."""
+def plan_statement(
+    stmt: Statement,
+    rewrite: Optional[bool] = None,
+    table_rows: Optional[Callable[[str], Optional[int]]] = None,
+) -> PlanNode:
+    """Bind ``stmt`` and (by default) run the rewrite pipeline.
+
+    ``table_rows`` (table name -> estimated row count, None = unknown)
+    enables the cost-based join re-association stage; the system passes
+    a statistics-backed estimator here.
+    """
     plan = bind(stmt)
     if rewrite is None:
         rewrite = REWRITES_ENABLED
-    return rewrite_plan(plan) if rewrite else plan
+    return rewrite_plan(plan, table_rows=table_rows) if rewrite else plan
 
 
-def rewrite_plan(plan: PlanNode) -> PlanNode:
-    """Rule pipeline: constant folding -> predicate pushdown -> pruning."""
+def rewrite_plan(
+    plan: PlanNode,
+    table_rows: Optional[Callable[[str], Optional[int]]] = None,
+) -> PlanNode:
+    """Rule pipeline: constant folding -> predicate pushdown ->
+    cost-based join re-association (when cardinalities are available)
+    -> column pruning."""
     plan = _fold_node(plan)
     plan = _pushdown_node(plan)
+    if JOIN_REORDER_ENABLED and table_rows is not None:
+        plan = _reorder_plan(plan, table_rows)
     plan = _prune_plan(plan)
     return plan
 
@@ -641,6 +664,221 @@ def _translate_into_subquery(
 
     translated = substitute(conjunct)
     return None if failed else translated
+
+
+# ---------------------------------------------------------------------------
+# Cost-based join re-association
+# ---------------------------------------------------------------------------
+#
+# Re-parenthesises maximal INNER/CROSS join regions using estimated leaf
+# cardinalities. The leaf sequence keeps its written (left-to-right)
+# order: both executors emit inner/cross join rows in lexicographic
+# left-major order, so any re-association over a fixed leaf order is
+# byte-identical — the differential fuzz suite pins this. ON-clause
+# conjuncts re-attach at the lowest join whose span covers their
+# bindings. The stage bails (keeps the written shape) on anything it
+# cannot reason about: subquery or unqualified conjuncts, conjuncts
+# confined to a single leaf, leaves without binding sets, and unknown
+# leaf cardinalities.
+
+_REORDERABLE = ("INNER", "CROSS")
+
+#: Per-conjunct damping applied to leaf estimates for pushed-down scan
+#: predicates; mirrors the profiler's fixed 1/3 selectivity default.
+_LEAF_FILTER_DAMP = 3
+
+
+def _reorder_plan(
+    node: PlanNode, table_rows: Callable[[str], Optional[int]]
+) -> PlanNode:
+    if isinstance(node, Join):
+        if node.join_type in _REORDERABLE:
+            return _reorder_region(node, table_rows)
+        return dataclasses.replace(
+            node,
+            left=_reorder_plan(node.left, table_rows),
+            right=_reorder_plan(node.right, table_rows),
+        )
+    if isinstance(node, (Filter, Sort, Limit)):
+        return dataclasses.replace(node, child=_reorder_plan(node.child, table_rows))
+    if isinstance(node, Project):
+        if node.child is None:
+            return node
+        return dataclasses.replace(node, child=_reorder_plan(node.child, table_rows))
+    if isinstance(node, Aggregate):
+        return dataclasses.replace(node, child=_reorder_plan(node.child, table_rows))
+    if isinstance(node, SubqueryBind):
+        return dataclasses.replace(node, plan=_reorder_plan(node.plan, table_rows))
+    if isinstance(node, SetOp):
+        return dataclasses.replace(
+            node,
+            left=_reorder_plan(node.left, table_rows),
+            right=_reorder_plan(node.right, table_rows),
+        )
+    return node
+
+
+def _gather_region(
+    node: PlanNode, leaves: list, conjuncts: list
+) -> None:
+    """Flatten a maximal INNER/CROSS join region into leaves + conjuncts."""
+    if isinstance(node, Join) and node.join_type in _REORDERABLE:
+        _gather_region(node.left, leaves, conjuncts)
+        _gather_region(node.right, leaves, conjuncts)
+        if node.condition is not None:
+            conjuncts.extend(split_conjuncts(node.condition))
+    else:
+        leaves.append(node)
+
+
+def _leaf_estimate(
+    leaf: PlanNode, table_rows: Callable[[str], Optional[int]]
+) -> Optional[int]:
+    """Row estimate for a region leaf; None when unknown (forces a bail)."""
+    if isinstance(leaf, Filter):
+        rows = _leaf_estimate(leaf.child, table_rows)
+        if rows is None:
+            return None
+        for _ in split_conjuncts(leaf.predicate):
+            rows = max(1, rows // _LEAF_FILTER_DAMP) if rows else 0
+        return rows
+    if isinstance(leaf, Scan):
+        rows = table_rows(leaf.table)
+        if rows is None or rows < 0:
+            return None
+        if leaf.predicate is not None:
+            for _ in split_conjuncts(leaf.predicate):
+                rows = max(1, rows // _LEAF_FILTER_DAMP) if rows else 0
+        return rows
+    return None
+
+
+def _reorder_region(
+    join: Join, table_rows: Callable[[str], Optional[int]]
+) -> PlanNode:
+    leaves: list[PlanNode] = []
+    conjuncts: list[ast.Expression] = []
+    _gather_region(join, leaves, conjuncts)
+    new_leaves = [_reorder_plan(leaf, table_rows) for leaf in leaves]
+
+    def keep_shape(node: PlanNode, it) -> PlanNode:
+        if isinstance(node, Join) and node.join_type in _REORDERABLE:
+            left = keep_shape(node.left, it)
+            right = keep_shape(node.right, it)
+            return dataclasses.replace(node, left=left, right=right)
+        return next(it)
+
+    def fallback() -> PlanNode:
+        return keep_shape(join, iter(new_leaves))
+
+    n = len(leaves)
+    if n < 3:
+        return fallback()
+    sizes = [_leaf_estimate(leaf, table_rows) for leaf in leaves]
+    if any(size is None for size in sizes):
+        return fallback()
+    leaf_bindings = [_bindings_of(leaf) for leaf in leaves]
+    if any(b is None for b in leaf_bindings):
+        return fallback()
+    seen: set = set()
+    for bindings in leaf_bindings:
+        if bindings & seen:
+            return fallback()  # duplicate binding names: spans are ambiguous
+        seen |= bindings
+    cond_bindings: list[set] = []
+    for conjunct in conjuncts:
+        if _contains_subquery(conjunct):
+            return fallback()
+        referenced = _qualified_bindings(conjunct)
+        if referenced is None or not referenced:
+            return fallback()
+        if any(referenced <= bindings for bindings in leaf_bindings):
+            # Confined to one leaf: has no lowest *join* to attach to.
+            return fallback()
+        cond_bindings.append(referenced)
+
+    # span[i][j]: union of binding names exposed by leaves i..j.
+    span = [[set() for _ in range(n)] for _ in range(n)]
+    for i in range(n):
+        acc: set = set()
+        for j in range(i, n):
+            acc = acc | leaf_bindings[j]
+            span[i][j] = acc
+
+    def join_rows(l_rows: int, r_rows: int, left_span: set, right_span: set) -> int:
+        both = left_span | right_span
+        for referenced in cond_bindings:
+            if referenced <= both and referenced & left_span and referenced & right_span:
+                return max(l_rows, r_rows)
+        return l_rows * r_rows
+
+    # Optimal re-parenthesisation over contiguous intervals (O(n^3) DP).
+    # Cost of a join = rows consumed from both sides plus rows produced.
+    rows_tbl = [[0] * n for _ in range(n)]
+    cost_tbl = [[0.0] * n for _ in range(n)]
+    split_tbl = [[0] * n for _ in range(n)]
+    for i in range(n):
+        rows_tbl[i][i] = sizes[i]
+    for length in range(2, n + 1):
+        for i in range(0, n - length + 1):
+            j = i + length - 1
+            best_cost = float("inf")
+            best_rows = 0
+            best_k = i
+            for k in range(i, j):
+                l_rows, r_rows = rows_tbl[i][k], rows_tbl[k + 1][j]
+                out = join_rows(l_rows, r_rows, span[i][k], span[k + 1][j])
+                cost = cost_tbl[i][k] + cost_tbl[k + 1][j] + l_rows + r_rows + out
+                if cost < best_cost:
+                    best_cost, best_rows, best_k = cost, out, k
+            cost_tbl[i][j] = best_cost
+            rows_tbl[i][j] = best_rows
+            split_tbl[i][j] = best_k
+
+    # Cost the written shape with the same model; only rebuild on a win.
+    counter = {"next": 0}
+
+    def shape_cost(node: PlanNode):
+        if isinstance(node, Join) and node.join_type in _REORDERABLE:
+            li, lj, l_rows, l_cost = shape_cost(node.left)
+            ri, rj, r_rows, r_cost = shape_cost(node.right)
+            out = join_rows(l_rows, r_rows, span[li][lj], span[ri][rj])
+            return li, rj, out, l_cost + r_cost + l_rows + r_rows + out
+        index = counter["next"]
+        counter["next"] += 1
+        return index, index, sizes[index], 0.0
+
+    _, _, _, original_cost = shape_cost(join)
+    if cost_tbl[0][n - 1] >= original_cost:
+        return fallback()
+
+    remaining = list(range(len(conjuncts)))
+
+    def build(i: int, j: int) -> PlanNode:
+        if i == j:
+            return new_leaves[i]
+        k = split_tbl[i][j]
+        here: list[int] = []
+        for index in list(remaining):
+            referenced = cond_bindings[index]
+            if (
+                referenced <= span[i][j]
+                and not referenced <= span[i][k]
+                and not referenced <= span[k + 1][j]
+            ):
+                here.append(index)
+                remaining.remove(index)
+        left = build(i, k)
+        right = build(k + 1, j)
+        if here:
+            condition = _and_all([conjuncts[index] for index in here])
+            return Join(left=left, right=right, join_type="INNER", condition=condition)
+        return Join(left=left, right=right, join_type="CROSS", condition=None)
+
+    rebuilt = build(0, n - 1)
+    if remaining:  # pragma: no cover - every multi-leaf conjunct attaches
+        return fallback()
+    return rebuilt
 
 
 # ---------------------------------------------------------------------------

@@ -25,6 +25,7 @@ __all__ = [
     "NullsHighKey",
     "sort_rows_with_keys",
     "extract_column_ranges",
+    "literal_number",
 ]
 
 
@@ -234,6 +235,15 @@ def _bound_column(
     except ParseError:
         return None
     return binding_columns.get(index)
+
+
+def literal_number(expr: ast.Expression) -> Optional[Union[int, float]]:
+    """Numeric value of a (possibly negated) literal, else None.
+
+    Shared by zone-map range extraction and the statistics module's
+    predicate-selectivity analysis.
+    """
+    return _literal_number(expr)
 
 
 def _literal_number(expr: ast.Expression) -> Optional[Union[int, float]]:

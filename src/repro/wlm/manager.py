@@ -70,6 +70,11 @@ class WorkloadManager:
         self.cheap_rows = cheap_rows
         #: Estimated input rows above which a statement weighs 2 slots.
         self.heavy_rows = heavy_rows
+        #: Estimated optimizer cost (abstract work units from
+        #: repro.sql.stats.CostModel) above which a statement weighs 2
+        #: slots even when its output row estimate is small — a huge
+        #: join that emits ten rows still occupies the engine.
+        self.heavy_cost = float(heavy_rows)
         # Statement-outcome counters (lifetime).
         self.statements_timed_out = 0
         self.statements_cancelled = 0
@@ -101,9 +106,19 @@ class WorkloadManager:
 
     # -- admission ----------------------------------------------------------
 
-    def weight_for(self, estimated_rows: Optional[int]) -> int:
-        """Cost-aware slot weight: heavy scans reserve two slots."""
+    def weight_for(
+        self,
+        estimated_rows: Optional[int],
+        estimated_cost: Optional[float] = None,
+    ) -> int:
+        """Cost-aware slot weight: heavy statements reserve two slots.
+
+        Heaviness is the max of the row estimate (legacy) and the
+        optimizer's cost estimate, so row-light/work-heavy joins are
+        weighted correctly once the cost model has statistics."""
         if estimated_rows is not None and estimated_rows >= self.heavy_rows:
+            return 2
+        if estimated_cost is not None and estimated_cost >= self.heavy_cost:
             return 2
         return 1
 
@@ -115,6 +130,7 @@ class WorkloadManager:
         engine: str,
         class_name: str,
         estimated_rows: Optional[int] = None,
+        estimated_cost: Optional[float] = None,
         cheap: bool = False,
         budget: Optional[WorkBudget] = None,
     ) -> Optional[AdmissionTicket]:
@@ -134,7 +150,7 @@ class WorkloadManager:
         try:
             return gate.admit(
                 service_class,
-                weight=self.weight_for(estimated_rows),
+                weight=self.weight_for(estimated_rows, estimated_cost),
                 bypass=bypass,
                 budget=budget,
                 shed_reason=shed_reason,

@@ -230,7 +230,10 @@ class TestConcurrentSessionFailures:
 
         setup = db.connect()
         setup.execute("CREATE TABLE T (A INTEGER NOT NULL PRIMARY KEY)")
-        setup.execute("INSERT INTO T VALUES (1), (2), (3)")
+        # Enough rows that the cost-based router sends the aggregate to
+        # the accelerator (a 3-row COUNT is cheaper to run on DB2).
+        values = ", ".join(f"({i})" for i in range(1, 97))
+        setup.execute(f"INSERT INTO T VALUES {values}")
         db.add_table_to_accelerator("T")
         # High threshold: the concurrent failures must not trip the breaker,
         # so every statement exercises the crash → failback path.
@@ -262,7 +265,7 @@ class TestConcurrentSessionFailures:
 
         assert not errors
         total = sessions * per_session
-        assert results == [3] * total
+        assert results == [96] * total
         # Every crash was recorded as exactly one failure and one failback;
         # the DB2 re-executions never touch the accelerator, so no
         # successes sneak in and the totals stay exact under concurrency.

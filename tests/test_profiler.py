@@ -234,7 +234,8 @@ class TestFeedbackStore:
     def test_worst_sorted_by_mean_q_error(self):
         db = make_db()
         conn = accelerated_items(db)
-        conn.execute("SELECT ID FROM ITEMS WHERE V > 1000000")  # bad estimate
+        # Computed predicate: opaque to column statistics -> bad estimate.
+        conn.execute("SELECT ID FROM ITEMS WHERE V * 2 > 1000000")
         conn.execute("SELECT ID FROM ITEMS")  # perfect estimate
         worst = db.profiler.feedback.worst(10)
         assert worst == sorted(
@@ -261,7 +262,7 @@ class TestMonitoringViews:
     def test_mon_qerror_queryable_with_predicate(self):
         db = make_db()
         conn = accelerated_items(db)
-        conn.execute("SELECT ID FROM ITEMS WHERE V > 1000000")
+        conn.execute("SELECT ID FROM ITEMS WHERE V * 2 > 1000000")
         result = conn.execute(
             "SELECT OPERATOR, MEAN_Q_ERROR FROM SYSACCEL.MON_QERROR "
             "WHERE MEAN_Q_ERROR > 1.5 ORDER BY MEAN_Q_ERROR DESC"

@@ -146,3 +146,60 @@ class TestDmlRouting:
     def test_db2_table_dml_routes_to_db2(self, router):
         assert router.route_dml("PLAIN").engine == "DB2"
         assert router.route_dml("ACCEL").engine == "DB2"
+
+
+class TestCostAdvice:
+    """Optimizer cost advice replaces the ENABLE row-threshold heuristic."""
+
+    def test_advice_prefers_accelerator(self, router):
+        from repro.sql.stats import PlanCost
+
+        decision = router.route_query(
+            parse_statement("SELECT x FROM accel2 WHERE y > 1"),
+            AccelerationMode("ENABLE"),
+            cost_advice=PlanCost(db2=100.0, accelerator=10.0),
+        )
+        assert decision.engine == "ACCELERATOR"
+        assert decision.reason == "cost accelerator=10 vs db2=100"
+
+    def test_advice_prefers_db2(self, router):
+        from repro.sql.stats import PlanCost
+
+        # The shape heuristic alone would offload this aggregate; the
+        # cost advice keeps a cheap one on DB2.
+        decision = router.route_query(
+            parse_statement("SELECT SUM(y) FROM accel2"),
+            AccelerationMode("ENABLE"),
+            cost_advice=PlanCost(db2=5.0, accelerator=50.0),
+        )
+        assert decision.engine == "DB2"
+
+    def test_point_lookup_precedes_advice(self, router):
+        from repro.sql.stats import PlanCost
+
+        decision = router.route_query(
+            parse_statement("SELECT v FROM accel WHERE id = 5"),
+            AccelerationMode("ENABLE"),
+            cost_advice=PlanCost(db2=100.0, accelerator=1.0),
+        )
+        assert decision.engine == "DB2"
+        assert "point lookup" in decision.reason
+
+    def test_mode_semantics_precede_advice(self, router):
+        from repro.sql.stats import PlanCost
+
+        decision = router.route_query(
+            parse_statement("SELECT x FROM accel2"),
+            AccelerationMode("NONE"),
+            cost_advice=PlanCost(db2=100.0, accelerator=1.0),
+        )
+        assert decision.engine == "DB2"
+
+
+class TestRoutingGuards:
+    def test_point_lookup_on_unknown_name_is_clean_routing_error(self, router):
+        # A from-item that resolves to nothing must surface as a
+        # RoutingError, not leak the internal catalog exception.
+        stmt = parse_statement("SELECT v FROM ghost WHERE id = 5")
+        with pytest.raises(RoutingError, match="not a routable table"):
+            router._is_point_lookup(stmt)
