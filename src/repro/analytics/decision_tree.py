@@ -7,12 +7,14 @@ from typing import Optional
 
 import numpy as np
 
+from repro.analytics import uda
 from repro.analytics.framework import ProcedureContext
 from repro.analytics.model_store import Model
 from repro.errors import AnalyticsError
 from repro.sql.types import DOUBLE, VarcharType
 
 __all__ = [
+    "DecisionTreeAggregate",
     "TreeNode",
     "decision_tree_fit",
     "decision_tree_predict",
@@ -163,6 +165,238 @@ def decision_tree_predict(
     return predictions, confidences
 
 
+class DecisionTreeAggregate(uda.ModelAggregate):
+    """Level-wise (PLANET-style) CART as a mergeable aggregate.
+
+    One epoch grows one tree level.  ``transition`` routes chunk rows
+    through the partially built tree to the current frontier nodes and
+    builds, per (frontier node, feature), an *exact* histogram of
+    distinct feature values × class counts.  Histograms merge by value
+    union and integer addition, so the merged statistics are identical
+    to what a single pass over the node's full row set would collect.
+    ``finalize`` then replays :func:`_best_split` arithmetic over the
+    histograms — cumulative per-class counts at every distinct-value
+    boundary, in the same shapes, class order, and operation order as
+    the reference, so thresholds and gains match bitwise and the grown
+    tree is *structurally identical* to :func:`decision_tree_fit`.
+    A final epoch scores the training accuracy through the finished
+    tree.
+    """
+
+    kind = "DECTREE"
+
+    def __init__(self, max_depth: int = 6, min_rows: int = 2) -> None:
+        self.max_depth = max_depth
+        self.min_rows = min_rows
+        self.phase = "grow"
+        self.root = TreeNode(prediction=None, confidence=0.0)
+        self._frontier: dict[int, TreeNode] = {0: self.root}
+        self._depths: dict[int, int] = {0: 1}
+        self._frontier_ids: dict[int, int] = {id(self.root): 0}
+        self._next_id = 1
+        self._accuracy = 0.0
+
+    # -- contract -----------------------------------------------------------
+
+    def init(self):
+        if self.phase == "grow":
+            return {}
+        return {"correct": 0, "total": 0}
+
+    def transition(self, state, chunk):
+        if self.phase != "grow":
+            predictions, __ = decision_tree_predict(chunk.matrix, self.root)
+            state["correct"] += sum(
+                p == t for p, t in zip(predictions, chunk.labels)
+            )
+            state["total"] += chunk.rows
+            return state
+        routed = self._route(chunk)
+        for fid in self._frontier:
+            mask = routed == fid
+            if not mask.any():
+                continue
+            labels = chunk.labels[mask]
+            sub = chunk.matrix[mask]
+            classes, encoded = np.unique(labels, return_inverse=True)
+            class_counts = np.bincount(
+                encoded, minlength=len(classes)
+            ).astype(np.int64)
+            hists = {}
+            for feature in range(sub.shape[1]):
+                values, inverse = np.unique(
+                    sub[:, feature], return_inverse=True
+                )
+                combined = inverse * len(classes) + encoded
+                counts = np.bincount(
+                    combined, minlength=len(values) * len(classes)
+                ).astype(np.int64)
+                hists[feature] = (
+                    values, counts.reshape(len(values), len(classes))
+                )
+            node_state = {
+                "classes": list(classes),
+                "counts": class_counts,
+                "hists": hists,
+            }
+            if fid in state:
+                state[fid] = _merge_node_state(state[fid], node_state)
+            else:
+                state[fid] = node_state
+        return state
+
+    def merge(self, a, b):
+        if self.phase != "grow":
+            a["correct"] += b["correct"]
+            a["total"] += b["total"]
+            return a
+        for fid, node_state in b.items():
+            if fid in a:
+                a[fid] = _merge_node_state(a[fid], node_state)
+            else:
+                a[fid] = node_state
+        return a
+
+    def finalize(self, state) -> bool:
+        if self.phase != "grow":
+            self._accuracy = state["correct"] / state["total"]
+            return True
+        if not state:
+            raise AnalyticsError("cannot fit a tree on zero rows")
+        next_frontier: dict[int, TreeNode] = {}
+        next_depths: dict[int, int] = {}
+        next_ids: dict[int, int] = {}
+        for fid in sorted(self._frontier):
+            node = self._frontier[fid]
+            depth = self._depths[fid]
+            node_state = state.get(fid)
+            if node_state is None:  # defensive: no rows reached this node
+                continue
+            counts = node_state["counts"]
+            total = int(counts.sum())
+            best = int(counts.argmax())
+            node.prediction = node_state["classes"][best]
+            node.confidence = float(counts[best] / counts.sum())
+            if (
+                depth >= self.max_depth
+                or total < 2 * self.min_rows
+                or node.confidence == 1.0
+            ):
+                continue
+            split = self._best_split_from_stats(node_state, total)
+            if split is None:
+                continue
+            node.feature, node.threshold = split
+            node.left = TreeNode(prediction=None, confidence=0.0)
+            node.right = TreeNode(prediction=None, confidence=0.0)
+            for child in (node.left, node.right):
+                child_id = self._next_id
+                self._next_id += 1
+                next_frontier[child_id] = child
+                next_depths[child_id] = depth + 1
+                next_ids[id(child)] = child_id
+        self._frontier = next_frontier
+        self._depths = next_depths
+        self._frontier_ids = next_ids
+        if not next_frontier:
+            self.phase = "accuracy"
+        return False
+
+    def result(self) -> tuple[TreeNode, float]:
+        return self.root, self._accuracy
+
+    # -- internals ----------------------------------------------------------
+
+    def _route(self, chunk) -> np.ndarray:
+        """Frontier node id per chunk row (-1: ends at a finished leaf)."""
+        routed = np.full(chunk.rows, -1, dtype=np.int64)
+        stack = [(self.root, np.arange(chunk.rows))]
+        while stack:
+            node, indexes = stack.pop()
+            if not indexes.size:
+                continue
+            fid = self._frontier_ids.get(id(node))
+            if fid is not None:
+                routed[indexes] = fid
+                continue
+            if node.is_leaf:
+                continue
+            goes_left = chunk.matrix[indexes, node.feature] <= node.threshold
+            stack.append((node.left, indexes[goes_left]))
+            stack.append((node.right, indexes[~goes_left]))
+        return routed
+
+    def _best_split_from_stats(self, node_state, total):
+        """(feature, threshold) replaying :func:`_best_split` exactly.
+
+        ``cum_counts`` at distinct-value boundaries equals the
+        reference's sorted-row one-hot prefix sums at its cut indexes
+        (exact integers either way), so every division, impurity sum,
+        and the argmax tie-break see bitwise-identical operands.
+        """
+        class_totals = node_state["counts"].astype(np.float64)
+        parent_impurity = 1.0 - ((class_totals / total) ** 2).sum()
+        best = None
+        for feature in sorted(node_state["hists"]):
+            values, counts = node_state["hists"][feature]
+            if len(values) < 2:
+                continue
+            cum_counts = counts.cumsum(axis=0)
+            cum_rows = counts.sum(axis=1).cumsum()
+            left_n = cum_rows[:-1].astype(np.float64)
+            right_n = total - left_n
+            valid = (left_n >= self.min_rows) & (right_n >= self.min_rows)
+            if not valid.any():
+                continue
+            boundaries = np.nonzero(valid)[0]
+            left_n = left_n[valid]
+            right_n = right_n[valid]
+            left_counts = cum_counts[:-1][valid].astype(np.float64)
+            right_counts = class_totals - left_counts
+            left_impurity = 1.0 - (
+                (left_counts / left_n[:, None]) ** 2
+            ).sum(axis=1)
+            right_impurity = 1.0 - (
+                (right_counts / right_n[:, None]) ** 2
+            ).sum(axis=1)
+            weighted = (
+                left_n * left_impurity + right_n * right_impurity
+            ) / total
+            gains = parent_impurity - weighted
+            winner = int(gains.argmax())
+            gain = float(gains[winner])
+            if gain > 1e-12 and (best is None or gain > best[2]):
+                boundary = int(boundaries[winner])
+                threshold = float(
+                    (values[boundary] + values[boundary + 1]) / 2.0
+                )
+                best = (feature, threshold, gain)
+        if best is None:
+            return None
+        return best[0], best[1]
+
+
+def _merge_node_state(a, b):
+    """Combine two per-node statistic sets (value union + integer adds)."""
+    classes = sorted(set(a["classes"]) | set(b["classes"]))
+    position = {cls: i for i, cls in enumerate(classes)}
+    a_map = np.array([position[c] for c in a["classes"]], dtype=np.int64)
+    b_map = np.array([position[c] for c in b["classes"]], dtype=np.int64)
+    counts = np.zeros(len(classes), dtype=np.int64)
+    counts[a_map] += a["counts"]
+    counts[b_map] += b["counts"]
+    hists = {}
+    for feature in a["hists"]:
+        a_values, a_counts = a["hists"][feature]
+        b_values, b_counts = b["hists"][feature]
+        values = np.union1d(a_values, b_values)
+        merged = np.zeros((len(values), len(classes)), dtype=np.int64)
+        merged[np.ix_(np.searchsorted(values, a_values), a_map)] += a_counts
+        merged[np.ix_(np.searchsorted(values, b_values), b_map)] += b_counts
+        hists[feature] = (values, merged)
+    return {"classes": classes, "counts": counts, "hists": hists}
+
+
 def decision_tree_procedure(ctx: ProcedureContext) -> str:
     """``CALL INZA.DECTREE('intable=T, class=Y, model=M, id=ID,
     maxdepth=6')``."""
@@ -183,15 +417,12 @@ def decision_tree_procedure(ctx: ProcedureContext) -> str:
         ]
     if not features:
         raise AnalyticsError("no numeric feature columns")
-    matrix = ctx.read_matrix(intable, features)
-    labels = ctx.read_labels(intable, class_column)
-    if any(label is None for label in labels):
-        raise AnalyticsError(f"class column {class_column} contains NULLs")
-    root = decision_tree_fit(
-        matrix, labels, max_depth=max_depth, min_rows=min_rows
+    source = uda.TrainingSource.from_context(
+        ctx, intable, features, label_column=class_column
     )
-    predictions, __ = decision_tree_predict(matrix, root)
-    accuracy = sum(p == t for p, t in zip(predictions, labels)) / len(labels)
+    aggregate = DecisionTreeAggregate(max_depth=max_depth, min_rows=min_rows)
+    report = uda.train(aggregate, source)
+    root, accuracy = aggregate.result()
     ctx.system.models.register(
         Model(
             name=model_name,
@@ -205,6 +436,9 @@ def decision_tree_procedure(ctx: ProcedureContext) -> str:
                 "leaves": root.leaf_count(),
             },
             owner=ctx.connection.user.name,
+            rows_trained=report.rows,
+            epochs_trained=report.epochs,
+            trained_generation=ctx.system.catalog.generation,
         ),
         replace=True,
     )

@@ -43,13 +43,17 @@ def parse_parameter_string(text: str) -> dict[str, str]:
     """Parse the INZA ``key=value, key=value`` convention.
 
     Keys are case-insensitive (lowered); values keep their case. Empty
-    segments are ignored.
+    segments are ignored. Values may be single- or double-quoted to
+    protect commas and equals signs (``incolumn='A,B,C'``); inside a
+    quoted value a doubled quote is the escaped literal quote.
 
     >>> parse_parameter_string('intable=T1, k=4')
     {'intable': 'T1', 'k': '4'}
+    >>> parse_parameter_string("incolumn='A,B,C', k=4")
+    {'incolumn': 'A,B,C', 'k': '4'}
     """
     params: dict[str, str] = {}
-    for segment in text.split(","):
+    for segment in _split_parameter_segments(text):
         segment = segment.strip()
         if not segment:
             continue
@@ -58,8 +62,49 @@ def parse_parameter_string(text: str) -> dict[str, str]:
                 f"malformed parameter segment {segment!r} (expected key=value)"
             )
         key, __, value = segment.partition("=")
-        params[key.strip().lower()] = value.strip()
+        params[key.strip().lower()] = _unquote(value.strip())
     return params
+
+
+def _split_parameter_segments(text: str) -> list[str]:
+    """Split on commas that sit outside quoted values."""
+    segments: list[str] = []
+    current: list[str] = []
+    quote: Optional[str] = None
+    index = 0
+    while index < len(text):
+        ch = text[index]
+        if quote is not None:
+            if ch == quote:
+                if index + 1 < len(text) and text[index + 1] == quote:
+                    current.append(ch)
+                    current.append(ch)
+                    index += 2
+                    continue
+                quote = None
+            current.append(ch)
+        elif ch in "'\"":
+            quote = ch
+            current.append(ch)
+        elif ch == ",":
+            segments.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+        index += 1
+    if quote is not None:
+        raise ProcedureError(
+            f"unterminated quote in parameter string {text!r}"
+        )
+    segments.append("".join(current))
+    return segments
+
+
+def _unquote(value: str) -> str:
+    if len(value) >= 2 and value[0] in "'\"" and value[-1] == value[0]:
+        quote = value[0]
+        return value[1:-1].replace(quote * 2, quote)
+    return value
 
 
 class ProcedureContext:
@@ -120,11 +165,21 @@ class ProcedureContext:
             ) from None
 
     def column_list(self, key: str) -> Optional[list[str]]:
-        """Parse a ``;``-separated column list parameter."""
+        """Parse a ``;``- or ``,``-separated column list parameter.
+
+        Comma-separated lists require the quoted-value form
+        (``incolumn='A,B,C'``); the historical ``;`` separator needs no
+        quoting.
+        """
         value = self.params.get(key)
         if value is None:
             return None
-        return [part.strip().upper() for part in value.split(";") if part.strip()]
+        separator = ";" if ";" in value else ","
+        return [
+            part.strip().upper()
+            for part in value.split(separator)
+            if part.strip()
+        ]
 
     # -- accelerator-side data access ----------------------------------------
 

@@ -12,12 +12,19 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.analytics import uda
 from repro.analytics.framework import ProcedureContext
 from repro.analytics.model_store import Model
 from repro.errors import AnalyticsError
 from repro.sql.types import DOUBLE, INTEGER
 
-__all__ = ["KMeansResult", "kmeans_fit", "kmeans_procedure", "predict_kmeans"]
+__all__ = [
+    "KMeansAggregate",
+    "KMeansResult",
+    "kmeans_fit",
+    "kmeans_procedure",
+    "predict_kmeans",
+]
 
 
 @dataclass
@@ -101,6 +108,141 @@ def _pairwise_sq_distances(matrix: np.ndarray, centroids: np.ndarray):
     return (diffs * diffs).sum(axis=2)
 
 
+class KMeansAggregate(uda.ModelAggregate):
+    """K-means as a mergeable aggregate, numerically identical to
+    :func:`kmeans_fit`.
+
+    Three phases, each one or more epochs:
+
+    * ``collect`` — one epoch that concatenates the chunks back into the
+      full matrix for the inherently sequential k-means++ seeding (the
+      seeding scans rows in order with a running RNG, so it cannot be
+      split; everything after it can).
+    * ``lloyd`` — one epoch per Lloyd iteration. ``transition`` assigns
+      chunk rows to the nearest current centroid and accumulates
+      per-cluster sums/counts; ``finalize`` recomputes centroids as
+      sum/count (bitwise what ``members.mean`` computes) and checks the
+      shift against the tolerance.
+    * ``score`` — one epoch computing the full distance matrix per
+      chunk.  The final distances index those matrices by the *last
+      Lloyd assignment*, not a fresh argmin, because that is what the
+      reference implementation reports after its loop exits.
+    """
+
+    kind = "KMEANS"
+
+    def __init__(
+        self,
+        k: int,
+        max_iterations: int = 50,
+        seed: int = 1,
+        tolerance: float = 1e-6,
+    ) -> None:
+        self.k = k
+        self.max_iterations = max_iterations
+        self.seed = seed
+        self.tolerance = tolerance
+        self.phase = "collect"
+        self.centroids: np.ndarray = np.empty((0, 0))
+        self.iterations = 0
+        self._assignments: np.ndarray = np.zeros(0, dtype=np.int64)
+        self._result: KMeansResult = None
+
+    def init(self):
+        if self.phase == "lloyd":
+            features = self.centroids.shape[1]
+            return {
+                "sums": np.zeros((self.k, features)),
+                "counts": np.zeros(self.k, dtype=np.int64),
+                "assignment_parts": [],
+            }
+        return {"parts": []}
+
+    def transition(self, state, chunk):
+        if self.phase == "collect":
+            state["parts"].append(chunk.matrix)
+            return state
+        if self.phase == "lloyd":
+            distances = _pairwise_sq_distances(chunk.matrix, self.centroids)
+            assignments = distances.argmin(axis=1)
+            for cluster in range(self.k):
+                members = chunk.matrix[assignments == cluster]
+                if len(members):
+                    state["sums"][cluster] += members.sum(axis=0)
+                    state["counts"][cluster] += len(members)
+            state["assignment_parts"].append(assignments)
+            return state
+        distances = _pairwise_sq_distances(chunk.matrix, self.centroids)
+        state["parts"].append(distances)
+        return state
+
+    def merge(self, a, b):
+        if self.phase == "lloyd":
+            a["sums"] += b["sums"]
+            a["counts"] += b["counts"]
+            a["assignment_parts"].extend(b["assignment_parts"])
+            return a
+        a["parts"].extend(b["parts"])
+        return a
+
+    def finalize(self, state) -> bool:
+        if self.phase == "collect":
+            parts = state["parts"]
+            matrix = (
+                np.concatenate(parts, axis=0) if parts else np.empty((0, 0))
+            )
+            rows = matrix.shape[0]
+            if rows < self.k:
+                raise AnalyticsError(
+                    f"cannot form {self.k} clusters from {rows} rows"
+                )
+            if self.k < 1:
+                raise AnalyticsError("k must be >= 1")
+            rng = np.random.default_rng(self.seed)
+            self.centroids = _kmeanspp_init(matrix, self.k, rng)
+            if self.max_iterations < 1:
+                self._assignments = np.zeros(rows, dtype=np.int64)
+                self.phase = "score"
+            else:
+                self.phase = "lloyd"
+            return False
+        if self.phase == "lloyd":
+            updated = self.centroids.copy()
+            for cluster in range(self.k):
+                if state["counts"][cluster]:
+                    updated[cluster] = (
+                        state["sums"][cluster] / state["counts"][cluster]
+                    )
+            shift = float(np.abs(updated - self.centroids).max())
+            self.centroids = updated
+            self.iterations += 1
+            self._assignments = np.concatenate(state["assignment_parts"])
+            if shift <= self.tolerance or self.iterations >= self.max_iterations:
+                self.phase = "score"
+            return False
+        offset = 0
+        best_parts = []
+        for distances in state["parts"]:
+            rows = distances.shape[0]
+            part = self._assignments[offset:offset + rows]
+            best_parts.append(distances[np.arange(rows), part])
+            offset += rows
+        best = (
+            np.concatenate(best_parts) if best_parts else np.zeros(0)
+        )
+        self._result = KMeansResult(
+            centroids=self.centroids,
+            assignments=self._assignments,
+            distances=np.sqrt(best),
+            inertia=float(best.sum()),
+            iterations=self.iterations,
+        )
+        return True
+
+    def result(self) -> KMeansResult:
+        return self._result
+
+
 def _numeric_feature_columns(ctx: ProcedureContext, table: str, id_column: str):
     wanted = ctx.column_list("incolumn")
     if wanted is not None:
@@ -126,9 +268,11 @@ def kmeans_procedure(ctx: ProcedureContext) -> str:
     features = _numeric_feature_columns(ctx, intable, id_column)
     if not features:
         raise AnalyticsError(f"table {intable} has no numeric feature columns")
-    matrix = ctx.read_matrix(intable, features)
+    source = uda.TrainingSource.from_context(ctx, intable, features)
+    aggregate = KMeansAggregate(k, max_iterations=max_iterations, seed=seed)
+    report = uda.train(aggregate, source)
+    result = aggregate.result()
     ids = ctx.read_labels(intable, id_column)
-    result = kmeans_fit(matrix, k, max_iterations=max_iterations, seed=seed)
 
     id_type = ctx.system.catalog.table(intable).schema.column(id_column).sql_type
     ctx.create_output_table(
@@ -155,6 +299,9 @@ def kmeans_procedure(ctx: ProcedureContext) -> str:
                     "k": k,
                 },
                 owner=ctx.connection.user.name,
+                rows_trained=report.rows,
+                epochs_trained=report.epochs,
+                trained_generation=ctx.system.catalog.generation,
             ),
             replace=True,
         )

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.errors import DuplicateObjectError, UnknownObjectError
+from repro.errors import AuthorizationError, DuplicateObjectError, UnknownObjectError
 
 __all__ = ["Model", "ModelStore"]
 
@@ -30,6 +30,15 @@ class Model:
     #: Training metrics (e.g. within-cluster SSE, R², accuracy).
     metrics: dict = field(default_factory=dict)
     owner: str = "SYSADM"
+    #: How the unified trainer produced the model (MON_MODELS columns).
+    rows_trained: int = 0
+    epochs_trained: int = 0
+    #: Catalog generation at the time of training.
+    trained_generation: int = 0
+    #: Store-wide monotonic version, stamped on register. Compiled
+    #: PREDICT kernels compare it to detect retrains and rebuild their
+    #: cached scorer.
+    generation: int = 0
 
 
 class ModelStore:
@@ -37,12 +46,15 @@ class ModelStore:
 
     def __init__(self) -> None:
         self._models: dict[str, Model] = {}
+        self._generation = 0
 
     def register(self, model: Model, replace: bool = False) -> None:
         key = model.name.upper()
         if key in self._models and not replace:
             raise DuplicateObjectError(f"model {key} already exists")
         model.name = key
+        self._generation += 1
+        model.generation = self._generation
         self._models[key] = model
 
     def get(self, name: str) -> Model:
@@ -56,7 +68,20 @@ class ModelStore:
         key = name.upper()
         if key not in self._models:
             raise UnknownObjectError(f"unknown model {key}")
+        self._generation += 1
         del self._models[key]
+
+    def check_access(self, model: Model, user_name: str, is_admin: bool) -> None:
+        """Owner-based read/score gate: the owner and admins only.
+
+        Models carry training data distilled from their source table, so
+        reading or scoring one is gated like reading the table would be.
+        """
+        if is_admin or model.owner == user_name:
+            return
+        raise AuthorizationError(
+            f"user {user_name} lacks READ on model {model.name}"
+        )
 
     def names(self) -> list[str]:
         return sorted(self._models)

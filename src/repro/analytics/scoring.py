@@ -1,0 +1,152 @@
+"""Vectorized model scorers for the in-kernel ``PREDICT`` expression.
+
+Both executors compile ``PREDICT(model, col, ...)`` down to a
+:class:`ModelScorer` built here. Every scorer is strictly row-independent
+with a fixed per-feature accumulation order, so scoring one row at a time
+(the DB2 row engine) is bitwise identical to scoring a whole batch (the
+accelerator's vector engine) — the cross-engine byte-identity contract
+extends to PREDICT for free.
+
+This module deliberately imports only numpy and ``repro.errors``; the
+decision-tree walk duck-types ``TreeNode`` so no trainer module (and thus
+no SQL-layer module) is pulled into the expression-kernel import path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import AnalyticsError
+
+__all__ = ["ModelScorer", "build_scorer"]
+
+
+class ModelScorer:
+    """A compiled scorer: ``score(matrix)`` → one value per row.
+
+    ``matrix`` is (rows, feature_count) float64; NULL features arrive as
+    NaN and the caller masks those rows out of the result afterwards.
+    """
+
+    __slots__ = ("kind", "feature_count", "_score")
+
+    def __init__(self, kind: str, feature_count: int, score_fn) -> None:
+        self.kind = kind
+        self.feature_count = feature_count
+        self._score = score_fn
+
+    def score(self, matrix: np.ndarray) -> np.ndarray:
+        if matrix.shape[1] != self.feature_count:
+            raise AnalyticsError(
+                f"PREDICT expects {self.feature_count} feature(s), "
+                f"got {matrix.shape[1]}"
+            )
+        return self._score(matrix)
+
+
+def build_scorer(model) -> ModelScorer:
+    """Compile ``model`` (an analytics ``Model``) into a vector scorer."""
+    kind = model.kind
+    if kind == "KMEANS":
+        return _kmeans_scorer(model)
+    if kind == "LINREG":
+        return _linreg_scorer(model)
+    if kind == "NAIVEBAYES":
+        return _naive_bayes_scorer(model)
+    if kind == "DECTREE":
+        return _decision_tree_scorer(model)
+    raise AnalyticsError(
+        f"model {model.name} of kind {kind} cannot be scored with PREDICT"
+    )
+
+
+def _kmeans_scorer(model) -> ModelScorer:
+    centroids = np.asarray(model.payload["centroids"], dtype=np.float64)
+    clusters, features = centroids.shape
+
+    def score(matrix: np.ndarray) -> np.ndarray:
+        rows = matrix.shape[0]
+        distances = np.empty((rows, clusters))
+        # Per-cluster, per-feature accumulation: elementwise only, so a
+        # 1-row call and an n-row call produce identical floats.
+        for cluster in range(clusters):
+            acc = np.zeros(rows)
+            for j in range(features):
+                diff = matrix[:, j] - centroids[cluster, j]
+                acc += diff * diff
+            distances[:, cluster] = acc
+        return distances.argmin(axis=1).astype(np.int64)
+
+    return ModelScorer("KMEANS", features, score)
+
+
+def _linreg_scorer(model) -> ModelScorer:
+    intercept = float(model.payload["intercept"])
+    coefficients = np.asarray(model.payload["coefficients"], dtype=np.float64)
+
+    def score(matrix: np.ndarray) -> np.ndarray:
+        out = np.full(matrix.shape[0], intercept)
+        for j in range(coefficients.shape[0]):
+            out += coefficients[j] * matrix[:, j]
+        return out
+
+    return ModelScorer("LINREG", coefficients.shape[0], score)
+
+
+def _naive_bayes_scorer(model) -> ModelScorer:
+    fit = model.payload["fit"]
+    classes = list(fit.classes)
+    priors = np.asarray(fit.priors, dtype=np.float64)
+    means = np.asarray(fit.means, dtype=np.float64)
+    variances = np.asarray(fit.variances, dtype=np.float64)
+    log_priors = np.log(priors)
+    # Scalar per-(class, feature) constants precomputed so the per-row
+    # work is pure elementwise accumulation.
+    log_norms = np.log(2 * np.pi * variances)
+    n_classes, features = means.shape
+
+    def score(matrix: np.ndarray) -> np.ndarray:
+        rows = matrix.shape[0]
+        log_likelihood = np.empty((rows, n_classes))
+        for index in range(n_classes):
+            acc = np.full(rows, log_priors[index])
+            for j in range(features):
+                diff = matrix[:, j] - means[index, j]
+                acc += -0.5 * (log_norms[index, j] + diff * diff / variances[index, j])
+            log_likelihood[:, index] = acc
+        best = log_likelihood.argmax(axis=1)
+        out = np.empty(rows, dtype=object)
+        for row in range(rows):
+            out[row] = classes[best[row]]
+        return out
+
+    return ModelScorer("NAIVEBAYES", features, score)
+
+
+def _decision_tree_scorer(model) -> ModelScorer:
+    root = model.payload["root"]
+    features = len(model.features)
+
+    def score(matrix: np.ndarray) -> np.ndarray:
+        rows = matrix.shape[0]
+        out = np.empty(rows, dtype=object)
+
+        # Masked tree walk: each node partitions its row set with the
+        # same `value <= threshold` comparison the per-row walker uses,
+        # so predictions match decision_tree_predict exactly. Duck-typed
+        # node access keeps this module free of trainer imports.
+        def walk(node, indexes: np.ndarray) -> None:
+            if indexes.size == 0:
+                return
+            if node.is_leaf:
+                for index in indexes:
+                    out[index] = node.prediction
+                return
+            goes_left = matrix[indexes, node.feature] <= node.threshold
+            walk(node.left, indexes[goes_left])
+            walk(node.right, indexes[~goes_left])
+
+        walk(root, np.arange(rows))
+        return out
+
+    return ModelScorer("DECTREE", features, score)

@@ -1,0 +1,354 @@
+"""Bismarck-style unified aggregation core for in-database training.
+
+Every trainer in ``repro.analytics`` is expressed as a
+:class:`ModelAggregate` — the classic user-defined-aggregate contract
+(``init`` / ``transition`` / ``merge`` / ``finalize``) popularised by
+Bismarck for in-RDBMS machine learning.  One epoch of training is then
+*exactly* a table scan: the epoch driver asks the accelerator for a
+partitioned scan plan, runs ``transition`` over each partition's chunks
+on the shared scan worker pool, merges the per-partition states in
+partition order, and hands the merged state to ``finalize``.  When the
+accelerator declines to parallelise (small table, active transaction
+delta, armed fault rules) the same epoch runs as one sequential
+whole-table chunk — the aggregates are written so both paths produce
+numerically identical models.
+
+Training epochs are admitted through workload management as
+ANALYTICS-class work (one admission per epoch, released at the epoch
+boundary, so a long training job cannot starve interactive statements),
+honour the statement's work budget for cooperative cancellation at
+chunk boundaries, and emit ``analytics.*`` spans, metrics, and one
+profiler row per epoch.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional, Sequence
+
+import numpy as np
+
+from repro.accelerator.executor import run_partitioned_aggregate
+from repro.errors import AnalyticsError, UnknownObjectError
+from repro.obs.profile import OperatorStats
+from repro.wlm.budget import current_budget
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analytics.framework import ProcedureContext
+
+__all__ = [
+    "ModelAggregate",
+    "TrainingChunk",
+    "TrainingReport",
+    "TrainingSource",
+    "train",
+]
+
+
+@dataclass
+class TrainingChunk:
+    """One batch of training data handed to ``transition``.
+
+    ``matrix`` is the float64 feature matrix (rows × columns, in the
+    source's declared column order); ``labels`` is an object array of
+    class labels or ``None`` for unsupervised sources.
+    """
+
+    matrix: np.ndarray
+    labels: Optional[np.ndarray]
+    rows: int
+
+
+@dataclass
+class TrainingReport:
+    """What the epoch driver did, for model metadata and telemetry."""
+
+    rows: int = 0  # rows seen by the last full pass
+    epochs: int = 0
+    parallel_epochs: int = 0
+    partitions: int = 0  # fan-out of the last parallel epoch
+    #: Per parallel epoch, the elapsed seconds of each partition task as
+    #: measured on the worker pool (sequential epochs contribute
+    #: nothing). Elapsed, not CPU: when threads share cores the entries
+    #: include interleaved time from sibling partitions, so they bound
+    #: skew and stragglers but are not additive work.
+    partition_seconds: list = field(default_factory=list)
+
+
+class ModelAggregate:
+    """The shared trainer contract.
+
+    * ``init`` returns a fresh, empty per-partition state.
+    * ``transition(state, chunk)`` folds one chunk into a state and
+      returns it.  Chunks within a partition arrive in scan order.
+    * ``merge(a, b)`` combines two states; ``a`` precedes ``b`` in scan
+      order (the driver folds partition states left to right, so
+      order-sensitive aggregates see the deterministic layout order).
+    * ``finalize(state)`` consumes the merged state for this epoch and
+      returns ``True`` when training is complete.  Multi-phase trainers
+      (Lloyd iterations, level-wise tree growth, two-pass statistics)
+      return ``False`` to request another epoch.
+    * ``result()`` returns the fitted model once ``finalize`` returned
+      ``True``.
+    """
+
+    kind = "MODEL"
+
+    def init(self) -> object:
+        raise NotImplementedError
+
+    def transition(self, state: object, chunk: TrainingChunk) -> object:
+        raise NotImplementedError
+
+    def merge(self, a: object, b: object) -> object:
+        raise NotImplementedError
+
+    def finalize(self, state: object) -> bool:
+        raise NotImplementedError
+
+    def result(self) -> object:
+        raise NotImplementedError
+
+
+class TrainingSource:
+    """A table-backed stream of :class:`TrainingChunk` batches.
+
+    Captures the statement snapshot (epoch + own-transaction delta) at
+    construction so every epoch sees the same rows, exactly like a
+    repeated query would under snapshot isolation.  Column existence is
+    validated once here; per-chunk NULL/type checks mirror
+    ``ProcedureContext.read_matrix`` so the refactored trainers fail
+    with byte-identical error messages.
+    """
+
+    def __init__(
+        self,
+        system,
+        connection,
+        table: str,
+        matrix_columns: Sequence[str],
+        label_column: Optional[str] = None,
+    ) -> None:
+        self.system = system
+        self.table = table.upper()
+        self.matrix_columns = [c.upper() for c in matrix_columns]
+        self.label_column = (
+            label_column.upper() if label_column is not None else None
+        )
+        self._engine = system.accelerator
+        self._epoch = connection.snapshot_epoch_for_statement()
+        self._delta = connection.active_deltas().get(self.table)
+        wanted = list(self.matrix_columns)
+        if self.label_column is not None and self.label_column not in wanted:
+            wanted.append(self.label_column)
+        self._columns = wanted
+        available = set(
+            system.catalog.table(self.table).schema.column_names
+        )
+        missing = [c for c in wanted if c not in available]
+        if missing:
+            raise UnknownObjectError(
+                f"table {self.table} has no column(s) {', '.join(missing)}"
+            )
+
+    @classmethod
+    def from_context(
+        cls,
+        ctx: "ProcedureContext",
+        table: str,
+        matrix_columns: Sequence[str],
+        label_column: Optional[str] = None,
+    ) -> "TrainingSource":
+        return cls(ctx.system, ctx.connection, table, matrix_columns,
+                   label_column)
+
+    # -- scan plans ----------------------------------------------------------
+
+    def partition_plan(self):
+        """Parallel chunk-span plan, or ``None`` for sequential."""
+        return self._engine.partition_scan(
+            self.table, self._epoch, delta=self._delta, columns=self._columns
+        )
+
+    def sequential_columns(self) -> tuple[dict, int]:
+        """The whole visible table as one column frame."""
+        __, cols, length = self._engine.scan_snapshot(
+            self.table, self._epoch, delta=self._delta, columns=self._columns
+        )
+        return cols, length
+
+    # -- chunk construction --------------------------------------------------
+
+    def build_chunk(self, columns: dict) -> TrainingChunk:
+        arrays = []
+        for name in self.matrix_columns:
+            column = columns[name]
+            if column.mask is not None and column.mask.any():
+                raise AnalyticsError(
+                    f"column {name} of {self.table} contains NULLs; "
+                    "run INZA.IMPUTE first"
+                )
+            if column.values.dtype.kind not in "ifb":
+                raise AnalyticsError(
+                    f"column {name} of {self.table} is not numeric"
+                )
+            arrays.append(column.values.astype(np.float64))
+        matrix = np.column_stack(arrays) if arrays else np.empty((0, 0))
+        rows = matrix.shape[0]
+        labels = None
+        if self.label_column is not None:
+            items = columns[self.label_column].to_objects()
+            if any(value is None for value in items):
+                raise AnalyticsError(
+                    f"class column {self.label_column} contains NULLs"
+                )
+            labels = np.array(items, dtype=object)
+            rows = len(items)
+        return TrainingChunk(matrix=matrix, labels=labels, rows=rows)
+
+
+# -- epoch driver -------------------------------------------------------------
+
+
+def train(
+    aggregate: ModelAggregate,
+    source: TrainingSource,
+    *,
+    max_epochs: int = 1000,
+) -> TrainingReport:
+    """Drive ``aggregate`` over ``source`` until ``finalize`` says done.
+
+    Each epoch is one full pass over the snapshot: partition-parallel on
+    the scan worker pool when the accelerator offers a plan, sequential
+    otherwise.  Epochs are admitted as ANALYTICS-class work and the
+    statement budget is checked at every chunk boundary so cancellation
+    lands between chunks, never mid-kernel.
+    """
+    system = source.system
+    tracer = system.tracer
+    metrics = system.metrics
+    wlm = system.wlm
+    profiler = system.profiler
+    budget = current_budget()
+
+    profile = None
+    if profiler is not None and profiler.enabled:
+        profile = profiler.begin_manual(
+            f"TRAIN:{aggregate.kind}:{source.table}",
+            engine="ACCELERATOR",
+            generation=system.catalog.generation,
+        )
+
+    report = TrainingReport()
+    train_started = time.perf_counter()
+    failed = None
+    with tracer.span(
+        "analytics.train", model=aggregate.kind, table=source.table
+    ) as train_span:
+        try:
+            done = False
+            last_rows: Optional[int] = None
+            while not done:
+                if report.epochs >= max_epochs:
+                    raise AnalyticsError(
+                        f"{aggregate.kind} training on {source.table} did "
+                        f"not converge within {max_epochs} epochs"
+                    )
+                if budget is not None:
+                    budget.check()
+                report.epochs += 1
+                ticket = wlm.admit(
+                    "ACCELERATOR",
+                    "ANALYTICS",
+                    estimated_rows=last_rows,
+                    estimated_cost=None,
+                    cheap=False,
+                    budget=budget,
+                )
+                epoch_started = time.perf_counter()
+                try:
+                    with tracer.span(
+                        "analytics.epoch",
+                        model=aggregate.kind,
+                        epoch=report.epochs,
+                    ) as span:
+                        state, rows, partitions, parallel, splits = (
+                            _run_epoch(aggregate, source, budget)
+                        )
+                        if parallel:
+                            report.partition_seconds.append(splits)
+                        done = aggregate.finalize(state)
+                        span.annotate(
+                            rows=rows, partitions=partitions, parallel=parallel
+                        )
+                finally:
+                    wlm.release(ticket)
+                elapsed = time.perf_counter() - epoch_started
+                last_rows = rows
+                report.rows = rows
+                report.partitions = partitions
+                if parallel:
+                    report.parallel_epochs += 1
+                metrics.counter("analytics.epochs").inc()
+                metrics.histogram("analytics.epoch_seconds").observe(elapsed)
+                if profile is not None:
+                    stats = OperatorStats(
+                        path=f"1.{report.epochs}",
+                        depth=1,
+                        operator="TrainEpoch",
+                        detail=(
+                            f"{aggregate.kind} epoch {report.epochs} "
+                            f"over {source.table}"
+                        ),
+                        engine="ACCELERATOR",
+                        estimated_rows=rows,
+                    )
+                    stats.observe(rows, elapsed, rows_in=rows)
+                    stats.parallel = parallel
+                    stats.batches = max(partitions, 1)
+                    profile.operators.append(stats)
+            train_span.annotate(
+                epochs=report.epochs,
+                rows=report.rows,
+                parallel_epochs=report.parallel_epochs,
+            )
+        except BaseException as exc:
+            failed = type(exc).__name__
+            raise
+        finally:
+            if profile is not None:
+                if failed is not None:
+                    profile.error = failed
+                profiler.finish(
+                    profile, time.perf_counter() - train_started
+                )
+    return report
+
+
+def _run_epoch(aggregate, source, budget):
+    """One full pass.
+
+    Returns ``(state, rows, partitions, parallel, partition_seconds)``.
+    """
+    plan = source.partition_plan()
+    if plan is not None:
+
+        def partition_fn(row_ids, columns):
+            chunk = source.build_chunk(columns)
+            return aggregate.transition(aggregate.init(), chunk)
+
+        states, rows, seconds = run_partitioned_aggregate(
+            plan, partition_fn, budget=budget
+        )
+        merged = states[0]
+        for state in states[1:]:
+            merged = aggregate.merge(merged, state)
+        return merged, rows, len(states), True, seconds
+
+    if budget is not None:
+        budget.check()
+    columns, length = source.sequential_columns()
+    chunk = source.build_chunk(columns)
+    state = aggregate.transition(aggregate.init(), chunk)
+    return state, length, 1, False, []

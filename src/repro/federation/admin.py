@@ -34,6 +34,8 @@ the simulation is managed the same way:
 * ``SYSPROC.ACCEL_GET_WLM('')`` — the live WLM state: gates with
   slots-in-use and queue lengths, per-class admission counters, and
   statement-outcome totals (read-only, like ACCEL_GET_HEALTH);
+* ``SYSPROC.ACCEL_GET_MODELS('')`` — one log line per trained model
+  with kind, owner, training volume, and quality metrics (read-only);
 * ``SYSPROC.ACCEL_CHECKPOINT('')`` — write a durable replication
   checkpoint (cursor, table images, watermarks, lineage epochs);
 * ``SYSPROC.ACCEL_RECOVER('')`` — restart resync: restore the newest
@@ -544,6 +546,29 @@ def _accel_get_wlm(ctx: ProcedureContext) -> str:
     return f"ACCEL_GET_WLM: enabled={'on' if wlm.enabled else 'off'}"
 
 
+def _accel_get_models(ctx: ProcedureContext) -> str:
+    """Inventory of trained models. Read-only: monitoring must work for
+    any session, so no SYSADM check (mirrors ACCEL_GET_WLM).
+    """
+    store = ctx.system.models
+    names = store.names()
+    for name in names:
+        model = store.get(name)
+        target = model.target if model.target else "-"
+        metrics = "; ".join(
+            f"{key}={value}" for key, value in sorted(model.metrics.items())
+        )
+        ctx.log(
+            f"{model.name}: kind={model.kind} owner={model.owner} "
+            f"target={target} features={','.join(model.features)} "
+            f"rows={model.rows_trained} epochs={model.epochs_trained} "
+            f"generation={model.generation} "
+            f"trained_generation={model.trained_generation}"
+            + (f" metrics[{metrics}]" if metrics else "")
+        )
+    return f"ACCEL_GET_MODELS: {len(names)} models"
+
+
 def _accel_checkpoint(ctx: ProcedureContext) -> str:
     """Write a durable replication checkpoint (SYSADM only)."""
     _require_admin(ctx)
@@ -624,6 +649,8 @@ def register_admin_procedures(registry: ProcedureRegistry) -> None:
          "configure the workload manager (enable, slots, service classes)"),
         ("SYSPROC.ACCEL_GET_WLM", _accel_get_wlm,
          "live workload-manager gates, classes, and shed counters"),
+        ("SYSPROC.ACCEL_GET_MODELS", _accel_get_models,
+         "inventory of trained models with training volume and metrics"),
         ("SYSPROC.ACCEL_CHECKPOINT", _accel_checkpoint,
          "write a durable replication checkpoint"),
         ("SYSPROC.ACCEL_RECOVER", _accel_recover,

@@ -33,6 +33,7 @@ from repro.db2.transaction import Transaction
 from repro.errors import (
     AcceleratorCrashError,
     AcceleratorUnavailableError,
+    AnalyticsError,
     AuthorizationError,
     DuplicateObjectError,
     LinkError,
@@ -79,6 +80,35 @@ def _render_plan_value(value) -> str:
     if isinstance(value, dict):
         return "; ".join(f"{k}={v}" for k, v in sorted(value.items()))
     return str(value)
+
+
+def _collect_predict_nodes(stmt) -> list[ast.Predict]:
+    """Every PREDICT node in a select, including subqueries and unions."""
+    out: list[ast.Predict] = []
+    _walk_predict_statement(stmt, out)
+    return out
+
+
+def _walk_predict_statement(stmt, out: list) -> None:
+    if isinstance(stmt, ast.SetOperation):
+        _walk_predict_statement(stmt.left, out)
+        _walk_predict_statement(stmt.right, out)
+        return
+    for expr in stmt.iter_expressions():
+        for node in expr.walk():
+            if isinstance(node, ast.Predict):
+                out.append(node)
+            elif isinstance(node, ast.SubqueryExpression):
+                _walk_predict_statement(node.query, out)
+    _walk_predict_from(stmt.from_item, out)
+
+
+def _walk_predict_from(item, out: list) -> None:
+    if isinstance(item, ast.SubquerySource):
+        _walk_predict_statement(item.query, out)
+    elif isinstance(item, ast.Join):
+        _walk_predict_from(item.left, out)
+        _walk_predict_from(item.right, out)
 
 
 @dataclass(frozen=True)
@@ -881,10 +911,23 @@ class Connection:
         if isinstance(stmt, ast.SetStatement):
             return self._execute_set(stmt)
         if isinstance(stmt, ast.CallStatement):
-            self._system.interconnect.send_to_accelerator(
-                STATEMENT_OVERHEAD_BYTES
-            )
-            return self._system.procedures.call(self._system, self, stmt)
+            # CALL runs on the accelerator; make it visible to repro.obs:
+            # a proc.call span (linked to MON_STATEMENTS via the trace)
+            # plus analytics.* counters covering every procedure call.
+            procname = stmt.procedure.upper()
+            metrics = self._system.metrics
+            with self._span("proc.call", procedure=procname) as span:
+                scanned_before = self._system.accelerator.rows_scanned
+                self._system.interconnect.send_to_accelerator(
+                    STATEMENT_OVERHEAD_BYTES
+                )
+                result = self._system.procedures.call(self._system, self, stmt)
+                scanned = self._system.accelerator.rows_scanned - scanned_before
+                metrics.counter("analytics.calls").inc()
+                if scanned:
+                    metrics.counter("analytics.rows_scanned").inc(scanned)
+                span.annotate(rows_scanned=scanned)
+            return result
         raise SqlError(f"unsupported statement {type(stmt).__name__}")
 
     def _execute_set(self, stmt: ast.SetStatement) -> Result:
@@ -1319,6 +1362,21 @@ class Connection:
             self._check_table_privilege(
                 Privilege.SELECT, self._system.catalog.table(name)
             )
+        # Bind PREDICT nodes to the model store before planning: the
+        # first plan build copies the nodes (dataclasses.replace keeps
+        # the bound store), and per-execution re-binding enforces the
+        # owner gate and catches dropped models even on plan-cache hits.
+        for node in _collect_predict_nodes(stmt):
+            model = self._system.models.get(node.model)
+            self._system.models.check_access(
+                model, self.user.name, self.user.is_admin
+            )
+            if len(node.args) != len(model.features):
+                raise AnalyticsError(
+                    f"PREDICT({model.name}, ...) expects "
+                    f"{len(model.features)} feature(s), got {len(node.args)}"
+                )
+            node.store = self._system.models
         # Bind-and-rewrite once per cached plan — before routing, because
         # the cost-based route needs per-operator estimates over the
         # bound plan. Both engines lower the same logical plan, so a

@@ -24,6 +24,9 @@ equivalents as *virtual tables* under the ``SYSACCEL`` schema:
 * ``SYSACCEL.MON_QERROR`` — the cardinality-feedback store: accumulated
   estimate/actual pairs per plan-node fingerprint with mean/max Q-error
   (the standing E17 benchmark surface the cost model trains against);
+* ``SYSACCEL.MON_MODELS`` — one row per trained model with its kind,
+  owner, feature list, rows/epochs of unified training, generations,
+  and training metrics;
 * ``SYSACCEL.MON_STATISTICS`` — the cost-based optimizer's statistics
   store: one table-level row (``COLUMN_NAME = ''``) per table plus one
   row per column with NDV, null count, min/max, histogram bin count,
@@ -187,6 +190,20 @@ _SCHEMAS: dict[str, TableSchema] = {
             Column("SHEDDABLE", VarcharType(1)),
         ]
     ),
+    "SYSACCEL.MON_MODELS": TableSchema(
+        [
+            Column("NAME", _NAME),
+            Column("KIND", VarcharType(16)),
+            Column("OWNER", _NAME),
+            Column("TARGET", _NAME),
+            Column("FEATURES", _TEXT),
+            Column("ROWS_TRAINED", BIGINT),
+            Column("EPOCHS_TRAINED", INTEGER),
+            Column("GENERATION", BIGINT),
+            Column("TRAINED_GENERATION", BIGINT),
+            Column("METRICS", _TEXT),
+        ]
+    ),
 }
 
 #: Public view-name -> schema mapping (names are fully qualified).
@@ -270,6 +287,27 @@ def _replication_rows(system: "AcceleratedDatabase") -> list[tuple]:
 
 def _wlm_rows(system: "AcceleratedDatabase") -> list[tuple]:
     return system.wlm.monitor_rows()
+
+
+def _models_rows(system: "AcceleratedDatabase") -> list[tuple]:
+    rows: list[tuple] = []
+    for name in system.models.names():
+        model = system.models.get(name)
+        rows.append(
+            (
+                model.name,
+                model.kind,
+                model.owner,
+                model.target,
+                _clip(", ".join(model.features)),
+                model.rows_trained,
+                model.epochs_trained,
+                model.generation,
+                model.trained_generation,
+                _clip(_render_attributes(model.metrics)),
+            )
+        )
+    return rows
 
 
 def _statistics_rows(system: "AcceleratedDatabase") -> list[tuple]:
@@ -357,6 +395,7 @@ _ROW_BUILDERS: dict[str, Callable] = {
     "SYSACCEL.MON_OPERATORS": _operators_rows,
     "SYSACCEL.MON_QERROR": _qerror_rows,
     "SYSACCEL.MON_STATISTICS": _statistics_rows,
+    "SYSACCEL.MON_MODELS": _models_rows,
 }
 
 

@@ -847,6 +847,30 @@ class QueryProfiler:
         profile.attach_plan(plan, table_rows, estimates=estimates)
         return profile
 
+    def begin_manual(
+        self,
+        fingerprint: str,
+        engine: str,
+        generation: int = 0,
+    ) -> StatementProfile:
+        """Start a profile with no logical plan attached.
+
+        Used by work that is not a SQL statement but still wants
+        per-operator rows in the profile ring — e.g. the unified
+        analytics trainer records one ``TrainEpoch`` operator per epoch.
+        The caller appends :class:`OperatorStats` to
+        ``profile.operators`` directly and then calls :meth:`finish`.
+        """
+        with self._lock:
+            self._seq += 1
+            profile_id = f"P{self._seq:06d}"
+        return StatementProfile(
+            profile_id=profile_id,
+            fingerprint=fingerprint,
+            generation=generation,
+            engine=engine,
+        )
+
     def finish(
         self, profile: StatementProfile, elapsed_seconds: float
     ) -> None:

@@ -29,6 +29,7 @@ __all__ = [
     "IsNull",
     "Like",
     "Cast",
+    "Predict",
     "SubqueryExpression",
     "Statement",
     "SelectItem",
@@ -232,6 +233,27 @@ class Cast(Expression):
     def walk(self) -> Iterator[Expression]:
         yield self
         yield from self.operand.walk()
+
+
+@dataclass
+class Predict(Expression):
+    """``PREDICT(model, feature, ...)`` — in-kernel scoring of a stored model.
+
+    The feature expressions are positional against the model's trained
+    feature list. ``store`` is bound by the session layer before
+    planning (the system's :class:`~repro.analytics.model_store.ModelStore`);
+    it is excluded from comparison/repr so plans still compare
+    structurally and the plan cache stays text-keyed.
+    """
+
+    model: str
+    args: list[Expression]
+    store: Optional[object] = field(default=None, compare=False, repr=False)
+
+    def walk(self) -> Iterator[Expression]:
+        yield self
+        for arg in self.args:
+            yield from arg.walk()
 
 
 @dataclass

@@ -308,7 +308,57 @@ def compile_scalar(
     if isinstance(expr, ast.SubqueryExpression):
         return _compile_scalar_subquery(expr, scope, params, subquery_resolver)
 
+    if isinstance(expr, ast.Predict):
+        arg_fns = [
+            compile_scalar(arg, scope, params, subquery_resolver)
+            for arg in expr.args
+        ]
+        get_scorer = _predict_scorer(expr)
+
+        def _predict_row(row):
+            values = [fn(row) for fn in arg_fns]
+            if any(v is None for v in values):
+                return None
+            try:
+                matrix = np.array([[float(v) for v in values]], dtype=np.float64)
+            except (TypeError, ValueError):
+                raise SqlError(
+                    f"PREDICT({expr.model}, ...) features must be numeric"
+                ) from None
+            value = get_scorer().score(matrix)[0]
+            return value.item() if isinstance(value, np.generic) else value
+
+        return _predict_row
+
     raise ParseError(f"unsupported expression: {type(expr).__name__}")
+
+
+def _predict_scorer(expr: "ast.Predict"):
+    """Per-kernel scorer cache for a bound PREDICT node.
+
+    The compiled kernel outlives retrains (KernelCache keeps it for the
+    plan's lifetime), so the scorer is rebuilt whenever the stored
+    model's generation moves — that is the retrain-invalidation path.
+    The analytics import is deferred: ``repro.analytics`` imports the SQL
+    package, so a top-level import here would be circular.
+    """
+    cache: dict[str, object] = {}
+
+    def get_scorer():
+        store = expr.store
+        if store is None:
+            raise SqlError(
+                f"PREDICT({expr.model}, ...) is not bound to a model store"
+            )
+        model = store.get(expr.model)
+        if cache.get("generation") != model.generation:
+            from repro.analytics import scoring
+
+            cache["scorer"] = scoring.build_scorer(model)
+            cache["generation"] = model.generation
+        return cache["scorer"]
+
+    return get_scorer
 
 
 def _null_safe(fn):
@@ -824,6 +874,31 @@ def compile_vector(
 
         return _scalar_subquery
 
+    if isinstance(expr, ast.Predict):
+        arg_fns = [
+            compile_vector(arg, scope, params, subquery_resolver)
+            for arg in expr.args
+        ]
+        get_scorer = _predict_scorer(expr)
+
+        def _predict_batch(cols, n):
+            matrix = np.empty((n, len(arg_fns)))
+            mask: Optional[np.ndarray] = None
+            for j, fn in enumerate(arg_fns):
+                col = fn(cols, n)
+                if not col.is_numeric:
+                    raise SqlError(
+                        f"PREDICT({expr.model}, ...) features must be numeric"
+                    )
+                matrix[:, j] = col.values.astype(np.float64)
+                mask = _combine_masks(mask, col.mask)
+            values = get_scorer().score(matrix)
+            return VColumn(
+                values=values, mask=mask.copy() if mask is not None else None
+            )
+
+        return _predict_batch
+
     raise ParseError(f"unsupported expression: {type(expr).__name__}")
 
 
@@ -1035,4 +1110,6 @@ def expression_label(expr: ast.Expression, position: int) -> str:
         return expr.name
     if isinstance(expr, ast.FunctionCall):
         return expr.name
+    if isinstance(expr, ast.Predict):
+        return "PREDICT"
     return f"COL{position + 1}"

@@ -881,6 +881,8 @@ class Parser:
         name = self._advance().value
         # Function call?
         if self._current.type is TokenType.PUNCTUATION and self._current.value == "(":
+            if name.upper() == "PREDICT":
+                return self._predict_expression()
             return self._function_call(name)
         # Qualified column T.C ?
         if (
@@ -910,6 +912,22 @@ class Parser:
                 args.append(self._expression())
         self._expect_punct(")")
         return ast.FunctionCall(name=name.upper(), args=args, distinct=distinct)
+
+    def _predict_expression(self) -> ast.Expression:
+        # PREDICT(model, feature_expr, ...) — the first argument is a
+        # model name (identifier or string literal), not an expression.
+        self._expect_punct("(")
+        if self._current.type is TokenType.STRING:
+            model = self._advance().value
+        else:
+            model = self._expect_identifier()
+        args: list[ast.Expression] = []
+        while self._accept_punct(","):
+            args.append(self._expression())
+        self._expect_punct(")")
+        if not args:
+            raise self._error("PREDICT requires at least one feature expression")
+        return ast.Predict(model=model.upper(), args=args)
 
     def _case(self) -> ast.Expression:
         self._expect_keyword("CASE")

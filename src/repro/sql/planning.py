@@ -83,6 +83,8 @@ def map_children(
         )
     if isinstance(expr, ast.Cast):
         return dataclasses.replace(expr, operand=fn(expr.operand))
+    if isinstance(expr, ast.Predict):
+        return dataclasses.replace(expr, args=[fn(a) for a in expr.args])
     if isinstance(expr, ast.SubqueryExpression) and expr.operand is not None:
         return dataclasses.replace(expr, operand=fn(expr.operand))
     return expr

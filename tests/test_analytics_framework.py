@@ -175,3 +175,172 @@ class TestModelStore:
         conn = db.connect()
         conn.execute("CALL INZA.DROP_MODEL('model=m1')")
         assert len(db.models) == 0
+
+
+class TestQuotedParameters:
+    """Satellite of the UDA PR: quoted values may carry commas/equals."""
+
+    def test_single_quoted_value_with_commas(self):
+        assert parse_parameter_string("incolumn='A,B,C', k=4") == {
+            "incolumn": "A,B,C",
+            "k": "4",
+        }
+
+    def test_double_quoted_value_with_equals(self):
+        assert parse_parameter_string('expr="a=b,c", x=1') == {
+            "expr": "a=b,c",
+            "x": "1",
+        }
+
+    def test_doubled_quote_escapes_literal_quote(self):
+        assert parse_parameter_string("msg='it''s fine'") == {
+            "msg": "it's fine"
+        }
+
+    def test_unterminated_quote_rejected(self):
+        with pytest.raises(ProcedureError, match="unterminated quote"):
+            parse_parameter_string("incolumn='A,B")
+
+    def test_malformed_still_rejected_outside_quotes(self):
+        with pytest.raises(ProcedureError, match="malformed parameter"):
+            parse_parameter_string("a=1, nonsense")
+
+    def test_comma_separated_column_list_through_procedure(self):
+        from repro.workloads import create_churn_table
+
+        db = AcceleratedDatabase(slice_count=2, chunk_rows=128)
+        conn = db.connect()
+        create_churn_table(conn, count=120, accelerate=True)
+        conn.execute(
+            "CALL INZA.KMEANS('intable=CHURN, outtable=Q_OUT, id=CUST_ID, "
+            "k=2, model=QM, incolumn=''TENURE_MONTHS,MONTHLY_CHARGES''')"
+        )
+        assert db.models.get("QM").features == [
+            "TENURE_MONTHS",
+            "MONTHLY_CHARGES",
+        ]
+
+
+class TestModelStoreEdgeCases:
+    def test_retrain_overwrite_bumps_generation(self):
+        store = ModelStore()
+        store.register(Model(name="M", kind="KMEANS", features=["A"]))
+        first = store.get("M").generation
+        store.register(
+            Model(name="M", kind="KMEANS", features=["A", "B"]),
+            replace=True,
+        )
+        assert store.get("M").generation > first
+        assert store.get("M").features == ["A", "B"]
+
+    def test_drop_bumps_store_generation(self):
+        store = ModelStore()
+        store.register(Model(name="M", kind="KMEANS", features=[]))
+        generation = store._generation
+        store.drop("M")
+        assert store._generation > generation
+
+    def test_training_metadata_defaults(self):
+        model = Model(name="M", kind="LINREG", features=[])
+        assert model.rows_trained == 0
+        assert model.epochs_trained == 0
+        assert model.trained_generation == 0
+
+    def test_owner_can_read(self):
+        from repro.errors import AuthorizationError
+
+        store = ModelStore()
+        model = Model(name="M", kind="KMEANS", features=[], owner="ALICE")
+        store.register(model)
+        store.check_access(model, "ALICE", is_admin=False)
+        store.check_access(model, "ANYONE", is_admin=True)
+        with pytest.raises(AuthorizationError, match="lacks READ on model M"):
+            store.check_access(model, "BOB", is_admin=False)
+
+    def test_retrain_updates_training_metadata(self):
+        from repro.workloads import create_churn_table
+
+        db = AcceleratedDatabase(slice_count=2, chunk_rows=128)
+        conn = db.connect()
+        create_churn_table(conn, count=150, accelerate=True)
+        conn.execute(
+            "CALL INZA.LINEAR_REGRESSION('intable=CHURN, "
+            "target=MONTHLY_CHARGES, model=R, id=CUST_ID, "
+            "incolumn=TENURE_MONTHS')"
+        )
+        model = db.models.get("R")
+        assert model.rows_trained == 150
+        assert model.epochs_trained == 2
+        generation = model.generation
+        conn.execute(
+            "CALL INZA.LINEAR_REGRESSION('intable=CHURN, "
+            "target=MONTHLY_CHARGES, model=R, id=CUST_ID, "
+            "incolumn=SUPPORT_CALLS')"
+        )
+        assert db.models.get("R").generation > generation
+
+
+class TestModelMonitoring:
+    @pytest.fixture
+    def conn(self):
+        from repro.workloads import create_churn_table
+
+        db = AcceleratedDatabase(slice_count=2, chunk_rows=128)
+        connection = db.connect()
+        create_churn_table(connection, count=150, accelerate=True)
+        connection.execute(
+            "CALL INZA.KMEANS('intable=CHURN, outtable=KM_OUT, id=CUST_ID, "
+            "k=2, model=SEG, incolumn=TENURE_MONTHS;MONTHLY_CHARGES')"
+        )
+        connection.execute(
+            "CALL INZA.LINEAR_REGRESSION('intable=CHURN, "
+            "target=MONTHLY_CHARGES, model=PRICE, id=CUST_ID, "
+            "incolumn=TENURE_MONTHS;SUPPORT_CALLS')"
+        )
+        return connection
+
+    def test_mon_models_lists_trained_models(self, conn):
+        rows = conn.execute(
+            "SELECT NAME, KIND, OWNER, TARGET, ROWS_TRAINED, EPOCHS_TRAINED "
+            "FROM SYSACCEL.MON_MODELS ORDER BY NAME"
+        ).rows
+        assert [(r[0], r[1]) for r in rows] == [
+            ("PRICE", "LINREG"),
+            ("SEG", "KMEANS"),
+        ]
+        price, seg = rows
+        assert price[2] == "SYSADM"
+        assert price[3] == "MONTHLY_CHARGES"
+        assert price[4] == 150 and seg[4] == 150
+        assert price[5] >= 1 and seg[5] >= 1
+
+    def test_mon_models_generations_and_metrics(self, conn):
+        row = conn.execute(
+            "SELECT GENERATION, TRAINED_GENERATION, METRICS, FEATURES "
+            "FROM SYSACCEL.MON_MODELS WHERE NAME = 'PRICE'"
+        ).rows[0]
+        assert row[0] >= 1
+        assert row[1] >= 1
+        assert "r_squared=" in row[2]
+        assert row[3] == "TENURE_MONTHS, SUPPORT_CALLS"
+
+    def test_accel_get_models(self, conn):
+        result = conn.execute("CALL SYSPROC.ACCEL_GET_MODELS('')")
+        lines = [row[0] for row in result.rows]
+        assert lines[0] == "ACCEL_GET_MODELS: 2 models"
+        price = next(line for line in lines if line.startswith("PRICE:"))
+        assert "kind=LINREG" in price
+        assert "rows=150" in price
+        assert "r_squared=" in price
+        seg = next(line for line in lines if line.startswith("SEG:"))
+        assert "target=-" in seg
+
+    def test_accel_get_models_readable_by_non_admin(self, conn):
+        db = conn._system
+        db.create_user("BOB")
+        conn.execute(
+            "GRANT EXECUTE ON PROCEDURE SYSPROC.ACCEL_GET_MODELS TO BOB"
+        )
+        bob = db.connect("BOB")
+        result = bob.execute("CALL SYSPROC.ACCEL_GET_MODELS('')")
+        assert result.rows[0][0] == "ACCEL_GET_MODELS: 2 models"

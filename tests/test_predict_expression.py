@@ -1,0 +1,205 @@
+"""PREDICT(model, features...) — in-kernel scoring in the query path."""
+
+import numpy as np
+import pytest
+
+from repro import AcceleratedDatabase
+from repro.analytics.model_store import Model
+from repro.errors import (
+    AnalyticsError,
+    AuthorizationError,
+    UnknownObjectError,
+)
+from repro.workloads import create_churn_table
+
+
+@pytest.fixture
+def db():
+    return AcceleratedDatabase(slice_count=2, chunk_rows=256)
+
+
+@pytest.fixture
+def conn(db):
+    connection = db.connect()
+    create_churn_table(connection, count=300, accelerate=True)
+    connection.execute(
+        "CALL INZA.KMEANS('intable=CHURN, outtable=KM_OUT, id=CUST_ID, "
+        "k=3, model=SEG, incolumn=TENURE_MONTHS;MONTHLY_CHARGES')"
+    )
+    connection.execute(
+        "CALL INZA.LINEAR_REGRESSION('intable=CHURN, "
+        "target=MONTHLY_CHARGES, model=PRICE, id=CUST_ID, "
+        "incolumn=TENURE_MONTHS;SUPPORT_CALLS')"
+    )
+    return connection
+
+
+def run_on(conn, engine, sql):
+    conn.set_acceleration("ALL" if engine == "ACCELERATOR" else "NONE")
+    try:
+        return conn.execute(sql)
+    finally:
+        conn.set_acceleration("ALL")
+
+
+class TestProjectionsAndPredicates:
+    def test_projection_matches_training_assignments(self, conn):
+        rows = conn.execute(
+            "SELECT cust_id, PREDICT(SEG, tenure_months, monthly_charges) "
+            "FROM churn ORDER BY cust_id"
+        ).rows
+        trained = conn.execute(
+            "SELECT cust_id, cluster_id FROM km_out ORDER BY cust_id"
+        ).rows
+        assert [(r[0], r[1]) for r in rows] == [
+            (t[0], t[1]) for t in trained
+        ]
+
+    def test_where_predicate(self, conn):
+        total = conn.execute("SELECT COUNT(*) FROM churn").scalar()
+        counts = [
+            conn.execute(
+                "SELECT COUNT(*) FROM churn WHERE "
+                f"PREDICT(SEG, tenure_months, monthly_charges) = {cluster}"
+            ).scalar()
+            for cluster in range(3)
+        ]
+        assert sum(counts) == total
+        assert all(count > 0 for count in counts)
+
+    def test_regression_scores_in_expression(self, db, conn):
+        row = conn.execute(
+            "SELECT PREDICT(PRICE, tenure_months, support_calls) "
+            "FROM churn WHERE cust_id = 1"
+        ).scalar()
+        model = db.models.get("PRICE")
+        feature_row = conn.execute(
+            "SELECT tenure_months, support_calls FROM churn WHERE cust_id = 1"
+        ).rows[0]
+        expected = model.payload["intercept"] + float(
+            np.dot(
+                model.payload["coefficients"],
+                np.array(feature_row, dtype=np.float64),
+            )
+        )
+        assert row == pytest.approx(expected, rel=1e-12)
+
+    def test_both_engines_byte_identical(self, conn):
+        sql = (
+            "SELECT cust_id, PREDICT(SEG, tenure_months, monthly_charges), "
+            "PREDICT(PRICE, tenure_months, support_calls) "
+            "FROM churn WHERE PREDICT(SEG, tenure_months, monthly_charges) "
+            ">= 1 ORDER BY cust_id"
+        )
+        accelerated = run_on(conn, "ACCELERATOR", sql)
+        db2 = run_on(conn, "DB2", sql)
+        assert accelerated.rows == db2.rows
+        for left, right in zip(accelerated.rows, db2.rows):
+            assert type(left[1]) is type(right[1])
+            assert type(left[2]) is type(right[2])
+
+
+class TestNullsAndErrors:
+    def test_null_feature_yields_null(self, db, conn):
+        db.models.register(
+            Model(
+                name="TOTALSEG",
+                kind="LINREG",
+                features=["TOTAL_CHARGES"],
+                payload={
+                    "intercept": 1.0,
+                    "coefficients": np.array([2.0]),
+                },
+                owner="SYSADM",
+            ),
+            replace=True,
+        )
+        nulls = conn.execute(
+            "SELECT COUNT(*) FROM churn WHERE total_charges IS NULL"
+        ).scalar()
+        assert nulls > 0
+        predicted_nulls = conn.execute(
+            "SELECT COUNT(*) FROM churn "
+            "WHERE PREDICT(TOTALSEG, total_charges) IS NULL"
+        ).scalar()
+        assert predicted_nulls == nulls
+
+    def test_unknown_model(self, conn):
+        with pytest.raises(UnknownObjectError):
+            conn.execute("SELECT PREDICT(NOPE, tenure_months) FROM churn")
+
+    def test_wrong_arity(self, conn):
+        with pytest.raises(AnalyticsError, match="expects 2 feature"):
+            conn.execute("SELECT PREDICT(SEG, tenure_months) FROM churn")
+
+    def test_unscorable_model_kind(self, db, conn):
+        db.models.register(
+            Model(name="RULES", kind="ARULE", features=["X"], owner="SYSADM"),
+            replace=True,
+        )
+        with pytest.raises(AnalyticsError, match="cannot be scored"):
+            conn.execute("SELECT PREDICT(RULES, tenure_months) FROM churn")
+
+    def test_non_numeric_feature_rejected(self, db, conn):
+        conn.execute("CREATE TABLE WORDS (W VARCHAR(8))")
+        conn.execute("INSERT INTO WORDS VALUES ('a'), ('b')")
+        db.add_table_to_accelerator("WORDS")
+        with pytest.raises(Exception, match="must be numeric"):
+            conn.execute("SELECT PREDICT(PRICE, w, w) FROM words")
+
+
+class TestRetrainInvalidation:
+    def test_retrain_is_visible_through_cached_kernels(self, db, conn):
+        sql = (
+            "SELECT SUM(PREDICT(PRICE, tenure_months, support_calls)) "
+            "FROM churn"
+        )
+        before = conn.execute(sql).scalar()
+        generation_before = db.models.get("PRICE").generation
+        # Retrain on a different feature set: same name, new parameters.
+        conn.execute(
+            "CALL INZA.LINEAR_REGRESSION('intable=CHURN, "
+            "target=MONTHLY_CHARGES, model=PRICE, id=CUST_ID, "
+            "incolumn=TENURE_MONTHS;CONTRACT_MONTHS')"
+        )
+        assert db.models.get("PRICE").generation > generation_before
+        after = conn.execute(sql).scalar()
+        assert after != before
+
+    def test_dropped_model_fails_cleanly(self, db, conn):
+        sql = "SELECT PREDICT(SEG, tenure_months, monthly_charges) FROM churn"
+        conn.execute(sql)
+        db.models.drop("SEG")
+        with pytest.raises(UnknownObjectError):
+            conn.execute(sql)
+
+
+class TestModelPrivileges:
+    def test_non_owner_cannot_score(self, db, conn):
+        db.create_user("ANALYST")
+        conn.execute("GRANT SELECT ON CHURN TO ANALYST")
+        analyst = db.connect("ANALYST")
+        with pytest.raises(AuthorizationError, match="lacks READ on model"):
+            analyst.execute(
+                "SELECT PREDICT(SEG, tenure_months, monthly_charges) "
+                "FROM churn"
+            )
+
+    def test_owner_and_admin_can_score(self, db, conn):
+        db.create_user("ANALYST")
+        conn.execute("GRANT SELECT ON CHURN TO ANALYST")
+        conn.execute("GRANT EXECUTE ON PROCEDURE INZA.KMEANS TO ANALYST")
+        analyst = db.connect("ANALYST")
+        analyst.execute(
+            "CALL INZA.KMEANS('intable=CHURN, outtable=A_OUT, id=CUST_ID, "
+            "k=2, model=MINE, incolumn=TENURE_MONTHS;MONTHLY_CHARGES')"
+        )
+        assert analyst.execute(
+            "SELECT COUNT(*) FROM churn "
+            "WHERE PREDICT(MINE, tenure_months, monthly_charges) = 0"
+        ).scalar() > 0
+        # The admin may read any model regardless of ownership.
+        assert conn.execute(
+            "SELECT COUNT(*) FROM churn "
+            "WHERE PREDICT(MINE, tenure_months, monthly_charges) = 0"
+        ).scalar() > 0

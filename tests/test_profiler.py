@@ -513,12 +513,15 @@ def _fuzz_conn():
 @settings(max_examples=30, deadline=None)
 def test_fuzz_corpus_profiles_on_both_engines(sql):
     db, conn = _fuzz_conn()
-    for mode in ("ENABLE", "NONE"):
+    # ALL (not ENABLE) pins the accelerator: under ENABLE the cost
+    # router may legitimately keep a tiny probe on DB2, and this test
+    # needs a deterministic engine per mode.
+    for mode in ("ALL", "NONE"):
         conn.set_acceleration(mode)
         expected = conn.execute(sql).rows
         profile = db.profiler.last()
         assert profile is not None and profile.error is None
-        assert profile.engine == ("ACCELERATOR" if mode == "ENABLE" else "DB2")
+        assert profile.engine == ("ACCELERATOR" if mode == "ALL" else "DB2")
         for op in profile.operators:
             assert op.executed, f"{op.describe()} never executed for {sql!r}"
             assert op.q_error >= 1.0 and op.q_error < float("inf")

@@ -1,0 +1,352 @@
+"""Differential tests: unified-aggregate trainers vs. legacy fits.
+
+The PR that introduced ``repro.analytics.uda`` refactored every trainer
+onto the shared ModelAggregate contract.  These tests prove the refactor
+is numerically faithful: for each workload and each trainer, the model
+produced through ``CALL INZA.*`` (which now runs the epoch driver, with
+partition-parallel scans at ``workers=4``) must match what the untouched
+reference implementations (``kmeans_fit``, ``linreg_fit``, ...) compute
+on the same matrix — exactly for counts, trees, and assignments, and
+within 1e-9 for floating-point parameters.
+"""
+
+import numpy as np
+import pytest
+
+from repro import AcceleratedDatabase, IdaaLoader, IterableSource
+from repro.analytics.decision_tree import decision_tree_fit, decision_tree_predict
+from repro.analytics.framework import ProcedureContext
+from repro.analytics.kmeans import kmeans_fit
+from repro.analytics.naive_bayes import naive_bayes_fit
+from repro.analytics.regression import linreg_fit
+from repro.workloads import SOCIAL_COLUMNS, create_churn_table, generate_posts
+from repro.workloads.socialmedia import SOCIAL_DDL
+from repro.workloads.starschema import create_star_schema
+
+WORKERS = (1, 4)
+
+
+def make_system(workers: int) -> AcceleratedDatabase:
+    db = AcceleratedDatabase(
+        slice_count=2, chunk_rows=64, parallel_workers=workers
+    )
+    # Real deployments only fan out over big tables; the tests use small
+    # ones, so drop the floor to force the partitioned path at workers=4.
+    db.accelerator.parallel_min_rows = 64
+    return db
+
+
+def reference_frame(db, conn, table, feature_columns, label_column=None):
+    """The exact matrix/labels the legacy procedures would have read."""
+    ctx = ProcedureContext(db, conn, {})
+    matrix = ctx.read_matrix(table, feature_columns)
+    labels = (
+        ctx.read_labels(table, label_column) if label_column else None
+    )
+    return matrix, labels
+
+
+def assert_parallel_path(db, workers):
+    """workers=4 must actually have exercised partitioned training."""
+    if workers > 1:
+        assert db.accelerator.parallel_scans > 0
+    else:
+        assert db.accelerator.parallel_scans == 0
+
+
+def assert_same_tree(a, b):
+    assert a.prediction == b.prediction
+    assert a.confidence == b.confidence
+    assert a.feature == b.feature
+    assert a.threshold == b.threshold
+    assert a.is_leaf == b.is_leaf
+    if not a.is_leaf:
+        assert_same_tree(a.left, b.left)
+        assert_same_tree(a.right, b.right)
+
+
+@pytest.fixture(params=WORKERS)
+def workers(request):
+    return request.param
+
+
+class TestChurnWorkload:
+    FEATURES = ["TENURE_MONTHS", "MONTHLY_CHARGES", "SUPPORT_CALLS"]
+
+    @pytest.fixture
+    def setup(self, workers):
+        db = make_system(workers)
+        conn = db.connect()
+        create_churn_table(conn, count=600, accelerate=True)
+        return db, conn
+
+    def test_kmeans_identical(self, setup, workers):
+        db, conn = setup
+        conn.execute(
+            "CALL INZA.KMEANS('intable=CHURN, outtable=KM_OUT, id=CUST_ID, "
+            "k=4, randseed=7, model=KM_CHURN, "
+            "incolumn=TENURE_MONTHS;MONTHLY_CHARGES;SUPPORT_CALLS')"
+        )
+        matrix, __ = reference_frame(db, conn, "CHURN", self.FEATURES)
+        reference = kmeans_fit(matrix, 4, seed=7)
+        model = db.models.get("KM_CHURN")
+        np.testing.assert_allclose(
+            model.payload["centroids"], reference.centroids,
+            rtol=1e-9, atol=1e-12,
+        )
+        assert model.metrics["iterations"] == reference.iterations
+        assert model.metrics["inertia"] == pytest.approx(
+            reference.inertia, rel=1e-9
+        )
+        out = conn.execute(
+            "SELECT cust_id, cluster_id, distance FROM km_out ORDER BY cust_id"
+        ).rows
+        assert [r[1] for r in out] == [
+            int(c) for c in reference.assignments
+        ]
+        np.testing.assert_allclose(
+            np.array([r[2] for r in out]), reference.distances,
+            rtol=1e-9, atol=1e-12,
+        )
+        assert_parallel_path(db, workers)
+
+    def test_kmeans_sequential_bitwise(self, setup, workers):
+        if workers != 1:
+            pytest.skip("bitwise identity is a sequential-path guarantee")
+        db, conn = setup
+        conn.execute(
+            "CALL INZA.KMEANS('intable=CHURN, outtable=KB_OUT, id=CUST_ID, "
+            "k=3, randseed=3, model=KM_BITS, "
+            "incolumn=TENURE_MONTHS;MONTHLY_CHARGES;SUPPORT_CALLS')"
+        )
+        matrix, __ = reference_frame(db, conn, "CHURN", self.FEATURES)
+        reference = kmeans_fit(matrix, 3, seed=3)
+        model = db.models.get("KM_BITS")
+        assert np.array_equal(model.payload["centroids"], reference.centroids)
+        assert model.metrics["inertia"] == reference.inertia
+
+    def test_linreg_identical(self, setup, workers):
+        db, conn = setup
+        conn.execute(
+            "CALL INZA.LINEAR_REGRESSION('intable=CHURN, "
+            "target=MONTHLY_CHARGES, model=LR_CHURN, id=CUST_ID, "
+            "incolumn=TENURE_MONTHS;SUPPORT_CALLS;CONTRACT_MONTHS')"
+        )
+        matrix, __ = reference_frame(
+            db, conn, "CHURN",
+            ["TENURE_MONTHS", "SUPPORT_CALLS", "CONTRACT_MONTHS"],
+        )
+        target, __ = reference_frame(db, conn, "CHURN", ["MONTHLY_CHARGES"])
+        reference = linreg_fit(matrix, target[:, 0])
+        model = db.models.get("LR_CHURN")
+        assert model.payload["intercept"] == pytest.approx(
+            reference.intercept, rel=1e-9, abs=1e-9
+        )
+        np.testing.assert_allclose(
+            model.payload["coefficients"], reference.coefficients,
+            rtol=1e-9, atol=1e-9,
+        )
+        assert model.metrics["r_squared"] == pytest.approx(
+            reference.r_squared, rel=1e-9, abs=1e-9
+        )
+        assert model.metrics["rmse"] == pytest.approx(
+            reference.rmse, rel=1e-9
+        )
+        assert_parallel_path(db, workers)
+
+    def test_naive_bayes_identical(self, setup, workers):
+        db, conn = setup
+        conn.execute(
+            "CALL INZA.NAIVEBAYES('intable=CHURN, class=CHURNED, "
+            "model=NB_CHURN, id=CUST_ID, incolumn=TENURE_MONTHS;"
+            "MONTHLY_CHARGES;SUPPORT_CALLS;CONTRACT_MONTHS')"
+        )
+        matrix, labels = reference_frame(
+            db, conn, "CHURN",
+            ["TENURE_MONTHS", "MONTHLY_CHARGES", "SUPPORT_CALLS",
+             "CONTRACT_MONTHS"],
+            label_column="CHURNED",
+        )
+        reference = naive_bayes_fit(matrix, labels)
+        fit = db.models.get("NB_CHURN").payload["fit"]
+        assert fit.classes == reference.classes
+        np.testing.assert_array_equal(fit.priors, reference.priors)
+        np.testing.assert_allclose(
+            fit.means, reference.means, rtol=1e-9, atol=1e-12
+        )
+        np.testing.assert_allclose(
+            fit.variances, reference.variances, rtol=1e-9, atol=1e-12
+        )
+        assert fit.training_accuracy == reference.training_accuracy
+        assert_parallel_path(db, workers)
+
+    def test_decision_tree_identical(self, setup, workers):
+        db, conn = setup
+        conn.execute(
+            "CALL INZA.DECTREE('intable=CHURN, class=CHURNED, "
+            "model=DT_CHURN, id=CUST_ID, maxdepth=5, incolumn=TENURE_MONTHS;"
+            "MONTHLY_CHARGES;SUPPORT_CALLS;CONTRACT_MONTHS')"
+        )
+        matrix, labels = reference_frame(
+            db, conn, "CHURN",
+            ["TENURE_MONTHS", "MONTHLY_CHARGES", "SUPPORT_CALLS",
+             "CONTRACT_MONTHS"],
+            label_column="CHURNED",
+        )
+        reference = decision_tree_fit(matrix, labels, max_depth=5)
+        model = db.models.get("DT_CHURN")
+        assert_same_tree(model.payload["root"], reference)
+        predictions, __ = decision_tree_predict(matrix, reference)
+        accuracy = sum(
+            p == t for p, t in zip(predictions, labels)
+        ) / len(labels)
+        assert model.metrics["training_accuracy"] == accuracy
+        assert_parallel_path(db, workers)
+
+
+class TestStarSchemaWorkload:
+    @pytest.fixture
+    def setup(self, workers):
+        db = make_system(workers)
+        conn = db.connect()
+        create_star_schema(
+            conn, customers=80, products=30, transactions=700
+        )
+        return db, conn
+
+    def test_kmeans_on_fact_table(self, setup, workers):
+        db, conn = setup
+        conn.execute(
+            "CALL INZA.KMEANS('intable=TRANSACTIONS, outtable=TX_SEG, "
+            "id=T_ID, k=3, randseed=11, model=KM_TX, "
+            "incolumn=T_QUANTITY;T_AMOUNT')"
+        )
+        matrix, __ = reference_frame(
+            db, conn, "TRANSACTIONS", ["T_QUANTITY", "T_AMOUNT"]
+        )
+        reference = kmeans_fit(matrix, 3, seed=11)
+        model = db.models.get("KM_TX")
+        np.testing.assert_allclose(
+            model.payload["centroids"], reference.centroids,
+            rtol=1e-9, atol=1e-12,
+        )
+        assert model.metrics["iterations"] == reference.iterations
+        assert_parallel_path(db, workers)
+
+    def test_linreg_amount_from_quantity(self, setup, workers):
+        db, conn = setup
+        conn.execute(
+            "CALL INZA.LINEAR_REGRESSION('intable=TRANSACTIONS, "
+            "target=T_AMOUNT, model=LR_TX, id=T_ID, incolumn=T_QUANTITY')"
+        )
+        matrix, __ = reference_frame(db, conn, "TRANSACTIONS", ["T_QUANTITY"])
+        target, __ = reference_frame(db, conn, "TRANSACTIONS", ["T_AMOUNT"])
+        reference = linreg_fit(matrix, target[:, 0])
+        model = db.models.get("LR_TX")
+        assert model.payload["intercept"] == pytest.approx(
+            reference.intercept, rel=1e-9, abs=1e-9
+        )
+        np.testing.assert_allclose(
+            model.payload["coefficients"], reference.coefficients,
+            rtol=1e-9, atol=1e-9,
+        )
+        assert model.metrics["rmse"] == pytest.approx(
+            reference.rmse, rel=1e-9
+        )
+        assert_parallel_path(db, workers)
+
+
+class TestSocialMediaWorkload:
+    @pytest.fixture
+    def setup(self, workers):
+        db = make_system(workers)
+        conn = db.connect()
+        conn.execute(SOCIAL_DDL)
+        IdaaLoader(db, batch_size=200).load(
+            IterableSource(list(generate_posts(500)), SOCIAL_COLUMNS),
+            "SOCIAL_POSTS",
+            conn,
+        )
+        return db, conn
+
+    def test_naive_bayes_topic_from_engagement(self, setup, workers):
+        db, conn = setup
+        conn.execute(
+            "CALL INZA.NAIVEBAYES('intable=SOCIAL_POSTS, class=TOPIC, "
+            "model=NB_SOCIAL, id=POST_ID, incolumn=SENTIMENT;LIKES')"
+        )
+        matrix, labels = reference_frame(
+            db, conn, "SOCIAL_POSTS", ["SENTIMENT", "LIKES"],
+            label_column="TOPIC",
+        )
+        reference = naive_bayes_fit(matrix, labels)
+        fit = db.models.get("NB_SOCIAL").payload["fit"]
+        assert fit.classes == reference.classes
+        np.testing.assert_array_equal(fit.priors, reference.priors)
+        np.testing.assert_allclose(
+            fit.means, reference.means, rtol=1e-9, atol=1e-12
+        )
+        np.testing.assert_allclose(
+            fit.variances, reference.variances, rtol=1e-9, atol=1e-12
+        )
+        assert fit.training_accuracy == reference.training_accuracy
+        assert_parallel_path(db, workers)
+
+    def test_decision_tree_exact_structure(self, setup, workers):
+        db, conn = setup
+        conn.execute(
+            "CALL INZA.DECTREE('intable=SOCIAL_POSTS, class=TOPIC, "
+            "model=DT_SOCIAL, id=POST_ID, maxdepth=4, "
+            "incolumn=SENTIMENT;LIKES')"
+        )
+        matrix, labels = reference_frame(
+            db, conn, "SOCIAL_POSTS", ["SENTIMENT", "LIKES"],
+            label_column="TOPIC",
+        )
+        reference = decision_tree_fit(matrix, labels, max_depth=4)
+        model = db.models.get("DT_SOCIAL")
+        assert_same_tree(model.payload["root"], reference)
+        assert_parallel_path(db, workers)
+
+
+class TestTrainingTelemetry:
+    def test_epochs_metrics_and_profiler_rows(self):
+        db = make_system(1)
+        conn = db.connect()
+        create_churn_table(conn, count=200, accelerate=True)
+        before = db.metrics.counter("analytics.epochs").value
+        conn.execute(
+            "CALL INZA.NAIVEBAYES('intable=CHURN, class=CHURNED, "
+            "model=NB_T, id=CUST_ID, incolumn=TENURE_MONTHS')"
+        )
+        # counts + ssd + accuracy epochs
+        assert db.metrics.counter("analytics.epochs").value == before + 3
+        model = db.models.get("NB_T")
+        assert model.epochs_trained == 3
+        assert model.rows_trained == 200
+        profiles = [
+            p for p in db.profiler.profiles()
+            if p.fingerprint == "TRAIN:NAIVEBAYES:CHURN"
+        ]
+        assert profiles
+        assert [op.operator for op in profiles[-1].operators] == [
+            "TrainEpoch"
+        ] * 3
+        assert all(op.actual_rows == 200 for op in profiles[-1].operators)
+
+    def test_train_spans_emitted(self):
+        db = make_system(1)
+        conn = db.connect()
+        create_churn_table(conn, count=150, accelerate=True)
+        conn.execute(
+            "CALL INZA.KMEANS('intable=CHURN, outtable=S_OUT, id=CUST_ID, "
+            "k=2, incolumn=TENURE_MONTHS;MONTHLY_CHARGES')"
+        )
+        names = [
+            name
+            for trace in db.tracer.traces()
+            for name in trace.span_names()
+        ]
+        assert "proc.call" in names
+        assert "analytics.train" in names
+        assert names.count("analytics.epoch") >= 3
