@@ -70,11 +70,20 @@ class ScanPartitions:
     exactly. ``finish`` must be called exactly once (from the
     coordinating thread) with the total rows gathered, so the engine's
     scan counters are updated without racing.
+
+    ``ordered`` is the concatenation guarantee above. Sharded providers
+    return ``ordered=False`` plans — each partition is one shard's rows,
+    and concatenating shards does *not* reproduce the single-instance
+    scan order. Consumers that splice partition results back into a row
+    stream must fall back to a sequential scan for unordered plans;
+    consumers folding order-independent aggregate states (COUNT/MIN/MAX
+    partials, mergeable training states) may use them freely.
     """
 
     partitions: list
     workers: int
     finish: Callable[[int], None]
+    ordered: bool = True
 
 
 class ScanWorkerPool:
@@ -656,6 +665,11 @@ class VectorQueryEngine:
         """Fan a scan + filter across chunk partitions; None = sequential."""
         plan = self._partition_plan(scan, predicate_expr, ranges, column_names)
         if plan is None:
+            return None
+        if not plan.ordered:
+            # Unordered (per-shard) partitions cannot be spliced back into
+            # the sequential row order; the sequential scan path gathers
+            # shards and reorders them via the placement layout instead.
             return None
         predicate = (
             self._compile_where(predicate_expr, scope)

@@ -9,6 +9,7 @@ from repro.analytics.decision_tree import (
 )
 from repro.analytics.framework import Procedure, ProcedureContext, ProcedureRegistry
 from repro.analytics.kmeans import kmeans_procedure, predict_kmeans
+from repro.analytics.logistic import logreg_procedure, predict_logreg
 from repro.analytics.naive_bayes import (
     naive_bayes_procedure,
     predict_naive_bayes,
@@ -119,6 +120,20 @@ BUILTIN_PROCEDURES: list[tuple] = [
         "INZA.PREDICT_LINEAR_REGRESSION",
         predict_linreg,
         "score rows with a LINREG model",
+        ("intable",),
+        ("outtable",),
+    ),
+    (
+        "INZA.LOGISTIC_REGRESSION",
+        logreg_procedure,
+        "logistic regression (incremental-gradient SGD)",
+        ("intable",),
+        ("outtable",),
+    ),
+    (
+        "INZA.PREDICT_LOGISTIC_REGRESSION",
+        predict_logreg,
+        "score rows with a LOGREG model (P of class 1)",
         ("intable",),
         ("outtable",),
     ),

@@ -51,6 +51,8 @@ def build_scorer(model) -> ModelScorer:
         return _kmeans_scorer(model)
     if kind == "LINREG":
         return _linreg_scorer(model)
+    if kind == "LOGREG":
+        return _logreg_scorer(model)
     if kind == "NAIVEBAYES":
         return _naive_bayes_scorer(model)
     if kind == "DECTREE":
@@ -91,6 +93,26 @@ def _linreg_scorer(model) -> ModelScorer:
         return out
 
     return ModelScorer("LINREG", coefficients.shape[0], score)
+
+
+def _logreg_scorer(model) -> ModelScorer:
+    intercept = float(model.payload["intercept"])
+    coefficients = np.asarray(model.payload["coefficients"], dtype=np.float64)
+
+    def score(matrix: np.ndarray) -> np.ndarray:
+        # Same accumulation order as the LINREG scorer, then a stable
+        # elementwise sigmoid — returns P(class = 1) per row.
+        margins = np.full(matrix.shape[0], intercept)
+        for j in range(coefficients.shape[0]):
+            margins += coefficients[j] * matrix[:, j]
+        out = np.empty_like(margins)
+        positive = margins >= 0
+        out[positive] = 1.0 / (1.0 + np.exp(-margins[positive]))
+        exp_m = np.exp(margins[~positive])
+        out[~positive] = exp_m / (1.0 + exp_m)
+        return out
+
+    return ModelScorer("LOGREG", coefficients.shape[0], score)
 
 
 def _naive_bayes_scorer(model) -> ModelScorer:

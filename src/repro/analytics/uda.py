@@ -166,10 +166,20 @@ class TrainingSource:
     # -- scan plans ----------------------------------------------------------
 
     def partition_plan(self):
-        """Parallel chunk-span plan, or ``None`` for sequential."""
-        return self._engine.partition_scan(
+        """Parallel chunk-span plan, or ``None`` for sequential.
+
+        Unordered (per-shard) plans are declined: the epoch driver's
+        ordered left-to-right merge is part of the trainer contract, and
+        shard order is not the single-instance scan order — training must
+        stay numerically identical at every shard count, so a sharded
+        pool trains over the sequential (layout-ordered) scan instead.
+        """
+        plan = self._engine.partition_scan(
             self.table, self._epoch, delta=self._delta, columns=self._columns
         )
+        if plan is not None and not plan.ordered:
+            return None
+        return plan
 
     def sequential_columns(self) -> tuple[dict, int]:
         """The whole visible table as one column frame."""

@@ -95,6 +95,11 @@ class Catalog:
         self._tables: dict[str, TableDescriptor] = {}
         self._views: dict[str, ViewDescriptor] = {}
         self._users: dict[str, User] = {}
+        # Accelerator-pool partitioning specs, keyed by table name. Kept
+        # opaque here (the catalog layers below repro.shard); the pool
+        # interprets them. DB2-side metadata, so a declared DISTRIBUTE BY
+        # survives an accelerator crash and drives the rebuilt placement.
+        self._partition_specs: dict[str, object] = {}
         self.privileges = PrivilegeManager()
         #: Bumped on any DDL that can change a statement's plan (create/
         #: drop of tables or views, placement moves). Cached plans record
@@ -135,6 +140,7 @@ class Catalog:
         key = name.upper()
         descriptor = self.table(key)
         del self._tables[key]
+        self._partition_specs.pop(key, None)
         self.privileges.drop_object("TABLE", key)
         self.generation += 1
         return descriptor
@@ -155,6 +161,15 @@ class Catalog:
     def set_location(self, name: str, location: TableLocation) -> None:
         self.table(name).location = location
         self.generation += 1
+
+    def set_partition_spec(self, name: str, spec: object) -> None:
+        """Record how an accelerated table distributes over pool shards."""
+        key = self.table(name).name  # raises for unknown tables
+        self._partition_specs[key] = spec
+        self.generation += 1  # placement move: cached plans are stale
+
+    def partition_spec(self, name: str) -> Optional[object]:
+        return self._partition_specs.get(name.upper())
 
     # -- views ---------------------------------------------------------------
 

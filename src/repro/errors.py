@@ -132,6 +132,24 @@ class InjectedCrashError(AcceleratorCrashError):
     """
 
 
+class ShardUnavailableError(AcceleratorCrashError):
+    """Raised when one accelerator shard of a pool cannot serve a request.
+
+    Subclasses :class:`AcceleratorCrashError` so the statement-level
+    failback machinery reroutes the query to DB2, but the federation
+    treats it differently from a whole-appliance crash: the *shard's*
+    circuit records the failure while the pool-wide health monitor stays
+    closed, so statements that only touch surviving shards keep being
+    offloaded.
+    """
+
+    def __init__(self, shard_id: int, message: str = "") -> None:
+        self.shard_id = shard_id
+        super().__init__(
+            message or f"accelerator shard {shard_id} is unavailable"
+        )
+
+
 class AcceleratorUnavailableError(ReproError):
     """Raised when a statement needs the accelerator but it is OFFLINE.
 

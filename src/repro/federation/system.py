@@ -11,6 +11,7 @@ on ("completely transparent for user applications").
 
 from __future__ import annotations
 
+import os
 import time
 from collections import deque
 from dataclasses import asdict, dataclass
@@ -37,6 +38,7 @@ from repro.errors import (
     AuthorizationError,
     DuplicateObjectError,
     LinkError,
+    ShardUnavailableError,
     SqlError,
     StatementCancelledError,
     StatementTimeoutError,
@@ -149,6 +151,7 @@ class AcceleratedDatabase:
         slow_query_threshold_seconds: float = 1.0,
         slow_query_capacity: int = 64,
         parallel_workers: int = 4,
+        shards: Optional[int] = None,
         plan_cache_capacity: int = 512,
         wlm_enabled: bool = False,
         wlm_db2_slots: int = 8,
@@ -183,15 +186,43 @@ class AcceleratedDatabase:
             failure_threshold=failure_threshold,
             cooldown_seconds=cooldown_seconds,
         )
-        self.accelerator = AcceleratorEngine(
-            self.catalog,
-            slice_count=slice_count,
-            chunk_rows=chunk_rows,
-            fault_injector=self.faults,
-            tracer=self.tracer,
-            metrics=self.metrics,
-            parallel_workers=parallel_workers,
+        #: How many accelerator shards serve this federation. One (the
+        #: default, also the ``SHARDS`` environment override) keeps the
+        #: paper's single-appliance deployment bit-for-bit; more builds
+        #: an :class:`repro.shard.AcceleratorPool` behind the same
+        #: engine interface.
+        self.shards = (
+            int(os.environ.get("SHARDS", "1"))
+            if shards is None
+            else int(shards)
         )
+        if self.shards > 1:
+            from repro.shard import AcceleratorPool
+
+            self.accelerator = AcceleratorPool(
+                self.catalog,
+                shards=self.shards,
+                slice_count=slice_count,
+                chunk_rows=chunk_rows,
+                fault_injector=self.faults,
+                tracer=self.tracer,
+                metrics=self.metrics,
+                parallel_workers=parallel_workers,
+                failure_threshold=failure_threshold,
+                cooldown_seconds=cooldown_seconds,
+                bandwidth_bytes_per_second=bandwidth_bytes_per_second,
+                message_latency_seconds=message_latency_seconds,
+            )
+        else:
+            self.accelerator = AcceleratorEngine(
+                self.catalog,
+                slice_count=slice_count,
+                chunk_rows=chunk_rows,
+                fault_injector=self.faults,
+                tracer=self.tracer,
+                metrics=self.metrics,
+                parallel_workers=parallel_workers,
+            )
         self.interconnect = Interconnect(
             bandwidth_bytes_per_second=bandwidth_bytes_per_second,
             message_latency_seconds=message_latency_seconds,
@@ -227,13 +258,36 @@ class AcceleratedDatabase:
         #: Workload manager: service classes, per-engine admission gates,
         #: statement budgets, load shedding. Ships disabled (zero-cost
         #: fast path); SYSPROC.ACCEL_SET_WLM enables it at runtime.
+        # Load shedding consults per-shard circuits through the pool
+        # adapter: one failed shard must not shed statements that the
+        # surviving shards can serve, but a pool with no usable shard
+        # sheds exactly like a single offline appliance.
+        if self.shards > 1:
+            from repro.shard import PoolAdmissionHealth
+
+            wlm_health = PoolAdmissionHealth(self.health, self.accelerator)
+        else:
+            wlm_health = self.health
         self.wlm = WorkloadManager(
             enabled=wlm_enabled,
-            health=self.health,
+            health=wlm_health,
             db2_slots=wlm_db2_slots,
             accelerator_slots=wlm_accelerator_slots,
             max_queue_seconds=wlm_max_queue_seconds,
         )
+        if self.shards > 1:
+            # Losing a shard shrinks the pool's concurrency; the WLM's
+            # ACCELERATOR admission gate tracks the live capacity.
+            base_slots = max(1, wlm_accelerator_slots)
+            total_shards = self.shards
+
+            def _shard_capacity(live: int) -> None:
+                self.wlm.resize_gate(
+                    "ACCELERATOR",
+                    max(1, (base_slots * live) // total_shards),
+                )
+
+            self.accelerator.capacity_listener = _shard_capacity
         #: Durable checkpointing + restart resync (DB2-side machinery: it
         #: survives an accelerator crash and drives the rebuild). With no
         #: ``checkpoint_dir`` the checkpoints live in memory — same frame
@@ -321,7 +375,7 @@ class AcceleratedDatabase:
 
     def _accelerator_metrics(self) -> dict:
         accelerator = self.accelerator
-        return {
+        out = {
             "queries_executed": accelerator.queries_executed,
             "rows_scanned": accelerator.rows_scanned,
             "chunks_skipped": accelerator.chunks_skipped,
@@ -329,6 +383,25 @@ class AcceleratedDatabase:
             "current_epoch": accelerator.current_epoch,
             "parallel_scans": accelerator.parallel_scans,
         }
+        pool = self.accelerator_pool
+        if pool is not None:
+            out["shards"] = pool.shards
+            out["live_shards"] = pool.live_shards
+            out["critical_path_seconds"] = (
+                pool.simulated_critical_path_seconds
+            )
+            out["shard_scans_pruned"] = pool.shard_scans_pruned
+            out["shard_scans_total"] = pool.shard_scans_total
+        return out
+
+    @property
+    def accelerator_pool(self):
+        """The sharded pool, or None for a single-accelerator system."""
+        from repro.shard.pool import AcceleratorPool
+
+        if isinstance(self.accelerator, AcceleratorPool):
+            return self.accelerator
+        return None
 
     def _register_builtin_procedures(self) -> None:
         # Imported lazily to avoid a package cycle at import time.
@@ -472,6 +545,35 @@ class AcceleratedDatabase:
         # The zone-map-seeded statistics described the accelerated copy;
         # DDL invalidates them (a later RUNSTATS re-collects DB2-side).
         self.stats.invalidate(descriptor.name)
+
+    def rebuild_shard(self, shard_id: int) -> int:
+        """Bring a killed pool shard back and reload what it lost.
+
+        Revives the shard (fresh circuit, empty partitions) and
+        re-snapshots every ACCELERATED copy that lost data on it — DB2
+        is the system of record, so the reload is just
+        :meth:`reload_accelerated_table` per affected table. Returns
+        the number of tables reloaded. AOT partitions have no DB2 copy;
+        a lost AOT needs ``SYSPROC.ACCEL_RECOVER`` (checkpoint restore)
+        instead and keeps failing fast until then.
+        """
+        pool = self.accelerator_pool
+        if pool is None:
+            raise UnknownObjectError(
+                "accelerator is not a sharded pool; nothing to rebuild"
+            )
+        pool.revive_shard(shard_id)
+        reloaded = 0
+        for descriptor in self.catalog.tables():
+            if descriptor.location is not TableLocation.ACCELERATED:
+                continue
+            if not pool.has_storage(descriptor.name):
+                continue
+            storage = pool.storage_for(descriptor.name)
+            if shard_id in getattr(storage, "lost_shards", ()):
+                self.reload_accelerated_table(descriptor.name)
+                reloaded += 1
+        return reloaded
 
     # -- movement metrics ---------------------------------------------------------------
 
@@ -889,6 +991,8 @@ class Connection:
             return self._execute_create_table(stmt, txn, params)
         if isinstance(stmt, ast.DropTableStatement):
             return self._execute_drop_table(stmt)
+        if isinstance(stmt, ast.AlterTableDistribute):
+            return self._execute_alter_distribute(stmt)
         if isinstance(stmt, ast.CreateViewStatement):
             return self._execute_create_view(stmt)
         if isinstance(stmt, ast.DropViewStatement):
@@ -1235,7 +1339,12 @@ class Connection:
                 stmt, txn, params, self.acceleration, plan=plan
             )
         except (AcceleratorCrashError, LinkError) as exc:
-            self._system.health.record_failure()
+            # One shard failing is not an appliance failure: the shard's
+            # own circuit already tripped inside the pool, and tripping
+            # the global monitor here would take the surviving shards
+            # out of offload with it.
+            if not isinstance(exc, ShardUnavailableError):
+                self._system.health.record_failure()
             if (
                 not self.acceleration.allows_failback
                 or self._references_aot(stmt)
@@ -1818,6 +1927,67 @@ class Connection:
         self._system.replication.unregister_table(descriptor.name)
         self._system.stats.invalidate(descriptor.name)
         return Result(message=f"TABLE {descriptor.name} DROPPED", engine="DB2")
+
+    def _execute_alter_distribute(
+        self, stmt: ast.AlterTableDistribute
+    ) -> Result:
+        """ALTER TABLE … ACCELERATE DISTRIBUTE BY HASH/RANGE/RANDOM.
+
+        Records the placement spec in the shared catalog (DB2-side
+        metadata: it survives accelerator crashes and drives rebuilt
+        placement) and, on a sharded pool, redistributes the live rows
+        immediately. RANGE boundaries are computed from the current
+        data's quantiles at ALTER time.
+        """
+        from repro.shard.placement import PartitionSpec, range_boundaries
+
+        descriptor = self._system.catalog.table(stmt.table)
+        if not (self.user.is_admin or descriptor.owner == self.user.name):
+            raise AuthorizationError(
+                f"user {self.user.name} cannot alter {descriptor.name}"
+            )
+        if not descriptor.is_accelerated:
+            raise SqlError(
+                f"table {descriptor.name} is not accelerator-resident; "
+                "DISTRIBUTE BY governs accelerator placement"
+            )
+        columns = tuple(c.upper() for c in stmt.columns)
+        for name in columns:
+            if name not in descriptor.schema.column_names:
+                raise UnknownObjectError(
+                    f"table {descriptor.name} has no column {name}"
+                )
+        pool = self._system.accelerator_pool
+        if stmt.method == "RANGE":
+            values = (
+                pool.range_key_values(descriptor.name, columns[0])
+                if pool is not None
+                else []
+            )
+            spec = PartitionSpec(
+                "RANGE",
+                columns,
+                range_boundaries(values, pool.shards if pool else 1),
+            )
+        elif stmt.method == "HASH":
+            spec = PartitionSpec("HASH", columns)
+        else:
+            spec = PartitionSpec("RANDOM")
+        self._system.catalog.set_partition_spec(descriptor.name, spec)
+        moved = 0
+        if pool is not None:
+            self._system.interconnect.send_to_accelerator(
+                STATEMENT_OVERHEAD_BYTES
+            )
+            moved = pool.redistribute(descriptor.name, spec)
+        rendered = stmt.method
+        if columns:
+            rendered += f" ({', '.join(columns)})"
+        return Result(
+            message=f"TABLE {descriptor.name} DISTRIBUTE BY {rendered}",
+            engine="ACCELERATOR",
+            rowcount=moved,
+        )
 
     def _execute_create_view(self, stmt: ast.CreateViewStatement) -> Result:
         # Validate eagerly: expansion catches unknown views; execution of

@@ -27,6 +27,12 @@ equivalents as *virtual tables* under the ``SYSACCEL`` schema:
 * ``SYSACCEL.MON_MODELS`` — one row per trained model with its kind,
   owner, feature list, rows/epochs of unified training, generations,
   and training metrics;
+* ``SYSACCEL.MON_SHARDS`` — one row per accelerator shard (the scale-out
+  pool of PR 10): liveness, per-shard circuit state and counters,
+  resident rows/tables, scan and write traffic, simulated busy seconds,
+  and the shard's interconnect byte totals. A single-instance system
+  (SHARDS=1) reports one row for shard 0 so dashboards need no special
+  case;
 * ``SYSACCEL.MON_STATISTICS`` — the cost-based optimizer's statistics
   store: one table-level row (``COLUMN_NAME = ''``) per table plus one
   row per column with NDV, null count, min/max, histogram bin count,
@@ -154,6 +160,26 @@ _SCHEMAS: dict[str, TableSchema] = {
             Column("LAST_ACTUAL", BIGINT),
             Column("MEAN_Q_ERROR", DOUBLE),
             Column("MAX_Q_ERROR", DOUBLE),
+        ]
+    ),
+    "SYSACCEL.MON_SHARDS": TableSchema(
+        [
+            Column("SHARD_ID", INTEGER),
+            Column("STATE", VarcharType(12)),
+            Column("ALIVE", VarcharType(1)),
+            Column("TABLES", INTEGER),
+            Column("ROW_COUNT", BIGINT),
+            Column("LOST_TABLES", INTEGER),
+            Column("SCANS", BIGINT),
+            Column("ROWS_SCANNED", BIGINT),
+            Column("ROWS_WRITTEN", BIGINT),
+            Column("BUSY_SECONDS", DOUBLE),
+            Column("FAILURES", BIGINT),
+            Column("SUCCESSES", BIGINT),
+            Column("CIRCUIT_OPENED", BIGINT),
+            Column("REJECTED", BIGINT),
+            Column("BYTES_TO_SHARD", BIGINT),
+            Column("BYTES_FROM_SHARD", BIGINT),
         ]
     ),
     "SYSACCEL.MON_STATISTICS": TableSchema(
@@ -314,6 +340,67 @@ def _statistics_rows(system: "AcceleratedDatabase") -> list[tuple]:
     return system.stats.monitor_rows()
 
 
+def _shards_rows(system: "AcceleratedDatabase") -> list[tuple]:
+    pool = system.accelerator_pool
+    if pool is None:
+        # Single instance: one synthetic row so SHARDS=1 and SHARDS=N
+        # deployments query the same view.
+        engine = system.accelerator
+        health = system.health
+        link = system.interconnect
+        tables = engine._tables
+        return [
+            (
+                0,
+                health.state.value,
+                "Y",
+                len(tables),
+                sum(t.row_count for t in tables.values()),
+                0,
+                engine.queries_executed,
+                engine.rows_scanned,
+                0,
+                round(engine.simulated_busy_seconds, 9),
+                health.failures_total,
+                health.successes_total,
+                health.times_opened,
+                health.requests_rejected,
+                link.bytes_to_accelerator,
+                link.bytes_from_accelerator,
+            )
+        ]
+    rows: list[tuple] = []
+    for shard in pool.shard_list:
+        circuit = shard.health
+        link = shard.interconnect
+        lost = sum(
+            1
+            for facade in pool._tables.values()
+            if shard.shard_id in facade.lost_shards
+        )
+        rows.append(
+            (
+                shard.shard_id,
+                circuit.state.value if shard.alive else "DOWN",
+                _flag(shard.alive),
+                len(shard.tables),
+                shard.row_count,
+                lost,
+                shard.scans,
+                shard.rows_scanned,
+                shard.rows_written,
+                round(shard.simulated_busy_seconds, 9),
+                circuit.failures_total,
+                circuit.successes_total,
+                circuit.times_opened,
+                circuit.requests_rejected,
+                link.bytes_to_accelerator,
+                link.bytes_from_accelerator,
+            )
+        )
+    return rows
+
+
 def _recovery_rows(system: "AcceleratedDatabase") -> list[tuple]:
     return [
         (
@@ -394,6 +481,7 @@ _ROW_BUILDERS: dict[str, Callable] = {
     "SYSACCEL.MON_WLM": _wlm_rows,
     "SYSACCEL.MON_OPERATORS": _operators_rows,
     "SYSACCEL.MON_QERROR": _qerror_rows,
+    "SYSACCEL.MON_SHARDS": _shards_rows,
     "SYSACCEL.MON_STATISTICS": _statistics_rows,
     "SYSACCEL.MON_MODELS": _models_rows,
 }

@@ -1,0 +1,39 @@
+"""Multi-accelerator scale-out: placement, fan-out execution, failover.
+
+One accelerator appliance behind DB2 (the paper's deployment) caps scan
+throughput at a single instance. This package generalises the federation
+to a *pool* of N accelerator shards behind the same engine interface:
+
+* :mod:`repro.shard.placement` — catalog-backed partitioning specs
+  (HASH / RANGE / RANDOM) with shard-map generations and partition-key
+  shard pruning;
+* :mod:`repro.shard.pool` — :class:`AcceleratorPool`, a drop-in
+  :class:`~repro.accelerator.engine.AcceleratorEngine` whose storage
+  objects fan scans out per shard and merge them back byte-identically
+  to single-instance execution, with a per-shard health circuit,
+  interconnect link, and fault site for independent failure.
+"""
+
+from repro.shard.placement import (
+    PartitionSpec,
+    ShardMap,
+    default_spec,
+    range_boundaries,
+)
+from repro.shard.pool import (
+    AcceleratorPool,
+    AcceleratorShard,
+    PoolAdmissionHealth,
+    ShardedTable,
+)
+
+__all__ = [
+    "AcceleratorPool",
+    "AcceleratorShard",
+    "PartitionSpec",
+    "PoolAdmissionHealth",
+    "ShardMap",
+    "ShardedTable",
+    "default_spec",
+    "range_boundaries",
+]

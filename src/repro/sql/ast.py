@@ -443,6 +443,20 @@ class DropTableStatement(Statement):
 
 
 @dataclass
+class AlterTableDistribute(Statement):
+    """``ALTER TABLE t ACCELERATE DISTRIBUTE BY HASH(c,…)|RANGE(c)|RANDOM``.
+
+    Declares (or changes) how the table's rows spread over the
+    accelerator pool's shards. RANGE boundaries are not part of the
+    statement — they are computed from data quantiles at execution time.
+    """
+
+    table: str
+    method: str  # HASH / RANGE / RANDOM
+    columns: list[str] = field(default_factory=list)
+
+
+@dataclass
 class CreateViewStatement(Statement):
     """``CREATE VIEW name AS (SELECT ...)`` — a DB2 catalog object."""
 

@@ -35,7 +35,7 @@ KEYWORDS = frozenset(
     OUTER CROSS ON USING UNION EXCEPT INTERSECT INSERT INTO VALUES UPDATE
     SET DELETE CREATE TABLE DROP IF PRIMARY KEY NOT UNIQUE DEFAULT
     ACCELERATOR GRANT REVOKE TO CALL COMMIT ROLLBACK BEGIN TRANSACTION
-    WORK TRUE FALSE COUNT SUM AVG MIN MAX DISTRIBUTE RANDOM
+    WORK TRUE FALSE COUNT SUM AVG MIN MAX DISTRIBUTE RANDOM ALTER
     EXECUTE PROCEDURE VIEW REPLACE WITH EXPLAIN ANALYZE
     """.split()
 )

@@ -160,6 +160,8 @@ class Parser:
             return self._create()
         if token.matches_keyword("DROP"):
             return self._drop_table()
+        if token.matches_keyword("ALTER"):
+            return self._alter()
         if token.matches_keyword("INSERT"):
             return self._insert()
         if token.matches_keyword("UPDATE"):
@@ -596,6 +598,40 @@ class Parser:
         if is_view:
             return ast.DropViewStatement(name=name, if_exists=if_exists)
         return ast.DropTableStatement(name=name, if_exists=if_exists)
+
+    def _alter(self) -> ast.AlterTableDistribute:
+        """``ALTER TABLE t ACCELERATE DISTRIBUTE BY HASH(...)|RANGE(c)|RANDOM``."""
+        self._expect_keyword("ALTER")
+        self._expect_keyword("TABLE")
+        name = self._qualified_name()
+        # ACCELERATE is not reserved; it arrives as an identifier token.
+        word = self._expect_identifier()
+        if word != "ACCELERATE":
+            raise ParseError(
+                "expected ACCELERATE DISTRIBUTE BY after ALTER TABLE name"
+            )
+        self._expect_keyword("DISTRIBUTE")
+        self._expect_keyword("BY")
+        if self._accept_keyword("RANDOM"):
+            return ast.AlterTableDistribute(
+                table=name, method="RANDOM", columns=[]
+            )
+        method = self._expect_identifier()
+        if method not in ("HASH", "RANGE"):
+            raise ParseError(
+                "expected HASH(...), RANGE(col), or RANDOM after "
+                "DISTRIBUTE BY"
+            )
+        self._expect_punct("(")
+        columns = [self._expect_identifier()]
+        while self._accept_punct(","):
+            columns.append(self._expect_identifier())
+        self._expect_punct(")")
+        if method == "RANGE" and len(columns) != 1:
+            raise ParseError("RANGE distribution takes exactly one column")
+        return ast.AlterTableDistribute(
+            table=name, method=method, columns=columns
+        )
 
     # -- DML ------------------------------------------------------------------
 

@@ -16,6 +16,7 @@ import pytest
 from hypothesis import given, seed, settings, strategies as st
 
 from repro.accelerator import AcceleratorEngine
+from repro.shard import AcceleratorPool
 from repro.catalog import Catalog, Column, TableLocation, TableSchema
 from repro.db2 import Db2Engine
 from repro.sql import parse_statement
@@ -30,6 +31,7 @@ def _build_engines():
     catalog = Catalog()
     db2 = Db2Engine(catalog)
     accelerator = AcceleratorEngine(catalog, slice_count=2, chunk_rows=16)
+    pool = AcceleratorPool(catalog, shards=3, slice_count=2, chunk_rows=16)
     main_schema = TableSchema(
         [
             Column("ID", INTEGER, nullable=False),
@@ -69,10 +71,12 @@ def _build_engines():
         db2.insert_rows(txn, name, coerced, already_coerced=True)
         db2.commit(txn)
         accelerator.bulk_insert(name, coerced)
-    return db2, accelerator
+        pool.create_storage(descriptor)
+        pool.bulk_insert(name, coerced)
+    return db2, accelerator, pool
 
 
-_DB2, _ACCEL = _build_engines()
+_DB2, _ACCEL, _POOL = _build_engines()
 
 # Differential-testing knobs: CI's differential job sweeps several seeds
 # at elevated volume (FUZZ_SEED=n FUZZ_EXAMPLES=m); local runs default to
@@ -250,8 +254,12 @@ def test_random_queries_agree(sql):
     db2_rows = [
         tuple(_normalise(v) for v in row) for row in _run_db2(sql)
     ]
-    __, accel_rows = _ACCEL.execute_select(parse_statement(sql))
-    accel_rows = [tuple(_normalise(v) for v in row) for row in accel_rows]
+    __, accel_raw = _ACCEL.execute_select(parse_statement(sql))
+    accel_rows = [tuple(_normalise(v) for v in row) for row in accel_raw]
+    # Scale-out transparency: a 3-shard pool over the same data must be
+    # byte-identical (raw, pre-normalisation) to the single instance.
+    __, pool_raw = _POOL.execute_select(parse_statement(sql))
+    assert pool_raw == accel_raw, sql
     if getattr(stmt, "order_by", None):
         assert accel_rows == db2_rows, sql
     else:

@@ -243,6 +243,94 @@ class TestRedeliveryEdgeCases:
         assert db.accelerator.applied_lsn("ITEMS") == 900
 
 
+class TestCursorIndependence:
+    """Per-table change feeds drain against one global changelog, but
+    each table keeps its own applied-LSN watermark: draining one feed
+    must never advance — or roll back — another table's cursor."""
+
+    def test_per_table_watermarks_advance_independently(self, db, conn):
+        conn.execute(
+            "CREATE TABLE SIDE (ID INTEGER NOT NULL PRIMARY KEY, V DOUBLE)"
+        )
+        conn.execute("INSERT INTO SIDE VALUES (1, 1.0)")
+        db.add_table_to_accelerator("SIDE")
+        conn.execute("INSERT INTO SIDE VALUES (2, 2.0)")
+        db.replication.drain()
+        side_lsn = db.accelerator.applied_lsn("SIDE")
+        assert side_lsn > 0
+        assert db.accelerator.applied_lsn("ITEMS") == 0  # untouched
+
+        conn.execute("UPDATE items SET v = -5 WHERE id = 1")
+        db.replication.drain()
+        # ITEMS advanced past SIDE's records; SIDE's cursor is pinned.
+        assert db.accelerator.applied_lsn("SIDE") == side_lsn
+        assert db.accelerator.applied_lsn("ITEMS") > side_lsn
+
+    def test_interleaved_feeds_apply_exactly_once(self, db, conn):
+        conn.execute(
+            "CREATE TABLE SIDE (ID INTEGER NOT NULL PRIMARY KEY, V DOUBLE)"
+        )
+        conn.execute("INSERT INTO SIDE VALUES (0, 0.0)")
+        db.add_table_to_accelerator("SIDE")
+        for i in range(10):
+            conn.execute(f"INSERT INTO ITEMS VALUES ({200 + i}, 1.0)")
+            conn.execute(f"INSERT INTO SIDE VALUES ({10 + i}, 1.0)")
+        # Tiny batches so the two feeds interleave across many drains.
+        while db.replication.drain(batch_size=3, max_batches=1):
+            pass
+        conn.set_acceleration("ALL")
+        assert conn.execute("SELECT COUNT(*) FROM items").scalar() == 110
+        assert conn.execute("SELECT COUNT(*) FROM side").scalar() == 11
+        conn.set_acceleration("ENABLE")
+        items_lsn = db.accelerator.applied_lsn("ITEMS")
+        side_lsn = db.accelerator.applied_lsn("SIDE")
+        assert items_lsn > 0 and side_lsn > 0
+        # The log is fully drained: another pass moves nothing.
+        assert db.replication.drain() == 0
+        assert db.accelerator.applied_lsn("ITEMS") == items_lsn
+        assert db.accelerator.applied_lsn("SIDE") == side_lsn
+
+    def test_sharded_pool_keeps_one_watermark_per_table(self):
+        """A 3-shard pool fans each record out by placement, but the
+        watermark stays per-table on the coordinator — redelivery is
+        exactly-once no matter how many shards absorbed the batch."""
+        from repro.db2.changelog import ChangeRecord
+
+        db = AcceleratedDatabase(
+            shards=3, slice_count=2, chunk_rows=64, auto_replicate=False
+        )
+        conn = db.connect()
+        conn.execute(
+            "CREATE TABLE ITEMS (ID INTEGER NOT NULL PRIMARY KEY, V DOUBLE)"
+        )
+        conn.execute(
+            "CREATE TABLE SIDE (ID INTEGER NOT NULL PRIMARY KEY, V DOUBLE)"
+        )
+        conn.execute(
+            "INSERT INTO ITEMS VALUES "
+            + ", ".join(f"({i}, {float(i)})" for i in range(20))
+        )
+        conn.execute("INSERT INTO SIDE VALUES (0, 0.0)")
+        db.add_table_to_accelerator("ITEMS")
+        db.add_table_to_accelerator("SIDE")
+        for i in range(8):
+            conn.execute(f"INSERT INTO ITEMS VALUES ({100 + i}, 1.0)")
+            conn.execute(f"INSERT INTO SIDE VALUES ({1 + i}, 1.0)")
+        while db.replication.drain(batch_size=3, max_batches=1):
+            pass
+        conn.set_acceleration("ALL")
+        assert conn.execute("SELECT COUNT(*) FROM items").scalar() == 28
+        assert conn.execute("SELECT COUNT(*) FROM side").scalar() == 9
+        conn.set_acceleration("ENABLE")
+        side_lsn = db.accelerator.applied_lsn("SIDE")
+        batch = [ChangeRecord(9001, 1, "ITEMS", "INSERT", after=(900, 1.0))]
+        assert db.accelerator.apply_changes("ITEMS", batch) == 1
+        # Identical redelivery: dropped by the ITEMS watermark, and the
+        # unrelated SIDE cursor must not have moved either way.
+        assert db.accelerator.apply_changes("ITEMS", batch) == 0
+        assert db.accelerator.applied_lsn("SIDE") == side_lsn
+
+
 class TestTransactionalCapture:
     def test_uncommitted_changes_not_replicated(self, db, conn):
         conn.execute("BEGIN")
